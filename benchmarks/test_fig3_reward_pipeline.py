@@ -1,0 +1,62 @@
+"""Fig. 3 — the reward pipeline: 4-target sampling, PCHIP, w-optimal points.
+
+Regenerates the three panels of Fig. 3 numerically for a pair of adjacent
+states (ripple-carry 8b and its Fig. 1-style successor): the sampled
+area-delay points per state, the interpolated curves, and the vector reward
+between the w-optimal points.
+"""
+
+import numpy as np
+
+from repro.cells import nangate45
+from repro.prefix import ripple_carry
+from repro.synth import calibrate_scaling, synthesize_curve
+from repro.utils import scatter_plot
+
+
+def run_fig3():
+    library = nangate45()
+    s_t = ripple_carry(8)
+    s_t1 = s_t.add_node(7, 4)
+
+    curve_t = synthesize_curve(s_t, library)
+    curve_t1 = synthesize_curve(s_t1, library)
+
+    pts = [(a, d) for c in (curve_t, curve_t1) for d, a in c.points()]
+    c_area, c_delay = calibrate_scaling(pts)
+    w_area, w_delay = 0.5, 0.5
+    opt_t = curve_t.w_optimal(w_area, w_delay, c_area, c_delay)
+    opt_t1 = curve_t1.w_optimal(w_area, w_delay, c_area, c_delay)
+    reward = np.array(
+        [c_area * (opt_t[0] - opt_t1[0]), c_delay * (opt_t[1] - opt_t1[1])]
+    )
+    return curve_t, curve_t1, opt_t, opt_t1, reward
+
+
+def test_fig3_reward_pipeline(benchmark):
+    curve_t, curve_t1, opt_t, opt_t1, reward = benchmark.pedantic(
+        run_fig3, rounds=1, iterations=1
+    )
+
+    print("\n=== Fig. 3: reward calculation pipeline (8b, s_t=ripple, a=add(7,4)) ===")
+    series = {
+        "s_t curve": [(a, d) for d, a in curve_t.points()],
+        "s_t+1 curve": [(a, d) for d, a in curve_t1.points()],
+        "w-opt t": [opt_t],
+        "w-opt t+1": [opt_t1],
+    }
+    print(scatter_plot(series))
+    print(f"s_t   samples: {curve_t}")
+    print(f"s_t+1 samples: {curve_t1}")
+    print(f"w-optimal(s_t)   = area {opt_t[0]:.1f} um2, delay {opt_t[1]:.4f} ns")
+    print(f"w-optimal(s_t+1) = area {opt_t1[0]:.1f} um2, delay {opt_t1[1]:.4f} ns")
+    print(f"reward vector r_t = [{reward[0]:+.4f}, {reward[1]:+.4f}] (scaled)")
+
+    # Shape checks: 4 samples per state, monotone curves, and the parallel
+    # successor must be faster at the fast end (that is what the add buys).
+    assert 2 <= len(curve_t.points()) <= 4
+    assert curve_t1.min_delay < curve_t.min_delay
+    # Adding a node cannot shrink minimum achievable area.
+    assert curve_t1.area_at(curve_t1.max_delay) >= curve_t.area_at(curve_t.max_delay) - 1e-6
+    # The delay component of the reward must be positive (delay improved).
+    assert reward[1] > 0

@@ -1,0 +1,108 @@
+"""Fig. 4a — area-delay Pareto fronts, '32b' setting, open tool/library.
+
+Paper result: PrefixRL adders Pareto-dominate Sklansky, Kogge-Stone,
+Brent-Kung, SA [14] and PS [15] when everything is synthesized with
+OpenPhySyn + Nangate45; max area saving 16.0% at matched delay, gains
+largest at tight delay targets.
+
+This bench regenerates every series end-to-end at the CI stand-in width
+(REPRO_SCALE controls widths/steps; see DESIGN.md section 3 for the
+scale-substitution rationale).
+"""
+
+import pytest
+
+from repro.baselines import pruned_search, sa_frontier
+from repro.pareto import (
+    area_savings_at_matched_delay,
+    bin_by_delay,
+    fraction_dominated,
+    hypervolume_2d,
+    pareto_front,
+)
+from repro.synth import AnalyticalEvaluator, synthesize_curve
+from repro.utils import scatter_plot
+
+from benchmarks.conftest import curve_series, frontier_design_series
+
+
+def build_series(bundle, scale):
+    n = bundle["n"]
+    num_points = scale.delay_targets
+
+    series = {}
+    for name in ("sklansky", "kogge_stone", "brent_kung"):
+        series[name] = curve_series(bundle["regular_curves"][name], num_points)
+
+    # SA baseline: annealed on the analytical model (the paper notes SA
+    # cannot afford synthesis in the loop), then its designs synthesized.
+    sa_archive = sa_frontier(
+        n,
+        lambda wa, wd: AnalyticalEvaluator(wa, wd),
+        weights=[0.2, 0.4, 0.6, 0.8],
+        iterations_per_weight=scale.sa_iterations,
+        seed=11,
+    )
+    sa_points = []
+    for _, _, graph in sa_archive.entries()[:10]:
+        curve = synthesize_curve(graph, bundle["library"], bundle["synthesizer"])
+        sa_points.extend(curve_series(curve, num_points))
+    series["SA"] = pareto_front(sa_points)
+
+    # PS baseline: pruned exhaustive enumeration, all survivors synthesized.
+    ps = pruned_search(n, AnalyticalEvaluator(), max_designs=60)
+    ps_points = []
+    for graph in sorted(ps.designs, key=lambda g: g.key())[:30]:
+        curve = synthesize_curve(graph, bundle["library"], bundle["synthesizer"])
+        ps_points.extend(curve_series(curve, num_points))
+    series["PS"] = pareto_front(ps_points)
+
+    rl_points, rl_designs = frontier_design_series(bundle, num_points)
+    series["PrefixRL"] = rl_points
+    return series, rl_designs
+
+
+def test_fig4a_pareto_32b(benchmark, rl_sweep_small, scale):
+    series, _ = benchmark.pedantic(
+        build_series, args=(rl_sweep_small, scale), rounds=1, iterations=1
+    )
+    num_bins = scale.delay_targets
+    binned = {name: bin_by_delay(pts, num_bins) for name, pts in series.items()}
+
+    print(f"\n=== Fig. 4a: '32b' adder Pareto fronts (n={rl_sweep_small['n']}, "
+          f"openphysyn-like + nangate45-like) ===")
+    print(scatter_plot(binned))
+
+    rl = series["PrefixRL"]
+    all_points = [p for pts in series.values() for p in pts]
+    ref = (max(a for a, _ in all_points) * 1.05, max(d for _, d in all_points) * 1.05)
+    print(f"{'series':>12s}  {'hypervolume':>12s}  {'front size':>10s}")
+    for name, pts in series.items():
+        print(f"{name:>12s}  {hypervolume_2d(pts, ref):12.4f}  {len(pareto_front(pts)):10d}")
+
+    for name in ("sklansky", "kogge_stone", "brent_kung", "SA", "PS"):
+        savings = area_savings_at_matched_delay(rl, series[name])
+        if savings:
+            best_delay, best = max(savings, key=lambda s: s[1])
+            print(f"PrefixRL vs {name:>12s}: max area saving "
+                  f"{best*100:+.1f}% at delay {best_delay:.4f} ns "
+                  f"(dominated fraction {fraction_dominated(rl, series[name], eps=1e-9):.2f})")
+
+    # Shape assertions (lenient, per DESIGN.md): the RL frontier's
+    # hypervolume must at least match every baseline's, and it must show a
+    # positive max area saving against each baseline frontier. PS gets 5%
+    # slack at CI scale: at the stand-in width the pruned space is nearly
+    # the whole space, so exhaustive PS is close to optimal — the paper's
+    # decisive RL-over-PS gap appears at 32b/64b where pruning must cut
+    # away most of the space (see EXPERIMENTS.md).
+    rl_hv = hypervolume_2d(rl, ref)
+    for name in ("sklansky", "kogge_stone", "brent_kung", "SA", "PS"):
+        base_hv = hypervolume_2d(series[name], ref)
+        slack = 0.95 if name == "PS" else 0.99
+        assert rl_hv >= base_hv * slack, f"PrefixRL hypervolume below {name}"
+        savings = area_savings_at_matched_delay(rl, series[name])
+        assert savings and max(s for _, s in savings) > 0.0, (
+            f"no positive matched-delay area saving vs {name}"
+        )
+    cache = rl_sweep_small["cache"]
+    print(f"synthesis cache during sweep: {cache}")

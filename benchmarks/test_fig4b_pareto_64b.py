@@ -1,0 +1,86 @@
+"""Fig. 4b — area-delay Pareto fronts, '64b' setting, with the CL baseline.
+
+Paper result: at 64b PrefixRL Pareto-dominates the regular structures and
+the 1100 cross-layer (CL [10]) adders, with 12-20 percentage-point area
+savings in the knee and a 30.2% maximum at tight targets — RL scaling to a
+width where SA-class search cannot follow.
+"""
+
+from repro.baselines import cross_layer_optimization
+from repro.pareto import (
+    area_savings_at_matched_delay,
+    bin_by_delay,
+    fraction_dominated,
+    hypervolume_2d,
+    pareto_front,
+)
+from repro.synth import SynthesisEvaluator, synthesize_curve
+from repro.utils import scatter_plot
+
+from benchmarks.conftest import curve_series, frontier_design_series
+
+
+def build_series(bundle, scale):
+    n = bundle["n"]
+    num_points = scale.delay_targets
+    c_area, c_delay = bundle["calibration"]
+
+    series = {}
+    for name in ("sklansky", "kogge_stone", "brent_kung"):
+        series[name] = curve_series(bundle["regular_curves"][name], num_points)
+
+    # CL baseline: pruned candidate pool + learned predictor rationing the
+    # synthesis oracle; its measured designs form the series.
+    cl_evaluator = SynthesisEvaluator(
+        bundle["library"],
+        synthesizer=bundle["synthesizer"],
+        w_area=0.5,
+        w_delay=0.5,
+        cache=bundle["cache"],
+        c_area=c_area,
+        c_delay=c_delay,
+    )
+    cl = cross_layer_optimization(
+        n, cl_evaluator, sample_size=16, select_size=16, max_candidates=250, rng=3
+    )
+    cl_points = []
+    for _, _, graph in cl.archive.entries():
+        curve = synthesize_curve(graph, bundle["library"], bundle["synthesizer"])
+        cl_points.extend(curve_series(curve, num_points))
+    series["CL"] = pareto_front(cl_points)
+
+    rl_points, _ = frontier_design_series(bundle, num_points)
+    series["PrefixRL"] = rl_points
+    return series, cl.predictor_r2
+
+
+def test_fig4b_pareto_64b(benchmark, rl_sweep_large, scale):
+    series, cl_r2 = benchmark.pedantic(
+        build_series, args=(rl_sweep_large, scale), rounds=1, iterations=1
+    )
+    binned = {n: bin_by_delay(p, scale.delay_targets) for n, p in series.items()}
+
+    print(f"\n=== Fig. 4b: '64b' adder Pareto fronts (n={rl_sweep_large['n']}) ===")
+    print(scatter_plot(binned))
+    print(f"CL predictor r^2 on its training sample: {cl_r2:.3f}")
+
+    rl = series["PrefixRL"]
+    all_points = [p for pts in series.values() for p in pts]
+    ref = (max(a for a, _ in all_points) * 1.05, max(d for _, d in all_points) * 1.05)
+    rl_hv = hypervolume_2d(rl, ref)
+    for name in ("sklansky", "kogge_stone", "brent_kung", "CL"):
+        base = series[name]
+        savings = area_savings_at_matched_delay(rl, base)
+        best = max((s for _, s in savings), default=float("nan"))
+        print(
+            f"PrefixRL vs {name:>12s}: hv ratio {rl_hv / max(hypervolume_2d(base, ref), 1e-9):6.3f}, "
+            f"max matched-delay area saving {best*100:+.1f}%, "
+            f"dominated fraction {fraction_dominated(rl, base, eps=1e-9):.2f}"
+        )
+        assert rl_hv >= hypervolume_2d(base, ref) * 0.99
+        assert savings and max(s for _, s in savings) > 0.0
+
+    # The paper's scaling observation: hit rate drops at the larger width
+    # (Sec IV-D: 50% at 32b vs 10% at 64b) — verified cross-bench in the
+    # Sec V-C bench; here just surface the number.
+    print(f"synthesis cache during sweep: {rl_sweep_large['cache']}")

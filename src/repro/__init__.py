@@ -1,0 +1,51 @@
+"""PrefixRL reproduction: deep-RL optimization of parallel prefix circuits.
+
+Reproduces Roy et al., *PrefixRL: Optimization of Parallel Prefix Circuits
+using Deep Reinforcement Learning* (DAC 2021) end to end in pure Python:
+the prefix-graph MDP, a numpy deep-learning stack, a scalarized Double-DQN
+agent, and the full synthesis substrate (cell libraries, netlist generation,
+static timing, a timing-driven optimizer) the paper trains against.
+
+Quickstart::
+
+    from repro import sklansky, evaluate_analytical
+    g = sklansky(32)
+    print(evaluate_analytical(g))          # area/delay under the SA model
+    g2 = g.add_node(17, 4)                 # take an environment action
+
+See README.md for the full tour and DESIGN.md for the system inventory.
+"""
+
+from repro.prefix import (
+    PrefixGraph,
+    IllegalActionError,
+    ripple_carry,
+    sklansky,
+    kogge_stone,
+    brent_kung,
+    han_carlson,
+    ladner_fischer,
+    REGULAR_STRUCTURES,
+    render_grid,
+    render_network,
+)
+from repro.analytical import AnalyticalMetrics, evaluate_analytical
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrefixGraph",
+    "IllegalActionError",
+    "ripple_carry",
+    "sklansky",
+    "kogge_stone",
+    "brent_kung",
+    "han_carlson",
+    "ladner_fischer",
+    "REGULAR_STRUCTURES",
+    "render_grid",
+    "render_network",
+    "AnalyticalMetrics",
+    "evaluate_analytical",
+    "__version__",
+]

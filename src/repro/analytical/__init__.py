@@ -1,0 +1,23 @@
+"""Analytical prefix-graph metrics (the Moto-Kaneko model of ref. [14]).
+
+Used by the simulated-annealing baseline and by "Analytical-PrefixRL"
+(Fig. 6a): node area is 1.0 and node delay is ``1.0 + 0.5 * fanout``, so the
+graph's area is its compute-node count and its delay is the slowest
+accumulated path into an output. Section V-D of the paper shows these
+metrics do *not* transfer to synthesized circuits — reproducing that
+inversion is the point of carrying both evaluators.
+"""
+
+from repro.analytical.model import (
+    AnalyticalMetrics,
+    analytical_area,
+    analytical_delay,
+    evaluate_analytical,
+)
+
+__all__ = [
+    "AnalyticalMetrics",
+    "analytical_area",
+    "analytical_delay",
+    "evaluate_analytical",
+]

@@ -1,0 +1,67 @@
+"""Moto-Kaneko analytical area/delay model for prefix graphs.
+
+Reference [14] evaluates a prefix graph with unit node areas and
+fanout-loaded node delays: ``delay(node) = 1.0 + 0.5 * fanout(node)``.
+A node's arrival time is its own delay plus the worst parent arrival;
+the graph delay is the worst arrival over the output column. Sanity
+anchor from the paper's Fig. 6a at 32b: Sklansky evaluates to area 80 and
+delay 22 under this model, matching the top of the SA frontier's range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.prefix.graph import PrefixGraph
+
+FANOUT_DELAY_FACTOR = 0.5
+BASE_NODE_DELAY = 1.0
+NODE_AREA = 1.0
+
+
+@dataclass(frozen=True)
+class AnalyticalMetrics:
+    """Area/delay pair under the analytical model."""
+
+    area: float
+    delay: float
+
+
+def analytical_area(graph: PrefixGraph) -> float:
+    """Unit-area model: one unit per compute (non-input) node."""
+    return NODE_AREA * graph.num_compute_nodes
+
+
+def _node_delays(graph: PrefixGraph) -> np.ndarray:
+    fanouts = graph.fanouts()
+    delays = BASE_NODE_DELAY + FANOUT_DELAY_FACTOR * fanouts.astype(np.float64)
+    delays[~graph.grid] = 0.0
+    return delays
+
+
+def analytical_delay(graph: PrefixGraph) -> float:
+    """Worst accumulated node-delay path into any output node.
+
+    Input nodes contribute their own (fanout-loaded) delay; this is what
+    makes the Sklansky root fanout expensive under the model and matches
+    the delay ranges of the paper's Fig. 6a.
+    """
+    n = graph.n
+    delays = _node_delays(graph)
+    arrival = np.zeros((n, n), dtype=np.float64)
+    grid = graph.grid
+    for m in range(n):
+        arrival[m, m] = delays[m, m]
+        for l in range(m - 1, -1, -1):
+            if not grid[m, l]:
+                continue
+            (um, uk), (lm, ll) = graph.parents(m, l)
+            arrival[m, l] = delays[m, l] + max(arrival[um, uk], arrival[lm, ll])
+    return float(arrival[:, 0].max())
+
+
+def evaluate_analytical(graph: PrefixGraph) -> AnalyticalMetrics:
+    """Evaluate both analytical metrics at once."""
+    return AnalyticalMetrics(area=analytical_area(graph), delay=analytical_delay(graph))

@@ -1,0 +1,31 @@
+"""Baseline optimizers the paper compares against.
+
+- :mod:`repro.baselines.sa` — simulated annealing over prefix graphs with
+  the analytical cost model (Moto & Kaneko, ref. [14]);
+- :mod:`repro.baselines.ps` — heuristically pruned exhaustive search
+  (Roy et al., ref. [15]);
+- :mod:`repro.baselines.cl` — cross-layer ML selection: a pruned candidate
+  space ranked by a learned physical-metric predictor (Ma et al., ref. [10]);
+- the "Commercial" adder family lives in :mod:`repro.synth.commercial`.
+
+The published design sets are not available, so each baseline is implemented
+from its paper's algorithm and run on this repo's evaluators — every curve in
+the benchmarks is regenerated end-to-end (see DESIGN.md's substitution table).
+"""
+
+from repro.baselines.sa import simulated_annealing, sa_frontier, SAResult
+from repro.baselines.ps import pruned_search, PrunedSearchResult, PruningRules
+from repro.baselines.cl import cross_layer_optimization, CrossLayerResult
+from repro.baselines.random_walk import random_walk_frontier
+
+__all__ = [
+    "simulated_annealing",
+    "sa_frontier",
+    "SAResult",
+    "pruned_search",
+    "PrunedSearchResult",
+    "PruningRules",
+    "cross_layer_optimization",
+    "CrossLayerResult",
+    "random_walk_frontier",
+]

@@ -1,0 +1,30 @@
+"""Standard-cell libraries: the timing/area models synthesis optimizes against.
+
+Two libraries ship with the reproduction (DESIGN.md section 1):
+
+- :func:`nangate45` — modelled on the open Nangate45/FreePDK45 library the
+  paper trains with (cell set, relative areas, drive-strength scaling and
+  FO4-calibrated delays);
+- :func:`industrial8nm` — a scaled stand-in for the paper's commercial 8nm
+  library (Fig. 5): ~20x denser and ~2x faster, with its own cap/drive
+  balance, so cross-library experiments exercise a genuinely different
+  operating point.
+
+Delay model: each input-pin arc contributes ``intrinsic + resistance * load``
+(a linear approximation of an NLDM table at a nominal slew — slew propagation
+is out of scope and recorded as a simplification in DESIGN.md).
+"""
+
+from repro.cells.library import Cell, CellLibrary, CELL_FUNCTIONS
+from repro.cells.nangate45 import nangate45
+from repro.cells.industrial8nm import industrial8nm
+from repro.cells.liberty import to_liberty
+
+__all__ = [
+    "Cell",
+    "CellLibrary",
+    "CELL_FUNCTIONS",
+    "nangate45",
+    "industrial8nm",
+    "to_liberty",
+]

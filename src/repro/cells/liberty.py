@@ -1,0 +1,69 @@
+"""Liberty (.lib) export of cell libraries.
+
+Real EDA tools exchange timing libraries in Liberty format; exporting the
+modelled libraries makes this repo's synthesis results auditable against
+external STA tools. The linear delay model maps onto Liberty's
+``cell_rise/cell_fall`` coefficients: ``intrinsic`` + ``resistance`` as a
+per-fanout slope (one-segment piecewise-linear — the classic pre-NLDM
+Liberty style, which is exactly the model the timing engine implements).
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CELL_FUNCTIONS, CellLibrary
+
+_FUNCTION_EXPRS = {
+    "INV": "!A",
+    "BUF": "A",
+    "NAND2": "!(A1 & A2)",
+    "NOR2": "!(A1 | A2)",
+    "AND2": "(A1 & A2)",
+    "OR2": "(A1 | A2)",
+    "AOI21": "!((B1 & B2) | A)",
+    "OAI21": "!((B1 | B2) & A)",
+    "XOR2": "(A ^ B)",
+    "XNOR2": "!(A ^ B)",
+}
+
+
+def to_liberty(library: CellLibrary) -> str:
+    """Render the library as Liberty text.
+
+    Units: ns, fF, um^2 (recorded in the header). Every sized variant
+    becomes its own ``cell`` group with per-pin capacitance and per-arc
+    ``intrinsic_rise/fall`` plus ``rise/fall_resistance``.
+    """
+    lines = [
+        f"library ({library.name}) {{",
+        '  delay_model : "generic_cmos";',
+        '  time_unit : "1ns";',
+        '  capacitive_load_unit (1, "ff");',
+        f"  /* wire cap per fanout: {library.wire_cap_per_fanout} fF; "
+        f"output port cap: {library.output_port_cap} fF */",
+    ]
+    for function in library.functions():
+        spec = CELL_FUNCTIONS[function]
+        expr = _FUNCTION_EXPRS[function]
+        for cell in library.variants(function):
+            lines.append(f"  cell ({cell.name}) {{")
+            lines.append(f"    area : {cell.area};")
+            for pin in spec.inputs:
+                lines.append(f"    pin ({pin}) {{")
+                lines.append("      direction : input;")
+                lines.append(f"      capacitance : {cell.input_caps[pin]};")
+                lines.append("    }")
+            lines.append(f"    pin ({spec.output}) {{")
+            lines.append("      direction : output;")
+            lines.append(f'      function : "{expr}";')
+            for pin in spec.inputs:
+                lines.append(f"      timing () {{")
+                lines.append(f"        related_pin : \"{pin}\";")
+                lines.append(f"        intrinsic_rise : {cell.intrinsics[pin]};")
+                lines.append(f"        intrinsic_fall : {cell.intrinsics[pin]};")
+                lines.append(f"        rise_resistance : {cell.resistance};")
+                lines.append(f"        fall_resistance : {cell.resistance};")
+                lines.append("      }")
+            lines.append("    }")
+            lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

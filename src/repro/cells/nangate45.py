@@ -1,0 +1,95 @@
+"""Nangate45-modelled open cell library (the paper's training library).
+
+Constants follow the FreePDK45/Nangate45 open cell library's relative
+ordering: an INV_X1 of ~0.53 um^2, 2-input gates at 1.5x that, AOI/OAI at
+2x, XOR/XNOR at 3x; input caps of 1.5-3.5 fF; and drive resistances
+calibrated so a fanout-of-4 inverter delay lands near 25 ps — the usual
+45nm figure of merit. NOR and AOI/OAI arcs are slower than NAND (series
+PMOS), XOR/XNOR slowest (two internal stages); this asymmetry is what makes
+the polarity-alternating netlist style and pin swapping worthwhile.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary, build_scaled_family
+
+
+def nangate45() -> CellLibrary:
+    """Construct the Nangate45-modelled library."""
+    cells = []
+    cells += build_scaled_family(
+        "INV", (1, 2, 4, 8),
+        base_area=0.532, area_step=0.5,
+        base_caps={"A": 1.6},
+        base_resistance=0.0025,
+        intrinsics={"A": 0.008},
+    )
+    cells += build_scaled_family(
+        "BUF", (1, 2, 4, 8),
+        base_area=0.798, area_step=0.5,
+        base_caps={"A": 1.5},
+        base_resistance=0.0024,
+        intrinsics={"A": 0.020},
+    )
+    cells += build_scaled_family(
+        "NAND2", (1, 2, 4),
+        base_area=0.798, area_step=0.55,
+        base_caps={"A1": 1.6, "A2": 1.7},
+        base_resistance=0.0030,
+        intrinsics={"A1": 0.012, "A2": 0.014},
+    )
+    cells += build_scaled_family(
+        "NOR2", (1, 2, 4),
+        base_area=0.798, area_step=0.55,
+        base_caps={"A1": 1.9, "A2": 2.0},
+        base_resistance=0.0036,
+        intrinsics={"A1": 0.015, "A2": 0.018},
+    )
+    cells += build_scaled_family(
+        "AND2", (1, 2, 4),
+        base_area=1.064, area_step=0.5,
+        base_caps={"A1": 1.5, "A2": 1.5},
+        base_resistance=0.0028,
+        intrinsics={"A1": 0.028, "A2": 0.030},
+    )
+    cells += build_scaled_family(
+        "OR2", (1, 2, 4),
+        base_area=1.064, area_step=0.5,
+        base_caps={"A1": 1.6, "A2": 1.6},
+        base_resistance=0.0030,
+        intrinsics={"A1": 0.032, "A2": 0.034},
+    )
+    cells += build_scaled_family(
+        "AOI21", (1, 2, 4),
+        base_area=1.064, area_step=0.55,
+        base_caps={"A": 2.0, "B1": 1.8, "B2": 1.9},
+        base_resistance=0.0038,
+        intrinsics={"A": 0.014, "B1": 0.018, "B2": 0.020},
+    )
+    cells += build_scaled_family(
+        "OAI21", (1, 2, 4),
+        base_area=1.064, area_step=0.55,
+        base_caps={"A": 2.1, "B1": 1.9, "B2": 2.0},
+        base_resistance=0.0036,
+        intrinsics={"A": 0.013, "B1": 0.017, "B2": 0.019},
+    )
+    cells += build_scaled_family(
+        "XOR2", (1, 2, 4),
+        base_area=1.596, area_step=0.5,
+        base_caps={"A": 2.9, "B": 3.1},
+        base_resistance=0.0040,
+        intrinsics={"A": 0.038, "B": 0.042},
+    )
+    cells += build_scaled_family(
+        "XNOR2", (1, 2, 4),
+        base_area=1.596, area_step=0.5,
+        base_caps={"A": 2.9, "B": 3.1},
+        base_resistance=0.0040,
+        intrinsics={"A": 0.036, "B": 0.040},
+    )
+    return CellLibrary(
+        name="nangate45",
+        cells=cells,
+        wire_cap_per_fanout=0.8,
+        output_port_cap=3.0,
+    )

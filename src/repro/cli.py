@@ -1,0 +1,206 @@
+"""Command-line interface: ``prefixrl`` (or ``python -m repro``).
+
+Subcommands mirror the library's main entry points:
+
+- ``build``   — construct a regular structure and print/render/save it
+- ``eval``    — analytical metrics of a structure or design file
+- ``synth``   — synthesize a design's area-delay curve
+- ``train``   — run a small synthesis-in-the-loop training
+- ``sweep``   — multi-weight analytical sweep and frontier dump
+- ``render``  — network/grid diagrams of a design
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _load_graph(spec: str, width: int):
+    from repro.prefix import REGULAR_STRUCTURES, graph_from_json
+
+    if spec.endswith(".json"):
+        return graph_from_json(Path(spec).read_text())
+    if spec not in REGULAR_STRUCTURES:
+        known = ", ".join(sorted(REGULAR_STRUCTURES))
+        raise SystemExit(f"unknown structure {spec!r}; known: {known} (or a .json file)")
+    return REGULAR_STRUCTURES[spec](width)
+
+
+def _library(name: str):
+    from repro.cells import industrial8nm, nangate45
+
+    registry = {"nangate45": nangate45, "industrial8nm": industrial8nm}
+    if name not in registry:
+        raise SystemExit(f"unknown library {name!r}; known: {', '.join(registry)}")
+    return registry[name]()
+
+
+def cmd_build(args) -> int:
+    from repro.prefix import graph_to_json, render_network
+
+    graph = _load_graph(args.structure, args.width)
+    print(render_network(graph))
+    if args.out:
+        Path(args.out).write_text(graph_to_json(graph))
+        print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_eval(args) -> int:
+    from repro.analytical import evaluate_analytical
+
+    graph = _load_graph(args.structure, args.width)
+    m = evaluate_analytical(graph)
+    print(json.dumps({
+        "n": graph.n,
+        "compute_nodes": graph.num_compute_nodes,
+        "depth": graph.depth(),
+        "max_fanout": graph.max_fanout(),
+        "analytical_area": m.area,
+        "analytical_delay": m.delay,
+    }, indent=2))
+    return 0
+
+
+def cmd_synth(args) -> int:
+    from repro.synth import synthesize_curve
+
+    graph = _load_graph(args.structure, args.width)
+    curve = synthesize_curve(graph, _library(args.library))
+    print(f"{'delay (ns)':>12s}  {'area (um2)':>12s}")
+    for delay, area in curve.points():
+        print(f"{delay:12.4f}  {area:12.2f}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    from repro.cells import nangate45
+    from repro.env import PrefixEnv
+    from repro.prefix import REGULAR_STRUCTURES
+    from repro.rl import ScalarizedDoubleDQN, Trainer, TrainerConfig
+    from repro.synth import (
+        SynthesisCache,
+        SynthesisEvaluator,
+        calibrate_scaling,
+        synthesize_curve,
+    )
+
+    library = _library(args.library)
+    calib = []
+    for ctor in REGULAR_STRUCTURES.values():
+        curve = synthesize_curve(ctor(args.width), library)
+        calib.extend((a, d) for d, a in curve.points())
+    c_area, c_delay = calibrate_scaling(calib)
+    evaluator = SynthesisEvaluator(
+        library, w_area=args.w_area, w_delay=1 - args.w_area,
+        cache=SynthesisCache(), c_area=c_area, c_delay=c_delay,
+    )
+    env = PrefixEnv(args.width, evaluator, horizon=24, rng=args.seed)
+    agent = ScalarizedDoubleDQN(
+        args.width, w_area=args.w_area, w_delay=1 - args.w_area,
+        blocks=args.blocks, channels=args.channels, lr=3e-4, rng=args.seed,
+    )
+    trainer = Trainer(env, agent, TrainerConfig(steps=args.steps, batch_size=8, warmup_steps=16), rng=args.seed)
+    history = trainer.run()
+    print(f"trained {history.env_steps} steps ({history.gradient_steps} gradient steps)")
+    print(f"cache: {evaluator.cache}")
+    print("frontier (area um2, delay ns):")
+    for area, delay, _ in env.archive.entries():
+        print(f"  {area:10.2f}  {delay:.4f}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.rl import TrainerConfig
+    from repro.rl.sweep import pareto_sweep, weight_grid
+    from repro.synth import AnalyticalEvaluator
+
+    result = pareto_sweep(
+        n=args.width,
+        evaluator_factory=lambda wa, wd: AnalyticalEvaluator(wa, wd),
+        weights=weight_grid(args.weights),
+        steps_per_weight=args.steps,
+        agent_kwargs=dict(blocks=args.blocks, channels=args.channels, lr=3e-4),
+        trainer_config=TrainerConfig(batch_size=8, warmup_steps=16),
+        horizon=24,
+        seed=args.seed,
+    )
+    print("merged analytical frontier (area, delay):")
+    for area, delay in result.frontier():
+        print(f"  {area:8.1f}  {delay:8.2f}")
+    return 0
+
+
+def cmd_render(args) -> int:
+    from repro.prefix import render_grid, render_network
+
+    graph = _load_graph(args.structure, args.width)
+    print(render_network(graph))
+    if args.grid:
+        print(render_grid(graph))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="prefixrl",
+        description="PrefixRL reproduction: RL optimization of parallel prefix circuits",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("structure", help="structure name or design .json file")
+        p.add_argument("width", type=int, nargs="?", default=16, help="bit width (default 16)")
+
+    p = sub.add_parser("build", help="construct and save a prefix structure")
+    add_common(p)
+    p.add_argument("--out", help="write the design JSON here")
+    p.set_defaults(func=cmd_build)
+
+    p = sub.add_parser("eval", help="analytical metrics of a design")
+    add_common(p)
+    p.set_defaults(func=cmd_eval)
+
+    p = sub.add_parser("synth", help="synthesize a design's area-delay curve")
+    add_common(p)
+    p.add_argument("--library", default="nangate45")
+    p.set_defaults(func=cmd_synth)
+
+    p = sub.add_parser("train", help="synthesis-in-the-loop RL training")
+    p.add_argument("width", type=int, nargs="?", default=8)
+    p.add_argument("--steps", type=int, default=150)
+    p.add_argument("--w-area", type=float, default=0.5)
+    p.add_argument("--blocks", type=int, default=1)
+    p.add_argument("--channels", type=int, default=8)
+    p.add_argument("--library", default="nangate45")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("sweep", help="multi-weight analytical sweep")
+    p.add_argument("width", type=int, nargs="?", default=8)
+    p.add_argument("--weights", type=int, default=3)
+    p.add_argument("--steps", type=int, default=300)
+    p.add_argument("--blocks", type=int, default=1)
+    p.add_argument("--channels", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("render", help="render a design")
+    add_common(p)
+    p.add_argument("--grid", action="store_true", help="also print the MSB/LSB grid")
+    p.set_defaults(func=cmd_render)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point for ``prefixrl`` and ``python -m repro``."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Parallel synthesis across worker processes.
+
+Graphs are serialized to JSON, workers rebuild the library/synthesizer from
+registry names (cell libraries are code, not data, so only names cross the
+process boundary), and curves come back as plain sample points. A serial
+mode with identical bookkeeping makes the parallel speedup directly
+measurable — the Section V-C experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro.prefix.graph import PrefixGraph
+from repro.prefix.serialize import graph_from_json, graph_to_json
+from repro.synth.curve import AreaDelayCurve, synthesize_curve
+from repro.synth.optimizer import Synthesizer
+
+_LIBRARIES = {}
+
+
+def _library(name: str):
+    """Build (and memoize per process) a cell library by registry name."""
+    if name not in _LIBRARIES:
+        from repro.cells import industrial8nm, nangate45
+
+        registry = {"nangate45": nangate45, "industrial8nm": industrial8nm}
+        if name not in registry:
+            raise KeyError(f"unknown library {name!r}")
+        _LIBRARIES[name] = registry[name]()
+    return _LIBRARIES[name]
+
+
+def _synthesize_task(graph_json: str, library_name: str, synth_kwargs: dict):
+    """Worker-side task: one full curve synthesis; returns sample points."""
+    graph = graph_from_json(graph_json)
+    library = _library(library_name)
+    synthesizer = Synthesizer(**synth_kwargs)
+    curve = synthesize_curve(graph, library, synthesizer)
+    return list(zip(curve.delays.tolist(), curve.areas.tolist()))
+
+
+@dataclass
+class FarmStats:
+    """Throughput record of one batch evaluation."""
+
+    num_graphs: int
+    wall_seconds: float
+    mode: str
+
+    @property
+    def graphs_per_second(self) -> float:
+        return self.num_graphs / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+class SynthesisFarm:
+    """Evaluate batches of graphs with a process pool (or serially).
+
+    Args:
+        library_name: registry name (``nangate45`` / ``industrial8nm``).
+        num_workers: pool size; 0 means serial in-process execution.
+        synth_kwargs: :class:`repro.synth.Synthesizer` overrides shipped to
+            workers (must be picklable).
+    """
+
+    def __init__(self, library_name: str = "nangate45", num_workers: int = 4, synth_kwargs: "dict | None" = None):
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        self.library_name = library_name
+        self.num_workers = num_workers
+        self.synth_kwargs = dict(synth_kwargs or {})
+        self._pool: "ProcessPoolExecutor | None" = None
+        self.last_stats: "FarmStats | None" = None
+
+    def __enter__(self) -> "SynthesisFarm":
+        if self.num_workers > 0:
+            self._pool = ProcessPoolExecutor(max_workers=self.num_workers)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def evaluate_curves(self, graphs: "list[PrefixGraph]") -> "list[AreaDelayCurve]":
+        """Synthesize every graph's curve; order matches the input."""
+        start = time.perf_counter()
+        payloads = [graph_to_json(g) for g in graphs]
+        if self.num_workers == 0 or self._pool is None:
+            points = [
+                _synthesize_task(p, self.library_name, self.synth_kwargs)
+                for p in payloads
+            ]
+            mode = "serial"
+        else:
+            futures = [
+                self._pool.submit(_synthesize_task, p, self.library_name, self.synth_kwargs)
+                for p in payloads
+            ]
+            points = [f.result() for f in futures]
+            mode = f"pool[{self.num_workers}]"
+        wall = time.perf_counter() - start
+        self.last_stats = FarmStats(num_graphs=len(graphs), wall_seconds=wall, mode=mode)
+        return [AreaDelayCurve([(d, a) for d, a in pts]) for pts in points]

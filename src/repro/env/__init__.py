@@ -1,0 +1,21 @@
+"""The PrefixRL reinforcement-learning environment (Section IV-A).
+
+States are legal N-input prefix graphs; actions add or delete a node at any
+of the ``(N-1)(N-2)/2`` interior grid cells; transitions legalize; rewards
+are the (scaled) decrease in evaluated area and delay. Observations are the
+paper's ``N x N x 4`` feature tensor (nodelist, minlist, normalized level,
+normalized fanout).
+"""
+
+from repro.env.features import graph_features, NUM_FEATURE_PLANES
+from repro.env.actions import ActionSpace, Action
+from repro.env.environment import PrefixEnv, StepResult
+
+__all__ = [
+    "graph_features",
+    "NUM_FEATURE_PLANES",
+    "ActionSpace",
+    "Action",
+    "PrefixEnv",
+    "StepResult",
+]

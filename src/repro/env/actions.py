@@ -1,0 +1,127 @@
+"""Action space: (add | delete) x interior grid cells.
+
+The paper's action space has size ``2 * (N-1)(N-2)/2``: an add and a delete
+for every cell with ``LSB in [1, N-2]`` and ``MSB in [LSB+1, N-1]``. This
+module provides the index <-> (kind, msb, lsb) bijection the agent and the
+Q-network head share, plus legal-action masks ("redundant actions that get
+undone by the legalization procedure" are forbidden, Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.prefix.graph import PrefixGraph
+
+ADD = 0
+DELETE = 1
+_KIND_NAMES = {ADD: "add", DELETE: "delete"}
+
+
+@dataclass(frozen=True)
+class Action:
+    """One environment action."""
+
+    kind: int
+    msb: int
+    lsb: int
+
+    def __repr__(self) -> str:
+        return f"Action({_KIND_NAMES[self.kind]}, ({self.msb},{self.lsb}))"
+
+
+class ActionSpace:
+    """Fixed enumeration of all actions for width ``n``.
+
+    Index layout: cell index ``c`` enumerates interior cells in (msb, lsb)
+    row-major order; action index = ``kind * num_cells + c``. The Q-network
+    emits a ``(4, N, N)`` map whose planes 0/1 are add-Q(area/delay) and
+    2/3 delete-Q(area/delay); this class owns the flattening between the
+    two layouts.
+    """
+
+    def __init__(self, n: int):
+        if n < 3:
+            raise ValueError(f"action space needs n >= 3, got n={n}")
+        self.n = n
+        self.cells: "list[tuple[int, int]]" = [
+            (m, l) for m in range(2, n) for l in range(1, m)
+        ]
+        self.num_cells = len(self.cells)
+        self._cell_index = {cell: i for i, cell in enumerate(self.cells)}
+
+    @property
+    def size(self) -> int:
+        """Total number of actions: ``2 * (N-1)(N-2)/2``."""
+        return 2 * self.num_cells
+
+    def action(self, index: int) -> Action:
+        """Decode a flat action index."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"action index {index} out of range [0, {self.size})")
+        kind, cell = divmod(index, self.num_cells)
+        m, l = self.cells[cell]
+        return Action(kind=kind, msb=m, lsb=l)
+
+    def index(self, action: Action) -> int:
+        """Encode an action to its flat index."""
+        return action.kind * self.num_cells + self._cell_index[(action.msb, action.lsb)]
+
+    def legal_mask(self, graph: PrefixGraph) -> np.ndarray:
+        """Boolean mask over flat indices: True where the action is legal."""
+        if graph.n != self.n:
+            raise ValueError(f"graph width {graph.n} != action space width {self.n}")
+        mask = np.zeros(self.size, dtype=bool)
+        grid = graph.grid
+        minlist = graph.minlist()
+        for i, (m, l) in enumerate(self.cells):
+            mask[i] = not grid[m, l]
+            mask[self.num_cells + i] = minlist[m, l]
+        return mask
+
+    def legal_actions(self, graph: PrefixGraph) -> "list[Action]":
+        """All legal actions for ``graph``."""
+        mask = self.legal_mask(graph)
+        return [self.action(i) for i in np.nonzero(mask)[0]]
+
+    def apply(self, graph: PrefixGraph, action: Action) -> PrefixGraph:
+        """Apply an action, returning the legalized successor graph."""
+        if action.kind == ADD:
+            return graph.add_node(action.msb, action.lsb)
+        if action.kind == DELETE:
+            return graph.delete_node(action.msb, action.lsb)
+        raise ValueError(f"unknown action kind {action.kind}")
+
+    def qmap_positions(self, index: int):
+        """Q-map coordinates of an action's (area, delay) outputs.
+
+        Returns ``((plane_area, msb, lsb), (plane_delay, msb, lsb))`` —
+        the two cells of the ``(4, N, N)`` network output that this action
+        reads/regresses.
+        """
+        if not 0 <= index < self.size:
+            raise IndexError(f"action index {index} out of range [0, {self.size})")
+        kind, cell = divmod(index, self.num_cells)
+        m, l = self.cells[cell]
+        if kind == ADD:
+            return (0, m, l), (1, m, l)
+        return (2, m, l), (3, m, l)
+
+    def qmap_to_flat(self, qmap: np.ndarray) -> np.ndarray:
+        """Flatten a ``(4, N, N)`` Q-map to per-action vectors.
+
+        Returns shape ``(size, 2)``: column 0 = Q_area, column 1 = Q_delay.
+        Planes: 0 = add/area, 1 = add/delay, 2 = delete/area, 3 = delete/delay.
+        """
+        if qmap.shape != (4, self.n, self.n):
+            raise ValueError(f"expected (4,{self.n},{self.n}) Q-map, got {qmap.shape}")
+        rows = np.array([c[0] for c in self.cells])
+        cols = np.array([c[1] for c in self.cells])
+        out = np.empty((self.size, 2), dtype=qmap.dtype)
+        out[: self.num_cells, 0] = qmap[0, rows, cols]
+        out[: self.num_cells, 1] = qmap[1, rows, cols]
+        out[self.num_cells :, 0] = qmap[2, rows, cols]
+        out[self.num_cells :, 1] = qmap[3, rows, cols]
+        return out

@@ -1,0 +1,149 @@
+"""The PrefixRL MDP (Section IV-A / IV-B).
+
+``PrefixEnv`` wires together the action space, an evaluator (synthesis or
+analytical) and the reward definition:
+
+    r_t = [c_area * (area(s_t) - area(s_{t+1})),
+           c_delay * (delay(s_t) - delay(s_{t+1}))]
+
+Episodes start from the ripple-carry or Sklansky graph (chosen uniformly —
+the paper's two extreme start states) and run for a fixed horizon; the
+environment also maintains a Pareto archive of every design it evaluates,
+which is how a training run yields a frontier (Section V-A bins all visited
+designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.actions import Action, ActionSpace
+from repro.env.features import graph_features
+from repro.pareto.front import ParetoArchive
+from repro.prefix.graph import PrefixGraph
+from repro.prefix.structures import ripple_carry, sklansky
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class StepResult:
+    """Transition record returned by :meth:`PrefixEnv.step`."""
+
+    state: PrefixGraph
+    action: Action
+    reward: np.ndarray  # [r_area, r_delay], already scaled
+    next_state: PrefixGraph
+    done: bool
+    info: dict
+
+
+class PrefixEnv:
+    """Prefix-graph construction MDP.
+
+    Args:
+        n: bit width.
+        evaluator: object with ``evaluate(graph) -> CircuitMetrics`` and
+            scaling attributes ``c_area``/``c_delay`` (see
+            :mod:`repro.synth.evaluator`).
+        horizon: steps per episode.
+        start_states: iterable of constructors; episodes sample uniformly.
+            Defaults to (ripple_carry, sklansky) per Section IV-B.
+        rng: seed or generator for start-state sampling.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        evaluator,
+        horizon: int = 64,
+        start_states=None,
+        rng=None,
+    ):
+        if horizon < 1:
+            raise ValueError("horizon must be positive")
+        self.n = n
+        self.evaluator = evaluator
+        self.horizon = horizon
+        self.action_space = ActionSpace(n)
+        self._start_ctors = tuple(start_states) if start_states else (ripple_carry, sklansky)
+        self._rng = ensure_rng(rng)
+        self.archive = ParetoArchive()
+        self.state: "PrefixGraph | None" = None
+        self._metrics = None
+        self._steps = 0
+        self.total_steps = 0
+
+    # ------------------------------------------------------------------
+
+    def reset(self, start: "PrefixGraph | None" = None) -> PrefixGraph:
+        """Begin an episode; returns the initial state."""
+        if start is not None:
+            if start.n != self.n:
+                raise ValueError(f"start state width {start.n} != env width {self.n}")
+            self.state = start
+        else:
+            ctor = self._start_ctors[int(self._rng.integers(len(self._start_ctors)))]
+            self.state = ctor(self.n)
+        self._steps = 0
+        self._metrics = self._evaluate(self.state)
+        return self.state
+
+    def observe(self, graph: "PrefixGraph | None" = None) -> np.ndarray:
+        """Feature tensor of ``graph`` (default: current state)."""
+        target = graph if graph is not None else self.state
+        if target is None:
+            raise RuntimeError("environment not reset")
+        return graph_features(target)
+
+    def legal_mask(self, graph: "PrefixGraph | None" = None) -> np.ndarray:
+        """Legal-action mask of ``graph`` (default: current state)."""
+        target = graph if graph is not None else self.state
+        if target is None:
+            raise RuntimeError("environment not reset")
+        return self.action_space.legal_mask(target)
+
+    def step(self, action: Action) -> StepResult:
+        """Apply ``action``; returns the transition with its vector reward."""
+        if self.state is None:
+            raise RuntimeError("environment not reset")
+        state = self.state
+        next_state = self.action_space.apply(state, action)
+        prev = self._metrics
+        cur = self._evaluate(next_state)
+        c_area = getattr(self.evaluator, "c_area", 1.0)
+        c_delay = getattr(self.evaluator, "c_delay", 1.0)
+        reward = np.array(
+            [
+                c_area * (prev.area - cur.area),
+                c_delay * (prev.delay - cur.delay),
+            ],
+            dtype=np.float64,
+        )
+        self._steps += 1
+        self.total_steps += 1
+        done = self._steps >= self.horizon
+        self.state = next_state
+        self._metrics = cur
+        return StepResult(
+            state=state,
+            action=action,
+            reward=reward,
+            next_state=next_state,
+            done=done,
+            info={"area": cur.area, "delay": cur.delay, "steps": self._steps},
+        )
+
+    def current_metrics(self):
+        """Evaluator metrics of the current state."""
+        if self._metrics is None:
+            raise RuntimeError("environment not reset")
+        return self._metrics
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, graph: PrefixGraph):
+        metrics = self.evaluator.evaluate(graph)
+        self.archive.add(metrics.area, metrics.delay, payload=graph)
+        return metrics

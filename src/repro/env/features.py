@@ -1,0 +1,40 @@
+"""State featurization (Section IV-C).
+
+The Q-network consumes an ``N x N x 4`` tensor whose planes are:
+
+1. nodelist occupancy (1 if the node exists),
+2. minlist membership (1 if the node is deletable),
+3. node level, normalized to [0, 1],
+4. node fanout, normalized to [0, 1].
+
+Levels are normalized by ``N - 1`` (the ripple graph's depth — the maximum
+any legal graph attains) and fanouts by ``N - 1`` (a node can feed at most
+one child per remaining row plus same-row children; the bound is loose but
+fixed per width, which is what normalization needs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prefix.graph import PrefixGraph
+
+NUM_FEATURE_PLANES = 4
+
+
+def graph_features(graph: PrefixGraph) -> np.ndarray:
+    """The paper's 4-plane feature tensor, shape ``(4, N, N)``.
+
+    Planes are returned channel-first (the convolution layer convention
+    used throughout :mod:`repro.nn`).
+    """
+    n = graph.n
+    denom = max(n - 1, 1)
+    features = np.zeros((NUM_FEATURE_PLANES, n, n), dtype=np.float64)
+    features[0] = graph.grid.astype(np.float64)
+    features[1] = graph.minlist().astype(np.float64)
+    levels = graph.levels().astype(np.float64)
+    levels[levels < 0] = 0.0
+    features[2] = levels / denom
+    features[3] = graph.fanouts().astype(np.float64) / denom
+    return features

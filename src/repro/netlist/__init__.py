@@ -1,0 +1,26 @@
+"""Gate-level netlists: IR, prefix-adder generation, simulation, cleanup.
+
+The netlist layer turns a :class:`repro.prefix.PrefixGraph` into the circuit
+the paper actually synthesizes: a gate-level adder built from alternating
+NAND/NOR + AOI/OAI carry logic with XNOR/XOR sum gates and INV polarity
+repair, following Zimmermann's cell-based adder style (paper ref. [27]).
+A bit-parallel simulator verifies functional correctness against integer
+addition — every structural transformation in the synthesis optimizer is
+tested to preserve it.
+"""
+
+from repro.netlist.ir import Instance, Netlist
+from repro.netlist.adder import prefix_adder_netlist
+from repro.netlist.simulate import simulate, verify_adder
+from repro.netlist.cleanup import remove_dead_logic
+from repro.netlist.verilog import to_verilog
+
+__all__ = [
+    "Instance",
+    "Netlist",
+    "prefix_adder_netlist",
+    "simulate",
+    "verify_adder",
+    "remove_dead_logic",
+    "to_verilog",
+]

@@ -1,0 +1,31 @@
+"""Dead-logic elimination.
+
+Netlist generation is demand-driven so fresh adders carry no dead gates, but
+optimizer transforms (cloning, buffering) can orphan instances. This pass
+sweeps every instance whose output reaches no primary output, iterating to a
+fixed point.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.ir import Netlist
+
+
+def remove_dead_logic(netlist: Netlist) -> int:
+    """Remove instances with no transitive path to a primary output.
+
+    Returns the number of instances removed. Mutates ``netlist``.
+    """
+    removed = 0
+    while True:
+        dead = [
+            name
+            for name, inst in netlist.instances.items()
+            if not netlist.sinks_of(inst.output_net)
+            and inst.output_net not in netlist.outputs
+        ]
+        if not dead:
+            return removed
+        for name in dead:
+            netlist.remove_instance(name)
+            removed += 1

@@ -1,0 +1,242 @@
+"""Mutable gate-level netlist IR.
+
+The synthesis optimizer edits netlists in place (resize, buffer, clone,
+pin-swap), so unlike :class:`repro.prefix.PrefixGraph` this structure is
+mutable and maintains driver/sink indices incrementally. ``validate()``
+checks structural sanity and is called by tests after every optimizer pass.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import Cell, CellLibrary
+
+
+class Instance:
+    """One placed cell: a name, a :class:`Cell`, and pin-to-net bindings."""
+
+    __slots__ = ("name", "cell", "pins")
+
+    def __init__(self, name: str, cell: Cell, pins: "dict[str, str]"):
+        expected = set(cell.input_pins) | {cell.output_pin}
+        if set(pins) != expected:
+            raise ValueError(
+                f"instance {name}: pins {sorted(pins)} do not match {cell.name} "
+                f"pins {sorted(expected)}"
+            )
+        self.name = name
+        self.cell = cell
+        self.pins = dict(pins)
+
+    @property
+    def output_net(self) -> str:
+        return self.pins[self.cell.output_pin]
+
+    def input_nets(self) -> "list[tuple[str, str]]":
+        """(pin, net) for every input pin, in function pin order."""
+        return [(p, self.pins[p]) for p in self.cell.input_pins]
+
+    def __repr__(self) -> str:
+        return f"Instance({self.name}, {self.cell.name})"
+
+
+class Netlist:
+    """A combinational gate-level netlist over one cell library.
+
+    Nets are plain strings. ``inputs`` and ``outputs`` are primary ports.
+    Driver and sink maps are maintained on every mutation so timing and
+    simulation never rebuild them from scratch.
+    """
+
+    def __init__(self, name: str, library: CellLibrary):
+        self.name = name
+        self.library = library
+        self.inputs: "list[str]" = []
+        self.outputs: "list[str]" = []
+        self.instances: "dict[str, Instance]" = {}
+        self._driver: "dict[str, str]" = {}
+        self._sinks: "dict[str, set[tuple[str, str]]]" = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Ports
+    # ------------------------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        if net in self._driver or net in self.inputs:
+            raise ValueError(f"net {net} already driven")
+        self.inputs.append(net)
+        self._sinks.setdefault(net, set())
+        return net
+
+    def add_output(self, net: str) -> str:
+        """Declare an existing net as a primary output."""
+        if net in self.outputs:
+            raise ValueError(f"net {net} already an output")
+        self.outputs.append(net)
+        return net
+
+    # ------------------------------------------------------------------
+    # Instances
+    # ------------------------------------------------------------------
+
+    def fresh_net(self, hint: str = "n") -> str:
+        """Allocate a unique net name."""
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def fresh_instance_name(self, hint: str = "u") -> str:
+        """Allocate a unique instance name."""
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def add_instance(self, cell: Cell, pins: "dict[str, str]", name: "str | None" = None) -> Instance:
+        """Instantiate ``cell`` with the given pin-to-net map."""
+        if name is None:
+            name = self.fresh_instance_name(cell.function.lower())
+        if name in self.instances:
+            raise ValueError(f"duplicate instance name {name}")
+        inst = Instance(name, cell, pins)
+        out = inst.output_net
+        if out in self._driver or out in self.inputs:
+            raise ValueError(f"net {out} already driven")
+        self.instances[name] = inst
+        self._driver[out] = name
+        self._sinks.setdefault(out, set())
+        for pin, net in inst.input_nets():
+            self._sinks.setdefault(net, set()).add((name, pin))
+        return inst
+
+    def remove_instance(self, name: str) -> None:
+        """Delete an instance; its output net must have no sinks and not be a port."""
+        inst = self.instances[name]
+        out = inst.output_net
+        if self._sinks.get(out):
+            raise ValueError(f"cannot remove {name}: net {out} still has sinks")
+        if out in self.outputs:
+            raise ValueError(f"cannot remove {name}: net {out} is a primary output")
+        for pin, net in inst.input_nets():
+            self._sinks[net].discard((name, pin))
+        del self._driver[out]
+        del self._sinks[out]
+        del self.instances[name]
+
+    def replace_cell(self, name: str, new_cell: Cell) -> None:
+        """Swap an instance's cell for another variant of the same function."""
+        inst = self.instances[name]
+        if new_cell.function != inst.cell.function:
+            raise ValueError(
+                f"resize must preserve function: {inst.cell.function} -> {new_cell.function}"
+            )
+        inst.cell = new_cell
+
+    def rewire_sink(self, inst_name: str, pin: str, new_net: str) -> None:
+        """Move one input pin of an instance to a different net."""
+        inst = self.instances[inst_name]
+        old_net = inst.pins[pin]
+        if pin == inst.cell.output_pin:
+            raise ValueError("rewire_sink only moves input pins")
+        self._sinks[old_net].discard((inst_name, pin))
+        inst.pins[pin] = new_net
+        self._sinks.setdefault(new_net, set()).add((inst_name, pin))
+
+    def swap_pins(self, inst_name: str, pin_a: str, pin_b: str) -> None:
+        """Exchange the nets on two (commutative) input pins."""
+        inst = self.instances[inst_name]
+        groups = inst.cell.spec.commutative_groups
+        if not any(pin_a in g and pin_b in g for g in groups):
+            raise ValueError(f"{inst.cell.name}: pins {pin_a},{pin_b} are not commutative")
+        net_a, net_b = inst.pins[pin_a], inst.pins[pin_b]
+        self._sinks[net_a].discard((inst_name, pin_a))
+        self._sinks[net_b].discard((inst_name, pin_b))
+        inst.pins[pin_a], inst.pins[pin_b] = net_b, net_a
+        self._sinks[net_b].add((inst_name, pin_a))
+        self._sinks[net_a].add((inst_name, pin_b))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def driver_of(self, net: str) -> "str | None":
+        """Instance name driving ``net`` (None for primary inputs)."""
+        return self._driver.get(net)
+
+    def sinks_of(self, net: str) -> "list[tuple[str, str]]":
+        """Sorted (instance, pin) sinks of ``net``."""
+        return sorted(self._sinks.get(net, ()))
+
+    def nets(self) -> "list[str]":
+        """All nets (inputs plus driven nets)."""
+        return list(self.inputs) + [n for n in self._sinks if n not in self.inputs]
+
+    def area(self) -> float:
+        """Total cell area (um^2)."""
+        return sum(inst.cell.area for inst in self.instances.values())
+
+    def cell_histogram(self) -> "dict[str, int]":
+        """Cell name -> count, for reporting."""
+        hist: "dict[str, int]" = {}
+        for inst in self.instances.values():
+            hist[inst.cell.name] = hist.get(inst.cell.name, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def topological_order(self) -> "list[str]":
+        """Instance names in topological order (inputs to outputs).
+
+        Raises ``ValueError`` on combinational cycles.
+        """
+        indegree: "dict[str, int]" = {}
+        dependents: "dict[str, list[str]]" = {}
+        for name, inst in self.instances.items():
+            count = 0
+            for _, net in inst.input_nets():
+                drv = self._driver.get(net)
+                if drv is not None:
+                    count += 1
+                    dependents.setdefault(drv, []).append(name)
+            indegree[name] = count
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: "list[str]" = []
+        while ready:
+            name = ready.pop()
+            order.append(name)
+            for dep in dependents.get(name, ()):
+                indegree[dep] -= 1
+                if indegree[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(self.instances):
+            raise ValueError("netlist contains a combinational cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ``ValueError`` on corruption."""
+        for name, inst in self.instances.items():
+            if self._driver.get(inst.output_net) != name:
+                raise ValueError(f"driver map stale for {name}")
+            for pin, net in inst.input_nets():
+                if (name, pin) not in self._sinks.get(net, ()):
+                    raise ValueError(f"sink map stale for {name}.{pin}")
+                if net not in self.inputs and net not in self._driver:
+                    raise ValueError(f"net {net} (sink of {name}) has no driver")
+        for net in self.outputs:
+            if net not in self.inputs and net not in self._driver:
+                raise ValueError(f"primary output {net} has no driver")
+        self.topological_order()
+
+    def clone(self) -> "Netlist":
+        """Deep copy (optimizer trials mutate the copy)."""
+        other = Netlist(self.name, self.library)
+        other.inputs = list(self.inputs)
+        other.outputs = list(self.outputs)
+        other._counter = self._counter
+        for name, inst in self.instances.items():
+            other.instances[name] = Instance(name, inst.cell, dict(inst.pins))
+        other._driver = dict(self._driver)
+        other._sinks = {net: set(s) for net, s in self._sinks.items()}
+        return other
+
+    def __repr__(self) -> str:
+        return (
+            f"Netlist({self.name!r}, cells={len(self.instances)}, "
+            f"area={self.area():.2f}um2, lib={self.library.name})"
+        )

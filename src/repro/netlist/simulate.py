@@ -1,0 +1,97 @@
+"""Bit-parallel functional simulation of netlists.
+
+Each net carries a numpy ``uint64`` vector: 64 test patterns evaluated at
+once per word. :func:`verify_adder` drives random operand patterns through a
+generated adder netlist and checks every sum/carry bit against integer
+addition — the strongest correctness oracle available for the whole
+prefix-graph -> netlist pipeline, and cheap enough to run inside property
+tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.ir import Netlist
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _eval_function(function: str, operands: "dict[str, np.ndarray]") -> np.ndarray:
+    """Evaluate one cell function on packed uint64 pattern vectors."""
+    if function == "INV":
+        return operands["A"] ^ _ALL_ONES
+    if function == "BUF":
+        return operands["A"]
+    if function == "NAND2":
+        return (operands["A1"] & operands["A2"]) ^ _ALL_ONES
+    if function == "NOR2":
+        return (operands["A1"] | operands["A2"]) ^ _ALL_ONES
+    if function == "AND2":
+        return operands["A1"] & operands["A2"]
+    if function == "OR2":
+        return operands["A1"] | operands["A2"]
+    if function == "AOI21":
+        return ((operands["B1"] & operands["B2"]) | operands["A"]) ^ _ALL_ONES
+    if function == "OAI21":
+        return ((operands["B1"] | operands["B2"]) & operands["A"]) ^ _ALL_ONES
+    if function == "XOR2":
+        return operands["A"] ^ operands["B"]
+    if function == "XNOR2":
+        return (operands["A"] ^ operands["B"]) ^ _ALL_ONES
+    raise ValueError(f"no simulation model for function {function!r}")
+
+
+def simulate(netlist: Netlist, input_values: "dict[str, np.ndarray]") -> "dict[str, np.ndarray]":
+    """Evaluate the netlist on packed patterns; returns values for all nets.
+
+    ``input_values`` maps every primary input net to a uint64 array (any
+    common shape). Missing inputs raise ``KeyError``.
+    """
+    values: "dict[str, np.ndarray]" = {}
+    for net in netlist.inputs:
+        values[net] = np.asarray(input_values[net], dtype=np.uint64)
+    for name in netlist.topological_order():
+        inst = netlist.instances[name]
+        operands = {pin: values[net] for pin, net in inst.input_nets()}
+        values[inst.output_net] = _eval_function(inst.cell.function, operands)
+    return values
+
+
+def verify_adder(
+    netlist: Netlist,
+    width: int,
+    rng: "np.random.Generator | int | None" = None,
+    num_words: int = 4,
+) -> bool:
+    """Check an adder netlist against integer addition on random patterns.
+
+    Expects ports named ``a{i}``/``b{i}`` for inputs and ``s{i}`` plus
+    ``cout`` for outputs (the :func:`repro.netlist.adder.prefix_adder_netlist`
+    convention). Each of the ``64 * num_words`` patterns checks all sum bits
+    and the carry-out.
+    """
+    from repro.utils.rng import ensure_rng
+
+    gen = ensure_rng(rng)
+    # Each word packs 64 independent test patterns per operand bit.
+    a_bits = gen.integers(0, _ALL_ONES, size=(width, num_words), dtype=np.uint64, endpoint=True)
+    b_bits = gen.integers(0, _ALL_ONES, size=(width, num_words), dtype=np.uint64, endpoint=True)
+
+    inputs = {}
+    for i in range(width):
+        inputs[f"a{i}"] = a_bits[i]
+        inputs[f"b{i}"] = b_bits[i]
+    values = simulate(netlist, inputs)
+
+    # Reference: ripple addition carried out directly on the packed lanes.
+    carry = np.zeros(num_words, dtype=np.uint64)
+    for i in range(width):
+        a, b = a_bits[i], b_bits[i]
+        expected_sum = a ^ b ^ carry
+        if not np.array_equal(values[f"s{i}"], expected_sum):
+            return False
+        carry = (a & b) | (carry & (a ^ b))
+    if "cout" in netlist.outputs and not np.array_equal(values["cout"], carry):
+        return False
+    return True

@@ -1,0 +1,38 @@
+"""A small numpy deep-learning framework (the paper's GPU-stack substitute).
+
+Implements exactly what the Fig. 2 Q-network needs — stride-1 2-D
+convolutions (im2col), batch normalization, LeakyReLU, residual blocks,
+Adam, Huber loss — with hand-written backward passes that are verified
+against numerical gradients in the test suite. Layers follow a explicit
+tape-free design: each module caches its forward activations and its
+``backward`` consumes them in reverse order, which is sufficient for the
+chain-plus-skip topology of the network.
+"""
+
+from repro.nn.layers import (
+    Module,
+    Parameter,
+    Conv2d,
+    BatchNorm2d,
+    LeakyReLU,
+    Sequential,
+    ResidualBlock,
+)
+from repro.nn.qnet import QNetwork
+from repro.nn.optim import Adam, SGD
+from repro.nn.loss import huber_loss, mse_loss
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Conv2d",
+    "BatchNorm2d",
+    "LeakyReLU",
+    "Sequential",
+    "ResidualBlock",
+    "QNetwork",
+    "Adam",
+    "SGD",
+    "huber_loss",
+    "mse_loss",
+]

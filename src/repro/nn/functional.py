@@ -1,0 +1,147 @@
+"""Low-level tensor ops with explicit forward/backward pairs.
+
+All convolutions are stride 1 with "same" padding — the only configuration
+Fig. 2's architecture uses (3x3 stem, 5x5 residual blocks, 1x1 heads).
+Tensors are channel-first: ``(batch, channels, height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, pad: int) -> np.ndarray:
+    """Unfold sliding windows: ``(B,C,H,W) -> (B*H*W, C*kh*kw)``.
+
+    Stride 1; with ``pad = (k-1)//2`` the output spatial size equals the
+    input's. Rows enumerate (batch, out_row, out_col) in C order.
+    """
+    b, c, h, w = x.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    windows = np.lib.stride_tricks.sliding_window_view(xp, (kh, kw), axis=(2, 3))
+    ho, wo = windows.shape[2], windows.shape[3]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b * ho * wo, c * kh * kw)
+    return np.ascontiguousarray(cols)
+
+
+def col2im(dcols: np.ndarray, x_shape: "tuple[int, int, int, int]", kh: int, kw: int, pad: int) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add column gradients back to input."""
+    b, c, h, w = x_shape
+    ho, wo = h + 2 * pad - kh + 1, w + 2 * pad - kw + 1
+    dxp = np.zeros((b, c, h + 2 * pad, w + 2 * pad), dtype=dcols.dtype)
+    dsix = dcols.reshape(b, ho, wo, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        for j in range(kw):
+            dxp[:, :, i : i + ho, j : j + wo] += dsix[:, :, i, j]
+    if pad == 0:
+        return dxp
+    return dxp[:, :, pad : pad + h, pad : pad + w]
+
+
+def conv2d_forward(x: np.ndarray, weight: np.ndarray, bias: "np.ndarray | None"):
+    """Same-padded stride-1 convolution.
+
+    Args:
+        x: ``(B, C_in, H, W)``.
+        weight: ``(C_out, C_in, K, K)`` with odd ``K``.
+        bias: ``(C_out,)`` or None.
+
+    Returns:
+        ``(y, cache)`` with ``y`` of shape ``(B, C_out, H, W)``.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    if kh != kw or kh % 2 == 0:
+        raise ValueError(f"only odd square kernels supported, got {kh}x{kw}")
+    pad = (kh - 1) // 2
+    b, _, h, w = x.shape
+    cols = im2col(x, kh, kw, pad)
+    wmat = weight.reshape(c_out, -1)
+    out = cols @ wmat.T
+    if bias is not None:
+        out += bias
+    y = out.reshape(b, h, w, c_out).transpose(0, 3, 1, 2)
+    cache = (cols, wmat, x.shape, kh, kw, pad, bias is not None)
+    return np.ascontiguousarray(y), cache
+
+
+def conv2d_backward(dy: np.ndarray, cache):
+    """Gradients of :func:`conv2d_forward`.
+
+    Returns ``(dx, dweight, dbias)`` (``dbias`` None if no bias).
+    """
+    cols, wmat, x_shape, kh, kw, pad, has_bias = cache
+    b, c_in, h, w = x_shape
+    c_out = wmat.shape[0]
+    dout = dy.transpose(0, 2, 3, 1).reshape(b * h * w, c_out)
+    dwmat = dout.T @ cols
+    dweight = dwmat.reshape(c_out, c_in, kh, kw)
+    dbias = dout.sum(axis=0) if has_bias else None
+    dcols = dout @ wmat
+    dx = col2im(dcols, x_shape, kh, kw, pad)
+    return dx, dweight, dbias
+
+
+def batchnorm_forward(
+    x: np.ndarray,
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    momentum: float,
+    eps: float,
+    training: bool,
+):
+    """Per-channel batch normalization over ``(B, H, W)``.
+
+    In training mode, batch statistics are used and the running estimates
+    updated in place; in eval mode the running estimates are used and the
+    cache is marked accordingly for the backward pass.
+    """
+    if training:
+        mean = x.mean(axis=(0, 2, 3))
+        var = x.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean = running_mean
+        var = running_var
+    inv_std = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+    y = gamma[None, :, None, None] * xhat + beta[None, :, None, None]
+    cache = (xhat, inv_std, gamma, training, x.shape)
+    return y, cache
+
+
+def batchnorm_backward(dy: np.ndarray, cache):
+    """Gradients of :func:`batchnorm_forward`: ``(dx, dgamma, dbeta)``."""
+    xhat, inv_std, gamma, training, x_shape = cache
+    b, c, h, w = x_shape
+    m = b * h * w
+    dgamma = (dy * xhat).sum(axis=(0, 2, 3))
+    dbeta = dy.sum(axis=(0, 2, 3))
+    if not training:
+        dx = dy * (gamma * inv_std)[None, :, None, None]
+        return dx, dgamma, dbeta
+    dxhat = dy * gamma[None, :, None, None]
+    # Standard batchnorm backward: couple through batch mean and variance.
+    dx = (
+        dxhat
+        - dxhat.mean(axis=(0, 2, 3))[None, :, None, None]
+        - xhat * (dxhat * xhat).sum(axis=(0, 2, 3))[None, :, None, None] / m
+    ) * inv_std[None, :, None, None]
+    return dx, dgamma, dbeta
+
+
+def leaky_relu_forward(x: np.ndarray, slope: float):
+    """LeakyReLU: ``max(x, slope * x)``."""
+    mask = x > 0
+    y = np.where(mask, x, slope * x)
+    return y, (mask, slope)
+
+
+def leaky_relu_backward(dy: np.ndarray, cache):
+    """Gradient of :func:`leaky_relu_forward`."""
+    mask, slope = cache
+    return np.where(mask, dy, slope * dy)

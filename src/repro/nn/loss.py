@@ -1,0 +1,49 @@
+"""Losses with analytic gradients.
+
+Both losses support element masks: DQN training only regresses the Q values
+of actions actually taken, so the loss sees a dense prediction map with a
+sparse target mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray, mask: "np.ndarray | None" = None):
+    """Mean squared error over masked elements; returns ``(loss, dpred)``."""
+    diff = pred - target
+    if mask is not None:
+        diff = diff * mask
+        count = max(int(mask.sum()), 1)
+    else:
+        count = diff.size
+    loss = float((diff**2).sum() / count)
+    dpred = 2.0 * diff / count
+    return loss, dpred
+
+
+def huber_loss(
+    pred: np.ndarray,
+    target: np.ndarray,
+    delta: float = 1.0,
+    mask: "np.ndarray | None" = None,
+):
+    """Huber (smooth-L1) loss over masked elements; returns ``(loss, dpred)``.
+
+    Quadratic within ``delta`` of the target, linear beyond — the standard
+    DQN choice for robustness to occasional large TD errors (here: rewards
+    from synthesis discontinuities).
+    """
+    diff = pred - target
+    if mask is not None:
+        diff = diff * mask
+        count = max(int(mask.sum()), 1)
+    else:
+        count = diff.size
+    absd = np.abs(diff)
+    quad = absd <= delta
+    elementwise = np.where(quad, 0.5 * diff**2, delta * (absd - 0.5 * delta))
+    loss = float(elementwise.sum() / count)
+    dpred = np.where(quad, diff, delta * np.sign(diff)) / count
+    return loss, dpred

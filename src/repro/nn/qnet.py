@@ -1,0 +1,106 @@
+"""The Fig. 2 Q-network.
+
+Body: 3x3 conv stem -> BN -> LReLU -> ``blocks`` residual blocks (5x5).
+Head: 1x1 conv -> BN -> LReLU -> 1x1 conv to 4 output planes:
+``[Q_area(add), Q_delay(add), Q_area(delete), Q_delay(delete)]`` per grid
+cell. The paper uses blocks=32, channels=256 at both 32b and 64b; both are
+constructor arguments here so CI-scale runs can shrink them (Table I's
+bench records the configuration used).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    LeakyReLU,
+    Module,
+    ResidualBlock,
+    Sequential,
+)
+from repro.utils.rng import ensure_rng
+
+NUM_INPUT_PLANES = 4
+NUM_OUTPUT_PLANES = 4
+
+
+class QNetwork(Module):
+    """Convolutional vector-Q approximator for N-input prefix graphs."""
+
+    def __init__(
+        self,
+        n: int,
+        blocks: int = 2,
+        channels: int = 16,
+        rng=None,
+        slope: float = 0.01,
+    ):
+        super().__init__()
+        if blocks < 0 or channels < 1:
+            raise ValueError("blocks must be >= 0 and channels >= 1")
+        gen = ensure_rng(rng)
+        self.n = n
+        self.blocks = blocks
+        self.channels = channels
+        self.body = Sequential(
+            Conv2d(NUM_INPUT_PLANES, channels, 3, rng=gen),
+            BatchNorm2d(channels),
+            LeakyReLU(slope),
+            *[ResidualBlock(channels, 5, rng=gen, slope=slope) for _ in range(blocks)],
+        )
+        self.head = Sequential(
+            Conv2d(channels, channels, 1, rng=gen),
+            BatchNorm2d(channels),
+            LeakyReLU(slope),
+            Conv2d(channels, NUM_OUTPUT_PLANES, 1, rng=gen),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``(B, 4, N, N)`` features -> ``(B, 4, N, N)`` Q-map."""
+        if x.ndim != 4 or x.shape[1] != NUM_INPUT_PLANES or x.shape[2] != self.n:
+            raise ValueError(f"expected (B,4,{self.n},{self.n}) input, got {x.shape}")
+        return self.head(self.body(x))
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        return self.body.backward(self.head.backward(dy))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward (no activation caching side effects kept)."""
+        was_training = self.training
+        self.eval()
+        try:
+            return self.forward(np.asarray(x, dtype=np.float64))
+        finally:
+            if was_training:
+                self.train()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.value.size for p in self.parameters())
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Save weights and running statistics to an ``.npz`` file."""
+        np.savez_compressed(
+            path,
+            __meta_n=self.n,
+            __meta_blocks=self.blocks,
+            __meta_channels=self.channels,
+            **self.state_arrays(),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "QNetwork":
+        """Reconstruct a saved network (architecture from metadata)."""
+        data = np.load(path)
+        net = cls(
+            n=int(data["__meta_n"]),
+            blocks=int(data["__meta_blocks"]),
+            channels=int(data["__meta_channels"]),
+        )
+        arrays = {k: data[k] for k in data.files if not k.startswith("__meta_")}
+        net.load_state_arrays(arrays)
+        return net

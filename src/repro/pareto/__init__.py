@@ -1,0 +1,28 @@
+"""Pareto-frontier tooling for area/delay design sets.
+
+Everything the paper's evaluation protocol needs: dominance tests, frontier
+extraction, the delay-binning used to present results ("we bin all adder
+circuits for an approach and present the area-delay Pareto front"), 2-D
+hypervolume, and the matched-delay area-savings metric behind headline
+numbers like "16.0% lower area for the same delay".
+"""
+
+from repro.pareto.front import (
+    dominates,
+    pareto_front,
+    ParetoArchive,
+    bin_by_delay,
+    hypervolume_2d,
+    area_savings_at_matched_delay,
+    fraction_dominated,
+)
+
+__all__ = [
+    "dominates",
+    "pareto_front",
+    "ParetoArchive",
+    "bin_by_delay",
+    "hypervolume_2d",
+    "area_savings_at_matched_delay",
+    "fraction_dominated",
+]

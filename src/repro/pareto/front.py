@@ -1,0 +1,167 @@
+"""Pareto dominance, frontiers, archives and comparison metrics.
+
+Convention throughout: a design point is ``(area, delay)`` and *smaller is
+better* in both coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Point = "tuple[float, float]"
+
+
+def dominates(p: "tuple[float, float]", q: "tuple[float, float]", eps: float = 0.0) -> bool:
+    """True if ``p`` is no worse than ``q`` in both metrics and better in one.
+
+    ``eps`` adds slack: p dominates q if it is within eps of q on one axis
+    while strictly better on the other (useful for noisy synthesis metrics).
+    """
+    no_worse = p[0] <= q[0] + eps and p[1] <= q[1] + eps
+    better = p[0] < q[0] - eps or p[1] < q[1] - eps
+    return no_worse and better
+
+
+def pareto_front(points: "list[tuple[float, float]]") -> "list[tuple[float, float]]":
+    """Non-dominated subset, sorted by delay ascending.
+
+    Duplicates collapse to one representative. O(n log n).
+    """
+    if not points:
+        return []
+    ordered = sorted(set((float(a), float(d)) for a, d in points), key=lambda p: (p[1], p[0]))
+    front: "list[tuple[float, float]]" = []
+    best_area = float("inf")
+    for area, delay in ordered:
+        if area < best_area:
+            front.append((area, delay))
+            best_area = area
+    return sorted(front, key=lambda p: p[1])
+
+
+class ParetoArchive:
+    """Incrementally maintained frontier with optional payloads.
+
+    ``add`` keeps the archive minimal: dominated entries are evicted, and a
+    new point is stored only if no archived point dominates it. Payloads
+    (typically :class:`repro.prefix.PrefixGraph` designs) ride along with
+    their points, which is how RL training recovers the actual circuits on
+    its frontier.
+    """
+
+    def __init__(self):
+        self._entries: "list[tuple[float, float, object]]" = []
+        self.num_seen = 0
+
+    def add(self, area: float, delay: float, payload=None) -> bool:
+        """Offer a point; returns True if it joins the frontier."""
+        self.num_seen += 1
+        point = (float(area), float(delay))
+        for a, d, _ in self._entries:
+            if (a, d) == point or dominates((a, d), point):
+                return False
+        self._entries = [
+            (a, d, p) for a, d, p in self._entries if not dominates(point, (a, d))
+        ]
+        self._entries.append((point[0], point[1], payload))
+        return True
+
+    def points(self) -> "list[tuple[float, float]]":
+        """Frontier points sorted by delay."""
+        return sorted(((a, d) for a, d, _ in self._entries), key=lambda p: p[1])
+
+    def entries(self) -> "list[tuple[float, float, object]]":
+        """(area, delay, payload) triples sorted by delay."""
+        return sorted(self._entries, key=lambda e: e[1])
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"ParetoArchive(frontier={len(self)}, seen={self.num_seen})"
+
+
+def bin_by_delay(
+    points: "list[tuple[float, float]]", num_bins: int
+) -> "list[tuple[float, float]]":
+    """Best-area representative per delay bin (the paper's presentation).
+
+    The delay range is split into ``num_bins`` equal bins; within each bin
+    the minimum-area point survives. Returns at most ``num_bins`` points,
+    sorted by delay.
+    """
+    if not points:
+        return []
+    if num_bins < 1:
+        raise ValueError("num_bins must be positive")
+    delays = np.array([p[1] for p in points], dtype=float)
+    lo, hi = float(delays.min()), float(delays.max())
+    if hi <= lo:
+        best = min(points, key=lambda p: p[0])
+        return [best]
+    edges = np.linspace(lo, hi, num_bins + 1)
+    keep: "dict[int, tuple[float, float]]" = {}
+    for area, delay in points:
+        idx = min(int((delay - lo) / (hi - lo) * num_bins), num_bins - 1)
+        if idx not in keep or area < keep[idx][0]:
+            keep[idx] = (area, delay)
+    del edges
+    return sorted(keep.values(), key=lambda p: p[1])
+
+
+def hypervolume_2d(
+    points: "list[tuple[float, float]]", reference: "tuple[float, float]"
+) -> float:
+    """Dominated hypervolume w.r.t. a reference (worst) corner.
+
+    Standard 2-D sweep over the frontier; points outside the reference box
+    contribute nothing.
+    """
+    front = [p for p in pareto_front(points) if p[0] < reference[0] and p[1] < reference[1]]
+    if not front:
+        return 0.0
+    volume = 0.0
+    prev_area = reference[0]
+    for area, delay in sorted(front, key=lambda p: p[1]):
+        volume += (prev_area - area) * (reference[1] - delay)
+        prev_area = area
+    return volume
+
+
+def area_savings_at_matched_delay(
+    ours: "list[tuple[float, float]]",
+    baseline: "list[tuple[float, float]]",
+) -> "list[tuple[float, float]]":
+    """Per-delay-point area savings of ``ours`` vs ``baseline``.
+
+    For each baseline frontier point, find the best ``ours`` area achievable
+    at no more than that delay; returns ``(delay, savings_fraction)`` pairs
+    (positive = we are smaller). Baseline points faster than anything we
+    achieve are skipped — there is no matched-delay comparison there.
+    """
+    our_front = pareto_front(ours)
+    results = []
+    for base_area, base_delay in pareto_front(baseline):
+        candidates = [a for a, d in our_front if d <= base_delay]
+        if not candidates:
+            continue
+        best = min(candidates)
+        results.append((base_delay, (base_area - best) / base_area))
+    return results
+
+
+def fraction_dominated(
+    ours: "list[tuple[float, float]]",
+    baseline: "list[tuple[float, float]]",
+    eps: float = 0.0,
+) -> float:
+    """Fraction of baseline frontier points dominated by our frontier."""
+    base = pareto_front(baseline)
+    if not base:
+        return 0.0
+    our_front = pareto_front(ours)
+    dominated = 0
+    for q in base:
+        if any(dominates(p, q, eps) for p in our_front):
+            dominated += 1
+    return dominated / len(base)

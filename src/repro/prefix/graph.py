@@ -1,0 +1,314 @@
+"""The :class:`PrefixGraph` data structure.
+
+Design notes (see DESIGN.md section 4.1):
+
+- The canonical state is the *nodelist* — a boolean ``N x N`` grid where cell
+  ``(msb, lsb)`` marks a present node. The paper's ``minlist`` ("nodes that
+  are not lower parents of other nodes", Section IV-A) is *derived* from the
+  nodelist rather than maintained incrementally. Algorithm 1's incremental
+  bookkeeping can retain stale entries (a minlist node that becomes a lower
+  parent through legalization of an unrelated action); deriving the set from
+  the definition makes "deletes are never undone by legalization" an actual
+  invariant, which the test suite property-checks.
+- Graphs are immutable: actions return new graphs. This keeps the RL
+  environment functional and makes synthesis caching by content hash safe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prefix import legalize as _legalize
+
+
+class IllegalActionError(ValueError):
+    """Raised when an add/delete action violates the environment rules."""
+
+
+class PrefixGraph:
+    """A legal N-input parallel prefix graph on the (MSB, LSB) grid.
+
+    Invariants (checked by :meth:`validate`):
+
+    - input nodes ``(i, i)`` and output nodes ``(i, 0)`` exist for all ``i``;
+    - no node above the diagonal (``lsb > msb``);
+    - every interior node's lower parent exists (Eq. 1 of the paper) — the
+      upper parent always exists because the diagonal is always populated.
+    """
+
+    __slots__ = ("_n", "_grid", "_levels", "_fanouts", "_minlist")
+
+    def __init__(self, grid: np.ndarray, _validated: bool = False):
+        grid = np.asarray(grid, dtype=bool)
+        if grid.ndim != 2 or grid.shape[0] != grid.shape[1]:
+            raise ValueError(f"grid must be square, got shape {grid.shape}")
+        self._n = grid.shape[0]
+        self._grid = grid
+        self._grid.setflags(write=False)
+        self._levels = None
+        self._fanouts = None
+        self._minlist = None
+        if not _validated:
+            self.validate()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_nodes(cls, n: int, nodes) -> "PrefixGraph":
+        """Build a graph from an iterable of ``(msb, lsb)`` pairs.
+
+        Input and output nodes are added automatically; the result is
+        validated (not legalized — pass through :func:`legalize_minlist`
+        first if the node set may be missing lower parents).
+        """
+        if n < 1:
+            raise ValueError(f"need at least 1 input, got n={n}")
+        grid = np.zeros((n, n), dtype=bool)
+        for m, l in nodes:
+            if not (0 <= l <= m < n):
+                raise ValueError(f"node ({m},{l}) outside the lower triangle of a {n}x{n} grid")
+            grid[m, l] = True
+        idx = np.arange(n)
+        grid[idx, idx] = True
+        grid[idx, 0] = True
+        return cls(grid)
+
+    @property
+    def n(self) -> int:
+        """Number of inputs (bit width)."""
+        return self._n
+
+    @property
+    def grid(self) -> np.ndarray:
+        """Read-only boolean nodelist grid (rows=MSB, cols=LSB)."""
+        return self._grid
+
+    # ------------------------------------------------------------------
+    # Node queries
+    # ------------------------------------------------------------------
+
+    def has_node(self, msb: int, lsb: int) -> bool:
+        """True if node ``(msb, lsb)`` is present."""
+        return bool(self._grid[msb, lsb])
+
+    def nodes(self) -> "list[tuple[int, int]]":
+        """All present nodes as ``(msb, lsb)`` pairs, row-major order."""
+        ms, ls = np.nonzero(self._grid)
+        return list(zip(ms.tolist(), ls.tolist()))
+
+    def interior_nodes(self) -> "list[tuple[int, int]]":
+        """Present nodes that are neither inputs nor outputs (0 < lsb < msb)."""
+        return [(m, l) for (m, l) in self.nodes() if 0 < l < m]
+
+    @property
+    def num_nodes(self) -> int:
+        """Total node count including inputs and outputs."""
+        return int(self._grid.sum())
+
+    @property
+    def num_compute_nodes(self) -> int:
+        """Nodes that perform an operation (everything except inputs).
+
+        This is the "size" metric of the prefix-structure literature: each
+        non-input node costs one prefix operator.
+        """
+        return self.num_nodes - self._n
+
+    def upper_parent(self, msb: int, lsb: int) -> "tuple[int, int]":
+        """The existing node in row ``msb`` with the next-highest LSB.
+
+        Defined for non-input nodes (``lsb < msb``). Always exists because
+        the diagonal node ``(msb, msb)`` is always present.
+        """
+        if lsb >= msb:
+            raise ValueError(f"input node ({msb},{lsb}) has no parents")
+        row = self._grid[msb]
+        for k in range(lsb + 1, msb + 1):
+            if row[k]:
+                return (msb, k)
+        raise AssertionError(f"diagonal node ({msb},{msb}) missing — grid corrupt")
+
+    def lower_parent(self, msb: int, lsb: int) -> "tuple[int, int]":
+        """The lower parent ``(k - 1, lsb)`` where ``(msb, k)`` is the upper parent."""
+        _, k = self.upper_parent(msb, lsb)
+        return (k - 1, lsb)
+
+    def parents(self, msb: int, lsb: int) -> "tuple[tuple[int, int], tuple[int, int]]":
+        """``(upper_parent, lower_parent)`` of a non-input node."""
+        m, k = self.upper_parent(msb, lsb)
+        return (m, k), (k - 1, lsb)
+
+    def children(self, msb: int, lsb: int) -> "list[tuple[int, int]]":
+        """All present nodes that use ``(msb, lsb)`` as a parent."""
+        out = []
+        for node in self.nodes():
+            if node[1] >= node[0]:
+                continue
+            up, lp = self.parents(*node)
+            if up == (msb, lsb) or lp == (msb, lsb):
+                out.append(node)
+        return out
+
+    # ------------------------------------------------------------------
+    # Derived analyses (cached; the grid is immutable)
+    # ------------------------------------------------------------------
+
+    def levels(self) -> np.ndarray:
+        """Topological depth of every node; inputs are level 0, absent cells -1.
+
+        The level of a non-input node is ``1 + max(level(up), level(lp))``.
+        Within a row, a node depends only on nodes with strictly higher LSB
+        (its upper parent) and on lower rows (its lower parent), so one pass
+        with ascending MSB and descending LSB computes all levels.
+        """
+        if self._levels is None:
+            n = self._n
+            lv = np.full((n, n), -1, dtype=np.int32)
+            grid = self._grid
+            for m in range(n):
+                lv[m, m] = 0
+                for l in range(m - 1, -1, -1):
+                    if not grid[m, l]:
+                        continue
+                    (um, uk), (lm, ll) = self.parents(m, l)
+                    lv[m, l] = 1 + max(int(lv[um, uk]), int(lv[lm, ll]))
+            lv.setflags(write=False)
+            self._levels = lv
+        return self._levels
+
+    def fanouts(self) -> np.ndarray:
+        """Number of children of every node (absent cells 0).
+
+        Fanout here counts graph children only (the paper's definition in
+        Section IV-C); electrical fanout after netlist generation is computed
+        by the netlist/STA layers.
+        """
+        if self._fanouts is None:
+            n = self._n
+            fo = np.zeros((n, n), dtype=np.int32)
+            grid = self._grid
+            for m in range(n):
+                for l in range(m - 1, -1, -1):
+                    if not grid[m, l]:
+                        continue
+                    (um, uk), (lm, ll) = self.parents(m, l)
+                    fo[um, uk] += 1
+                    fo[lm, ll] += 1
+            fo.setflags(write=False)
+            self._fanouts = fo
+        return self._fanouts
+
+    def depth(self) -> int:
+        """Maximum level over all nodes (the graph's logic depth)."""
+        return int(self.levels().max())
+
+    def max_fanout(self) -> int:
+        """Maximum fanout over all nodes."""
+        return int(self.fanouts().max())
+
+    def minlist(self) -> np.ndarray:
+        """Boolean grid of deletable nodes (paper's ``minlist``).
+
+        A node is in the minlist iff it is interior (neither input nor
+        output) and is not the lower parent of any present node — deleting
+        such a node is never undone by legalization.
+        """
+        if self._minlist is None:
+            self._minlist = _legalize.derive_minlist(self._grid)
+            self._minlist.setflags(write=False)
+        return self._minlist
+
+    # ------------------------------------------------------------------
+    # Legality
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` if the grid is not a legal prefix graph."""
+        n, grid = self._n, self._grid
+        if not grid[np.arange(n), np.arange(n)].all():
+            raise ValueError("missing input node(s) on the diagonal")
+        if not grid[:, 0].all():
+            raise ValueError("missing output node(s) in column 0")
+        if np.triu(grid, k=1).any():
+            raise ValueError("node(s) above the diagonal (lsb > msb)")
+        for m in range(n):
+            for l in range(m - 1, -1, -1):
+                if not grid[m, l]:
+                    continue
+                lm, ll = self.lower_parent(m, l)
+                if not grid[lm, ll]:
+                    raise ValueError(
+                        f"node ({m},{l}) has missing lower parent ({lm},{ll})"
+                    )
+
+    def is_legal(self) -> bool:
+        """True if :meth:`validate` passes."""
+        try:
+            self.validate()
+        except ValueError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Actions (Section IV-A / Algorithm 1 semantics)
+    # ------------------------------------------------------------------
+
+    def can_add(self, msb: int, lsb: int) -> bool:
+        """An add targets an absent interior cell (redundant adds forbidden)."""
+        if not (0 < lsb < msb < self._n):
+            return False
+        return not self._grid[msb, lsb]
+
+    def can_delete(self, msb: int, lsb: int) -> bool:
+        """A delete targets a minlist node (so legalization cannot undo it)."""
+        if not (0 < lsb < msb < self._n):
+            return False
+        return bool(self.minlist()[msb, lsb])
+
+    def add_node(self, msb: int, lsb: int) -> "PrefixGraph":
+        """Add node ``(msb, lsb)`` and legalize; returns the new graph.
+
+        Legalization may add missing lower parents and — by rebuilding from
+        the minlist — drop nodes whose only purpose was to be the lower
+        parent of a node that now resolves differently (the paper notes an
+        action "may add or delete additional nodes to maintain legality").
+        """
+        if not self.can_add(msb, lsb):
+            raise IllegalActionError(f"cannot add node ({msb},{lsb})")
+        min_grid = np.array(self.minlist())
+        min_grid[msb, lsb] = True
+        new_grid = _legalize.legalize_minlist(min_grid)
+        return PrefixGraph(new_grid, _validated=True)
+
+    def delete_node(self, msb: int, lsb: int) -> "PrefixGraph":
+        """Delete minlist node ``(msb, lsb)`` and legalize; returns the new graph."""
+        if not self.can_delete(msb, lsb):
+            raise IllegalActionError(f"cannot delete node ({msb},{lsb})")
+        min_grid = np.array(self.minlist())
+        min_grid[msb, lsb] = False
+        new_grid = _legalize.legalize_minlist(min_grid)
+        return PrefixGraph(new_grid, _validated=True)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+
+    def key(self) -> bytes:
+        """Canonical content key (used for synthesis caching and dedup)."""
+        return bytes(np.packbits(self._grid).tobytes())
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PrefixGraph):
+            return NotImplemented
+        return self._n == other._n and bool(np.array_equal(self._grid, other._grid))
+
+    def __hash__(self) -> int:
+        return hash((self._n, self.key()))
+
+    def __repr__(self) -> str:
+        return (
+            f"PrefixGraph(n={self._n}, compute_nodes={self.num_compute_nodes}, "
+            f"depth={self.depth()}, max_fanout={self.max_fanout()})"
+        )

@@ -1,0 +1,146 @@
+"""Legalization (Algorithm 1 of the paper) over minlist grids.
+
+Two implementations live here:
+
+- :func:`legalize_minlist` / :func:`derive_minlist` — the library's canonical
+  semantics: the nodelist is rebuilt from a minlist grid in a single
+  (descending MSB, descending LSB) pass, and the minlist is *derived* from
+  the nodelist as "interior nodes that are not lower parents".
+- :class:`Algorithm1State` — a literal transcription of the paper's
+  Algorithm 1 with its persistent, incrementally-maintained minlist.
+
+The two agree exactly for any *single* action applied to a fresh state
+(property-tested), but can diverge over multi-action sequences: Algorithm 1's
+incremental minlist retains a node whose lower-parent role was orphaned by a
+later add, whereas the derived minlist (the paper's prose definition,
+Section IV-A: "nodes that are not lower parents of other nodes")
+garbage-collects it. Since the paper defines the state space as "all legal
+N-input prefix graphs" — the graph alone, not (graph, bookkeeping) pairs —
+the derived semantics is the faithful MDP and is what the environment uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _upper_parent_lsb(row: np.ndarray, msb: int, lsb: int) -> int:
+    """LSB of the upper parent of ``(msb, lsb)`` given row occupancy."""
+    for k in range(lsb + 1, msb + 1):
+        if row[k]:
+            return k
+    raise AssertionError(f"diagonal node ({msb},{msb}) missing from row")
+
+
+def legalize_minlist(min_grid: np.ndarray) -> np.ndarray:
+    """Rebuild a legal nodelist grid from a minlist grid.
+
+    Mirrors Algorithm 1's ``Legalize``: start from the minlist plus all
+    input/output nodes, then sweep rows from MSB ``N-1`` down to ``0`` and
+    columns from ``msb-1`` down to ``0``, adding each present node's lower
+    parent. A node's upper parent lies in the same row at a higher LSB
+    (already settled, since LSB descends) and its lower parent lies in a
+    strictly lower row (visited later, since MSB descends), so one sweep
+    suffices.
+    """
+    min_grid = np.asarray(min_grid, dtype=bool)
+    n = min_grid.shape[0]
+    grid = np.array(min_grid)
+    idx = np.arange(n)
+    grid[idx, idx] = True
+    grid[idx, 0] = True
+    grid &= ~np.triu(np.ones((n, n), dtype=bool), k=1)
+    for m in range(n - 1, -1, -1):
+        row = grid[m]
+        for l in range(m - 1, -1, -1):
+            if not row[l]:
+                continue
+            k = _upper_parent_lsb(row, m, l)
+            grid[k - 1, l] = True
+    return grid
+
+
+def derive_minlist(grid: np.ndarray) -> np.ndarray:
+    """Interior nodes of ``grid`` that are not the lower parent of any node.
+
+    This is the paper's prose definition of ``minlist`` (Section IV-A):
+    exactly the nodes whose deletion legalization cannot undo.
+    """
+    grid = np.asarray(grid, dtype=bool)
+    n = grid.shape[0]
+    is_lower_parent = np.zeros((n, n), dtype=bool)
+    for m in range(n):
+        row = grid[m]
+        for l in range(m - 1, -1, -1):
+            if not row[l]:
+                continue
+            k = _upper_parent_lsb(row, m, l)
+            is_lower_parent[k - 1, l] = True
+    interior = np.array(grid)
+    idx = np.arange(n)
+    interior[idx, idx] = False
+    interior[:, 0] = False
+    return interior & ~is_lower_parent
+
+
+class Algorithm1State:
+    """Literal transcription of the paper's Algorithm 1.
+
+    Maintains the persistent ``minlist`` exactly as the pseudocode does
+    (including its incremental removals on ``Add``). Used in tests as an
+    independent oracle for the nodelist evolution of
+    :class:`repro.prefix.PrefixGraph`.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError(f"Algorithm 1 needs n >= 2, got {n}")
+        self.n = n
+        self.minlist: "set[tuple[int, int]]" = set()
+        self.nodelist: "set[tuple[int, int]]" = set()
+        self._initialize()
+
+    def _initialize(self) -> None:
+        self.nodelist = set()
+        for m in range(self.n):
+            self.nodelist.add((m, m))
+            self.nodelist.add((m, 0))
+
+    def _lp(self, msb: int, lsb: int) -> "tuple[int, int]":
+        """Lower parent of ``(msb, lsb)`` with respect to current nodelist."""
+        for k in range(lsb + 1, msb + 1):
+            if (msb, k) in self.nodelist:
+                return (k - 1, lsb)
+        raise AssertionError("diagonal missing")
+
+    def add(self, msb: int, lsb: int) -> None:
+        """Algorithm 1 ``Add``: insert into minlist, prune implied lps, legalize."""
+        self.minlist.add((msb, lsb))
+        self.legalize()
+        for l in range(msb - 1, -1, -1):
+            if (msb, l) in self.minlist:
+                self.minlist.discard(self._lp(msb, l))
+        self.legalize()
+
+    def delete(self, msb: int, lsb: int) -> None:
+        """Algorithm 1 ``Delete``: remove from minlist and legalize."""
+        self.minlist.discard((msb, lsb))
+        self.legalize()
+
+    def legalize(self) -> None:
+        """Algorithm 1 ``Legalize``: nodelist <- minlist + in/out + missing lps."""
+        self.nodelist = set(self.minlist)
+        for m in range(self.n):
+            self.nodelist.add((m, m))
+            self.nodelist.add((m, 0))
+        for m in range(self.n - 1, -1, -1):
+            for l in range(m - 1, -1, -1):
+                if (m, l) in self.nodelist:
+                    self.nodelist.add(self._lp(m, l))
+
+    def grid(self) -> np.ndarray:
+        """Current nodelist as a boolean grid."""
+        g = np.zeros((self.n, self.n), dtype=bool)
+        for m, l in self.nodelist:
+            g[m, l] = True
+        return g

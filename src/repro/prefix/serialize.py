@@ -1,0 +1,44 @@
+"""Serialization of prefix graphs (JSON round-trip and content hashing)."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.prefix.graph import PrefixGraph
+
+
+def graph_to_dict(graph: PrefixGraph) -> dict:
+    """Serialize to a plain dict: width plus sorted interior nodes.
+
+    Inputs and outputs are implied by legality, so only interior nodes are
+    stored; this is also the minimal human-readable description of a design.
+    """
+    return {
+        "n": graph.n,
+        "interior_nodes": sorted(graph.interior_nodes()),
+    }
+
+
+def graph_from_dict(data: dict) -> PrefixGraph:
+    """Inverse of :func:`graph_to_dict` (validates legality)."""
+    nodes = [tuple(node) for node in data["interior_nodes"]]
+    return PrefixGraph.from_nodes(int(data["n"]), nodes)
+
+
+def graph_to_json(graph: PrefixGraph) -> str:
+    """JSON string form of :func:`graph_to_dict`."""
+    return json.dumps(graph_to_dict(graph), sort_keys=True)
+
+
+def graph_from_json(text: str) -> PrefixGraph:
+    """Inverse of :func:`graph_to_json`."""
+    return graph_from_dict(json.loads(text))
+
+
+def graph_digest(graph: PrefixGraph) -> str:
+    """Stable hex digest of the graph contents (synthesis-cache key)."""
+    h = hashlib.sha256()
+    h.update(graph.n.to_bytes(4, "little"))
+    h.update(graph.key())
+    return h.hexdigest()

@@ -1,0 +1,149 @@
+"""Regular prefix-network constructions.
+
+These are the baselines of Fig. 4/5 (Sklansky [3], Kogge-Stone [4],
+Brent-Kung [5]) plus two further classics (Han-Carlson, Ladner-Fischer)
+used by the commercial-adder family and the pruned-search baseline. The
+ripple-carry graph (minimum node count) and the Sklansky graph (minimum
+level count) are the paper's two episode start states (Section IV-B).
+
+Each construction emits its intended interior node set and passes it through
+minlist legalization, which only ever *adds* missing lower parents — for
+power-of-two widths the constructions are already legal, and for other
+widths legalization completes them deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prefix.graph import PrefixGraph
+from repro.prefix.legalize import legalize_minlist
+
+
+def _from_interior_nodes(n: int, nodes) -> PrefixGraph:
+    """Build a legal graph from intended interior nodes via legalization."""
+    grid = np.zeros((n, n), dtype=bool)
+    for m, l in nodes:
+        if 0 < l < m < n:
+            grid[m, l] = True
+    return PrefixGraph(legalize_minlist(grid), _validated=True)
+
+
+def _check_width(n: int) -> None:
+    if n < 2:
+        raise ValueError(f"prefix structures need n >= 2, got {n}")
+
+
+def ripple_carry(n: int) -> PrefixGraph:
+    """Serial prefix graph: only inputs and outputs; minimum size (n-1 ops).
+
+    Each output ``(i, 0)`` chains off ``(i-1, 0)``, giving depth ``n - 1``.
+    """
+    _check_width(n)
+    return _from_interior_nodes(n, [])
+
+
+def sklansky(n: int) -> PrefixGraph:
+    """Sklansky divide-and-conquer graph: minimum depth, high fanout.
+
+    Stage ``t`` adds, for every row whose bit ``t-1`` is set, a node whose
+    LSB is the row index with its low ``t`` bits cleared.
+    """
+    _check_width(n)
+    nodes = []
+    t = 1
+    while (1 << (t - 1)) < n:
+        for i in range(n):
+            if (i >> (t - 1)) & 1:
+                lsb = (i >> t) << t
+                nodes.append((i, lsb))
+        t += 1
+    return _from_interior_nodes(n, nodes)
+
+
+def kogge_stone(n: int) -> PrefixGraph:
+    """Kogge-Stone graph: minimum depth and fanout, maximum wiring/size.
+
+    Stage ``t`` gives every row ``i >= 2^(t-1)`` a node spanning
+    ``[i - 2^t + 1, i]`` (clamped at bit 0).
+    """
+    _check_width(n)
+    nodes = []
+    t = 1
+    while (1 << (t - 1)) < n:
+        for i in range(1 << (t - 1), n):
+            lsb = max(0, i - (1 << t) + 1)
+            nodes.append((i, lsb))
+        t += 1
+    return _from_interior_nodes(n, nodes)
+
+
+def brent_kung(n: int) -> PrefixGraph:
+    """Brent-Kung graph: near-minimum size, depth ~2*log2(n).
+
+    The up-sweep places a node at every row ``k * 2^t - 1`` spanning
+    ``2^t`` bits; the down-sweep is implicit in the grid representation
+    because each output resolves its parents through the next-highest-LSB
+    rule.
+    """
+    _check_width(n)
+    nodes = []
+    t = 1
+    while (1 << t) <= n:
+        step = 1 << t
+        for i in range(step - 1, n, step):
+            nodes.append((i, i - step + 1))
+        t += 1
+    return _from_interior_nodes(n, nodes)
+
+
+def han_carlson(n: int) -> PrefixGraph:
+    """Han-Carlson graph: Kogge-Stone on odd rows, ripple fix-up on even rows.
+
+    A standard sparsity-2 compromise between Kogge-Stone wiring and
+    Brent-Kung depth.
+    """
+    _check_width(n)
+    nodes = []
+    for i in range(1, n, 2):
+        nodes.append((i, i - 1))
+    t = 2
+    while (1 << (t - 1)) < n:
+        for i in range(1, n, 2):
+            lsb = max(0, i - (1 << t) + 1)
+            if lsb < i - 1:
+                nodes.append((i, lsb))
+        t += 1
+    return _from_interior_nodes(n, nodes)
+
+
+def ladner_fischer(n: int) -> PrefixGraph:
+    """Ladner-Fischer graph (sparsity-2 Sklansky, the common adder-taxonomy use).
+
+    Sklansky recursion over odd rows with a final ripple fix-up on even
+    rows; lower fanout than Sklansky at one extra level.
+    """
+    _check_width(n)
+    nodes = []
+    for i in range(1, n, 2):
+        nodes.append((i, i - 1))
+    t = 2
+    while (1 << (t - 1)) < n:
+        for i in range(1, n, 2):
+            if (i >> (t - 1)) & 1:
+                lsb = (i >> t) << t
+                if lsb < i - 1:
+                    nodes.append((i, lsb))
+        t += 1
+    return _from_interior_nodes(n, nodes)
+
+
+REGULAR_STRUCTURES = {
+    "ripple": ripple_carry,
+    "sklansky": sklansky,
+    "kogge_stone": kogge_stone,
+    "brent_kung": brent_kung,
+    "han_carlson": han_carlson,
+    "ladner_fischer": ladner_fischer,
+}
+"""Name -> constructor map used by benchmarks and the CLI."""

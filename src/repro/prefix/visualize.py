@@ -1,0 +1,81 @@
+"""ASCII rendering of prefix graphs.
+
+Two views:
+
+- :func:`render_grid` — the paper's MSB x LSB grid (Fig. 1 right-hand
+  panels): inputs on the diagonal, outputs in column 0, interior nodes
+  marked.
+- :func:`render_network` — the classic prefix-network diagram (Fig. 7
+  style): bit columns horizontally (MSB on the left), logic levels
+  vertically, one marker per compute node with its span drawn as a rule.
+"""
+
+from __future__ import annotations
+
+from repro.prefix.graph import PrefixGraph
+
+
+def render_grid(graph: PrefixGraph) -> str:
+    """Render the occupancy grid: ``I`` inputs, ``O`` outputs, ``#`` interior."""
+    n = graph.n
+    lines = []
+    header = "     " + " ".join(f"{l:>2d}" for l in range(n))
+    lines.append(header)
+    for m in range(n):
+        cells = []
+        for l in range(n):
+            if l > m:
+                cells.append("  ")
+            elif l == m:
+                cells.append(" I")
+            elif graph.has_node(m, l):
+                cells.append(" O" if l == 0 else " #")
+            else:
+                cells.append(" .")
+        lines.append(f"{m:>3d}: " + " ".join(c.strip().rjust(2) for c in cells))
+    return "\n".join(lines) + "\n"
+
+
+def render_network(graph: PrefixGraph) -> str:
+    """Render the level-by-level network diagram.
+
+    Bit ``n-1`` is the leftmost column (hardware convention). Each compute
+    node ``(m, l)`` appears in its level row at column ``m`` as ``o``, with
+    ``-`` drawn across the bits it spans down to its lower parent's column
+    and ``+`` at the lower-parent tap. Nodes sharing a (level, msb) cell —
+    possible for irregular graphs — are shown as a count digit.
+    """
+    n = graph.n
+    levels = graph.levels()
+    depth = graph.depth()
+    col_of = {bit: 3 * (n - 1 - bit) for bit in range(n)}
+    width = 3 * (n - 1) + 1
+
+    header_cells = [" "] * width
+    for bit in range(n):
+        label = str(bit % 10)
+        header_cells[col_of[bit]] = label
+    lines = ["bit: " + "".join(header_cells)]
+
+    for level in range(1, depth + 1):
+        row = [" "] * width
+        count_at = {}
+        for m, l in graph.nodes():
+            if l >= m or levels[m, l] != level:
+                continue
+            count_at[m] = count_at.get(m, 0) + 1
+            _, (lpm, _) = graph.parents(m, l)
+            start, end = col_of[m], col_of[lpm]
+            for c in range(start + 1, end):
+                if row[c] == " ":
+                    row[c] = "-"
+            row[end] = "+"
+        for m, cnt in count_at.items():
+            row[col_of[m]] = "o" if cnt == 1 else str(min(cnt, 9))
+        lines.append(f"L{level:>2d}: " + "".join(row).rstrip())
+    stats = (
+        f"(n={n}, compute_nodes={graph.num_compute_nodes}, depth={depth}, "
+        f"max_fanout={graph.max_fanout()})"
+    )
+    lines.append(stats)
+    return "\n".join(lines) + "\n"

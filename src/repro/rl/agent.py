@@ -1,0 +1,151 @@
+"""The scalarized Double-DQN agent (Eqs. 4-6 of the paper).
+
+Vector Q values are kept per objective; action selection and the double-DQN
+argmax both scalarize with the agent's weight vector; the TD regression is
+per-objective. Illegal actions are masked to -inf before any argmax
+(Section IV-C: "we use nodelist and minlist to set the Q values of illegal
+actions to -inf so that they are never chosen").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.actions import ActionSpace
+from repro.nn.loss import huber_loss
+from repro.nn.optim import Adam
+from repro.nn.qnet import QNetwork
+from repro.utils.rng import ensure_rng
+
+
+class ScalarizedDoubleDQN:
+    """Agent owning the local/target networks and the optimizer.
+
+    Args:
+        n: bit width (defines action space and network spatial size).
+        w_area / w_delay: scalarization weights (nonnegative; the paper
+            normalizes them to sum to 1).
+        blocks / channels: Q-network capacity (paper: 32 / 256).
+        lr: Adam learning rate (paper: 4e-5).
+        gamma: discount (paper: 0.75).
+        target_sync_every: gradient steps between target-network syncs
+            (paper: 60).
+        rng: seed or generator for weight init and exploration.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        w_area: float = 0.5,
+        w_delay: float = 0.5,
+        blocks: int = 2,
+        channels: int = 16,
+        lr: float = 4e-5,
+        gamma: float = 0.75,
+        target_sync_every: int = 60,
+        grad_clip: "float | None" = 1.0,
+        double: bool = True,
+        rng=None,
+    ):
+        if w_area < 0 or w_delay < 0 or (w_area + w_delay) <= 0:
+            raise ValueError("weights must be nonnegative and not both zero")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        self._rng = ensure_rng(rng)
+        self.n = n
+        self.actions = ActionSpace(n)
+        total = w_area + w_delay
+        self.w = np.array([w_area / total, w_delay / total], dtype=np.float64)
+        self.gamma = gamma
+        self.target_sync_every = target_sync_every
+        self.double = double
+        self.local = QNetwork(n, blocks=blocks, channels=channels, rng=self._rng)
+        self.target = QNetwork(n, blocks=blocks, channels=channels, rng=self._rng)
+        self.target.copy_from(self.local)
+        self.target.eval()
+        self.optimizer = Adam(self.local.parameters(), lr=lr, grad_clip=grad_clip)
+        self.gradient_steps = 0
+
+    # ------------------------------------------------------------------
+    # Acting
+    # ------------------------------------------------------------------
+
+    def q_values(self, features: np.ndarray) -> np.ndarray:
+        """Per-action vector Q for one state: shape ``(A, 2)``."""
+        qmap = self.local.predict(features[None])[0]
+        return self.actions.qmap_to_flat(qmap)
+
+    def _masked_scalar_q(self, q_flat: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        scalar = q_flat @ self.w
+        scalar = np.where(mask, scalar, -np.inf)
+        return scalar
+
+    def act(self, features: np.ndarray, legal_mask: np.ndarray, epsilon: float = 0.0) -> int:
+        """Epsilon-greedy scalarized policy; returns a flat action index."""
+        legal_idx = np.nonzero(legal_mask)[0]
+        if legal_idx.size == 0:
+            raise ValueError("no legal actions available")
+        if epsilon > 0 and self._rng.random() < epsilon:
+            return int(legal_idx[self._rng.integers(legal_idx.size)])
+        scalar = self._masked_scalar_q(self.q_values(features), legal_mask)
+        return int(np.argmax(scalar))
+
+    # ------------------------------------------------------------------
+    # Learning
+    # ------------------------------------------------------------------
+
+    def train_step(self, batch: "dict[str, np.ndarray]") -> float:
+        """One double-DQN gradient step on a sampled batch; returns the loss."""
+        states = batch["states"]
+        actions = batch["actions"]
+        rewards = batch["rewards"]
+        next_states = batch["next_states"]
+        next_masks = batch["next_masks"]
+        dones = batch["dones"]
+        b = states.shape[0]
+
+        # a* = argmax_a w . Q(s', a) over legal actions (Eq. 6 on s').
+        # Double-DQN (the paper's choice) takes the argmax on the local
+        # network and reads the value from the target network; the vanilla
+        # ablation uses the target network for both.
+        q_next_select = self.local.predict(next_states) if self.double else None
+        q_next_target = self.target.predict(next_states)
+        targets_vec = np.array(rewards, dtype=np.float64)
+        for i in range(b):
+            if dones[i]:
+                continue
+            select_map = q_next_select[i] if self.double else q_next_target[i]
+            flat_select = self.actions.qmap_to_flat(select_map)
+            scalar = self._masked_scalar_q(flat_select, next_masks[i])
+            if not np.isfinite(scalar).any():
+                continue
+            a_star = int(np.argmax(scalar))
+            flat_target = self.actions.qmap_to_flat(q_next_target[i])
+            targets_vec[i] += self.gamma * flat_target[a_star]
+
+        # Dense regression mask: only the taken action's two planes learn.
+        self.local.train()
+        qmap = self.local.forward(states)
+        target_map = qmap.copy()
+        mask = np.zeros_like(qmap)
+        for i in range(b):
+            (pa, m, l), (pd, _, _) = self.actions.qmap_positions(int(actions[i]))
+            target_map[i, pa, m, l] = targets_vec[i, 0]
+            target_map[i, pd, m, l] = targets_vec[i, 1]
+            mask[i, pa, m, l] = 1.0
+            mask[i, pd, m, l] = 1.0
+
+        loss, dpred = huber_loss(qmap, target_map, mask=mask)
+        self.local.zero_grad()
+        self.local.backward(dpred)
+        self.optimizer.step()
+
+        self.gradient_steps += 1
+        if self.gradient_steps % self.target_sync_every == 0:
+            self.sync_target()
+        return loss
+
+    def sync_target(self) -> None:
+        """Copy local weights into the target network."""
+        self.target.copy_from(self.local)
+        self.target.eval()

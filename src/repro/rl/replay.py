@@ -1,0 +1,68 @@
+"""Experience replay buffer.
+
+Stores dense feature tensors plus next-state legal masks (needed for the
+masked double-DQN argmax). Ring-buffer semantics with uniform sampling —
+the paper's setup ("an experience buffer with up to 4x10^5 elements").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class Transition:
+    """One environment transition, already featurized."""
+
+    state: np.ndarray        # (4, N, N)
+    action: int              # flat action index
+    reward: np.ndarray       # (2,) scaled [r_area, r_delay]
+    next_state: np.ndarray   # (4, N, N)
+    next_mask: np.ndarray    # (A,) legal actions in the next state
+    done: bool
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform batch sampling."""
+
+    def __init__(self, capacity: int, rng=None):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._rng = ensure_rng(rng)
+        self._storage: "list[Transition]" = []
+        self._cursor = 0
+
+    def push(self, transition: Transition) -> None:
+        """Insert, overwriting the oldest entry once full."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def sample(self, batch_size: int) -> "dict[str, np.ndarray]":
+        """Uniformly sample a batch as stacked arrays.
+
+        Keys: ``states (B,4,N,N)``, ``actions (B,)``, ``rewards (B,2)``,
+        ``next_states (B,4,N,N)``, ``next_masks (B,A)``, ``dones (B,)``.
+        """
+        if not self._storage:
+            raise ValueError("cannot sample from an empty buffer")
+        idx = self._rng.integers(len(self._storage), size=batch_size)
+        items = [self._storage[i] for i in idx]
+        return {
+            "states": np.stack([t.state for t in items]),
+            "actions": np.array([t.action for t in items], dtype=np.int64),
+            "rewards": np.stack([t.reward for t in items]),
+            "next_states": np.stack([t.next_state for t in items]),
+            "next_masks": np.stack([t.next_mask for t in items]),
+            "dones": np.array([t.done for t in items], dtype=bool),
+        }

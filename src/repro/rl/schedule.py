@@ -1,0 +1,31 @@
+"""Exploration schedules.
+
+The paper anneals epsilon to zero over training and evaluates greedily
+(Section III-B). :class:`LinearSchedule` covers that and is also used for
+any other scalar that must ramp during training.
+"""
+
+from __future__ import annotations
+
+
+class LinearSchedule:
+    """Linear interpolation from ``start`` to ``end`` over ``duration`` steps."""
+
+    def __init__(self, start: float, end: float, duration: int):
+        if duration < 1:
+            raise ValueError("duration must be positive")
+        self.start = start
+        self.end = end
+        self.duration = duration
+
+    def value(self, step: int) -> float:
+        """Scheduled value at ``step`` (clamped beyond the endpoints)."""
+        if step <= 0:
+            return self.start
+        if step >= self.duration:
+            return self.end
+        frac = step / self.duration
+        return self.start + (self.end - self.start) * frac
+
+    def __call__(self, step: int) -> float:
+        return self.value(step)

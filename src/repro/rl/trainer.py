@@ -1,0 +1,115 @@
+"""The single-weight training loop.
+
+One :class:`Trainer` runs one agent (one scalarization weight) against one
+environment: epsilon-greedy experience collection into the replay buffer,
+gradient steps on a fixed cadence, target sync handled by the agent, and
+the environment's Pareto archive accumulating every evaluated design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.env.environment import PrefixEnv
+from repro.rl.agent import ScalarizedDoubleDQN
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.schedule import LinearSchedule
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs of one training run.
+
+    Defaults are CI-scale; the paper-scale values are noted inline.
+    """
+
+    steps: int = 400                  # paper: 5e5 env steps (64b)
+    batch_size: int = 16              # paper: 96 per GPU
+    buffer_capacity: int = 10_000     # paper: 4e5
+    warmup_steps: int = 32            # learning starts once buffer has this many
+    learn_every: int = 1              # gradient step cadence (env steps)
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.0          # paper: annealed to zero
+    epsilon_anneal_frac: float = 0.8  # fraction of steps to anneal over
+
+
+@dataclass
+class TrainingHistory:
+    """Per-run telemetry collected by :class:`Trainer.run`."""
+
+    losses: "list[float]" = field(default_factory=list)
+    episode_returns: "list[float]" = field(default_factory=list)
+    areas: "list[float]" = field(default_factory=list)
+    delays: "list[float]" = field(default_factory=list)
+    epsilon_trace: "list[float]" = field(default_factory=list)
+    env_steps: int = 0
+    gradient_steps: int = 0
+
+
+class Trainer:
+    """Wires an environment, an agent and a replay buffer into one run."""
+
+    def __init__(
+        self,
+        env: PrefixEnv,
+        agent: ScalarizedDoubleDQN,
+        config: "TrainerConfig | None" = None,
+        rng=None,
+    ):
+        self.env = env
+        self.agent = agent
+        self.config = config if config is not None else TrainerConfig()
+        self.buffer = ReplayBuffer(self.config.buffer_capacity, rng=rng)
+
+    def run(self, steps: "int | None" = None) -> TrainingHistory:
+        """Train for ``steps`` environment steps (default: config.steps)."""
+        cfg = self.config
+        total = steps if steps is not None else cfg.steps
+        anneal = max(int(total * cfg.epsilon_anneal_frac), 1)
+        schedule = LinearSchedule(cfg.epsilon_start, cfg.epsilon_end, anneal)
+        history = TrainingHistory()
+
+        state = self.env.reset()
+        obs = self.env.observe(state)
+        episode_return = 0.0
+
+        for step in range(total):
+            epsilon = schedule(step)
+            mask = self.env.legal_mask(state)
+            action_idx = self.agent.act(obs, mask, epsilon=epsilon)
+            action = self.env.action_space.action(action_idx)
+            result = self.env.step(action)
+
+            next_obs = self.env.observe(result.next_state)
+            next_mask = self.env.legal_mask(result.next_state)
+            self.buffer.push(
+                Transition(
+                    state=obs,
+                    action=action_idx,
+                    reward=result.reward,
+                    next_state=next_obs,
+                    next_mask=next_mask,
+                    done=result.done,
+                )
+            )
+            episode_return += float(self.agent.w @ result.reward)
+            history.areas.append(result.info["area"])
+            history.delays.append(result.info["delay"])
+            history.epsilon_trace.append(epsilon)
+            history.env_steps += 1
+
+            if result.done:
+                history.episode_returns.append(episode_return)
+                episode_return = 0.0
+                state = self.env.reset()
+                obs = self.env.observe(state)
+            else:
+                state = result.next_state
+                obs = next_obs
+
+            if len(self.buffer) >= cfg.warmup_steps and step % cfg.learn_every == 0:
+                loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
+                history.losses.append(loss)
+                history.gradient_steps += 1
+
+        return history

@@ -1,0 +1,14 @@
+"""Static timing analysis over gate-level netlists.
+
+Implements the classic two-pass algorithm: forward arrival propagation in
+topological order, backward required-time propagation from the delay target,
+per-net slack, and critical-path extraction. Loads combine sink pin caps, a
+per-fanout wire cap, and primary-output port caps. Inputs arrive at t=0 and
+outputs share one required time — the uniform timing constraint the paper
+trains under (Section V-A).
+"""
+
+from repro.sta.timing import TimingReport, analyze_timing, net_load
+from repro.sta.power import PowerReport, estimate_power
+
+__all__ = ["TimingReport", "analyze_timing", "net_load", "PowerReport", "estimate_power"]

@@ -1,0 +1,140 @@
+"""Forward/backward static timing analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.ir import Netlist
+
+
+@dataclass
+class TimingReport:
+    """Result of one timing analysis.
+
+    Attributes:
+        delay: worst arrival over primary outputs (ns).
+        target: the required time used for slacks (None = unconstrained).
+        wns: worst negative slack (``target - delay``; +inf if no target).
+        arrival: net -> arrival time.
+        required: net -> required time (empty if no target).
+        slack: net -> required - arrival (empty if no target).
+        critical_path: instance names from the path's first gate to the
+            gate driving the worst output.
+        area: netlist cell area at analysis time (convenience for loggers).
+    """
+
+    delay: float
+    target: "float | None"
+    wns: float
+    arrival: "dict[str, float]"
+    required: "dict[str, float]"
+    slack: "dict[str, float]"
+    critical_path: "list[str]"
+    area: float
+
+    def instance_slack(self, netlist: Netlist, name: str) -> float:
+        """Slack of an instance = slack of its output net."""
+        if not self.slack:
+            raise ValueError("analysis ran without a target; no slacks available")
+        return self.slack[netlist.instances[name].output_net]
+
+
+def net_load(netlist: Netlist, net: str) -> float:
+    """Capacitive load on ``net``: pin caps + wire cap + port cap (fF)."""
+    lib = netlist.library
+    sinks = netlist.sinks_of(net)
+    load = lib.wire_cap_per_fanout * len(sinks)
+    for inst_name, pin in sinks:
+        load += netlist.instances[inst_name].cell.input_caps[pin]
+    if net in netlist.outputs:
+        load += lib.output_port_cap
+    return load
+
+
+def analyze_timing(
+    netlist: Netlist,
+    target: "float | None" = None,
+    input_arrivals: "dict[str, float] | None" = None,
+) -> TimingReport:
+    """Run STA; see :class:`TimingReport`.
+
+    Arrival at primary inputs defaults to 0 (the paper's uniform arrival);
+    ``input_arrivals`` overrides per input, enabling the nonuniform timing
+    constraints the paper lists as future work (Section VI). If ``target``
+    is given, required times and slacks are computed and ``wns`` reflects
+    the worst output.
+    """
+    arrival: "dict[str, float]" = {net: 0.0 for net in netlist.inputs}
+    if input_arrivals:
+        unknown = set(input_arrivals) - set(netlist.inputs)
+        if unknown:
+            raise ValueError(f"input_arrivals for non-input nets: {sorted(unknown)}")
+        arrival.update(input_arrivals)
+    loads: "dict[str, float]" = {}
+    order = netlist.topological_order()
+
+    # Forward pass: arrival times. Track each net's worst contributing
+    # (instance, input net) so critical-path extraction is a direct walk.
+    worst_arc: "dict[str, tuple[str, str]]" = {}
+    for name in order:
+        inst = netlist.instances[name]
+        out = inst.output_net
+        load = loads.get(out)
+        if load is None:
+            load = net_load(netlist, out)
+            loads[out] = load
+        best = -1.0
+        best_src = None
+        for pin, net in inst.input_nets():
+            t = arrival[net] + inst.cell.arc_delay(pin, load)
+            if t > best:
+                best = t
+                best_src = net
+        arrival[out] = best
+        worst_arc[out] = (name, best_src)
+
+    if netlist.outputs:
+        worst_out = max(netlist.outputs, key=lambda n: arrival[n])
+        delay = arrival[worst_out]
+    else:
+        worst_out = None
+        delay = 0.0
+
+    critical_path: "list[str]" = []
+    net = worst_out
+    while net is not None and net in worst_arc:
+        inst_name, src = worst_arc[net]
+        critical_path.append(inst_name)
+        net = src
+    critical_path.reverse()
+
+    required: "dict[str, float]" = {}
+    slack: "dict[str, float]" = {}
+    wns = float("inf")
+    if target is not None:
+        for net_name in netlist.outputs:
+            required[net_name] = target
+        for name in reversed(order):
+            inst = netlist.instances[name]
+            out = inst.output_net
+            req_out = required.get(out, float("inf"))
+            load = loads[out]
+            for pin, net_name in inst.input_nets():
+                cand = req_out - inst.cell.arc_delay(pin, load)
+                prev = required.get(net_name, float("inf"))
+                if cand < prev:
+                    required[net_name] = cand
+        for net_name, arr in arrival.items():
+            slack[net_name] = required.get(net_name, float("inf")) - arr
+        wns = target - delay
+
+    return TimingReport(
+        delay=delay,
+        target=target,
+        wns=wns,
+        arrival=arrival,
+        required=required,
+        slack=slack,
+        critical_path=critical_path,
+        area=netlist.area(),
+    )

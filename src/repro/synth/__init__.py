@@ -1,0 +1,34 @@
+"""Physical-synthesis substrate: the paper's reward generator.
+
+``Synthesizer`` applies the optimization classes the paper lists for
+OpenPhySyn — gate sizing, gate cloning, buffer insertion, pin swapping —
+plus area recovery, driven by a delay target. ``synthesize_curve`` runs it
+at 4 targets and PCHIP-interpolates the area-delay trade-off exactly as
+Section IV-D / Fig. 3 describe; ``AreaDelayCurve.w_optimal`` picks the
+scalarization-optimal point that defines the RL reward. ``SynthesisCache``
+reproduces the content-hash design cache of the training system.
+"""
+
+from repro.synth.optimizer import Synthesizer, SynthesisResult
+from repro.synth.curve import AreaDelayCurve, synthesize_curve, calibrate_scaling, C_AREA, C_DELAY
+from repro.synth.cache import SynthesisCache
+from repro.synth.evaluator import SynthesisEvaluator, AnalyticalEvaluator, CircuitMetrics
+from repro.synth.commercial import CommercialSynthesizer, commercial_adder_family
+from repro.synth.report import qor_report
+
+__all__ = [
+    "Synthesizer",
+    "SynthesisResult",
+    "AreaDelayCurve",
+    "synthesize_curve",
+    "calibrate_scaling",
+    "C_AREA",
+    "C_DELAY",
+    "SynthesisCache",
+    "SynthesisEvaluator",
+    "AnalyticalEvaluator",
+    "CircuitMetrics",
+    "CommercialSynthesizer",
+    "commercial_adder_family",
+    "qor_report",
+]

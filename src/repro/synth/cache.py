@@ -1,0 +1,66 @@
+"""Content-hash synthesis cache (Section IV-D).
+
+The paper: "we cache synthesized state designs to reduce redundant
+calculations and find that as the exploration parameter epsilon diminishes,
+the cache hit percentage becomes 50% in the 32b case and 10% in the 64b
+case." Keys combine the graph digest with the library/tool identity so one
+cache can serve several experiments. Thread-safe for the worker pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class SynthesisCache:
+    """Bounded LRU cache with hit-rate accounting."""
+
+    def __init__(self, max_entries: int = 400_000):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._data: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple):
+        """Return the cached value or None; updates hit/miss statistics."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: tuple, value) -> None:
+        """Insert (evicting the least recently used entry when full)."""
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 when nothing has been looked up)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (entries are kept)."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SynthesisCache(entries={len(self)}, hits={self.hits}, "
+            f"misses={self.misses}, hit_rate={self.hit_rate:.1%})"
+        )

@@ -1,0 +1,128 @@
+"""Evaluators: the environment's pluggable (area, delay) oracles.
+
+The RL environment only needs a callable mapping a prefix graph to a
+scalarization-dependent (area, delay) pair. Two implementations:
+
+- :class:`SynthesisEvaluator` — the paper's primary setting: full netlist
+  synthesis at 4 targets, PCHIP curve, w-optimal point (Fig. 3), cached by
+  graph digest.
+- :class:`AnalyticalEvaluator` — the Moto-Kaneko model, used to train
+  "Analytical-PrefixRL" for the Fig. 6 study (no curve; the metrics are
+  target-independent).
+
+Both expose the same ``evaluate``/``metrics`` interface so the environment,
+baselines and benchmarks can swap them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytical.model import evaluate_analytical
+from repro.cells.library import CellLibrary
+from repro.prefix.graph import PrefixGraph
+from repro.prefix.serialize import graph_digest
+from repro.synth.cache import SynthesisCache
+from repro.synth.curve import AreaDelayCurve, C_AREA, C_DELAY, synthesize_curve
+from repro.synth.optimizer import Synthesizer
+
+
+@dataclass(frozen=True)
+class CircuitMetrics:
+    """The (area, delay) pair an evaluator reports for one graph."""
+
+    area: float
+    delay: float
+
+
+class SynthesisEvaluator:
+    """Synthesis-in-the-loop evaluator with caching.
+
+    Args:
+        library: cell library to synthesize into.
+        synthesizer: optimizer configuration (defaults to the OpenPhySyn
+            stand-in at default effort).
+        w_area / w_delay: scalarization weights selecting the curve point
+            (Section IV-B); must be nonnegative, normalized by the caller.
+        cache: shared :class:`SynthesisCache` (one is created if omitted).
+        c_area / c_delay: the paper's scaling constants.
+    """
+
+    def __init__(
+        self,
+        library: CellLibrary,
+        synthesizer: "Synthesizer | None" = None,
+        w_area: float = 0.5,
+        w_delay: float = 0.5,
+        cache: "SynthesisCache | None" = None,
+        c_area: float = C_AREA,
+        c_delay: float = C_DELAY,
+    ):
+        if w_area < 0 or w_delay < 0:
+            raise ValueError("scalarization weights must be nonnegative")
+        self.library = library
+        self.synthesizer = synthesizer if synthesizer is not None else Synthesizer()
+        self.w_area = w_area
+        self.w_delay = w_delay
+        self.cache = cache if cache is not None else SynthesisCache()
+        self.c_area = c_area
+        self.c_delay = c_delay
+
+    def curve(self, graph: PrefixGraph) -> AreaDelayCurve:
+        """The graph's area-delay curve (cached by content digest)."""
+        key = (graph_digest(graph), self.library.name, self.synthesizer.name)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        curve = synthesize_curve(graph, self.library, self.synthesizer)
+        self.cache.put(key, curve)
+        return curve
+
+    def evaluate(self, graph: PrefixGraph) -> CircuitMetrics:
+        """w-optimal (area, delay) on the graph's synthesis curve."""
+        area, delay = self.curve(graph).w_optimal(
+            self.w_area, self.w_delay, self.c_area, self.c_delay
+        )
+        return CircuitMetrics(area=area, delay=delay)
+
+    def scalarize(self, metrics: CircuitMetrics) -> float:
+        """The scalar objective value of a metrics pair."""
+        return (
+            self.w_area * self.c_area * metrics.area
+            + self.w_delay * self.c_delay * metrics.delay
+        )
+
+
+class AnalyticalEvaluator:
+    """Moto-Kaneko analytical evaluator (Fig. 6 setting).
+
+    The analytical metrics do not depend on a delay target, so the weights
+    only matter for :meth:`scalarize`. ``c_area``/``c_delay`` default to 1:
+    the model's units are already commensurate (both count node delays).
+    """
+
+    def __init__(
+        self,
+        w_area: float = 0.5,
+        w_delay: float = 0.5,
+        c_area: float = 1.0,
+        c_delay: float = 1.0,
+    ):
+        if w_area < 0 or w_delay < 0:
+            raise ValueError("scalarization weights must be nonnegative")
+        self.w_area = w_area
+        self.w_delay = w_delay
+        self.c_area = c_area
+        self.c_delay = c_delay
+
+    def evaluate(self, graph: PrefixGraph) -> CircuitMetrics:
+        """Analytical (area, delay) of the graph."""
+        m = evaluate_analytical(graph)
+        return CircuitMetrics(area=m.area, delay=m.delay)
+
+    def scalarize(self, metrics: CircuitMetrics) -> float:
+        """The scalar objective value of a metrics pair."""
+        return (
+            self.w_area * self.c_area * metrics.area
+            + self.w_delay * self.c_delay * metrics.delay
+        )

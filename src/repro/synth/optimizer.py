@@ -1,0 +1,325 @@
+"""Timing-driven netlist optimization (the OpenPhySyn stand-in).
+
+The paper (Section IV-D): "We use the OpenPhySyn physical synthesis tool for
+optimizations such as gate sizing, gate cloning, buffer insertion and pin
+swapping". This module implements those four transforms plus area recovery
+as greedy, STA-verified moves:
+
+1. **Pin swapping** — within commutative pin groups, the latest-arriving
+   signal moves to the fastest arc.
+2. **Gate sizing** — critical-path cells are upsized one drive step at a
+   time, candidates ranked by an analytic gain estimate and accepted only
+   if measured WNS improves.
+3. **Buffer insertion** — high-fanout critical nets keep their critical
+   sinks direct and push the rest behind a buffer.
+4. **Gate cloning** — critical multi-fanout cells are duplicated and the
+   non-critical sinks handed to the clone.
+5. **Area recovery** — off-critical cells are downsized while the target
+   still holds.
+
+All moves are deterministic (sorted iteration, name tie-breaks) so synthesis
+results — and therefore RL rewards — are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.cleanup import remove_dead_logic
+from repro.netlist.ir import Netlist
+from repro.sta.timing import TimingReport, analyze_timing, net_load
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one optimization run at one delay target."""
+
+    area: float
+    delay: float
+    target: float
+    met: bool
+    netlist: Netlist
+    moves: "dict[str, int]" = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        status = "met" if self.met else "VIOLATED"
+        return (
+            f"SynthesisResult(target={self.target:.4f}, delay={self.delay:.4f}, "
+            f"area={self.area:.2f}, {status})"
+        )
+
+
+class Synthesizer:
+    """Greedy timing-driven optimizer with STA-verified moves.
+
+    Args:
+        name: tool identifier (part of synthesis-cache keys).
+        max_sizing_moves: accepted upsizes per optimization run.
+        max_rounds: sizing/buffering/cloning rounds before giving up.
+        fanout_threshold: nets wider than this are buffering candidates.
+        clone_threshold: critical cells with more sinks than this may clone.
+        enable_buffering / enable_cloning / enable_pin_swap: pass toggles
+            (exposed for the ablation benchmarks).
+        recovery_passes: sweeps of downsizing after timing closes.
+    """
+
+    def __init__(
+        self,
+        name: str = "openphysyn",
+        max_sizing_moves: int = 60,
+        max_rounds: int = 3,
+        fanout_threshold: int = 5,
+        clone_threshold: int = 3,
+        enable_buffering: bool = True,
+        enable_cloning: bool = True,
+        enable_pin_swap: bool = True,
+        recovery_passes: int = 2,
+    ):
+        self.name = name
+        self.max_sizing_moves = max_sizing_moves
+        self.max_rounds = max_rounds
+        self.fanout_threshold = fanout_threshold
+        self.clone_threshold = clone_threshold
+        self.enable_buffering = enable_buffering
+        self.enable_cloning = enable_cloning
+        self.enable_pin_swap = enable_pin_swap
+        self.recovery_passes = recovery_passes
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+
+    def optimize(self, netlist: Netlist, target: float) -> SynthesisResult:
+        """Optimize a copy of ``netlist`` toward ``target`` (ns)."""
+        nl = netlist.clone()
+        moves = {"pin_swap": 0, "size_up": 0, "buffer": 0, "clone": 0, "size_down": 0}
+
+        if self.enable_pin_swap:
+            moves["pin_swap"] += self._pin_swap_pass(nl)
+
+        report = analyze_timing(nl, target)
+        for _ in range(self.max_rounds):
+            if report.wns >= 0:
+                break
+            before = report.delay
+            report, accepted = self._sizing_pass(nl, target, report)
+            moves["size_up"] += accepted
+            if report.wns < 0 and self.enable_buffering:
+                report, accepted = self._buffering_pass(nl, target, report)
+                moves["buffer"] += accepted
+            if report.wns < 0 and self.enable_cloning:
+                report, accepted = self._cloning_pass(nl, target, report)
+                moves["clone"] += accepted
+            if report.delay >= before - 1e-12:
+                break
+
+        for _ in range(self.recovery_passes):
+            report, accepted = self._recovery_pass(nl, target, report)
+            moves["size_down"] += accepted
+            if not accepted:
+                break
+
+        remove_dead_logic(nl)
+        report = analyze_timing(nl, target)
+        return SynthesisResult(
+            area=nl.area(),
+            delay=report.delay,
+            target=target,
+            met=report.wns >= 0,
+            netlist=nl,
+            moves=moves,
+        )
+
+    # ------------------------------------------------------------------
+    # Pin swapping
+    # ------------------------------------------------------------------
+
+    def _pin_swap_pass(self, nl: Netlist) -> int:
+        """Assign later-arriving nets to faster pins within commutative groups."""
+        report = analyze_timing(nl)
+        swaps = 0
+        for name in sorted(nl.instances):
+            inst = nl.instances[name]
+            for group in inst.cell.spec.commutative_groups:
+                if len(group) != 2:
+                    continue
+                pin_a, pin_b = group
+                # Fast pin should carry the late net.
+                fast, slow = sorted(group, key=lambda p: inst.cell.intrinsics[p])
+                arr_fast = report.arrival[inst.pins[fast]]
+                arr_slow = report.arrival[inst.pins[slow]]
+                if arr_slow > arr_fast:
+                    nl.swap_pins(name, pin_a, pin_b)
+                    swaps += 1
+        return swaps
+
+    # ------------------------------------------------------------------
+    # Gate sizing
+    # ------------------------------------------------------------------
+
+    def _upsize_gain(self, nl: Netlist, name: str) -> float:
+        """Analytic benefit estimate of one upsize step (ns saved)."""
+        inst = nl.instances[name]
+        bigger = nl.library.next_size_up(inst.cell)
+        if bigger is None:
+            return -1.0
+        load = net_load(nl, inst.output_net)
+        gain = (inst.cell.resistance - bigger.resistance) * load
+        # Penalty: heavier input pins slow the driver of each input net.
+        for pin, net in inst.input_nets():
+            drv = nl.driver_of(net)
+            if drv is None:
+                continue
+            extra_cap = bigger.input_caps[pin] - inst.cell.input_caps[pin]
+            gain -= nl.instances[drv].cell.resistance * extra_cap
+        return gain
+
+    def _sizing_pass(
+        self, nl: Netlist, target: float, report: TimingReport
+    ) -> "tuple[TimingReport, int]":
+        """Greedy critical-path upsizing with measured accept/revert."""
+        accepted = 0
+        rejected: "set[tuple[str, str]]" = set()
+        while accepted < self.max_sizing_moves and report.wns < 0:
+            candidates = []
+            for name in report.critical_path:
+                inst = nl.instances[name]
+                bigger = nl.library.next_size_up(inst.cell)
+                if bigger is None or (name, bigger.name) in rejected:
+                    continue
+                candidates.append((self._upsize_gain(nl, name), name, bigger))
+            candidates = [c for c in candidates if c[0] > 0]
+            if not candidates:
+                break
+            candidates.sort(key=lambda c: (-c[0], c[1]))
+            _, name, bigger = candidates[0]
+            old_cell = nl.instances[name].cell
+            nl.replace_cell(name, bigger)
+            trial = analyze_timing(nl, target)
+            if trial.delay < report.delay - 1e-12:
+                report = trial
+                accepted += 1
+            else:
+                nl.replace_cell(name, old_cell)
+                rejected.add((name, bigger.name))
+        return report, accepted
+
+    # ------------------------------------------------------------------
+    # Buffer insertion
+    # ------------------------------------------------------------------
+
+    def _buffering_pass(
+        self, nl: Netlist, target: float, report: TimingReport
+    ) -> "tuple[TimingReport, int]":
+        """Shield non-critical sinks of critical high-fanout nets behind a buffer."""
+        accepted = 0
+        critical_insts = set(report.critical_path)
+        critical_nets = {nl.instances[i].output_net for i in critical_insts}
+        for name in list(report.critical_path):
+            inst = nl.instances[name]
+            net = inst.output_net
+            sinks = nl.sinks_of(net)
+            if len(sinks) <= self.fanout_threshold:
+                continue
+            # Critical sinks: those feeding critical-path instances.
+            critical_sinks = [s for s in sinks if s[0] in critical_insts]
+            offload = [s for s in sinks if s[0] not in critical_insts]
+            if not offload or not critical_sinks:
+                continue
+            buf_cell = nl.library.pick("BUF", min(4, nl.library.variants("BUF")[-1].drive))
+            buf_out = nl.fresh_net("bufnet")
+            buf = nl.add_instance(buf_cell, {"A": net, buf_cell.output_pin: buf_out})
+            for sink_name, pin in offload:
+                nl.rewire_sink(sink_name, pin, buf_out)
+            trial = analyze_timing(nl, target)
+            if trial.delay < report.delay - 1e-12:
+                report = trial
+                accepted += 1
+            else:
+                for sink_name, pin in offload:
+                    nl.rewire_sink(sink_name, pin, net)
+                nl.remove_instance(buf.name)
+            if report.wns >= 0:
+                break
+        del critical_nets
+        return report, accepted
+
+    # ------------------------------------------------------------------
+    # Gate cloning
+    # ------------------------------------------------------------------
+
+    def _cloning_pass(
+        self, nl: Netlist, target: float, report: TimingReport
+    ) -> "tuple[TimingReport, int]":
+        """Duplicate critical multi-fanout cells; clone serves non-critical sinks."""
+        accepted = 0
+        critical_insts = set(report.critical_path)
+        for name in list(report.critical_path):
+            inst = nl.instances.get(name)
+            if inst is None or inst.cell.function == "BUF":
+                continue
+            net = inst.output_net
+            if net in nl.outputs:
+                continue
+            sinks = nl.sinks_of(net)
+            if len(sinks) <= self.clone_threshold:
+                continue
+            offload = [s for s in sinks if s[0] not in critical_insts]
+            if not offload or len(offload) == len(sinks):
+                continue
+            clone_out = nl.fresh_net("clone")
+            pins = dict(inst.pins)
+            pins[inst.cell.output_pin] = clone_out
+            clone = nl.add_instance(inst.cell, pins)
+            for sink_name, pin in offload:
+                nl.rewire_sink(sink_name, pin, clone_out)
+            trial = analyze_timing(nl, target)
+            if trial.delay < report.delay - 1e-12:
+                report = trial
+                accepted += 1
+            else:
+                for sink_name, pin in offload:
+                    nl.rewire_sink(sink_name, pin, net)
+                nl.remove_instance(clone.name)
+            if report.wns >= 0:
+                break
+        return report, accepted
+
+    # ------------------------------------------------------------------
+    # Area recovery
+    # ------------------------------------------------------------------
+
+    def _recovery_pass(
+        self, nl: Netlist, target: float, report: TimingReport
+    ) -> "tuple[TimingReport, int]":
+        """Downsize off-critical cells while the achieved delay holds.
+
+        When the target is met, any move keeping WNS >= 0 is accepted; when
+        it is not met (infeasible target), moves must not worsen the delay.
+        """
+        accepted = 0
+        baseline_delay = report.delay
+        names = sorted(
+            nl.instances,
+            key=lambda n: -report.slack.get(nl.instances[n].output_net, 0.0),
+        )
+        for name in names:
+            inst = nl.instances.get(name)
+            if inst is None:
+                continue
+            smaller = nl.library.next_size_down(inst.cell)
+            if smaller is None:
+                continue
+            slack = report.slack.get(inst.output_net, 0.0)
+            if report.wns >= 0 and slack <= 0:
+                continue
+            old_cell = inst.cell
+            nl.replace_cell(name, smaller)
+            trial = analyze_timing(nl, target)
+            ok = trial.wns >= 0 if report.wns >= 0 else trial.delay <= baseline_delay + 1e-12
+            if ok:
+                report = trial
+                accepted += 1
+            else:
+                nl.replace_cell(name, old_cell)
+        return report, accepted

@@ -1,0 +1,72 @@
+"""Quality-of-results reporting.
+
+Text reports in the style synthesis tools emit after a run: area by cell
+function, timing summary with the critical path spelled out arc by arc,
+optimization move counts, and optional power. Used by the CLI and handy
+when eyeballing what the optimizer actually did to a design.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.ir import Netlist
+from repro.sta.timing import analyze_timing, net_load
+from repro.synth.optimizer import SynthesisResult
+from repro.utils.ascii_plot import format_table
+
+
+def qor_report(result: SynthesisResult, include_power: bool = False) -> str:
+    """Render a post-synthesis quality-of-results report."""
+    netlist = result.netlist
+    report = analyze_timing(netlist, target=result.target)
+
+    lines = [
+        f"=== QoR report: {netlist.name} ({netlist.library.name}) ===",
+        "",
+        f"target delay : {result.target:.4f} ns",
+        f"achieved     : {result.delay:.4f} ns ({'MET' if result.met else 'VIOLATED'})",
+        f"wns          : {report.wns:+.4f} ns",
+        f"total area   : {result.area:.2f} um2 ({len(netlist.instances)} cells)",
+        "",
+        "-- area by function --",
+    ]
+
+    by_function: "dict[str, tuple[int, float]]" = {}
+    for inst in netlist.instances.values():
+        count, area = by_function.get(inst.cell.function, (0, 0.0))
+        by_function[inst.cell.function] = (count + 1, area + inst.cell.area)
+    rows = [
+        [fn, count, f"{area:.2f}", f"{100 * area / max(result.area, 1e-12):.1f}%"]
+        for fn, (count, area) in sorted(by_function.items())
+    ]
+    lines.append(format_table(["function", "count", "area", "share"], rows).rstrip())
+
+    lines += ["", "-- optimization moves --"]
+    move_rows = [[k, v] for k, v in sorted(result.moves.items())]
+    lines.append(format_table(["pass", "accepted"], move_rows).rstrip())
+
+    lines += ["", "-- critical path --"]
+    path_rows = []
+    for name in report.critical_path:
+        inst = netlist.instances[name]
+        out = inst.output_net
+        path_rows.append(
+            [name, inst.cell.name, f"{net_load(netlist, out):.2f}",
+             f"{report.arrival[out]:.4f}"]
+        )
+    lines.append(
+        format_table(["instance", "cell", "load (fF)", "arrival (ns)"], path_rows).rstrip()
+    )
+
+    if include_power:
+        from repro.sta.power import estimate_power
+
+        power = estimate_power(netlist, rng=0)
+        lines += [
+            "",
+            "-- power (1 GHz, nominal voltage) --",
+            f"dynamic : {power.dynamic:.2f} uW",
+            f"leakage : {power.leakage:.2f} uW",
+            f"total   : {power.total:.2f} uW",
+        ]
+
+    return "\n".join(lines) + "\n"

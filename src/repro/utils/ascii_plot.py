@@ -1,0 +1,70 @@
+"""Terminal rendering for benchmark output.
+
+The paper's figures are area/delay scatter plots. Benchmarks regenerate each
+series numerically and also print a coarse ASCII scatter so the curve shapes
+(who dominates whom, where the knee sits) are visible directly in
+``bench_output.txt`` without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def scatter_plot(
+    series: "Mapping[str, Sequence[tuple[float, float]]]",
+    width: int = 72,
+    height: int = 22,
+    xlabel: str = "area",
+    ylabel: str = "delay",
+) -> str:
+    """Render named (x, y) series onto a character grid.
+
+    Each series is drawn with its own marker (first letter of its name, with
+    collisions resolved by position in the legend). Points outside the data
+    bounding box cannot occur by construction; overlapping points show the
+    marker of the later series.
+    """
+    markers = "*o+x#@%&^~"
+    points = [(name, pt) for name, pts in series.items() for pt in pts]
+    if not points:
+        return "(no data)\n"
+
+    xs = [p[1][0] for p in points]
+    ys = [p[1][1] for p in points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    marker_of = {}
+    for i, name in enumerate(series):
+        marker_of[name] = markers[i % len(markers)]
+
+    for name, (x, y) in points:
+        col = int((x - xmin) / xspan * (width - 1))
+        row = int((y - ymin) / yspan * (height - 1))
+        # Flip vertically: low delay (good) should appear at the bottom,
+        # matching the paper's axes.
+        grid[height - 1 - row][col] = marker_of[name]
+
+    lines = ["".join(r) for r in grid]
+    legend = "  ".join(f"{marker_of[n]}={n}" for n in series)
+    header = f"{ylabel} (vertical, {ymin:.4g}..{ymax:.4g})  vs  {xlabel} (horizontal, {xmin:.4g}..{xmax:.4g})"
+    frame = ["+" + "-" * width + "+"]
+    body = ["|" + line + "|" for line in lines]
+    return "\n".join([header, legend] + frame + body + frame[:1]) + "\n"
+
+
+def format_table(headers: "Sequence[str]", rows: "Sequence[Sequence[object]]") -> str:
+    """Format a fixed-width text table (used for Table I style output)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        line = "  ".join(c.ljust(widths[i]) for i, c in enumerate(row))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines) + "\n"

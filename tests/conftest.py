@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.prefix import PrefixGraph, ripple_carry
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for tests that need randomness."""
+    return np.random.default_rng(12345)
+
+
+def random_walk_graph(n: int, steps: int, rng: np.random.Generator) -> PrefixGraph:
+    """Produce a random legal graph by a random add/delete walk from ripple."""
+    g = ripple_carry(n)
+    for _ in range(steps):
+        actions = [("add", m, l) for m in range(n) for l in range(1, m) if g.can_add(m, l)]
+        actions += [("del", m, l) for m in range(n) for l in range(1, m) if g.can_delete(m, l)]
+        if not actions:
+            break
+        kind, m, l = actions[int(rng.integers(len(actions)))]
+        g = g.add_node(m, l) if kind == "add" else g.delete_node(m, l)
+    return g

@@ -1,0 +1,109 @@
+"""Action-space enumeration, masks and Q-map layout."""
+
+import numpy as np
+import pytest
+
+from repro.env.actions import ADD, DELETE, Action, ActionSpace
+from repro.prefix import ripple_carry, sklansky
+from tests.conftest import random_walk_graph
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n,cells", [(16, 105), (32, 465), (64, 1953)])
+    def test_table1_action_counts(self, n, cells):
+        # Table I: |A| = (N-1)(N-2)/2 positions.
+        space = ActionSpace(n)
+        assert space.num_cells == cells
+        assert space.size == 2 * cells
+
+    def test_min_width(self):
+        with pytest.raises(ValueError):
+            ActionSpace(2)
+
+    def test_index_roundtrip(self):
+        space = ActionSpace(8)
+        for i in range(space.size):
+            assert space.index(space.action(i)) == i
+
+    def test_action_decode(self):
+        space = ActionSpace(8)
+        a = space.action(0)
+        assert a.kind == ADD
+        d = space.action(space.num_cells)
+        assert d.kind == DELETE
+
+    def test_out_of_range(self):
+        space = ActionSpace(8)
+        with pytest.raises(IndexError):
+            space.action(space.size)
+        with pytest.raises(IndexError):
+            space.qmap_positions(-1)
+
+    def test_cells_are_interior(self):
+        space = ActionSpace(10)
+        for m, l in space.cells:
+            assert 0 < l < m < 10
+
+
+class TestMasks:
+    def test_ripple_all_adds_no_deletes(self):
+        space = ActionSpace(8)
+        mask = space.legal_mask(ripple_carry(8))
+        assert mask[: space.num_cells].all()
+        assert not mask[space.num_cells :].any()
+
+    def test_add_forbidden_on_existing(self):
+        space = ActionSpace(8)
+        g = sklansky(8)
+        mask = space.legal_mask(g)
+        for i, (m, l) in enumerate(space.cells):
+            assert mask[i] == (not g.has_node(m, l))
+
+    def test_delete_only_minlist(self):
+        space = ActionSpace(8)
+        g = sklansky(8)
+        mask = space.legal_mask(g)
+        ml = g.minlist()
+        for i, (m, l) in enumerate(space.cells):
+            assert mask[space.num_cells + i] == ml[m, l]
+
+    def test_width_mismatch(self):
+        space = ActionSpace(8)
+        with pytest.raises(ValueError):
+            space.legal_mask(ripple_carry(9))
+
+    def test_legal_actions_all_applicable(self, rng):
+        space = ActionSpace(8)
+        g = random_walk_graph(8, 20, rng)
+        for action in space.legal_actions(g):
+            space.apply(g, action)  # must not raise
+
+
+class TestQmapLayout:
+    def test_flat_matches_positions(self):
+        space = ActionSpace(6)
+        qmap = np.arange(4 * 6 * 6, dtype=float).reshape(4, 6, 6)
+        flat = space.qmap_to_flat(qmap)
+        for i in range(space.size):
+            (pa, m, l), (pd, m2, l2) = space.qmap_positions(i)
+            assert flat[i, 0] == qmap[pa, m, l]
+            assert flat[i, 1] == qmap[pd, m2, l2]
+
+    def test_add_delete_planes_disjoint(self):
+        space = ActionSpace(6)
+        add_planes = {space.qmap_positions(i)[0][0] for i in range(space.num_cells)}
+        del_planes = {
+            space.qmap_positions(i)[0][0]
+            for i in range(space.num_cells, space.size)
+        }
+        assert add_planes == {0}
+        assert del_planes == {2}
+
+    def test_bad_qmap_shape(self):
+        space = ActionSpace(6)
+        with pytest.raises(ValueError):
+            space.qmap_to_flat(np.zeros((4, 5, 5)))
+
+    def test_action_repr(self):
+        assert "add" in repr(Action(ADD, 3, 1))
+        assert "delete" in repr(Action(DELETE, 3, 1))

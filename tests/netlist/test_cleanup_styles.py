@@ -1,0 +1,68 @@
+"""Dead-logic elimination and the naive netlist-style ablation path."""
+
+import pytest
+
+from repro.cells import nangate45
+from repro.netlist import Netlist, prefix_adder_netlist, remove_dead_logic, verify_adder
+from repro.prefix import REGULAR_STRUCTURES, ripple_carry, sklansky
+from repro.sta import analyze_timing
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate45()
+
+
+class TestDeadLogicElimination:
+    def test_removes_orphan_chain(self, lib):
+        nl = Netlist("t", lib)
+        nl.add_input("a")
+        inv = lib.smallest("INV")
+        nl.add_instance(inv, {"A": "a", "ZN": "live"}, name="keep")
+        nl.add_output("live")
+        nl.add_instance(inv, {"A": "a", "ZN": "d1"}, name="dead1")
+        nl.add_instance(inv, {"A": "d1", "ZN": "d2"}, name="dead2")
+        assert remove_dead_logic(nl) == 2
+        assert set(nl.instances) == {"keep"}
+        nl.validate()
+
+    def test_fixed_point(self, lib):
+        nl = prefix_adder_netlist(sklansky(8), lib)
+        assert remove_dead_logic(nl) == 0
+        assert remove_dead_logic(nl) == 0
+
+    def test_keeps_output_drivers(self, lib):
+        nl = prefix_adder_netlist(ripple_carry(4), lib)
+        before = len(nl.instances)
+        remove_dead_logic(nl)
+        assert len(nl.instances) == before
+        assert verify_adder(nl, 4, rng=0)
+
+
+class TestNaiveStyle:
+    @pytest.mark.parametrize("name", sorted(REGULAR_STRUCTURES))
+    def test_naive_functionally_correct(self, lib, name):
+        g = REGULAR_STRUCTURES[name](8)
+        nl = prefix_adder_netlist(g, lib, style="naive")
+        assert verify_adder(nl, 8, rng=1)
+
+    def test_naive_uses_and_or(self, lib):
+        nl = prefix_adder_netlist(sklansky(8), lib, style="naive")
+        functions = {i.cell.function for i in nl.instances.values()}
+        assert "AND2" in functions and "OR2" in functions
+        assert "AOI21" not in functions and "OAI21" not in functions
+
+    def test_aoi_beats_naive_on_area_and_delay(self, lib):
+        g = sklansky(16)
+        aoi = prefix_adder_netlist(g, lib, style="aoi")
+        naive = prefix_adder_netlist(g, lib, style="naive")
+        assert aoi.area() < naive.area()
+        assert analyze_timing(aoi).delay < analyze_timing(naive).delay
+
+    def test_unknown_style_rejected(self, lib):
+        with pytest.raises(ValueError, match="style"):
+            prefix_adder_netlist(sklansky(8), lib, style="fancy")
+
+    def test_naive_wider_widths(self, lib):
+        nl = prefix_adder_netlist(REGULAR_STRUCTURES["brent_kung"](16), lib, style="naive")
+        assert verify_adder(nl, 16, rng=2)

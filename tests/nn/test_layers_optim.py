@@ -1,0 +1,155 @@
+"""Module mechanics: modes, parameter collection, optimizers, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, QNetwork, SGD, huber_loss
+from repro.nn.layers import BatchNorm2d, Conv2d, Parameter, Sequential
+
+
+@pytest.fixture
+def gen():
+    return np.random.default_rng(11)
+
+
+class TestModuleSystem:
+    def test_parameter_collection_counts(self):
+        net = QNetwork(n=6, blocks=2, channels=8, rng=0)
+        # stem conv(w,b) + stem bn(g,b) + 2 blocks * 2*(conv w,b + bn g,b)
+        # + head conv(w,b) + head bn(g,b) + out conv(w,b)
+        assert len(net.parameters()) == 4 + 2 * 8 + 4 + 2
+
+    def test_train_eval_propagates(self):
+        net = QNetwork(n=6, blocks=1, channels=4, rng=0)
+        net.eval()
+        assert not net.body.stages[1].training  # stem batchnorm
+        net.train()
+        assert net.body.stages[1].training
+
+    def test_zero_grad(self, gen):
+        net = QNetwork(n=5, blocks=0, channels=4, rng=0)
+        x = gen.normal(size=(1, 4, 5, 5))
+        y = net.forward(x)
+        net.backward(np.ones_like(y))
+        assert any(p.grad.any() for p in net.parameters())
+        net.zero_grad()
+        assert not any(p.grad.any() for p in net.parameters())
+
+    def test_bad_input_shape(self):
+        net = QNetwork(n=5, blocks=0, channels=4, rng=0)
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((1, 4, 6, 6)))
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            QNetwork(n=5, blocks=-1, channels=4)
+        with pytest.raises(ValueError):
+            QNetwork(n=5, blocks=1, channels=0)
+
+    def test_predict_restores_mode(self, gen):
+        net = QNetwork(n=5, blocks=0, channels=4, rng=0)
+        net.train()
+        net.predict(gen.normal(size=(1, 4, 5, 5)))
+        assert net.training
+
+    def test_num_parameters_positive(self):
+        net = QNetwork(n=6, blocks=1, channels=8, rng=0)
+        assert net.num_parameters() > 1000
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        # Minimize ||p - t||^2 via Parameter/optimizer plumbing.
+        target = np.array([1.0, -2.0, 3.0])
+        p = Parameter(np.zeros(3))
+        return p, target
+
+    def test_sgd_converges(self):
+        p, target = self._quadratic_problem()
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad += 2 * (p.value - target)
+            opt.step()
+        assert np.abs(p.value - target).max() < 1e-3
+
+    def test_sgd_momentum_converges(self):
+        p, target = self._quadratic_problem()
+        opt = SGD([p], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            p.zero_grad()
+            p.grad += 2 * (p.value - target)
+            opt.step()
+        assert np.abs(p.value - target).max() < 1e-3
+
+    def test_adam_converges(self):
+        p, target = self._quadratic_problem()
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            p.zero_grad()
+            p.grad += 2 * (p.value - target)
+            opt.step()
+        assert np.abs(p.value - target).max() < 1e-2
+
+    def test_adam_grad_clip(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=1.0, grad_clip=0.5)
+        p.grad += np.array([1000.0])
+        opt.step()
+        # First Adam step magnitude is ~lr regardless, but clip must not blow up.
+        assert np.isfinite(p.value).all()
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([], lr=-1.0)
+
+    def test_training_reduces_loss(self, gen):
+        net = QNetwork(n=6, blocks=1, channels=8, rng=3)
+        opt = Adam(net.parameters(), lr=1e-3)
+        x = gen.normal(size=(4, 4, 6, 6))
+        target = gen.normal(size=(4, 4, 6, 6))
+        first = last = None
+        for _ in range(40):
+            y = net.forward(x)
+            loss, dpred = huber_loss(y, target)
+            if first is None:
+                first = loss
+            last = loss
+            net.zero_grad()
+            net.backward(dpred)
+            opt.step()
+        assert last < first * 0.8
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, gen):
+        net = QNetwork(n=6, blocks=1, channels=4, rng=5)
+        x = gen.normal(size=(2, 4, 6, 6))
+        expected = net.predict(x)
+        path = str(tmp_path / "qnet.npz")
+        net.save(path)
+        loaded = QNetwork.load(path)
+        assert np.allclose(loaded.predict(x), expected)
+
+    def test_copy_from_synchronizes(self, gen):
+        a = QNetwork(n=5, blocks=1, channels=4, rng=1)
+        b = QNetwork(n=5, blocks=1, channels=4, rng=2)
+        x = gen.normal(size=(1, 4, 5, 5))
+        assert not np.allclose(a.predict(x), b.predict(x))
+        b.copy_from(a)
+        assert np.allclose(a.predict(x), b.predict(x))
+
+    def test_state_mismatch_rejected(self):
+        a = QNetwork(n=5, blocks=1, channels=4, rng=1)
+        b = QNetwork(n=5, blocks=2, channels=4, rng=1)
+        with pytest.raises(ValueError):
+            b.copy_from(a)
+
+    def test_state_includes_running_stats(self):
+        bn = BatchNorm2d(3)
+        seq = Sequential(Conv2d(3, 3, 1, rng=0), bn)
+        keys = seq.state_arrays().keys()
+        assert any("running_mean" in k for k in keys)
+        assert any("running_var" in k for k in keys)

@@ -1,0 +1,195 @@
+"""Unit tests for the PrefixGraph data structure and action semantics."""
+
+import numpy as np
+import pytest
+
+from repro.prefix import PrefixGraph, IllegalActionError, ripple_carry, sklansky
+from tests.conftest import random_walk_graph
+
+
+class TestConstruction:
+    def test_from_nodes_adds_inputs_and_outputs(self):
+        g = PrefixGraph.from_nodes(4, [(3, 2)])
+        for i in range(4):
+            assert g.has_node(i, i)
+            assert g.has_node(i, 0)
+        assert g.has_node(3, 2)
+
+    def test_from_nodes_rejects_upper_triangle(self):
+        with pytest.raises(ValueError):
+            PrefixGraph.from_nodes(4, [(1, 3)])
+
+    def test_from_nodes_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PrefixGraph.from_nodes(4, [(4, 0)])
+
+    def test_needs_at_least_one_input(self):
+        with pytest.raises(ValueError):
+            PrefixGraph.from_nodes(0, [])
+
+    def test_non_square_grid_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixGraph(np.zeros((3, 4), dtype=bool))
+
+    def test_illegal_graph_rejected(self):
+        # (3,1): row 3 = {3,1,0}; up(3,1)=(3,3) so lp=(2,1), which is absent.
+        grid = np.zeros((4, 4), dtype=bool)
+        idx = np.arange(4)
+        grid[idx, idx] = True
+        grid[idx, 0] = True
+        grid[3, 1] = True
+        with pytest.raises(ValueError, match="lower parent"):
+            PrefixGraph(grid)
+
+    def test_grid_is_readonly(self):
+        g = ripple_carry(4)
+        with pytest.raises(ValueError):
+            g.grid[1, 1] = False
+
+
+class TestParents:
+    def test_fig1_example_parents(self):
+        # Paper Fig. 1: in both 4-input graphs, node (2,0) has upper parent
+        # (2,2) and lower parent (1,0).
+        g = ripple_carry(4)
+        up, lp = g.parents(2, 0)
+        assert up == (2, 2)
+        assert lp == (1, 0)
+
+    def test_upper_parent_skips_gaps(self):
+        g = PrefixGraph.from_nodes(5, [(4, 3), (4, 1), (2, 1)])
+        assert g.upper_parent(4, 1) == (4, 3)
+        assert g.lower_parent(4, 1) == (2, 1)
+
+    def test_input_has_no_parents(self):
+        g = ripple_carry(4)
+        with pytest.raises(ValueError):
+            g.upper_parent(2, 2)
+
+    def test_children_inverse_of_parents(self, rng):
+        g = random_walk_graph(8, 25, rng)
+        for node in g.nodes():
+            if node[1] >= node[0]:
+                continue
+            up, lp = g.parents(*node)
+            assert node in g.children(*up)
+            assert node in g.children(*lp)
+
+
+class TestLevelsAndFanout:
+    def test_ripple_levels(self):
+        g = ripple_carry(5)
+        lv = g.levels()
+        for i in range(5):
+            assert lv[i, i] == 0
+            assert lv[i, 0] == i
+
+    def test_sklansky_depth_is_log2(self):
+        for n in (4, 8, 16, 32):
+            assert sklansky(n).depth() == int(np.log2(n))
+
+    def test_absent_cells_have_level_minus_one(self):
+        g = ripple_carry(4)
+        assert g.levels()[3, 2] == -1
+
+    def test_fanout_counts_children(self, rng):
+        g = random_walk_graph(8, 25, rng)
+        fo = g.fanouts()
+        for node in g.nodes():
+            assert fo[node] == len(g.children(*node))
+
+    def test_ripple_fanouts_are_chains(self):
+        g = ripple_carry(6)
+        fo = g.fanouts()
+        # Every output except the last feeds exactly the next output.
+        for i in range(1, 5):
+            assert fo[i, 0] == 1
+        assert fo[5, 0] == 0
+
+
+class TestActions:
+    def test_add_existing_forbidden(self):
+        g = sklansky(8)
+        m, l = g.interior_nodes()[0]
+        assert not g.can_add(m, l)
+        with pytest.raises(IllegalActionError):
+            g.add_node(m, l)
+
+    def test_add_on_inputs_outputs_forbidden(self):
+        g = ripple_carry(8)
+        assert not g.can_add(3, 0)
+        assert not g.can_add(3, 3)
+        assert not g.can_add(3, 4)
+
+    def test_delete_non_minlist_forbidden(self):
+        g = sklansky(8)
+        # (7,6) is the lower parent of nothing? Find a node that IS an lp.
+        lp_nodes = set()
+        for node in g.nodes():
+            if node[1] < node[0]:
+                lp_nodes.add(g.lower_parent(*node))
+        protected = [n for n in g.interior_nodes() if n in lp_nodes]
+        assert protected, "sklansky(8) should have protected interior nodes"
+        m, l = protected[0]
+        assert not g.can_delete(m, l)
+        with pytest.raises(IllegalActionError):
+            g.delete_node(m, l)
+
+    def test_fig1_add_action(self):
+        # Fig. 1: ripple-carry 4b + add(3,2) yields the parallel graph where
+        # y3 = z_{3:2} o y1.
+        g = ripple_carry(4).add_node(3, 2)
+        assert g.has_node(3, 2)
+        assert g.parents(3, 0) == ((3, 2), (1, 0))
+
+    def test_add_then_delete_roundtrip(self):
+        g0 = ripple_carry(6)
+        g1 = g0.add_node(4, 2)
+        assert g1 != g0
+        g2 = g1.delete_node(4, 2)
+        assert g2 == g0
+
+    def test_actions_preserve_legality_random_walk(self, rng):
+        for n in (4, 6, 9, 12):
+            g = random_walk_graph(n, 40, rng)
+            assert g.is_legal()
+
+    def test_delete_never_undone_by_legalization(self, rng):
+        # The defining property of the minlist: a deleted node stays deleted.
+        for _ in range(20):
+            g = random_walk_graph(8, 20, rng)
+            deletable = [(m, l) for m in range(8) for l in range(1, m) if g.can_delete(m, l)]
+            for m, l in deletable:
+                assert not g.delete_node(m, l).has_node(m, l)
+
+    def test_add_produces_target_node(self, rng):
+        for _ in range(20):
+            g = random_walk_graph(8, 20, rng)
+            addable = [(m, l) for m in range(8) for l in range(1, m) if g.can_add(m, l)]
+            for m, l in addable[:5]:
+                assert g.add_node(m, l).has_node(m, l)
+
+    def test_immutability_of_source_graph(self):
+        g = ripple_carry(5)
+        before = g.grid.copy()
+        g.add_node(3, 2)
+        assert np.array_equal(g.grid, before)
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        a = sklansky(8)
+        b = sklansky(8)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != ripple_carry(8)
+
+    def test_key_distinguishes_graphs(self):
+        assert sklansky(8).key() != ripple_carry(8).key()
+
+    def test_eq_other_type(self):
+        assert sklansky(4).__eq__(42) is NotImplemented
+
+    def test_repr_mentions_stats(self):
+        r = repr(sklansky(8))
+        assert "n=8" in r and "depth=3" in r

@@ -1,0 +1,154 @@
+"""Legalization tests, including the Algorithm 1 oracle equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prefix import PrefixGraph, ripple_carry
+from repro.prefix.legalize import Algorithm1State, derive_minlist, legalize_minlist
+from tests.conftest import random_walk_graph
+
+
+def _apply_random_walk(n, steps, rng):
+    return random_walk_graph(n, steps, rng)
+
+
+class TestLegalizeMinlist:
+    def test_empty_minlist_gives_ripple(self):
+        grid = legalize_minlist(np.zeros((6, 6), dtype=bool))
+        assert np.array_equal(grid, ripple_carry(6).grid)
+
+    def test_adds_missing_lower_parents(self):
+        mg = np.zeros((6, 6), dtype=bool)
+        mg[5, 1] = True
+        grid = legalize_minlist(mg)
+        g = PrefixGraph(grid)
+        assert g.has_node(5, 1)
+        # up(5,1)=(5,5) so lp=(4,1) must have been added, recursively (3,1)...
+        assert g.has_node(4, 1)
+        assert g.has_node(3, 1)
+        assert g.has_node(2, 1)
+
+    def test_idempotent(self, rng):
+        for _ in range(10):
+            g = _apply_random_walk(9, 25, rng)
+            mg = derive_minlist(g.grid)
+            once = legalize_minlist(mg)
+            twice = legalize_minlist(derive_minlist(once))
+            assert np.array_equal(once, twice)
+
+    def test_roundtrip_through_minlist(self, rng):
+        # legalize(derive_minlist(G)) == G for any legal graph G.
+        for n in (4, 7, 10):
+            for _ in range(10):
+                g = _apply_random_walk(n, 30, rng)
+                assert np.array_equal(legalize_minlist(derive_minlist(g.grid)), g.grid)
+
+    def test_clears_upper_triangle(self):
+        mg = np.zeros((4, 4), dtype=bool)
+        mg[1, 3] = True  # illegal cell silently dropped
+        grid = legalize_minlist(mg)
+        assert not grid[1, 3]
+
+
+class TestDeriveMinlist:
+    def test_ripple_minlist_empty(self):
+        assert not derive_minlist(ripple_carry(8).grid).any()
+
+    def test_minlist_excludes_inputs_outputs(self, rng):
+        g = _apply_random_walk(8, 25, rng)
+        ml = derive_minlist(g.grid)
+        assert not ml[np.arange(8), np.arange(8)].any()
+        assert not ml[:, 0].any()
+
+    def test_minlist_nodes_are_not_lower_parents(self, rng):
+        g = _apply_random_walk(8, 25, rng)
+        ml = derive_minlist(g.grid)
+        lps = set()
+        for node in g.nodes():
+            if node[1] < node[0]:
+                lps.add(g.lower_parent(*node))
+        for m, l in zip(*np.nonzero(ml)):
+            assert (int(m), int(l)) not in lps
+
+
+class TestAlgorithm1Oracle:
+    """The literal pseudocode agrees with the library for single actions."""
+
+    def _seed_oracle(self, g):
+        alg = Algorithm1State(g.n)
+        ml = derive_minlist(g.grid)
+        alg.minlist = {(int(a), int(b)) for a, b in zip(*np.nonzero(ml))}
+        alg.legalize()
+        assert np.array_equal(alg.grid(), g.grid)
+        return alg
+
+    def test_single_action_equivalence(self, rng):
+        for trial in range(40):
+            n = int(rng.integers(4, 12))
+            g = _apply_random_walk(n, int(rng.integers(0, 30)), rng)
+            alg = self._seed_oracle(g)
+            actions = [("add", m, l) for m in range(n) for l in range(1, m) if g.can_add(m, l)]
+            actions += [("del", m, l) for m in range(n) for l in range(1, m) if g.can_delete(m, l)]
+            kind, m, l = actions[int(rng.integers(len(actions)))]
+            if kind == "add":
+                g2, _ = g.add_node(m, l), alg.add(m, l)
+            else:
+                g2, _ = g.delete_node(m, l), alg.delete(m, l)
+            assert np.array_equal(g2.grid, alg.grid())
+
+    def test_oracle_rejects_small_n(self):
+        with pytest.raises(ValueError):
+            Algorithm1State(1)
+
+    def test_oracle_initial_state_is_ripple(self):
+        alg = Algorithm1State(6)
+        assert np.array_equal(alg.grid(), ripple_carry(6).grid)
+
+
+@st.composite
+def action_scripts(draw):
+    """A width plus a deterministic script of action choices (as fractions)."""
+    n = draw(st.integers(min_value=4, max_value=12))
+    picks = draw(st.lists(st.floats(min_value=0.0, max_value=0.999), min_size=1, max_size=40))
+    return n, picks
+
+
+class TestProperties:
+    @given(action_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_any_action_sequence_stays_legal(self, script):
+        n, picks = script
+        g = ripple_carry(n)
+        for frac in picks:
+            actions = [("add", m, l) for m in range(n) for l in range(1, m) if g.can_add(m, l)]
+            actions += [("del", m, l) for m in range(n) for l in range(1, m) if g.can_delete(m, l)]
+            if not actions:
+                break
+            kind, m, l = actions[int(frac * len(actions))]
+            g = g.add_node(m, l) if kind == "add" else g.delete_node(m, l)
+            assert g.is_legal()
+            # Legalization fixed point: re-legalizing changes nothing.
+            assert np.array_equal(legalize_minlist(derive_minlist(g.grid)), g.grid)
+
+    @given(action_scripts())
+    @settings(max_examples=40, deadline=None)
+    def test_minlist_definition_holds(self, script):
+        n, picks = script
+        g = ripple_carry(n)
+        for frac in picks:
+            actions = [("add", m, l) for m in range(n) for l in range(1, m) if g.can_add(m, l)]
+            actions += [("del", m, l) for m in range(n) for l in range(1, m) if g.can_delete(m, l)]
+            if not actions:
+                break
+            kind, m, l = actions[int(frac * len(actions))]
+            g = g.add_node(m, l) if kind == "add" else g.delete_node(m, l)
+        ml = g.minlist()
+        lps = set()
+        for node in g.nodes():
+            if node[1] < node[0]:
+                lps.add(g.lower_parent(*node))
+        for m in range(n):
+            for l in range(n):
+                expected = bool(g.has_node(m, l) and 0 < l < m and (m, l) not in lps)
+                assert bool(ml[m, l]) == expected

@@ -1,0 +1,79 @@
+"""Serialization round-trips and rendering sanity."""
+
+import json
+
+import pytest
+
+from repro.prefix import (
+    PrefixGraph,
+    brent_kung,
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    kogge_stone,
+    render_grid,
+    render_network,
+    ripple_carry,
+    sklansky,
+)
+from repro.prefix.serialize import graph_digest
+from tests.conftest import random_walk_graph
+
+
+class TestSerialize:
+    @pytest.mark.parametrize("ctor", [ripple_carry, sklansky, kogge_stone, brent_kung])
+    def test_dict_roundtrip(self, ctor):
+        g = ctor(16)
+        assert graph_from_dict(graph_to_dict(g)) == g
+
+    def test_json_roundtrip_random(self, rng):
+        for _ in range(10):
+            g = random_walk_graph(10, 30, rng)
+            assert graph_from_json(graph_to_json(g)) == g
+
+    def test_json_is_canonical(self):
+        a = graph_to_json(sklansky(8))
+        b = graph_to_json(sklansky(8))
+        assert a == b
+
+    def test_dict_contains_only_interior(self):
+        d = graph_to_dict(sklansky(4))
+        assert d == {"n": 4, "interior_nodes": [(3, 2)]}
+
+    def test_json_parses_as_json(self):
+        data = json.loads(graph_to_json(brent_kung(8)))
+        assert data["n"] == 8
+
+    def test_digest_stable_and_distinct(self):
+        assert graph_digest(sklansky(8)) == graph_digest(sklansky(8))
+        assert graph_digest(sklansky(8)) != graph_digest(kogge_stone(8))
+        assert graph_digest(sklansky(8)) != graph_digest(sklansky(16))
+
+
+class TestVisualize:
+    def test_render_grid_shape(self):
+        text = render_grid(sklansky(8))
+        lines = text.strip().split("\n")
+        assert len(lines) == 9  # header + 8 rows
+
+    def test_render_grid_markers(self):
+        text = render_grid(sklansky(4))
+        assert "I" in text and "O" in text and "#" in text
+
+    def test_render_network_has_all_levels(self):
+        g = kogge_stone(8)
+        text = render_network(g)
+        for level in range(1, g.depth() + 1):
+            assert f"L{level:>2d}:" in text
+
+    def test_render_network_stats_line(self):
+        text = render_network(brent_kung(16))
+        assert "compute_nodes=26" in text
+        assert "depth=6" in text
+
+    def test_render_random_graphs_no_crash(self, rng):
+        for _ in range(5):
+            g = random_walk_graph(9, 25, rng)
+            assert render_network(g)
+            assert render_grid(g)

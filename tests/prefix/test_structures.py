@@ -1,0 +1,138 @@
+"""Tests of the regular prefix constructions against textbook formulas."""
+
+import numpy as np
+import pytest
+
+from repro.prefix import (
+    REGULAR_STRUCTURES,
+    brent_kung,
+    han_carlson,
+    kogge_stone,
+    ladner_fischer,
+    ripple_carry,
+    sklansky,
+)
+
+
+WIDTHS = [2, 3, 4, 5, 8, 13, 16, 32, 64]
+
+
+class TestLegality:
+    @pytest.mark.parametrize("name", sorted(REGULAR_STRUCTURES))
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_all_structures_legal(self, name, n):
+        g = REGULAR_STRUCTURES[name](n)
+        assert g.is_legal()
+        assert g.n == n
+
+    @pytest.mark.parametrize("name", sorted(REGULAR_STRUCTURES))
+    def test_rejects_width_below_two(self, name):
+        with pytest.raises(ValueError):
+            REGULAR_STRUCTURES[name](1)
+
+
+class TestRipple:
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_minimum_size(self, n):
+        g = ripple_carry(n)
+        assert g.num_compute_nodes == n - 1
+
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_maximum_depth(self, n):
+        assert ripple_carry(n).depth() == n - 1
+
+    def test_no_interior_nodes(self):
+        assert ripple_carry(16).interior_nodes() == []
+
+
+class TestSklansky:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_size_formula(self, n):
+        # Sklansky size for power-of-two n is (n/2) * log2(n).
+        assert sklansky(n).num_compute_nodes == (n // 2) * int(np.log2(n))
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_minimum_depth(self, n):
+        assert sklansky(n).depth() == int(np.log2(n))
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_root_fanout(self, n):
+        # The node (n/2 - 1, 0) feeds the whole upper half: fanout n/2.
+        fo = sklansky(n).fanouts()
+        assert fo[n // 2 - 1, 0] == n // 2
+
+    def test_fig1_matches_paper(self):
+        # Fig. 1 st+1 (4b Sklansky) contains interior node (3,2) only.
+        assert sklansky(4).interior_nodes() == [(3, 2)]
+
+
+class TestKoggeStone:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_size_formula(self, n):
+        # KS size for power-of-two n: n*log2(n) - n + 1.
+        expected = n * int(np.log2(n)) - n + 1
+        assert kogge_stone(n).num_compute_nodes == expected
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_minimum_depth(self, n):
+        assert kogge_stone(n).depth() == int(np.log2(n))
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_bounded_fanout(self, n):
+        # KS graph fanout is bounded (grid fanout <= log2 n here; the
+        # textbook wire-fanout bound of 2 counts stage copies we elide).
+        assert kogge_stone(n).max_fanout() <= int(np.log2(n))
+
+
+class TestBrentKung:
+    @pytest.mark.parametrize("n", [4, 8, 16, 32, 64])
+    def test_size_formula(self, n):
+        # BK size for power-of-two n: 2n - 2 - log2(n).
+        expected = 2 * n - 2 - int(np.log2(n))
+        assert brent_kung(n).num_compute_nodes == expected
+
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_depth_formula(self, n):
+        assert brent_kung(n).depth() == 2 * int(np.log2(n)) - 2
+
+    def test_smaller_than_sklansky(self):
+        assert brent_kung(32).num_compute_nodes < sklansky(32).num_compute_nodes
+
+
+class TestHybrids:
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_han_carlson_between_bk_and_ks(self, n):
+        hc = han_carlson(n).num_compute_nodes
+        assert brent_kung(n).num_compute_nodes <= hc <= kogge_stone(n).num_compute_nodes
+
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_han_carlson_depth(self, n):
+        assert han_carlson(n).depth() == int(np.log2(n)) + 1
+
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_ladner_fischer_depth(self, n):
+        assert ladner_fischer(n).depth() == int(np.log2(n)) + 1
+
+    @pytest.mark.parametrize("n", [8, 16, 32, 64])
+    def test_ladner_fischer_not_larger_than_sklansky(self, n):
+        assert ladner_fischer(n).num_compute_nodes <= sklansky(n).num_compute_nodes
+
+    @pytest.mark.parametrize("n", [16, 32])
+    def test_ladner_fischer_lower_fanout_than_sklansky(self, n):
+        assert ladner_fischer(n).max_fanout() < sklansky(n).max_fanout()
+
+
+class TestStartStates:
+    """Section IV-B: episodes start from ripple (min size) or Sklansky (min depth)."""
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_ripple_minimizes_nodes(self, n):
+        ripple_size = ripple_carry(n).num_compute_nodes
+        for name, ctor in REGULAR_STRUCTURES.items():
+            assert ripple_size <= ctor(n).num_compute_nodes
+
+    @pytest.mark.parametrize("n", [8, 16, 32])
+    def test_sklansky_minimizes_depth(self, n):
+        sk_depth = sklansky(n).depth()
+        for name, ctor in REGULAR_STRUCTURES.items():
+            assert sk_depth <= ctor(n).depth()

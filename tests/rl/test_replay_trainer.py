@@ -1,0 +1,171 @@
+"""Replay buffer, schedules, trainer loop and the multi-weight sweep."""
+
+import numpy as np
+import pytest
+
+from repro.env import PrefixEnv
+from repro.rl import (
+    LinearSchedule,
+    ReplayBuffer,
+    ScalarizedDoubleDQN,
+    Trainer,
+    TrainerConfig,
+    Transition,
+)
+from repro.rl.sweep import pareto_sweep, weight_grid
+from repro.synth import AnalyticalEvaluator
+
+
+def dummy_transition(i=0, n=6, num_actions=20):
+    return Transition(
+        state=np.full((4, n, n), float(i)),
+        action=i % num_actions,
+        reward=np.array([float(i), -float(i)]),
+        next_state=np.zeros((4, n, n)),
+        next_mask=np.ones(num_actions, dtype=bool),
+        done=bool(i % 2),
+    )
+
+
+class TestReplayBuffer:
+    def test_push_and_len(self):
+        buf = ReplayBuffer(10)
+        for i in range(5):
+            buf.push(dummy_transition(i))
+        assert len(buf) == 5
+
+    def test_ring_overwrite(self):
+        buf = ReplayBuffer(3)
+        for i in range(7):
+            buf.push(dummy_transition(i))
+        assert len(buf) == 3
+        batch = buf.sample(30)
+        # Only the last three transitions (4, 5, 6) remain.
+        assert set(np.unique(batch["states"][:, 0, 0, 0])) <= {4.0, 5.0, 6.0}
+
+    def test_sample_shapes(self):
+        buf = ReplayBuffer(10)
+        for i in range(6):
+            buf.push(dummy_transition(i))
+        batch = buf.sample(4)
+        assert batch["states"].shape == (4, 4, 6, 6)
+        assert batch["rewards"].shape == (4, 2)
+        assert batch["next_masks"].shape == (4, 20)
+        assert batch["dones"].dtype == bool
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(5).sample(1)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayBuffer(0)
+
+
+class TestSchedule:
+    def test_endpoints(self):
+        s = LinearSchedule(1.0, 0.0, 100)
+        assert s(0) == 1.0
+        assert s(100) == 0.0
+        assert s(1000) == 0.0
+
+    def test_midpoint(self):
+        s = LinearSchedule(1.0, 0.0, 100)
+        assert s(50) == pytest.approx(0.5)
+
+    def test_increasing_schedule(self):
+        s = LinearSchedule(0.0, 2.0, 10)
+        assert s(5) == pytest.approx(1.0)
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            LinearSchedule(1.0, 0.0, 0)
+
+
+class TestTrainer:
+    def _trainer(self, steps=60, n=6, seed=0):
+        env = PrefixEnv(n, AnalyticalEvaluator(0.5, 0.5), horizon=12, rng=seed)
+        agent = ScalarizedDoubleDQN(
+            n, 0.5, 0.5, blocks=0, channels=4, lr=1e-3, rng=seed
+        )
+        cfg = TrainerConfig(steps=steps, batch_size=4, warmup_steps=8)
+        return Trainer(env, agent, cfg, rng=seed), env
+
+    def test_run_collects_history(self):
+        trainer, env = self._trainer(steps=50)
+        hist = trainer.run()
+        assert hist.env_steps == 50
+        assert hist.gradient_steps > 0
+        assert len(hist.losses) == hist.gradient_steps
+        assert len(hist.areas) == 50
+
+    def test_episodes_complete(self):
+        trainer, env = self._trainer(steps=40)
+        hist = trainer.run()
+        # horizon 12 -> at least 3 completed episodes in 40 steps
+        assert len(hist.episode_returns) >= 3
+
+    def test_epsilon_anneals(self):
+        trainer, _ = self._trainer(steps=50)
+        hist = trainer.run()
+        assert hist.epsilon_trace[0] == 1.0
+        assert hist.epsilon_trace[-1] < hist.epsilon_trace[0]
+
+    def test_archive_grows(self):
+        trainer, env = self._trainer(steps=50)
+        trainer.run()
+        assert env.archive.num_seen > 50  # steps + episode resets
+        assert len(env.archive) >= 1
+
+    def test_frontier_improves_over_random_start(self):
+        # After training, the archive must contain something at least as
+        # good as both start states.
+        from repro.analytical import evaluate_analytical
+        from repro.prefix import ripple_carry, sklansky
+
+        trainer, env = self._trainer(steps=120)
+        trainer.run()
+        front = env.archive.points()
+        rip = evaluate_analytical(ripple_carry(6))
+        assert any(a <= rip.area and d <= rip.delay for a, d in front)
+
+
+class TestSweep:
+    def test_weight_grid(self):
+        ws = weight_grid(5)
+        assert len(ws) == 5
+        assert ws[0] == pytest.approx(0.10)
+        assert ws[-1] == pytest.approx(0.99)
+        assert weight_grid(1) == [pytest.approx(0.545)]
+        with pytest.raises(ValueError):
+            weight_grid(0)
+
+    def test_sweep_merges_archives(self):
+        result = pareto_sweep(
+            n=6,
+            evaluator_factory=lambda wa, wd: AnalyticalEvaluator(wa, wd),
+            weights=[0.2, 0.8],
+            steps_per_weight=40,
+            agent_kwargs=dict(blocks=0, channels=4, lr=1e-3),
+            horizon=10,
+            seed=0,
+        )
+        assert set(result.histories) == {0.2, 0.8}
+        assert len(result.frontier()) >= 1
+        # Frontier payloads are actual designs.
+        for area, delay, graph in result.frontier_designs():
+            assert graph.n == 6
+
+    def test_sweep_deterministic(self):
+        kwargs = dict(
+            n=6,
+            evaluator_factory=lambda wa, wd: AnalyticalEvaluator(wa, wd),
+            weights=[0.5],
+            steps_per_weight=30,
+            agent_kwargs=dict(blocks=0, channels=4),
+            horizon=8,
+            seed=7,
+        )
+        a = pareto_sweep(**kwargs)
+        b = pareto_sweep(**kwargs)
+        assert a.frontier() == b.frontier()

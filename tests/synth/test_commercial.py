@@ -1,0 +1,62 @@
+"""Commercial-tool stand-in tests (Fig. 5 substrate)."""
+
+import pytest
+
+from repro.cells import industrial8nm, nangate45
+from repro.netlist import prefix_adder_netlist, verify_adder
+from repro.prefix import sklansky
+from repro.sta import analyze_timing
+from repro.synth import CommercialSynthesizer, Synthesizer, commercial_adder_family
+
+
+@pytest.fixture(scope="module")
+def ind8():
+    return industrial8nm()
+
+
+class TestCommercialSynthesizer:
+    def test_stronger_than_default_tool(self, ind8):
+        nl = prefix_adder_netlist(sklansky(16), ind8)
+        default = Synthesizer().optimize(nl, target=0.0)
+        commercial = CommercialSynthesizer().optimize(nl, target=0.0)
+        assert commercial.delay <= default.delay + 1e-12
+
+    def test_preserves_function(self, ind8):
+        nl = prefix_adder_netlist(sklansky(8), ind8)
+        res = CommercialSynthesizer().optimize(nl, target=0.0)
+        assert verify_adder(res.netlist, 8, rng=2)
+
+    def test_distinct_tool_name(self):
+        assert CommercialSynthesizer().name != Synthesizer().name
+
+
+class TestCommercialAdderFamily:
+    def test_relaxed_target_picks_small_structure(self, ind8):
+        # With a huge budget the tool should pick a small/serial structure.
+        name, res = commercial_adder_family(8, target=10.0, library=ind8)
+        assert res.met
+        assert name in ("ripple", "brent_kung")
+
+    def test_tight_target_picks_parallel_structure(self, ind8):
+        name, res = commercial_adder_family(8, target=0.0, library=ind8)
+        assert name in ("sklansky", "kogge_stone", "han_carlson", "ladner_fischer")
+
+    def test_result_is_functional(self, ind8):
+        _, res = commercial_adder_family(8, target=0.15, library=ind8)
+        assert verify_adder(res.netlist, 8, rng=4)
+
+    def test_works_on_nangate(self):
+        lib = nangate45()
+        _, res = commercial_adder_family(8, target=0.3, library=lib)
+        assert res.area > 0
+
+    def test_area_decreases_with_budget(self, ind8):
+        tight = commercial_adder_family(8, target=0.05, library=ind8)[1]
+        loose = commercial_adder_family(8, target=5.0, library=ind8)[1]
+        assert loose.area <= tight.area
+
+    def test_unopt_delay_bounds(self, ind8):
+        # The family winner at an impossible target is still a real circuit.
+        _, res = commercial_adder_family(8, target=0.0, library=ind8)
+        rep = analyze_timing(res.netlist)
+        assert rep.delay == pytest.approx(res.delay)

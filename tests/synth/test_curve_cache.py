@@ -1,0 +1,198 @@
+"""Area-delay curve, w-optimal reward points, scaling calibration, cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import nangate45
+from repro.prefix import brent_kung, sklansky
+from repro.synth import (
+    AreaDelayCurve,
+    SynthesisCache,
+    SynthesisEvaluator,
+    calibrate_scaling,
+    synthesize_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate45()
+
+
+@pytest.fixture(scope="module")
+def sk8_curve(lib):
+    return synthesize_curve(sklansky(8), lib)
+
+
+class TestAreaDelayCurve:
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            AreaDelayCurve([])
+
+    def test_monotone_cleanup(self):
+        # A slower sample with larger area must be flattened to the running min.
+        curve = AreaDelayCurve([(1.0, 100.0), (2.0, 120.0), (3.0, 80.0)])
+        assert curve.area_at(2.0) <= 100.0
+        assert curve.area_at(3.0) == pytest.approx(80.0)
+
+    def test_duplicate_delays_deduped(self):
+        curve = AreaDelayCurve([(1.0, 100.0), (1.0, 90.0), (2.0, 50.0)])
+        assert curve.area_at(1.0) == pytest.approx(90.0)
+
+    def test_clamping(self):
+        curve = AreaDelayCurve([(1.0, 100.0), (2.0, 50.0)])
+        assert curve.area_at(0.0) == pytest.approx(100.0)
+        assert curve.area_at(9.0) == pytest.approx(50.0)
+
+    def test_single_point_curve(self):
+        curve = AreaDelayCurve([(1.0, 10.0)])
+        assert curve.area_at(5.0) == 10.0
+        assert curve.w_optimal(0.5, 0.5) == (10.0, 1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0),
+                st.floats(min_value=1.0, max_value=1000.0),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_monotone_nonincreasing(self, samples):
+        curve = AreaDelayCurve(samples)
+        ds = np.linspace(curve.min_delay, curve.max_delay, 30)
+        areas = [curve.area_at(float(d)) for d in ds]
+        for earlier, later in zip(areas, areas[1:]):
+            assert later <= earlier + 1e-6
+
+    def test_interpolation_passes_through_samples(self, sk8_curve):
+        for d, a in sk8_curve.points():
+            assert sk8_curve.area_at(d) == pytest.approx(a, rel=1e-9)
+
+
+class TestWOptimal:
+    def test_extreme_weights_pick_extremes(self):
+        curve = AreaDelayCurve([(1.0, 100.0), (1.5, 70.0), (2.0, 50.0)])
+        c_area, c_delay = calibrate_scaling([(100.0, 1.0), (50.0, 2.0)])
+        area_hi, delay_hi = curve.w_optimal(0.99, 0.01, c_area, c_delay)
+        area_lo, delay_lo = curve.w_optimal(0.01, 0.99, c_area, c_delay)
+        assert area_hi < area_lo          # area-weighted: small circuit
+        assert delay_hi > delay_lo        # delay-weighted: fast circuit
+
+    def test_weight_sweep_traces_curve(self, sk8_curve):
+        c_area, c_delay = calibrate_scaling(
+            [(a, d) for d, a in sk8_curve.points()]
+        )
+        points = [
+            sk8_curve.w_optimal(w, 1 - w, c_area, c_delay)
+            for w in np.linspace(0.05, 0.95, 9)
+        ]
+        areas = [p[0] for p in points]
+        delays = [p[1] for p in points]
+        # More area weight -> smaller, slower circuits (weak monotonicity).
+        assert areas[-1] <= areas[0] + 1e-9
+        assert delays[-1] >= delays[0] - 1e-9
+
+
+class TestCalibration:
+    def test_spans_normalized(self):
+        c_area, c_delay = calibrate_scaling([(100.0, 1.0), (300.0, 3.0)])
+        assert c_area == pytest.approx(1 / 200.0)
+        assert c_delay == pytest.approx(1 / 2.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            calibrate_scaling([(1.0, 1.0)])
+
+    def test_degenerate_span(self):
+        c_area, c_delay = calibrate_scaling([(100.0, 1.0), (100.0, 2.0)])
+        assert c_area == 1.0
+
+
+class TestSynthesizeCurve:
+    def test_curve_has_four_samples(self, sk8_curve):
+        assert 2 <= len(sk8_curve.points()) <= 4
+
+    def test_curve_monotone(self, sk8_curve):
+        areas = [a for _, a in sk8_curve.points()]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_fast_end_larger_than_slow_end(self, sk8_curve):
+        pts = sk8_curve.points()
+        assert pts[0][1] >= pts[-1][1]
+
+    def test_structures_ranked_sensibly(self, lib):
+        sk = synthesize_curve(sklansky(8), lib)
+        bk = synthesize_curve(brent_kung(8), lib)
+        # Brent-Kung trades speed for area: its relaxed area is no larger.
+        assert bk.areas[-1] <= sk.areas[-1] + 1e-9
+
+
+class TestSynthesisCache:
+    def test_hit_miss_accounting(self):
+        cache = SynthesisCache()
+        assert cache.get(("k",)) is None
+        cache.put(("k",), 42)
+        assert cache.get(("k",)) == 42
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        cache = SynthesisCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.get(("a",))
+        cache.put(("c",), 3)  # evicts b
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert len(cache) == 2
+
+    def test_reset_stats_keeps_entries(self):
+        cache = SynthesisCache()
+        cache.put(("a",), 1)
+        cache.get(("a",))
+        cache.reset_stats()
+        assert cache.hits == 0 and cache.misses == 0
+        assert len(cache) == 1
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            SynthesisCache(max_entries=0)
+
+
+class TestSynthesisEvaluator:
+    def test_caching_across_calls(self, lib):
+        ev = SynthesisEvaluator(lib, w_area=0.5, w_delay=0.5)
+        g = sklansky(8)
+        m1 = ev.evaluate(g)
+        m2 = ev.evaluate(g)
+        assert m1 == m2
+        assert ev.cache.hits >= 1
+
+    def test_weights_change_point(self, lib):
+        cache = SynthesisCache()
+        curve = synthesize_curve(sklansky(8), lib)
+        c_area, c_delay = calibrate_scaling([(a, d) for d, a in curve.points()])
+        ev_a = SynthesisEvaluator(
+            lib, w_area=0.95, w_delay=0.05, cache=cache, c_area=c_area, c_delay=c_delay
+        )
+        ev_d = SynthesisEvaluator(
+            lib, w_area=0.05, w_delay=0.95, cache=cache, c_area=c_area, c_delay=c_delay
+        )
+        g = sklansky(8)
+        assert ev_a.evaluate(g).area <= ev_d.evaluate(g).area
+        assert ev_a.evaluate(g).delay >= ev_d.evaluate(g).delay
+
+    def test_negative_weight_rejected(self, lib):
+        with pytest.raises(ValueError):
+            SynthesisEvaluator(lib, w_area=-0.1)
+
+    def test_scalarize(self, lib):
+        ev = SynthesisEvaluator(lib, w_area=1.0, w_delay=0.0, c_area=2.0)
+        from repro.synth import CircuitMetrics
+
+        assert ev.scalarize(CircuitMetrics(area=10.0, delay=99.0)) == pytest.approx(20.0)

@@ -1,0 +1,71 @@
+"""Tests for the Moto-Kaneko analytical model (Fig. 6 evaluator)."""
+
+import pytest
+
+from repro.analytical import analytical_area, analytical_delay, evaluate_analytical
+from repro.prefix import brent_kung, kogge_stone, ripple_carry, sklansky
+from tests.conftest import random_walk_graph
+
+
+class TestArea:
+    def test_area_is_compute_node_count(self):
+        assert analytical_area(ripple_carry(8)) == 7.0
+        assert analytical_area(sklansky(32)) == 80.0
+
+    def test_area_monotone_under_add(self, rng):
+        for _ in range(10):
+            g = random_walk_graph(8, 15, rng)
+            adds = [(m, l) for m in range(8) for l in range(1, m) if g.can_add(m, l)]
+            if not adds:
+                continue
+            g2 = g.add_node(*adds[0])
+            # An add can retire at most as many nodes as it creates lower
+            # parents for, but the target node itself is new: area never
+            # drops below the pre-add count minus retired helpers; at
+            # minimum the compute count stays positive and legal.
+            assert analytical_area(g2) >= 1
+
+
+class TestDelay:
+    def test_paper_fig6a_anchor_sklansky32(self):
+        # Section V-D / Fig. 6a: under the [14] model the 32b frontier spans
+        # delay ~14..22; Sklansky lands at the top of that range.
+        d = analytical_delay(sklansky(32))
+        assert 20.0 <= d <= 22.5
+
+    def test_paper_fig6a_anchor_koggestone32(self):
+        d = analytical_delay(kogge_stone(32))
+        assert 12.0 <= d <= 15.0
+
+    def test_ripple_delay_formula(self):
+        # Chain of n-1 outputs each with fanout 1 (delay 1.5) plus the
+        # final output (fanout 0, delay 1.0) plus the first input (fanout
+        # 2 in a ripple graph? input 0 feeds output 1 only -> fanout 1).
+        # Compute exactly: arrival grows by 1.5 per chain node.
+        n = 8
+        d = analytical_delay(ripple_carry(n))
+        # input (0,0) fanout=1 -> 1.5; outputs 1..n-2 fanout=1 -> 1.5 each;
+        # output n-1 fanout=0 -> 1.0.
+        assert d == pytest.approx(1.5 * (n - 1) + 1.0)
+
+    def test_delay_positive_and_finite(self, rng):
+        for _ in range(10):
+            g = random_walk_graph(10, 25, rng)
+            d = analytical_delay(g)
+            assert 0 < d < 1000
+
+    def test_deeper_structures_slower(self):
+        # Under the analytical model, ripple is much slower than Kogge-Stone.
+        assert analytical_delay(ripple_carry(32)) > analytical_delay(kogge_stone(32))
+
+
+class TestEvaluate:
+    def test_returns_both_metrics(self):
+        m = evaluate_analytical(brent_kung(16))
+        assert m.area == 26.0
+        assert m.delay > 0
+
+    def test_metrics_frozen(self):
+        m = evaluate_analytical(brent_kung(16))
+        with pytest.raises(AttributeError):
+            m.area = 0.0

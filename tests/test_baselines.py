@@ -1,0 +1,148 @@
+"""Baseline algorithm tests: SA, PS, CL and the random-walk control."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    PruningRules,
+    cross_layer_optimization,
+    pruned_search,
+    random_walk_frontier,
+    sa_frontier,
+    simulated_annealing,
+)
+from repro.baselines.cl import RidgePredictor, graph_feature_vector
+from repro.prefix import brent_kung, kogge_stone, ripple_carry, sklansky
+from repro.synth import AnalyticalEvaluator
+
+
+@pytest.fixture
+def evaluator():
+    return AnalyticalEvaluator(0.5, 0.5)
+
+
+class TestSimulatedAnnealing:
+    def test_improves_over_start(self, evaluator):
+        res = simulated_annealing(8, evaluator, iterations=600, rng=0)
+        start_cost = evaluator.scalarize(evaluator.evaluate(ripple_carry(8)))
+        assert res.best_cost <= start_cost
+
+    def test_deterministic_with_seed(self, evaluator):
+        a = simulated_annealing(8, evaluator, iterations=200, rng=5)
+        b = simulated_annealing(8, evaluator, iterations=200, rng=5)
+        assert a.best_cost == b.best_cost
+        assert a.accepted == b.accepted
+
+    def test_archive_counts_every_eval(self, evaluator):
+        res = simulated_annealing(8, evaluator, iterations=100, rng=1)
+        assert res.archive.num_seen == 101  # start + each candidate
+
+    def test_custom_start(self, evaluator):
+        res = simulated_annealing(8, evaluator, iterations=50, start=sklansky(8), rng=2)
+        assert res.iterations == 50
+
+    def test_bad_iterations(self, evaluator):
+        with pytest.raises(ValueError):
+            simulated_annealing(8, evaluator, iterations=0)
+
+    def test_best_graph_is_legal(self, evaluator):
+        res = simulated_annealing(8, evaluator, iterations=300, rng=3)
+        assert res.best_graph.is_legal()
+
+    def test_frontier_covers_tradeoff(self, evaluator):
+        archive = sa_frontier(
+            8,
+            lambda wa, wd: AnalyticalEvaluator(wa, wd),
+            weights=[0.2, 0.5, 0.8],
+            iterations_per_weight=400,
+            seed=0,
+        )
+        front = archive.points()
+        assert len(front) >= 3
+        areas = [a for a, _ in front]
+        assert max(areas) > min(areas)  # a real spread, not one point
+
+
+class TestPrunedSearch:
+    def test_pruning_rules_admit_regular_structures(self):
+        rules = PruningRules()
+        assert rules.admits(sklansky(8))  # fanout 4 at 8b passes the cap
+        assert rules.admits(brent_kung(16))
+        assert rules.admits(kogge_stone(16))
+
+    def test_pruning_rejects_ripple_depth(self):
+        # Ripple's depth n-1 violates the level-slack heuristic for n >= 8.
+        assert not PruningRules(level_slack=2).admits(ripple_carry(16))
+
+    def test_fanout_rule(self):
+        # Sklansky 32 has fanout 16 — pruned away by the default cap of 6.
+        assert not PruningRules().admits(sklansky(32))
+
+    def test_designs_unique_and_legal(self, evaluator):
+        res = pruned_search(8, evaluator, max_designs=80)
+        keys = {g.key() for g in res.designs}
+        assert len(keys) == len(res.designs)
+        assert all(g.is_legal() for g in res.designs)
+
+    def test_all_designs_satisfy_rules(self, evaluator):
+        rules = PruningRules()
+        res = pruned_search(8, evaluator, rules=rules, max_designs=60)
+        assert all(rules.admits(g) for g in res.designs)
+
+    def test_respects_budget(self, evaluator):
+        res = pruned_search(8, evaluator, max_designs=25)
+        assert res.admitted <= 25
+
+    def test_explored_at_least_admitted(self, evaluator):
+        res = pruned_search(8, evaluator, max_designs=50)
+        assert res.explored >= res.admitted
+
+
+class TestCrossLayer:
+    def test_feature_vector_shape(self):
+        f = graph_feature_vector(sklansky(8))
+        assert f.shape == (9,)
+        assert f[0] == 1.0  # bias term
+
+    def test_features_distinguish_structures(self):
+        fa = graph_feature_vector(sklansky(16))
+        fb = graph_feature_vector(brent_kung(16))
+        assert not np.allclose(fa, fb)
+
+    def test_ridge_fits_linear_data(self, rng):
+        x = rng.normal(size=(50, 4))
+        w_true = rng.normal(size=(4, 2))
+        y = x @ w_true
+        pred = RidgePredictor(alpha=1e-8)
+        pred.fit(x, y)
+        assert pred.r_squared(x, y) > 0.999
+
+    def test_ridge_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            RidgePredictor().predict(np.zeros((1, 4)))
+
+    def test_pipeline_with_analytical_oracle(self, evaluator):
+        # Using the analytical evaluator as the "expensive" oracle keeps
+        # this test fast while exercising the full pipeline.
+        res = cross_layer_optimization(
+            8, evaluator, sample_size=12, select_size=8, max_candidates=80, rng=0
+        )
+        assert res.candidates > 20
+        assert res.synthesized <= 20
+        assert res.predictor_r2 > 0.2  # structure features predict the model
+        assert len(res.archive.points()) >= 1
+
+
+class TestRandomWalk:
+    def test_collects_requested_steps(self, evaluator):
+        archive = random_walk_frontier(8, evaluator, steps=120, rng=0)
+        assert archive.num_seen == 120
+
+    def test_bad_steps(self, evaluator):
+        with pytest.raises(ValueError):
+            random_walk_frontier(8, evaluator, steps=0)
+
+    def test_restarts_cover_both_seeds(self, evaluator):
+        archive = random_walk_frontier(8, evaluator, steps=70, restart_every=16, rng=1)
+        # Ripple (area 7) must appear among seen points via restarts.
+        assert any(a == 7.0 for a, _ in archive.points()) or archive.num_seen == 70

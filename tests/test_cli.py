@@ -1,0 +1,59 @@
+"""CLI smoke tests (every subcommand exercised through main())."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_render(self, capsys):
+        assert main(["render", "sklansky", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "compute_nodes=12" in out
+
+    def test_render_with_grid(self, capsys):
+        assert main(["render", "brent_kung", "8", "--grid"]) == 0
+        out = capsys.readouterr().out
+        assert " I" in out  # grid view marker
+
+    def test_eval_json(self, capsys):
+        assert main(["eval", "kogge_stone", "16"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["compute_nodes"] == 49
+        assert data["depth"] == 4
+
+    def test_build_saves_design(self, tmp_path, capsys):
+        out_file = tmp_path / "design.json"
+        assert main(["build", "sklansky", "8", "--out", str(out_file)]) == 0
+        data = json.loads(out_file.read_text())
+        assert data["n"] == 8
+
+    def test_roundtrip_through_file(self, tmp_path, capsys):
+        out_file = tmp_path / "d.json"
+        main(["build", "han_carlson", "8", "--out", str(out_file)])
+        capsys.readouterr()
+        assert main(["eval", str(out_file)]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["n"] == 8
+
+    def test_synth_prints_curve(self, capsys):
+        assert main(["synth", "sklansky", "8", "--library", "industrial8nm"]) == 0
+        out = capsys.readouterr().out
+        assert "delay (ns)" in out
+        assert len(out.strip().splitlines()) >= 3
+
+    def test_unknown_structure_exits(self):
+        with pytest.raises(SystemExit):
+            main(["eval", "no_such_structure", "8"])
+
+    def test_unknown_library_exits(self):
+        with pytest.raises(SystemExit):
+            main(["synth", "sklansky", "8", "--library", "tsmc3"])
+
+    def test_sweep_runs_small(self, capsys):
+        assert main(["sweep", "6", "--weights", "2", "--steps", "25",
+                     "--blocks", "0", "--channels", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "frontier" in out

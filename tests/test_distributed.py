@@ -1,0 +1,94 @@
+"""Distributed infrastructure: synthesis farm and batched acting."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import BatchedActor, SynthesisFarm
+from repro.env import PrefixEnv
+from repro.prefix import brent_kung, ripple_carry, sklansky
+from repro.rl import ReplayBuffer, ScalarizedDoubleDQN
+from repro.synth import AnalyticalEvaluator, synthesize_curve
+from repro.cells import nangate45
+
+
+class TestSynthesisFarm:
+    def test_serial_matches_direct_synthesis(self):
+        farm = SynthesisFarm("nangate45", num_workers=0)
+        graphs = [sklansky(8), brent_kung(8)]
+        curves = farm.evaluate_curves(graphs)
+        lib = nangate45()
+        for graph, curve in zip(graphs, curves):
+            direct = synthesize_curve(graph, lib)
+            assert np.allclose(curve.areas, direct.areas)
+            assert np.allclose(curve.delays, direct.delays)
+
+    def test_pool_matches_serial(self):
+        graphs = [sklansky(8), brent_kung(8), ripple_carry(8)]
+        serial = SynthesisFarm("nangate45", num_workers=0).evaluate_curves(graphs)
+        with SynthesisFarm("nangate45", num_workers=2) as farm:
+            parallel = farm.evaluate_curves(graphs)
+        for s, p in zip(serial, parallel):
+            assert np.allclose(s.areas, p.areas)
+
+    def test_stats_recorded(self):
+        farm = SynthesisFarm("nangate45", num_workers=0)
+        farm.evaluate_curves([sklansky(8)])
+        assert farm.last_stats.num_graphs == 1
+        assert farm.last_stats.mode == "serial"
+        assert farm.last_stats.graphs_per_second > 0
+
+    def test_unknown_library_rejected(self):
+        farm = SynthesisFarm("no_such_lib", num_workers=0)
+        with pytest.raises(KeyError):
+            farm.evaluate_curves([sklansky(8)])
+
+    def test_bad_workers(self):
+        with pytest.raises(ValueError):
+            SynthesisFarm(num_workers=-1)
+
+
+class TestBatchedActor:
+    def _setup(self, num_envs=3, n=6):
+        envs = [PrefixEnv(n, AnalyticalEvaluator(), horizon=8, rng=i) for i in range(num_envs)]
+        agent = ScalarizedDoubleDQN(n, blocks=0, channels=4, rng=0)
+        return envs, agent
+
+    def test_collect_counts_steps(self):
+        envs, agent = self._setup()
+        actor = BatchedActor(envs, agent, rng=0)
+        stats = actor.collect(rounds=5)
+        assert stats.env_steps == 15
+        assert stats.num_envs == 3
+        assert stats.steps_per_second > 0
+
+    def test_fills_buffer(self):
+        envs, agent = self._setup()
+        actor = BatchedActor(envs, agent, rng=0)
+        buffer = ReplayBuffer(100)
+        actor.collect(rounds=4, buffer=buffer)
+        assert len(buffer) == 12
+
+    def test_transitions_sampleable_and_trainable(self):
+        envs, agent = self._setup()
+        actor = BatchedActor(envs, agent, rng=0)
+        buffer = ReplayBuffer(100)
+        actor.collect(rounds=6, buffer=buffer, epsilon=0.5)
+        loss = agent.train_step(buffer.sample(8))
+        assert np.isfinite(loss)
+
+    def test_width_mismatch_rejected(self):
+        envs, _ = self._setup(n=6)
+        agent = ScalarizedDoubleDQN(8, blocks=0, channels=4, rng=0)
+        with pytest.raises(ValueError):
+            BatchedActor(envs, agent)
+
+    def test_empty_envs_rejected(self):
+        agent = ScalarizedDoubleDQN(6, blocks=0, channels=4, rng=0)
+        with pytest.raises(ValueError):
+            BatchedActor([], agent)
+
+    def test_archives_accumulate_across_envs(self):
+        envs, agent = self._setup()
+        actor = BatchedActor(envs, agent, rng=0)
+        actor.collect(rounds=6, epsilon=1.0)
+        assert all(env.archive.num_seen > 6 for env in envs)

@@ -1,0 +1,84 @@
+"""Liberty export and QoR report tests."""
+
+import re
+
+import pytest
+
+from repro.cells import industrial8nm, nangate45
+from repro.cells.liberty import to_liberty
+from repro.netlist import prefix_adder_netlist
+from repro.prefix import sklansky
+from repro.synth import Synthesizer
+from repro.synth.report import qor_report
+
+
+class TestLibertyExport:
+    def test_header_and_units(self):
+        text = to_liberty(nangate45())
+        assert text.startswith("library (nangate45) {")
+        assert 'time_unit : "1ns";' in text
+        assert text.rstrip().endswith("}")
+
+    def test_every_cell_present(self):
+        lib = nangate45()
+        text = to_liberty(lib)
+        for fn in lib.functions():
+            for cell in lib.variants(fn):
+                assert f"cell ({cell.name})" in text
+
+    def test_areas_roundtrip(self):
+        lib = industrial8nm()
+        text = to_liberty(lib)
+        areas = dict(
+            zip(
+                re.findall(r"cell \((\w+)\)", text),
+                (float(a) for a in re.findall(r"area : ([0-9.]+);", text)),
+            )
+        )
+        for fn in lib.functions():
+            for cell in lib.variants(fn):
+                assert areas[cell.name] == pytest.approx(cell.area)
+
+    def test_functions_are_boolean_exprs(self):
+        text = to_liberty(nangate45())
+        assert 'function : "!(A1 & A2)"' in text  # NAND2
+        assert 'function : "!((B1 & B2) | A)"' in text  # AOI21
+
+    def test_timing_arcs_per_input(self):
+        lib = nangate45()
+        text = to_liberty(lib)
+        # One timing group per input pin per cell.
+        expected = sum(len(c.input_pins) for fn in lib.functions() for c in lib.variants(fn))
+        assert text.count("timing () {") == expected
+
+
+class TestQorReport:
+    @pytest.fixture(scope="class")
+    def result(self):
+        lib = nangate45()
+        netlist = prefix_adder_netlist(sklansky(8), lib)
+        return Synthesizer().optimize(netlist, target=0.25)
+
+    def test_report_sections(self, result):
+        text = qor_report(result)
+        assert "QoR report" in text
+        assert "area by function" in text
+        assert "optimization moves" in text
+        assert "critical path" in text
+
+    def test_reports_target_status(self, result):
+        text = qor_report(result)
+        assert ("MET" in text) or ("VIOLATED" in text)
+        assert f"{result.area:.2f}" in text
+
+    def test_critical_path_rows(self, result):
+        text = qor_report(result)
+        rep_lines = [l for l in text.splitlines() if "_X" in l and "." in l]
+        assert rep_lines  # at least one cell row with a drive suffix
+
+    def test_power_section_optional(self, result):
+        without = qor_report(result)
+        with_power = qor_report(result, include_power=True)
+        assert "dynamic" not in without
+        assert "dynamic :" in with_power
+        assert "leakage :" in with_power

@@ -1,0 +1,162 @@
+"""Pareto utilities: dominance, frontiers, binning, hypervolume, savings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pareto import (
+    ParetoArchive,
+    area_savings_at_matched_delay,
+    bin_by_delay,
+    dominates,
+    fraction_dominated,
+    hypervolume_2d,
+    pareto_front,
+)
+
+points_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.1, max_value=100.0),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 1.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 1.0), (1.0, 1.0))
+
+    def test_incomparable(self):
+        assert not dominates((1.0, 3.0), (3.0, 1.0))
+        assert not dominates((3.0, 1.0), (1.0, 3.0))
+
+    def test_epsilon_slack(self):
+        assert dominates((1.05, 0.5), (1.0, 1.0), eps=0.1)
+
+
+class TestParetoFront:
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_single(self):
+        assert pareto_front([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_removes_dominated(self):
+        pts = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0), (3.0, 3.0), (2.5, 2.5)]
+        assert pareto_front(pts) == [(3.0, 1.0), (2.0, 2.0), (1.0, 3.0)]
+
+    @given(points_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_property_front_is_mutually_nondominated(self, pts):
+        front = pareto_front(pts)
+        for p in front:
+            for q in front:
+                assert not dominates(p, q)
+
+    @given(points_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_property_every_point_dominated_or_on_front(self, pts):
+        front = pareto_front(pts)
+        front_set = set(front)
+        for q in set(pts):
+            assert q in front_set or any(dominates(p, q) for p in front)
+
+
+class TestArchive:
+    def test_incremental_matches_batch(self, rng):
+        pts = [(float(a), float(d)) for a, d in rng.uniform(1, 50, size=(60, 2))]
+        archive = ParetoArchive()
+        for a, d in pts:
+            archive.add(a, d)
+        assert archive.points() == pareto_front(pts)
+        assert archive.num_seen == 60
+
+    def test_add_returns_membership(self):
+        archive = ParetoArchive()
+        assert archive.add(5.0, 5.0)
+        assert not archive.add(6.0, 6.0)      # dominated
+        assert archive.add(1.0, 9.0)          # new tradeoff
+        assert not archive.add(5.0, 5.0)      # duplicate
+
+    def test_payloads_survive(self):
+        archive = ParetoArchive()
+        archive.add(5.0, 5.0, payload="a")
+        archive.add(1.0, 9.0, payload="b")
+        payloads = {p for _, _, p in archive.entries()}
+        assert payloads == {"a", "b"}
+
+
+class TestBinning:
+    def test_keeps_best_per_bin(self):
+        pts = [(10.0, 1.0), (5.0, 1.01), (8.0, 2.0), (3.0, 2.01)]
+        binned = bin_by_delay(pts, num_bins=2)
+        assert (5.0, 1.01) in binned
+        assert (3.0, 2.01) in binned
+        assert len(binned) == 2
+
+    def test_single_delay_collapses(self):
+        assert bin_by_delay([(5.0, 1.0), (4.0, 1.0)], 10) == [(4.0, 1.0)]
+
+    def test_empty(self):
+        assert bin_by_delay([], 5) == []
+
+    def test_bad_bins(self):
+        with pytest.raises(ValueError):
+            bin_by_delay([(1.0, 1.0)], 0)
+
+    @given(points_strategy, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=50, deadline=None)
+    def test_property_binning_bounded(self, pts, bins):
+        assert len(bin_by_delay(pts, bins)) <= bins
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([(1.0, 1.0)], reference=(2.0, 2.0)) == pytest.approx(1.0)
+
+    def test_points_outside_reference_ignored(self):
+        assert hypervolume_2d([(3.0, 3.0)], reference=(2.0, 2.0)) == 0.0
+
+    def test_superset_no_worse(self, rng):
+        pts = [(float(a), float(d)) for a, d in rng.uniform(1, 9, size=(20, 2))]
+        ref = (10.0, 10.0)
+        hv_all = hypervolume_2d(pts, ref)
+        hv_half = hypervolume_2d(pts[:10], ref)
+        assert hv_all >= hv_half - 1e-12
+
+    @given(points_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_property_nonnegative_and_bounded(self, pts):
+        ref = (101.0, 101.0)
+        hv = hypervolume_2d(pts, ref)
+        assert 0.0 <= hv <= 101.0 * 101.0
+
+
+class TestComparisons:
+    def test_area_savings_positive_when_better(self):
+        ours = [(8.0, 1.0), (4.0, 2.0)]
+        base = [(10.0, 1.0), (6.0, 2.0)]
+        savings = area_savings_at_matched_delay(ours, base)
+        assert all(s > 0 for _, s in savings)
+        assert max(s for _, s in savings) == pytest.approx(1 - 4 / 6)
+
+    def test_area_savings_skips_unreachable_delays(self):
+        ours = [(8.0, 2.0)]
+        base = [(10.0, 1.0)]
+        assert area_savings_at_matched_delay(ours, base) == []
+
+    def test_fraction_dominated(self):
+        ours = [(1.0, 1.0)]
+        # Baseline frontier has two incomparable points; we dominate one.
+        base = [(2.0, 2.0), (0.4, 3.0)]
+        assert fraction_dominated(ours, base) == pytest.approx(0.5)
+
+    def test_fraction_dominated_empty_baseline(self):
+        assert fraction_dominated([(1.0, 1.0)], []) == 0.0

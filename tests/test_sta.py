@@ -1,0 +1,131 @@
+"""Static timing analysis tests."""
+
+import pytest
+
+from repro.cells import nangate45
+from repro.netlist import Netlist, prefix_adder_netlist
+from repro.prefix import REGULAR_STRUCTURES, kogge_stone, ripple_carry
+from repro.sta import analyze_timing, net_load
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate45()
+
+
+def inv_chain(lib, length):
+    nl = Netlist("chain", lib)
+    nl.add_input("n0")
+    inv = lib.smallest("INV")
+    for i in range(length):
+        nl.add_instance(inv, {"A": f"n{i}", "ZN": f"n{i+1}"}, name=f"u{i}")
+    nl.add_output(f"n{length}")
+    return nl
+
+
+class TestLoads:
+    def test_single_sink_load(self, lib):
+        nl = inv_chain(lib, 2)
+        inv = lib.smallest("INV")
+        expected = inv.input_caps["A"] + lib.wire_cap_per_fanout
+        assert net_load(nl, "n1") == pytest.approx(expected)
+
+    def test_output_port_cap(self, lib):
+        nl = inv_chain(lib, 1)
+        assert net_load(nl, "n1") == pytest.approx(lib.output_port_cap)
+
+    def test_fanout_scales_load(self, lib):
+        nl = Netlist("fan", lib)
+        nl.add_input("a")
+        inv = lib.smallest("INV")
+        nl.add_instance(inv, {"A": "a", "ZN": "n1"}, name="drv")
+        for i in range(4):
+            nl.add_instance(inv, {"A": "n1", "ZN": f"y{i}"}, name=f"s{i}")
+            nl.add_output(f"y{i}")
+        expected = 4 * inv.input_caps["A"] + 4 * lib.wire_cap_per_fanout
+        assert net_load(nl, "n1") == pytest.approx(expected)
+
+
+class TestArrival:
+    def test_chain_delay_accumulates(self, lib):
+        short = analyze_timing(inv_chain(lib, 2)).delay
+        long = analyze_timing(inv_chain(lib, 8)).delay
+        assert long > short
+        # Middle stages are identical, so delay is affine in length.
+        mid = analyze_timing(inv_chain(lib, 5)).delay
+        assert mid == pytest.approx((short + long) / 2, rel=1e-6)
+
+    def test_empty_netlist(self, lib):
+        nl = Netlist("empty", lib)
+        nl.add_input("a")
+        rep = analyze_timing(nl)
+        assert rep.delay == 0.0
+
+    def test_arrival_monotone_along_path(self, lib):
+        nl = prefix_adder_netlist(kogge_stone(8), lib)
+        rep = analyze_timing(nl)
+        arrivals = [rep.arrival[nl.instances[i].output_net] for i in rep.critical_path]
+        assert arrivals == sorted(arrivals)
+
+    def test_ripple_slowest_koggestone_fastest(self, lib):
+        delays = {}
+        for name in ("ripple", "sklansky", "kogge_stone"):
+            nl = prefix_adder_netlist(REGULAR_STRUCTURES[name](16), lib)
+            delays[name] = analyze_timing(nl).delay
+        assert delays["ripple"] > delays["sklansky"]
+        assert delays["ripple"] > delays["kogge_stone"]
+
+
+class TestSlack:
+    def test_wns_matches_target_minus_delay(self, lib):
+        nl = inv_chain(lib, 6)
+        rep = analyze_timing(nl, target=1.0)
+        assert rep.wns == pytest.approx(1.0 - rep.delay)
+
+    def test_slack_sign(self, lib):
+        nl = inv_chain(lib, 6)
+        loose = analyze_timing(nl, target=10.0)
+        tight = analyze_timing(nl, target=0.0)
+        assert loose.wns > 0
+        assert tight.wns < 0
+        # Output net slack equals WNS for a single-path circuit.
+        out = nl.outputs[0]
+        assert loose.slack[out] == pytest.approx(loose.wns)
+
+    def test_no_target_no_slack(self, lib):
+        rep = analyze_timing(inv_chain(lib, 3))
+        assert rep.slack == {}
+        with pytest.raises(ValueError):
+            rep.instance_slack(inv_chain(lib, 3), "u0")
+
+    def test_instance_slack(self, lib):
+        nl = inv_chain(lib, 3)
+        rep = analyze_timing(nl, target=1.0)
+        assert rep.instance_slack(nl, "u0") > 0
+
+    def test_required_time_propagates_backward(self, lib):
+        nl = inv_chain(lib, 4)
+        rep = analyze_timing(nl, target=1.0)
+        # Required times decrease toward the inputs.
+        reqs = [rep.required[f"n{i}"] for i in range(5)]
+        assert reqs == sorted(reqs)
+
+
+class TestCriticalPath:
+    def test_chain_critical_path_is_whole_chain(self, lib):
+        nl = inv_chain(lib, 5)
+        rep = analyze_timing(nl)
+        assert rep.critical_path == [f"u{i}" for i in range(5)]
+
+    def test_critical_path_instances_exist(self, lib):
+        nl = prefix_adder_netlist(REGULAR_STRUCTURES["sklansky"](16), lib)
+        rep = analyze_timing(nl)
+        assert rep.critical_path
+        for name in rep.critical_path:
+            assert name in nl.instances
+
+    def test_critical_path_ends_at_worst_output(self, lib):
+        nl = prefix_adder_netlist(REGULAR_STRUCTURES["brent_kung"](8), lib)
+        rep = analyze_timing(nl)
+        last = nl.instances[rep.critical_path[-1]]
+        assert rep.arrival[last.output_net] == pytest.approx(rep.delay)

@@ -1,0 +1,94 @@
+"""Utility-layer tests: RNG plumbing, scale profiles, ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ensure_rng, format_table, run_scale, scatter_plot, spawn_rngs
+
+
+class TestRng:
+    def test_none_is_deterministic(self):
+        a = ensure_rng(None).integers(1000)
+        b = ensure_rng(None).integers(1000)
+        assert a == b
+
+    def test_int_seed(self):
+        assert ensure_rng(5).integers(1000) == ensure_rng(5).integers(1000)
+        assert ensure_rng(5).integers(1000) != ensure_rng(6).integers(1000)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_spawn_independent_streams(self):
+        children = spawn_rngs(0, 3)
+        draws = [c.integers(10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [c.integers(10**9) for c in spawn_rngs(1, 4)]
+        b = [c.integers(10**9) for c in spawn_rngs(1, 4)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_zero_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestRunScale:
+    def test_default_profile(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert run_scale().name == "ci"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "medium")
+        assert run_scale().name == "medium"
+
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        assert run_scale("paper").name == "paper"
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError):
+            run_scale("huge")
+
+    def test_paper_profile_matches_paper(self):
+        paper = run_scale("paper")
+        assert paper.width_small == 32
+        assert paper.width_large == 64
+        assert paper.residual_blocks == 32
+        assert paper.channels == 256
+        assert paper.num_weights == 15
+        assert paper.delay_targets == 40
+
+    def test_profiles_frozen(self):
+        with pytest.raises(AttributeError):
+            run_scale("ci").width_small = 4
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert scatter_plot({}) == "(no data)\n"
+
+    def test_contains_markers_and_legend(self):
+        text = scatter_plot({"alpha": [(1.0, 1.0)], "beta": [(2.0, 2.0)]})
+        assert "*=alpha" in text
+        assert "o=beta" in text
+
+    def test_degenerate_single_point(self):
+        text = scatter_plot({"a": [(1.0, 1.0)]})
+        assert "*" in text
+
+    def test_axis_labels(self):
+        text = scatter_plot({"a": [(0.0, 0.0), (1.0, 1.0)]}, xlabel="x", ylabel="y")
+        assert text.startswith("y (vertical")
+
+    def test_format_table_alignment(self):
+        text = format_table(["col", "n"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert "---" in lines[1]
+        assert len(lines) == 4
