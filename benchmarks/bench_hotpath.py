@@ -1,0 +1,241 @@
+"""Hot-path throughput benchmark: features, trainer, synthesis farm.
+
+Measures the three layers this repo's training loop touches per step and
+writes the numbers to JSON:
+
+1. ``graph_features`` throughput (graphs/sec) at n in {16, 32, 64} over a
+   fixed corpus of regular structures and random-walk graphs;
+2. ``Trainer.run`` environment-steps/sec at n in {16, 32} (plus, when the
+   running tree supports them, the 8-env vectorized + float32 variants);
+3. ``SynthesisFarm`` pool-vs-serial speedup on the Section V-C workload.
+
+The script is deliberately restricted to APIs that exist in the seed tree
+so the *same* workload can be measured before and after the vectorization
+PR::
+
+    # at the seed commit (e.g. in a worktree)
+    PYTHONPATH=<seed>/src python benchmarks/bench_hotpath.py --output seed.json
+    # at HEAD, merging the recorded baseline and computing speedups
+    PYTHONPATH=src python benchmarks/bench_hotpath.py \
+        --baseline seed.json --output BENCH_hotpath.json
+
+Corpus note: the random-walk graphs start from sklansky and the feature
+corpus excludes the ripple structure at n > 8, matching the figure
+benchmarks (``benchmarks/conftest.py`` notes ripple is off-scale there
+too); deep ripple-like graphs bound the level relaxation at depth sweeps
+and are reported separately in the per-width detail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import platform
+import time
+
+import numpy as np
+
+from repro.distributed import SynthesisFarm
+from repro.env import PrefixEnv, graph_features
+from repro.prefix import PrefixGraph, REGULAR_STRUCTURES, ripple_carry, sklansky
+from repro.rl import ScalarizedDoubleDQN, Trainer, TrainerConfig
+from repro.synth import AnalyticalEvaluator
+
+try:
+    from repro.env import VectorPrefixEnv
+except ImportError:  # seed tree: no vectorized environment yet
+    VectorPrefixEnv = None
+
+AGENT_HAS_DTYPE = "dtype" in inspect.signature(ScalarizedDoubleDQN.__init__).parameters
+
+FEATURE_WIDTHS = (16, 32, 64)
+TRAINER_WIDTHS = (16, 32)
+TRAINER_STEPS = 160
+TRAINER_CONFIG = dict(batch_size=16, warmup_steps=32, learn_every=1)
+NUM_VECTOR_ENVS = 8
+FARM_WIDTH = 16
+FARM_WORKERS = 4
+FARM_REPEATS = 3
+
+
+def random_walk_grid(n: int, steps: int, rng: np.random.Generator) -> np.ndarray:
+    """Deterministic random legal graph (API identical in seed and HEAD)."""
+    g = sklansky(n)
+    for _ in range(steps):
+        actions = [("add", m, l) for m in range(n) for l in range(1, m) if g.can_add(m, l)]
+        actions += [("del", m, l) for m in range(n) for l in range(1, m) if g.can_delete(m, l)]
+        if not actions:
+            break
+        kind, m, l = actions[int(rng.integers(len(actions)))]
+        g = g.add_node(m, l) if kind == "add" else g.delete_node(m, l)
+    return np.array(g.grid)
+
+
+def feature_corpus(n: int) -> "list[np.ndarray]":
+    rng = np.random.default_rng(1234)
+    grids = [
+        np.array(ctor(n).grid)
+        for name, ctor in REGULAR_STRUCTURES.items()
+        if not (name == "ripple" and n > 8)
+    ]
+    grids += [random_walk_grid(n, 12, rng) for _ in range(4)]
+    return grids
+
+
+def bench_features() -> dict:
+    out = {}
+    for n in FEATURE_WIDTHS:
+        grids = feature_corpus(n)
+        # Warm numpy / imports off the clock.
+        for grid in grids:
+            graph_features(PrefixGraph(grid, _validated=True))
+        reps = max(1, int(200 // len(grids)))
+        start = time.perf_counter()
+        for _ in range(reps):
+            for grid in grids:
+                graph_features(PrefixGraph(grid, _validated=True))
+        wall = time.perf_counter() - start
+        calls = reps * len(grids)
+        # Ripple separately: the deep-graph worst case for level analysis.
+        rip = np.array(ripple_carry(n).grid)
+        start = time.perf_counter()
+        for _ in range(50):
+            graph_features(PrefixGraph(rip, _validated=True))
+        rip_wall = time.perf_counter() - start
+        out[str(n)] = {
+            "corpus_size": len(grids),
+            "graphs_per_sec": calls / wall,
+            "ms_per_graph": wall / calls * 1000,
+            "ripple_ms_per_graph": rip_wall / 50 * 1000,
+        }
+        print(f"features n={n}: {calls / wall:8.1f} graphs/s "
+              f"({wall / calls * 1000:.3f} ms; ripple {rip_wall / 50 * 1000:.3f} ms)")
+    return out
+
+
+def _trainer_throughput(n: int, env, dtype=None) -> float:
+    kwargs = dict(blocks=1, channels=8, rng=0)
+    if dtype is not None:
+        kwargs["dtype"] = dtype
+    agent = ScalarizedDoubleDQN(n, **kwargs)
+    trainer = Trainer(env, agent, TrainerConfig(steps=TRAINER_STEPS, **TRAINER_CONFIG), rng=0)
+    start = time.perf_counter()
+    history = trainer.run()
+    wall = time.perf_counter() - start
+    return history.env_steps / wall
+
+
+def bench_trainer() -> dict:
+    out = {}
+    for n in TRAINER_WIDTHS:
+        row = {}
+        env = PrefixEnv(n, AnalyticalEvaluator(), horizon=24, rng=0)
+        row["single_env_steps_per_sec"] = _trainer_throughput(n, env)
+        if VectorPrefixEnv is not None:
+            venv = VectorPrefixEnv.make(
+                n, AnalyticalEvaluator, num_envs=NUM_VECTOR_ENVS, horizon=24, seed=0
+            )
+            row["vector8_steps_per_sec"] = _trainer_throughput(n, venv)
+            if AGENT_HAS_DTYPE:
+                venv = VectorPrefixEnv.make(
+                    n, AnalyticalEvaluator, num_envs=NUM_VECTOR_ENVS, horizon=24, seed=0
+                )
+                row["vector8_f32_steps_per_sec"] = _trainer_throughput(n, venv, dtype=np.float32)
+        out[str(n)] = row
+        print(f"trainer n={n}: " + ", ".join(f"{k}={v:.2f}" for k, v in row.items()))
+    return out
+
+
+def bench_farm() -> dict:
+    graphs = [ctor(FARM_WIDTH) for ctor in REGULAR_STRUCTURES.values()] * FARM_REPEATS
+    serial = SynthesisFarm("nangate45", num_workers=0)
+    serial.evaluate_curves(graphs)
+    with SynthesisFarm("nangate45", num_workers=FARM_WORKERS) as farm:
+        farm.evaluate_curves(graphs)
+        pool_stats = farm.last_stats
+    speedup = serial.last_stats.wall_seconds / max(pool_stats.wall_seconds, 1e-9)
+    out = {
+        "num_graphs": len(graphs),
+        "serial_seconds": serial.last_stats.wall_seconds,
+        "pool_seconds": pool_stats.wall_seconds,
+        "pool_mode": pool_stats.mode,
+        "pool_speedup": speedup,
+        "unique_graphs": getattr(pool_stats, "unique_graphs", None),
+        "dispatched": getattr(pool_stats, "dispatched", None),
+        "chunks": getattr(pool_stats, "chunks", None),
+    }
+    print(f"farm n={FARM_WIDTH}: serial {serial.last_stats.wall_seconds:.2f}s, "
+          f"pool {pool_stats.wall_seconds:.2f}s -> {speedup:.2f}x")
+    return out
+
+
+def measure() -> dict:
+    return {
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpus": len(os.sched_getaffinity(0)),
+        },
+        "workload": {
+            "trainer_steps": TRAINER_STEPS,
+            "trainer_config": TRAINER_CONFIG,
+            "num_vector_envs": NUM_VECTOR_ENVS,
+            "farm": {"width": FARM_WIDTH, "workers": FARM_WORKERS, "repeats": FARM_REPEATS},
+        },
+        "graph_features": bench_features(),
+        "trainer": bench_trainer(),
+        "synthesis_farm": bench_farm(),
+    }
+
+
+def merge(baseline: dict, current: dict) -> dict:
+    """Combine a recorded seed baseline with the current measurements."""
+    speedups = {}
+    for n, row in current["graph_features"].items():
+        base = baseline["graph_features"].get(n)
+        if base:
+            speedups[f"graph_features_n{n}"] = row["graphs_per_sec"] / base["graphs_per_sec"]
+    for n, row in current["trainer"].items():
+        base = baseline["trainer"].get(n, {}).get("single_env_steps_per_sec")
+        if not base:
+            continue
+        best = max(v for v in row.values())
+        speedups[f"trainer_n{n}_single"] = row["single_env_steps_per_sec"] / base
+        speedups[f"trainer_n{n}_best"] = best / base
+    speedups["farm_pool_over_serial"] = current["synthesis_farm"]["pool_speedup"]
+    return {"seed_baseline": baseline, "optimized": current, "speedups": speedups}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None, help="write JSON here")
+    parser.add_argument(
+        "--baseline", default=None,
+        help="seed-measurement JSON to merge against (adds a speedups section)",
+    )
+    args = parser.parse_args()
+
+    if args.baseline and not os.path.exists(args.baseline):
+        parser.error(f"baseline file not found: {args.baseline}")
+
+    current = measure()
+    if args.baseline:
+        with open(args.baseline) as fh:
+            result = merge(json.load(fh), current)
+        for key, value in sorted(result["speedups"].items()):
+            print(f"speedup {key}: {value:.2f}x")
+    else:
+        result = current
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,6 +30,18 @@ from repro.synth import (
 from repro.utils import run_scale
 
 
+def pytest_collection_modifyitems(config, items):
+    """Mark every benchmark test ``slow``.
+
+    The figure/table benchmarks share multi-minute session fixtures (full
+    RL sweeps); ``pytest -m "not slow"`` is the fast verify loop that runs
+    only the unit suite.
+    """
+    for item in items:
+        if "benchmarks" in item.path.parts:
+            item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def scale():
     return run_scale()

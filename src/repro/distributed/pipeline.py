@@ -65,16 +65,10 @@ class BatchedActor:
         steps = 0
         for _ in range(rounds):
             feats = np.stack([env.observe(s) for env, s in zip(self.envs, self._states)])
-            masks = [env.legal_mask(s) for env, s in zip(self.envs, self._states)]
-            qmaps = self.agent.local.predict(feats)
+            masks = np.stack([env.legal_mask(s) for env, s in zip(self.envs, self._states)])
+            action_idxs = self.agent.act_batch(feats, masks, epsilon=epsilon, rng=self._rng)
             for i, env in enumerate(self.envs):
-                legal_idx = np.nonzero(masks[i])[0]
-                if epsilon > 0 and self._rng.random() < epsilon:
-                    action_idx = int(legal_idx[self._rng.integers(legal_idx.size)])
-                else:
-                    flat = self.agent.actions.qmap_to_flat(qmaps[i])
-                    scalar = np.where(masks[i], flat @ self.agent.w, -np.inf)
-                    action_idx = int(np.argmax(scalar))
+                action_idx = int(action_idxs[i])
                 result = env.step(env.action_space.action(action_idx))
                 if buffer is not None:
                     buffer.push(

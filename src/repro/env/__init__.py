@@ -10,6 +10,7 @@ normalized fanout).
 from repro.env.features import graph_features, NUM_FEATURE_PLANES
 from repro.env.actions import ActionSpace, Action
 from repro.env.environment import PrefixEnv, StepResult
+from repro.env.vector import VectorPrefixEnv
 
 __all__ = [
     "graph_features",
@@ -18,4 +19,5 @@ __all__ = [
     "Action",
     "PrefixEnv",
     "StepResult",
+    "VectorPrefixEnv",
 ]

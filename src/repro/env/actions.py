@@ -51,6 +51,15 @@ class ActionSpace:
         ]
         self.num_cells = len(self.cells)
         self._cell_index = {cell: i for i, cell in enumerate(self.cells)}
+        self._rows = np.array([c[0] for c in self.cells])
+        self._cols = np.array([c[1] for c in self.cells])
+        # Per flat action index: the (plane, msb, lsb) coordinates of its
+        # area and delay outputs in the (4, N, N) Q-map (see qmap_positions).
+        kinds = np.repeat(np.array([ADD, DELETE]), self.num_cells)
+        self._plane_area = 2 * kinds
+        self._plane_delay = 2 * kinds + 1
+        self._action_rows = np.tile(self._rows, 2)
+        self._action_cols = np.tile(self._cols, 2)
 
     @property
     def size(self) -> int:
@@ -70,15 +79,20 @@ class ActionSpace:
         return action.kind * self.num_cells + self._cell_index[(action.msb, action.lsb)]
 
     def legal_mask(self, graph: PrefixGraph) -> np.ndarray:
-        """Boolean mask over flat indices: True where the action is legal."""
+        """Boolean mask over flat indices: True where the action is legal.
+
+        Cached per graph instance (masks depend only on the immutable
+        grid/minlist); the result is read-only — copy before mutating.
+        """
         if graph.n != self.n:
             raise ValueError(f"graph width {graph.n} != action space width {self.n}")
-        mask = np.zeros(self.size, dtype=bool)
-        grid = graph.grid
-        minlist = graph.minlist()
-        for i, (m, l) in enumerate(self.cells):
-            mask[i] = not grid[m, l]
-            mask[self.num_cells + i] = minlist[m, l]
+        return graph.cached("legal_mask", self._compute_legal_mask)
+
+    def _compute_legal_mask(self, graph: PrefixGraph) -> np.ndarray:
+        mask = np.empty(self.size, dtype=bool)
+        np.logical_not(graph.grid[self._rows, self._cols], out=mask[: self.num_cells])
+        mask[self.num_cells :] = graph.minlist()[self._rows, self._cols]
+        mask.setflags(write=False)
         return mask
 
     def legal_actions(self, graph: PrefixGraph) -> "list[Action]":
@@ -109,6 +123,23 @@ class ActionSpace:
             return (0, m, l), (1, m, l)
         return (2, m, l), (3, m, l)
 
+    def qmap_position_arrays(self, indices: np.ndarray):
+        """Vectorized :meth:`qmap_positions` for an array of action indices.
+
+        Returns ``(plane_area, plane_delay, msb, lsb)`` index arrays, each
+        shaped like ``indices`` — ready for fancy-indexed gathers/scatters
+        against a batch of ``(4, N, N)`` Q-maps.
+        """
+        indices = np.asarray(indices)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.size):
+            raise IndexError(f"action index out of range [0, {self.size})")
+        return (
+            self._plane_area[indices],
+            self._plane_delay[indices],
+            self._action_rows[indices],
+            self._action_cols[indices],
+        )
+
     def qmap_to_flat(self, qmap: np.ndarray) -> np.ndarray:
         """Flatten a ``(4, N, N)`` Q-map to per-action vectors.
 
@@ -117,11 +148,24 @@ class ActionSpace:
         """
         if qmap.shape != (4, self.n, self.n):
             raise ValueError(f"expected (4,{self.n},{self.n}) Q-map, got {qmap.shape}")
-        rows = np.array([c[0] for c in self.cells])
-        cols = np.array([c[1] for c in self.cells])
         out = np.empty((self.size, 2), dtype=qmap.dtype)
-        out[: self.num_cells, 0] = qmap[0, rows, cols]
-        out[: self.num_cells, 1] = qmap[1, rows, cols]
-        out[self.num_cells :, 0] = qmap[2, rows, cols]
-        out[self.num_cells :, 1] = qmap[3, rows, cols]
+        cells = qmap[:, self._rows, self._cols]  # (4, num_cells)
+        out[: self.num_cells, 0] = cells[0]
+        out[: self.num_cells, 1] = cells[1]
+        out[self.num_cells :, 0] = cells[2]
+        out[self.num_cells :, 1] = cells[3]
+        return out
+
+    def qmaps_to_flat(self, qmaps: np.ndarray) -> np.ndarray:
+        """Batched :meth:`qmap_to_flat`: ``(B, 4, N, N) -> (B, size, 2)``."""
+        if qmaps.ndim != 4 or qmaps.shape[1:] != (4, self.n, self.n):
+            raise ValueError(
+                f"expected (B,4,{self.n},{self.n}) Q-maps, got {qmaps.shape}"
+            )
+        cells = qmaps[:, :, self._rows, self._cols]  # (B, 4, num_cells)
+        out = np.empty((qmaps.shape[0], self.size, 2), dtype=qmaps.dtype)
+        out[:, : self.num_cells, 0] = cells[:, 0]
+        out[:, : self.num_cells, 1] = cells[:, 1]
+        out[:, self.num_cells :, 0] = cells[:, 2]
+        out[:, self.num_cells :, 1] = cells[:, 3]
         return out

@@ -11,6 +11,12 @@ Levels are normalized by ``N - 1`` (the ripple graph's depth — the maximum
 any legal graph attains) and fanouts by ``N - 1`` (a node can feed at most
 one child per remaining row plus same-row children; the bound is loose but
 fixed per width, which is what normalization needs).
+
+Feature tensors are memoized on the (immutable) graph instance: the
+training loop observes every state at least twice (once as ``next_state``,
+once as the following step's ``state``), and the batched actors observe the
+same object again when stacking, so the memo halves-or-better the analytics
+work per transition. The returned array is read-only; copy before mutating.
 """
 
 from __future__ import annotations
@@ -22,19 +28,25 @@ from repro.prefix.graph import PrefixGraph
 NUM_FEATURE_PLANES = 4
 
 
+def _compute_features(graph: PrefixGraph) -> np.ndarray:
+    n = graph.n
+    denom = max(n - 1, 1)
+    features = np.empty((NUM_FEATURE_PLANES, n, n), dtype=np.float64)
+    features[0] = graph.grid
+    features[1] = graph.minlist()
+    levels = graph.levels().astype(np.float64)
+    levels[levels < 0] = 0.0
+    np.divide(levels, denom, out=features[2])
+    np.divide(graph.fanouts(), denom, out=features[3])
+    features.setflags(write=False)
+    return features
+
+
 def graph_features(graph: PrefixGraph) -> np.ndarray:
     """The paper's 4-plane feature tensor, shape ``(4, N, N)``.
 
     Planes are returned channel-first (the convolution layer convention
-    used throughout :mod:`repro.nn`).
+    used throughout :mod:`repro.nn`). Cached per graph instance; the
+    result is read-only.
     """
-    n = graph.n
-    denom = max(n - 1, 1)
-    features = np.zeros((NUM_FEATURE_PLANES, n, n), dtype=np.float64)
-    features[0] = graph.grid.astype(np.float64)
-    features[1] = graph.minlist().astype(np.float64)
-    levels = graph.levels().astype(np.float64)
-    levels[levels < 0] = 0.0
-    features[2] = levels / denom
-    features[3] = graph.fanouts().astype(np.float64) / denom
-    return features
+    return graph.cached("graph_features", _compute_features)

@@ -1,0 +1,104 @@
+"""Vectorized multi-environment stepping.
+
+:class:`VectorPrefixEnv` advances ``E`` independent :class:`PrefixEnv`
+replicas in lockstep so the acting layer can serve all of them with one
+stacked ``(E, 4, N, N)`` Q-network forward per round — the paper hides
+synthesis latency behind 256 async actors; at single-process scale the same
+engineering win is amortizing the convolution cost over many environments
+(the Section V-C "batched acting" mechanism).
+
+Episodes auto-reset: when a replica's episode ends, :meth:`step` returns
+the terminal transition and the replica starts a fresh episode, so the
+stacked observation always reflects ``E`` live states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.environment import PrefixEnv, StepResult
+from repro.env.features import graph_features
+
+
+class VectorPrefixEnv:
+    """Lockstep wrapper over ``E`` same-width :class:`PrefixEnv` replicas.
+
+    Args:
+        envs: non-empty list of environments of equal bit width. Replicas
+            should use independent RNG streams (and, for synthesis-backed
+            evaluators, may share one cache).
+    """
+
+    def __init__(self, envs: "list[PrefixEnv]"):
+        if not envs:
+            raise ValueError("need at least one environment")
+        widths = {env.n for env in envs}
+        if len(widths) != 1:
+            raise ValueError(f"environments must share one width, got {sorted(widths)}")
+        self.envs = list(envs)
+        self.n = envs[0].n
+        self.action_space = envs[0].action_space
+        self._states = [None] * len(envs)
+
+    @classmethod
+    def make(cls, n: int, evaluator_factory, num_envs: int, horizon: int = 64, seed: int = 0) -> "VectorPrefixEnv":
+        """Build ``num_envs`` replicas with independent RNG streams.
+
+        ``evaluator_factory()`` is called once per replica; pass a closure
+        over a shared cache to reproduce the paper's shared-cache setup.
+        """
+        if num_envs < 1:
+            raise ValueError("num_envs must be positive")
+        envs = [
+            PrefixEnv(n, evaluator_factory(), horizon=horizon, rng=seed + i)
+            for i in range(num_envs)
+        ]
+        return cls(envs)
+
+    @property
+    def num_envs(self) -> int:
+        return len(self.envs)
+
+    @property
+    def states(self):
+        """Current per-replica states (after auto-resets)."""
+        return list(self._states)
+
+    def reset(self) -> "list":
+        """Reset every replica; returns the list of start states."""
+        self._states = [env.reset() for env in self.envs]
+        return list(self._states)
+
+    def observe(self) -> np.ndarray:
+        """Stacked feature tensor of all current states: ``(E, 4, N, N)``."""
+        self._require_reset()
+        return np.stack([graph_features(s) for s in self._states])
+
+    def legal_masks(self) -> np.ndarray:
+        """Stacked legal-action masks of all current states: ``(E, A)``."""
+        self._require_reset()
+        space = self.action_space
+        return np.stack([space.legal_mask(s) for s in self._states])
+
+    def step(self, action_indices) -> "list[StepResult]":
+        """Apply one flat action index per replica; auto-resets on done.
+
+        Returns the ``E`` transitions in replica order. ``result.done``
+        marks episode ends; the replica's state has already been reset when
+        it is True, so the next :meth:`observe` sees the new episode.
+        """
+        self._require_reset()
+        if len(action_indices) != len(self.envs):
+            raise ValueError(
+                f"got {len(action_indices)} actions for {len(self.envs)} environments"
+            )
+        results = []
+        for i, (env, idx) in enumerate(zip(self.envs, action_indices)):
+            result = env.step(env.action_space.action(int(idx)))
+            self._states[i] = env.reset() if result.done else result.next_state
+            results.append(result)
+        return results
+
+    def _require_reset(self) -> None:
+        if any(s is None for s in self._states):
+            raise RuntimeError("vector environment not reset")

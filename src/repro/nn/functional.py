@@ -14,19 +14,25 @@ def im2col(x: np.ndarray, kh: int, kw: int, pad: int) -> np.ndarray:
     """Unfold sliding windows: ``(B,C,H,W) -> (B*H*W, C*kh*kw)``.
 
     Stride 1; with ``pad = (k-1)//2`` the output spatial size equals the
-    input's. Rows enumerate (batch, out_row, out_col) in C order.
+    input's. Rows enumerate (batch, out_row, out_col) in C order. A 1x1
+    kernel needs no window materialization or padding — that path is one
+    channel-last reshape, which matters because the Q-net head is all 1x1.
     """
     b, c, h, w = x.shape
+    if kh == 1 and kw == 1 and pad == 0:
+        return np.ascontiguousarray(x.transpose(0, 2, 3, 1)).reshape(b * h * w, c)
     xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
     windows = np.lib.stride_tricks.sliding_window_view(xp, (kh, kw), axis=(2, 3))
     ho, wo = windows.shape[2], windows.shape[3]
     cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b * ho * wo, c * kh * kw)
-    return np.ascontiguousarray(cols)
+    return cols
 
 
 def col2im(dcols: np.ndarray, x_shape: "tuple[int, int, int, int]", kh: int, kw: int, pad: int) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add column gradients back to input."""
     b, c, h, w = x_shape
+    if kh == 1 and kw == 1 and pad == 0:
+        return np.ascontiguousarray(dcols.reshape(b, h, w, c).transpose(0, 3, 1, 2))
     ho, wo = h + 2 * pad - kh + 1, w + 2 * pad - kw + 1
     dxp = np.zeros((b, c, h + 2 * pad, w + 2 * pad), dtype=dcols.dtype)
     dsix = dcols.reshape(b, ho, wo, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)

@@ -15,12 +15,18 @@ from repro.utils.rng import ensure_rng
 
 
 class Parameter:
-    """A trainable array with its gradient accumulator."""
+    """A trainable array with its gradient accumulator.
+
+    ``dtype`` defaults to float64 (the numerically safest choice for the
+    tiny CI-scale networks); float32 halves the memory traffic of the
+    convolution hot path and is selected per network (see
+    :class:`repro.nn.qnet.QNetwork`).
+    """
 
     __slots__ = ("value", "grad", "name")
 
-    def __init__(self, value: np.ndarray, name: str = "param"):
-        self.value = np.asarray(value, dtype=np.float64)
+    def __init__(self, value: np.ndarray, name: str = "param", dtype=np.float64):
+        self.value = np.asarray(value, dtype=dtype)
         self.grad = np.zeros_like(self.value)
         self.name = name
 
@@ -125,7 +131,7 @@ class Module:
 class Conv2d(Module):
     """Same-padded stride-1 convolution with He-initialized weights."""
 
-    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, rng=None, bias: bool = True):
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, rng=None, bias: bool = True, dtype=np.float64):
         super().__init__()
         gen = ensure_rng(rng)
         fan_in = in_channels * kernel_size * kernel_size
@@ -133,8 +139,9 @@ class Conv2d(Module):
         self.weight = Parameter(
             gen.normal(0.0, scale, size=(out_channels, in_channels, kernel_size, kernel_size)),
             name=f"conv{kernel_size}x{kernel_size}.weight",
+            dtype=dtype,
         )
-        self.bias = Parameter(np.zeros(out_channels), name="conv.bias") if bias else None
+        self.bias = Parameter(np.zeros(out_channels), name="conv.bias", dtype=dtype) if bias else None
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -154,12 +161,12 @@ class Conv2d(Module):
 class BatchNorm2d(Module):
     """Per-channel batch normalization with running statistics."""
 
-    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5, dtype=np.float64):
         super().__init__()
-        self.gamma = Parameter(np.ones(channels), name="bn.gamma")
-        self.beta = Parameter(np.zeros(channels), name="bn.beta")
-        self.running_mean = np.zeros(channels)
-        self.running_var = np.ones(channels)
+        self.gamma = Parameter(np.ones(channels), name="bn.gamma", dtype=dtype)
+        self.beta = Parameter(np.zeros(channels), name="bn.beta", dtype=dtype)
+        self.running_mean = np.zeros(channels, dtype=dtype)
+        self.running_var = np.ones(channels, dtype=dtype)
         self.momentum = momentum
         self.eps = eps
         self._cache = None
@@ -224,14 +231,14 @@ class Sequential(Module):
 class ResidualBlock(Module):
     """Fig. 2 residual block: conv5x5-BN-LReLU-conv5x5-BN, skip add, LReLU."""
 
-    def __init__(self, channels: int, kernel_size: int = 5, rng=None, slope: float = 0.01):
+    def __init__(self, channels: int, kernel_size: int = 5, rng=None, slope: float = 0.01, dtype=np.float64):
         super().__init__()
         gen = ensure_rng(rng)
-        self.conv1 = Conv2d(channels, channels, kernel_size, rng=gen)
-        self.bn1 = BatchNorm2d(channels)
+        self.conv1 = Conv2d(channels, channels, kernel_size, rng=gen, dtype=dtype)
+        self.bn1 = BatchNorm2d(channels, dtype=dtype)
         self.act1 = LeakyReLU(slope)
-        self.conv2 = Conv2d(channels, channels, kernel_size, rng=gen)
-        self.bn2 = BatchNorm2d(channels)
+        self.conv2 = Conv2d(channels, channels, kernel_size, rng=gen, dtype=dtype)
+        self.bn2 = BatchNorm2d(channels, dtype=dtype)
         self.act_out = LeakyReLU(slope)
 
     def forward(self, x: np.ndarray) -> np.ndarray:

@@ -36,6 +36,7 @@ class QNetwork(Module):
         channels: int = 16,
         rng=None,
         slope: float = 0.01,
+        dtype=np.float64,
     ):
         super().__init__()
         if blocks < 0 or channels < 1:
@@ -44,17 +45,18 @@ class QNetwork(Module):
         self.n = n
         self.blocks = blocks
         self.channels = channels
+        self.dtype = np.dtype(dtype)
         self.body = Sequential(
-            Conv2d(NUM_INPUT_PLANES, channels, 3, rng=gen),
-            BatchNorm2d(channels),
+            Conv2d(NUM_INPUT_PLANES, channels, 3, rng=gen, dtype=dtype),
+            BatchNorm2d(channels, dtype=dtype),
             LeakyReLU(slope),
-            *[ResidualBlock(channels, 5, rng=gen, slope=slope) for _ in range(blocks)],
+            *[ResidualBlock(channels, 5, rng=gen, slope=slope, dtype=dtype) for _ in range(blocks)],
         )
         self.head = Sequential(
-            Conv2d(channels, channels, 1, rng=gen),
-            BatchNorm2d(channels),
+            Conv2d(channels, channels, 1, rng=gen, dtype=dtype),
+            BatchNorm2d(channels, dtype=dtype),
             LeakyReLU(slope),
-            Conv2d(channels, NUM_OUTPUT_PLANES, 1, rng=gen),
+            Conv2d(channels, NUM_OUTPUT_PLANES, 1, rng=gen, dtype=dtype),
         )
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -71,7 +73,7 @@ class QNetwork(Module):
         was_training = self.training
         self.eval()
         try:
-            return self.forward(np.asarray(x, dtype=np.float64))
+            return self.forward(np.asarray(x, dtype=self.dtype))
         finally:
             if was_training:
                 self.train()
@@ -89,6 +91,7 @@ class QNetwork(Module):
             __meta_n=self.n,
             __meta_blocks=self.blocks,
             __meta_channels=self.channels,
+            __meta_dtype=str(self.dtype),
             **self.state_arrays(),
         )
 
@@ -96,10 +99,12 @@ class QNetwork(Module):
     def load(cls, path: str) -> "QNetwork":
         """Reconstruct a saved network (architecture from metadata)."""
         data = np.load(path)
+        dtype = str(data["__meta_dtype"]) if "__meta_dtype" in data.files else "float64"
         net = cls(
             n=int(data["__meta_n"]),
             blocks=int(data["__meta_blocks"]),
             channels=int(data["__meta_channels"]),
+            dtype=np.dtype(dtype),
         )
         arrays = {k: data[k] for k in data.files if not k.startswith("__meta_")}
         net.load_state_arrays(arrays)

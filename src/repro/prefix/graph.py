@@ -25,6 +25,32 @@ class IllegalActionError(ValueError):
     """Raised when an add/delete action violates the environment rules."""
 
 
+def relax_max_plus(values: np.ndarray, ms: np.ndarray, ls: np.ndarray, ups: np.ndarray, weights) -> None:
+    """In-place max-plus longest-path fixpoint over a prefix-graph grid.
+
+    For every non-input cell ``(ms, ls)`` with upper-parent LSB ``ups``,
+    iterates ``value = weight + max(value[upper], value[lower])`` until
+    stable. Values only increase toward the fixpoint and every node of
+    true depth <= k is settled after ``k`` sweeps, so the loop runs
+    depth(graph) + 1 times with whole-array gathers per sweep. Used for
+    node levels (weight 1) and fanout-loaded arrival times (per-node
+    delays); ``values`` must be C-contiguous with parents pre-seeded
+    (diagonal) and is modified in place.
+    """
+    n = values.shape[0]
+    flat = values.ravel()
+    own = ms * n + ls
+    iup = ms * n + ups
+    ilo = (ups - 1) * n + ls
+    cur = flat[own]
+    while True:
+        new = weights + np.maximum(flat[iup], flat[ilo])
+        if np.array_equal(new, cur):
+            break
+        cur = new
+        flat[own] = new
+
+
 class PrefixGraph:
     """A legal N-input parallel prefix graph on the (MSB, LSB) grid.
 
@@ -36,7 +62,7 @@ class PrefixGraph:
       upper parent always exists because the diagonal is always populated.
     """
 
-    __slots__ = ("_n", "_grid", "_levels", "_fanouts", "_minlist")
+    __slots__ = ("_n", "_grid", "_up", "_levels", "_fanouts", "_minlist", "_derived")
 
     def __init__(self, grid: np.ndarray, _validated: bool = False):
         grid = np.asarray(grid, dtype=bool)
@@ -45,9 +71,11 @@ class PrefixGraph:
         self._n = grid.shape[0]
         self._grid = grid
         self._grid.setflags(write=False)
+        self._up = None
         self._levels = None
         self._fanouts = None
         self._minlist = None
+        self._derived: "dict | None" = None
         if not _validated:
             self.validate()
 
@@ -116,6 +144,31 @@ class PrefixGraph:
         """
         return self.num_nodes - self._n
 
+    def upper_parent_map(self) -> np.ndarray:
+        """Cached ``N x N`` int32 map of upper-parent LSBs (see
+        :func:`repro.prefix.legalize.upper_parent_map`)."""
+        if self._up is None:
+            up = _legalize.upper_parent_map(self._grid)
+            up.setflags(write=False)
+            self._up = up
+        return self._up
+
+    def cached(self, key, compute):
+        """Memoize ``compute(self)`` under ``key`` for this (immutable) graph.
+
+        Layers above the data structure (featurization, action masks) use
+        this to avoid recomputing per-state derived values every time a
+        training loop revisits a state object.
+        """
+        derived = self._derived
+        if derived is None:
+            derived = self._derived = {}
+        try:
+            return derived[key]
+        except KeyError:
+            value = derived[key] = compute(self)
+            return value
+
     def upper_parent(self, msb: int, lsb: int) -> "tuple[int, int]":
         """The existing node in row ``msb`` with the next-highest LSB.
 
@@ -124,11 +177,10 @@ class PrefixGraph:
         """
         if lsb >= msb:
             raise ValueError(f"input node ({msb},{lsb}) has no parents")
-        row = self._grid[msb]
-        for k in range(lsb + 1, msb + 1):
-            if row[k]:
-                return (msb, k)
-        raise AssertionError(f"diagonal node ({msb},{msb}) missing — grid corrupt")
+        k = int(self.upper_parent_map()[msb, lsb])
+        if k >= self._n and not self._grid[msb, msb]:
+            raise AssertionError(f"diagonal node ({msb},{msb}) missing — grid corrupt")
+        return (msb, k)
 
     def lower_parent(self, msb: int, lsb: int) -> "tuple[int, int]":
         """The lower parent ``(k - 1, lsb)`` where ``(msb, k)`` is the upper parent."""
@@ -141,39 +193,55 @@ class PrefixGraph:
         return (m, k), (k - 1, lsb)
 
     def children(self, msb: int, lsb: int) -> "list[tuple[int, int]]":
-        """All present nodes that use ``(msb, lsb)`` as a parent."""
-        out = []
-        for node in self.nodes():
-            if node[1] >= node[0]:
-                continue
-            up, lp = self.parents(*node)
-            if up == (msb, lsb) or lp == (msb, lsb):
-                out.append(node)
+        """All present nodes that use ``(msb, lsb)`` as a parent.
+
+        Two vectorized lookups against the upper-parent map replace the
+        full-grid parent scan: upper children live in row ``msb`` (present
+        cells whose next occupied column is ``lsb``), lower children live
+        in column ``lsb`` below rows ``lsb`` (present cells whose upper
+        parent LSB is ``msb + 1``). Row-major output order is preserved —
+        upper children share row ``msb`` while lower children sit strictly
+        below it.
+        """
+        up = self.upper_parent_map()
+        grid = self._grid
+        row_cols = np.nonzero(grid[msb, :msb] & (up[msb, :msb] == lsb))[0]
+        out = [(msb, int(l)) for l in row_cols]
+        lo = lsb + 1
+        col_rows = np.nonzero(grid[lo:, lsb] & (up[lo:, lsb] == msb + 1))[0]
+        out.extend((int(m) + lo, lsb) for m in col_rows)
         return out
 
     # ------------------------------------------------------------------
     # Derived analyses (cached; the grid is immutable)
     # ------------------------------------------------------------------
 
+    def _noninput_nodes(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Row/col arrays of present non-input cells (row-major order)."""
+        return self.cached(
+            "_noninput_nodes", lambda g: np.nonzero(np.tril(g._grid, k=-1))
+        )
+
     def levels(self) -> np.ndarray:
         """Topological depth of every node; inputs are level 0, absent cells -1.
 
         The level of a non-input node is ``1 + max(level(up), level(lp))``.
-        Within a row, a node depends only on nodes with strictly higher LSB
-        (its upper parent) and on lower rows (its lower parent), so one pass
-        with ascending MSB and descending LSB computes all levels.
+        Within a row the upper-parent chain visits the occupied columns in
+        descending order, so the recurrence ``L_j = 1 + max(L_{j-1}, low_j)``
+        (``low_j`` = the lower parent's level, settled in a lower row)
+        telescopes into ``L_j = j + max_{i <= j}(low_i + 1 - i)`` — one
+        ``np.maximum.accumulate`` per row instead of per-cell parent walks.
         """
         if self._levels is None:
             n = self._n
             lv = np.full((n, n), -1, dtype=np.int32)
-            grid = self._grid
-            for m in range(n):
-                lv[m, m] = 0
-                for l in range(m - 1, -1, -1):
-                    if not grid[m, l]:
-                        continue
-                    (um, uk), (lm, ll) = self.parents(m, l)
-                    lv[m, l] = 1 + max(int(lv[um, uk]), int(lv[lm, ll]))
+            idx = np.arange(n)
+            lv[idx, idx] = 0
+            ms, ls = self._noninput_nodes()
+            if ms.size:
+                ups = self.upper_parent_map()[ms, ls]
+                lv[ms, ls] = 0
+                relax_max_plus(lv, ms, ls, ups, np.int32(1))
             lv.setflags(write=False)
             self._levels = lv
         return self._levels
@@ -187,15 +255,11 @@ class PrefixGraph:
         """
         if self._fanouts is None:
             n = self._n
-            fo = np.zeros((n, n), dtype=np.int32)
-            grid = self._grid
-            for m in range(n):
-                for l in range(m - 1, -1, -1):
-                    if not grid[m, l]:
-                        continue
-                    (um, uk), (lm, ll) = self.parents(m, l)
-                    fo[um, uk] += 1
-                    fo[lm, ll] += 1
+            ms, ls = self._noninput_nodes()
+            ups = self.upper_parent_map()[ms, ls]
+            counts = np.bincount(ms * n + ups, minlength=n * n)
+            counts += np.bincount((ups - 1) * n + ls, minlength=n * n)
+            fo = counts.reshape(n, n).astype(np.int32)
             fo.setflags(write=False)
             self._fanouts = fo
         return self._fanouts
@@ -216,8 +280,9 @@ class PrefixGraph:
         such a node is never undone by legalization.
         """
         if self._minlist is None:
-            self._minlist = _legalize.derive_minlist(self._grid)
-            self._minlist.setflags(write=False)
+            ml = _legalize.derive_minlist(self._grid, up=self.upper_parent_map())
+            ml.setflags(write=False)
+            self._minlist = ml
         return self._minlist
 
     # ------------------------------------------------------------------
@@ -233,15 +298,18 @@ class PrefixGraph:
             raise ValueError("missing output node(s) in column 0")
         if np.triu(grid, k=1).any():
             raise ValueError("node(s) above the diagonal (lsb > msb)")
-        for m in range(n):
-            for l in range(m - 1, -1, -1):
-                if not grid[m, l]:
-                    continue
-                lm, ll = self.lower_parent(m, l)
-                if not grid[lm, ll]:
-                    raise ValueError(
-                        f"node ({m},{l}) has missing lower parent ({lm},{ll})"
-                    )
+        ms, ls = self._noninput_nodes()
+        ups = self.upper_parent_map()[ms, ls]
+        missing = ~grid[ups - 1, ls]
+        if missing.any():
+            # Report the first offender in the original scan order
+            # (ascending MSB, descending LSB within a row).
+            bad = np.nonzero(missing)[0]
+            first_row = ms[bad].min()
+            in_row = bad[ms[bad] == first_row]
+            i = in_row[np.argmax(ls[in_row])]
+            m, l, k = int(ms[i]), int(ls[i]), int(ups[i])
+            raise ValueError(f"node ({m},{l}) has missing lower parent ({k - 1},{l})")
 
     def is_legal(self) -> bool:
         """True if :meth:`validate` passes."""

@@ -32,16 +32,39 @@ def _upper_parent_lsb(row: np.ndarray, msb: int, lsb: int) -> int:
     raise AssertionError(f"diagonal node ({msb},{msb}) missing from row")
 
 
+def upper_parent_map(grid: np.ndarray) -> np.ndarray:
+    """Per-cell LSB of the nearest occupied column strictly above, as int32.
+
+    ``up[m, l]`` is the smallest ``k > l`` with ``grid[m, k]`` — the upper
+    parent LSB of any (present or hypothetical) node at ``(m, l)`` — or
+    ``n`` when no such column exists (only possible at or above the
+    diagonal of a legal grid). One suffix-scan over columns computes the
+    whole map; every other analytic (levels, fanouts, minlist, children,
+    validation) derives from it with numpy sweeps.
+    """
+    grid = np.asarray(grid, dtype=bool)
+    n = grid.shape[0]
+    col = np.arange(n, dtype=np.int32)
+    # Smallest occupied column index >= l, scanned right-to-left; shift by
+    # one column to make the relation strict (> l).
+    cand = np.where(grid, col, np.int32(n))
+    suffix_min = np.minimum.accumulate(cand[:, ::-1], axis=1)[:, ::-1]
+    up = np.full((n, n), n, dtype=np.int32)
+    if n > 1:
+        up[:, :-1] = suffix_min[:, 1:]
+    return up
+
+
 def legalize_minlist(min_grid: np.ndarray) -> np.ndarray:
     """Rebuild a legal nodelist grid from a minlist grid.
 
     Mirrors Algorithm 1's ``Legalize``: start from the minlist plus all
-    input/output nodes, then sweep rows from MSB ``N-1`` down to ``0`` and
-    columns from ``msb-1`` down to ``0``, adding each present node's lower
-    parent. A node's upper parent lies in the same row at a higher LSB
-    (already settled, since LSB descends) and its lower parent lies in a
-    strictly lower row (visited later, since MSB descends), so one sweep
-    suffices.
+    input/output nodes, then sweep rows from MSB ``N-1`` down to ``0``,
+    adding every present node's lower parent. A node's upper parent lies in
+    the same row at a higher LSB and its lower parent lies in a strictly
+    lower row (visited later, since MSB descends), so each row is settled
+    by the time it is scanned and all of its lower parents can be placed
+    with one vectorized suffix-min scan instead of a per-cell column walk.
     """
     min_grid = np.asarray(min_grid, dtype=bool)
     n = min_grid.shape[0]
@@ -50,37 +73,38 @@ def legalize_minlist(min_grid: np.ndarray) -> np.ndarray:
     grid[idx, idx] = True
     grid[idx, 0] = True
     grid &= ~np.triu(np.ones((n, n), dtype=bool), k=1)
-    for m in range(n - 1, -1, -1):
+    col = np.arange(n, dtype=np.int32)
+    for m in range(n - 1, 0, -1):
         row = grid[m]
-        for l in range(m - 1, -1, -1):
-            if not row[l]:
-                continue
-            k = _upper_parent_lsb(row, m, l)
-            grid[k - 1, l] = True
+        ls = np.nonzero(row[:m])[0]
+        # Upper-parent LSB per present cell: nearest occupied column above.
+        cand = np.where(row, col, np.int32(n))
+        suffix_min = np.minimum.accumulate(cand[::-1])[::-1]
+        ups = suffix_min[ls + 1]
+        grid[ups - 1, ls] = True
     return grid
 
 
-def derive_minlist(grid: np.ndarray) -> np.ndarray:
+def derive_minlist(grid: np.ndarray, up: "np.ndarray | None" = None) -> np.ndarray:
     """Interior nodes of ``grid`` that are not the lower parent of any node.
 
     This is the paper's prose definition of ``minlist`` (Section IV-A):
-    exactly the nodes whose deletion legalization cannot undo.
+    exactly the nodes whose deletion legalization cannot undo. Pass a
+    precomputed ``up`` map (see :func:`upper_parent_map`) to reuse a
+    graph instance's cache.
     """
     grid = np.asarray(grid, dtype=bool)
     n = grid.shape[0]
+    if up is None:
+        up = upper_parent_map(grid)
+    noninput = np.tril(grid, k=-1)
+    ms, ls = np.nonzero(noninput)
     is_lower_parent = np.zeros((n, n), dtype=bool)
-    for m in range(n):
-        row = grid[m]
-        for l in range(m - 1, -1, -1):
-            if not row[l]:
-                continue
-            k = _upper_parent_lsb(row, m, l)
-            is_lower_parent[k - 1, l] = True
-    interior = np.array(grid)
-    idx = np.arange(n)
-    interior[idx, idx] = False
-    interior[:, 0] = False
-    return interior & ~is_lower_parent
+    is_lower_parent[up[ms, ls] - 1, ls] = True
+    minlist = noninput
+    minlist[:, 0] = False
+    minlist &= ~is_lower_parent
+    return minlist
 
 
 class Algorithm1State:

@@ -4,6 +4,12 @@ One :class:`Trainer` runs one agent (one scalarization weight) against one
 environment: epsilon-greedy experience collection into the replay buffer,
 gradient steps on a fixed cadence, target sync handled by the agent, and
 the environment's Pareto archive accumulating every evaluated design.
+
+The trainer also accepts a :class:`repro.env.VectorPrefixEnv`: ``E``
+replicas then advance in lockstep with one stacked Q-net forward per round
+(amortizing the convolution cost — Section V-C's batched acting), while
+featurization/mask work rides the per-graph memo so each state is analyzed
+once no matter how many times the loop observes it.
 """
 
 from __future__ import annotations
@@ -11,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.env.environment import PrefixEnv
+from repro.env.vector import VectorPrefixEnv
 from repro.rl.agent import ScalarizedDoubleDQN
 from repro.rl.replay import ReplayBuffer, Transition
 from repro.rl.schedule import LinearSchedule
@@ -47,11 +54,16 @@ class TrainingHistory:
 
 
 class Trainer:
-    """Wires an environment, an agent and a replay buffer into one run."""
+    """Wires an environment, an agent and a replay buffer into one run.
+
+    ``env`` may be a single :class:`PrefixEnv` (the paper-faithful
+    sequential loop) or a :class:`VectorPrefixEnv` (batched collection:
+    one stacked forward selects every replica's action each round).
+    """
 
     def __init__(
         self,
-        env: PrefixEnv,
+        env: "PrefixEnv | VectorPrefixEnv",
         agent: ScalarizedDoubleDQN,
         config: "TrainerConfig | None" = None,
         rng=None,
@@ -63,19 +75,30 @@ class Trainer:
 
     def run(self, steps: "int | None" = None) -> TrainingHistory:
         """Train for ``steps`` environment steps (default: config.steps)."""
+        total = steps if steps is not None else self.config.steps
+        anneal = max(int(total * self.config.epsilon_anneal_frac), 1)
+        schedule = LinearSchedule(
+            self.config.epsilon_start, self.config.epsilon_end, anneal
+        )
+        if isinstance(self.env, VectorPrefixEnv):
+            return self._run_vector(total, schedule)
+        return self._run_single(total, schedule)
+
+    # ------------------------------------------------------------------
+    # Sequential collection (one environment)
+    # ------------------------------------------------------------------
+
+    def _run_single(self, total: int, schedule: LinearSchedule) -> TrainingHistory:
         cfg = self.config
-        total = steps if steps is not None else cfg.steps
-        anneal = max(int(total * cfg.epsilon_anneal_frac), 1)
-        schedule = LinearSchedule(cfg.epsilon_start, cfg.epsilon_end, anneal)
         history = TrainingHistory()
 
         state = self.env.reset()
         obs = self.env.observe(state)
+        mask = self.env.legal_mask(state)
         episode_return = 0.0
 
         for step in range(total):
             epsilon = schedule(step)
-            mask = self.env.legal_mask(state)
             action_idx = self.agent.act(obs, mask, epsilon=epsilon)
             action = self.env.action_space.action(action_idx)
             result = self.env.step(action)
@@ -103,13 +126,89 @@ class Trainer:
                 episode_return = 0.0
                 state = self.env.reset()
                 obs = self.env.observe(state)
+                mask = self.env.legal_mask(state)
             else:
                 state = result.next_state
                 obs = next_obs
+                mask = next_mask
 
             if len(self.buffer) >= cfg.warmup_steps and step % cfg.learn_every == 0:
                 loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
                 history.losses.append(loss)
                 history.gradient_steps += 1
+
+        return history
+
+    # ------------------------------------------------------------------
+    # Batched collection (E lockstep environments)
+    # ------------------------------------------------------------------
+
+    def _run_vector(self, total: int, schedule: LinearSchedule) -> TrainingHistory:
+        cfg = self.config
+        venv: VectorPrefixEnv = self.env
+        num_envs = venv.num_envs
+        history = TrainingHistory()
+
+        venv.reset()
+        obs = venv.observe()
+        masks = venv.legal_masks()
+        episode_returns = [0.0] * num_envs
+        gradient_debt = 0.0
+
+        while history.env_steps < total:
+            epsilon = schedule(history.env_steps)
+            action_idxs = self.agent.act_batch(obs, masks, epsilon=epsilon)
+            results = venv.step(action_idxs)
+            # The per-graph feature/mask memo makes these stacks cheap for
+            # replicas whose state was already observed this round.
+            next_obs = venv.observe()
+            next_masks = venv.legal_masks()
+
+            for i, result in enumerate(results):
+                if history.env_steps >= total:
+                    # The round stepped every replica, but the budget is
+                    # exact: drop the overshoot (the replicas did advance;
+                    # their archives keep those evaluations).
+                    break
+                # For terminal replicas the vector env has already reset,
+                # so featurize the terminal state directly for the buffer.
+                if result.done:
+                    t_obs = self.env.envs[i].observe(result.next_state)
+                    t_mask = self.env.envs[i].legal_mask(result.next_state)
+                else:
+                    t_obs = next_obs[i]
+                    t_mask = next_masks[i]
+                self.buffer.push(
+                    Transition(
+                        state=obs[i],
+                        action=int(action_idxs[i]),
+                        reward=result.reward,
+                        next_state=t_obs,
+                        next_mask=t_mask,
+                        done=result.done,
+                    )
+                )
+                episode_returns[i] += float(self.agent.w @ result.reward)
+                history.areas.append(result.info["area"])
+                history.delays.append(result.info["delay"])
+                history.epsilon_trace.append(epsilon)
+                history.env_steps += 1
+                if result.done:
+                    history.episode_returns.append(episode_returns[i])
+                    episode_returns[i] = 0.0
+
+            obs = next_obs
+            masks = next_masks
+
+            if len(self.buffer) >= cfg.warmup_steps:
+                # One gradient step per learn_every env steps, matching the
+                # sequential cadence in aggregate (fractional remainders
+                # carry over between rounds).
+                gradient_debt += num_envs / max(cfg.learn_every, 1)
+                while gradient_debt >= 1.0:
+                    loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
+                    history.losses.append(loss)
+                    history.gradient_steps += 1
+                    gradient_debt -= 1.0
 
         return history

@@ -43,6 +43,34 @@ class SynthesisCache:
             while len(self._data) > self.max_entries:
                 self._data.popitem(last=False)
 
+    def get_many(self, keys: "list[tuple]") -> "list":
+        """Batched :meth:`get` under one lock acquisition.
+
+        Returns a value-or-None list aligned with ``keys``; hit/miss
+        statistics count every key. Used by the synthesis farm to route a
+        whole batch before dispatching the misses.
+        """
+        out = []
+        with self._lock:
+            for key in keys:
+                if key in self._data:
+                    self._data.move_to_end(key)
+                    self.hits += 1
+                    out.append(self._data[key])
+                else:
+                    self.misses += 1
+                    out.append(None)
+        return out
+
+    def put_many(self, items: "list[tuple]") -> None:
+        """Batched :meth:`put` of ``(key, value)`` pairs under one lock."""
+        with self._lock:
+            for key, value in items:
+                self._data[key] = value
+                self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)

@@ -85,6 +85,26 @@ class SynthesisEvaluator:
         )
         return CircuitMetrics(area=area, delay=delay)
 
+    def curve_many(self, graphs: "list[PrefixGraph]") -> "list[AreaDelayCurve]":
+        """Curves for a batch of graphs, deduplicated before the cache.
+
+        Duplicate graphs in one batch (the common case in RL collection)
+        resolve to a single lookup/synthesis; order matches the input.
+        """
+        unique: "dict[bytes, AreaDelayCurve]" = {}
+        for graph in graphs:
+            key = graph.key()
+            if key not in unique:
+                unique[key] = self.curve(graph)
+        return [unique[graph.key()] for graph in graphs]
+
+    def evaluate_many(self, graphs: "list[PrefixGraph]") -> "list[CircuitMetrics]":
+        """Batched :meth:`evaluate` via :meth:`curve_many`."""
+        return [
+            CircuitMetrics(*curve.w_optimal(self.w_area, self.w_delay, self.c_area, self.c_delay))
+            for curve in self.curve_many(graphs)
+        ]
+
     def scalarize(self, metrics: CircuitMetrics) -> float:
         """The scalar objective value of a metrics pair."""
         return (

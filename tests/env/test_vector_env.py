@@ -1,0 +1,153 @@
+"""VectorPrefixEnv, act_batch and the trainer's batched-collection path."""
+
+import numpy as np
+import pytest
+
+from repro.env import PrefixEnv, VectorPrefixEnv
+from repro.rl import ReplayBuffer, ScalarizedDoubleDQN, Trainer, TrainerConfig
+from repro.synth import AnalyticalEvaluator
+
+
+def make_vector(n=6, num_envs=3, horizon=8):
+    return VectorPrefixEnv.make(
+        n, lambda: AnalyticalEvaluator(), num_envs=num_envs, horizon=horizon, seed=0
+    )
+
+
+class TestVectorPrefixEnv:
+    def test_reset_and_shapes(self):
+        venv = make_vector(n=6, num_envs=3)
+        states = venv.reset()
+        assert len(states) == 3
+        assert venv.observe().shape == (3, 4, 6, 6)
+        masks = venv.legal_masks()
+        assert masks.shape == (3, venv.action_space.size)
+        assert masks.dtype == bool
+        assert masks.any(axis=1).all()
+
+    def test_step_advances_every_replica(self):
+        venv = make_vector()
+        venv.reset()
+        masks = venv.legal_masks()
+        actions = [int(np.nonzero(m)[0][0]) for m in masks]
+        results = venv.step(actions)
+        assert len(results) == 3
+        for result, state in zip(results, venv.states):
+            assert result.reward.shape == (2,)
+            if not result.done:
+                assert state is result.next_state
+
+    def test_auto_reset_on_done(self):
+        venv = make_vector(horizon=2)
+        venv.reset()
+        for _ in range(2):
+            masks = venv.legal_masks()
+            results = venv.step([int(np.nonzero(m)[0][0]) for m in masks])
+        assert all(r.done for r in results)
+        # All replicas were auto-reset: states live, steps back at zero.
+        assert all(s is not None for s in venv.states)
+        for env in venv.envs:
+            assert env._steps == 0
+
+    def test_requires_reset(self):
+        venv = make_vector()
+        with pytest.raises(RuntimeError):
+            venv.observe()
+        with pytest.raises(RuntimeError):
+            venv.step([0, 0, 0])
+
+    def test_rejects_empty_and_mixed_widths(self):
+        with pytest.raises(ValueError):
+            VectorPrefixEnv([])
+        envs = [
+            PrefixEnv(6, AnalyticalEvaluator(), rng=0),
+            PrefixEnv(8, AnalyticalEvaluator(), rng=1),
+        ]
+        with pytest.raises(ValueError):
+            VectorPrefixEnv(envs)
+
+    def test_action_count_mismatch(self):
+        venv = make_vector()
+        venv.reset()
+        with pytest.raises(ValueError):
+            venv.step([0])
+
+
+class TestActBatch:
+    def _agent(self, n=6):
+        return ScalarizedDoubleDQN(n, blocks=0, channels=4, rng=0)
+
+    def test_greedy_matches_sequential_act(self):
+        agent = self._agent()
+        venv = make_vector()
+        venv.reset()
+        obs = venv.observe()
+        masks = venv.legal_masks()
+        batch = agent.act_batch(obs, masks, epsilon=0.0)
+        singles = [agent.act(obs[i], masks[i], epsilon=0.0) for i in range(3)]
+        assert batch.tolist() == singles
+
+    def test_epsilon_one_explores_legally(self):
+        agent = self._agent()
+        venv = make_vector()
+        venv.reset()
+        masks = venv.legal_masks()
+        picks = agent.act_batch(venv.observe(), masks, epsilon=1.0)
+        for i, a in enumerate(picks):
+            assert masks[i, int(a)]
+
+    def test_no_legal_action_raises(self):
+        agent = self._agent()
+        venv = make_vector()
+        venv.reset()
+        masks = np.array(venv.legal_masks())
+        masks[1] = False
+        with pytest.raises(ValueError):
+            agent.act_batch(venv.observe(), masks)
+
+
+class TestVectorTrainer:
+    def test_run_collects_expected_history(self):
+        venv = make_vector(n=6, num_envs=4, horizon=6)
+        agent = ScalarizedDoubleDQN(6, blocks=0, channels=4, lr=1e-3, rng=0)
+        cfg = TrainerConfig(steps=48, batch_size=4, warmup_steps=8)
+        trainer = Trainer(venv, agent, cfg, rng=0)
+        hist = trainer.run()
+        assert hist.env_steps == 48
+        assert len(hist.areas) == 48
+        assert hist.gradient_steps > 0
+        assert all(np.isfinite(l) for l in hist.losses)
+        # horizon 6 x 4 envs over 48 steps -> two full episodes per env.
+        assert len(hist.episode_returns) == 8
+
+    def test_archives_accumulate_per_replica(self):
+        venv = make_vector(n=6, num_envs=3, horizon=4)
+        agent = ScalarizedDoubleDQN(6, blocks=0, channels=4, rng=0)
+        trainer = Trainer(venv, agent, TrainerConfig(steps=24, warmup_steps=1000), rng=0)
+        trainer.run()
+        for env in venv.envs:
+            assert env.archive.num_seen >= 8
+
+    def test_buffer_receives_all_transitions(self):
+        venv = make_vector(n=6, num_envs=3, horizon=4)
+        agent = ScalarizedDoubleDQN(6, blocks=0, channels=4, rng=0)
+        cfg = TrainerConfig(steps=12, buffer_capacity=100, warmup_steps=1000)
+        trainer = Trainer(venv, agent, cfg, rng=0)
+        trainer.run()
+        assert len(trainer.buffer) == 12
+
+    def test_vector_transitions_trainable(self):
+        venv = make_vector(n=6, num_envs=2, horizon=4)
+        agent = ScalarizedDoubleDQN(6, blocks=0, channels=4, rng=0)
+        cfg = TrainerConfig(steps=16, warmup_steps=1000)
+        trainer = Trainer(venv, agent, cfg, rng=0)
+        trainer.run()
+        loss = agent.train_step(trainer.buffer.sample(8))
+        assert np.isfinite(loss)
+
+    def test_float32_agent_trains(self):
+        venv = make_vector(n=6, num_envs=2, horizon=4)
+        agent = ScalarizedDoubleDQN(6, blocks=0, channels=4, dtype=np.float32, rng=0)
+        hist = Trainer(venv, agent, TrainerConfig(steps=16, batch_size=4, warmup_steps=4), rng=0).run()
+        assert hist.gradient_steps > 0
+        assert all(np.isfinite(l) for l in hist.losses)

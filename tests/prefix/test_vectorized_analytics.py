@@ -1,0 +1,175 @@
+"""Property tests: vectorized analytics vs the pure-Python oracles.
+
+The vectorized ``PrefixGraph`` analytics (upper-parent map, levels,
+fanouts, minlist, children, validation, legalization) must be
+*bit-identical* — same values, same dtypes — to the seed's loop
+implementations (preserved in :mod:`repro.prefix.reference`) and
+consistent with the paper's literal Algorithm 1
+(:class:`repro.prefix.legalize.Algorithm1State`) across random legal
+graphs at n in {4, 8, 16, 32}.
+"""
+
+import numpy as np
+import pytest
+
+from repro.prefix import PrefixGraph, ripple_carry, sklansky
+from repro.prefix import reference as ref
+from repro.prefix.legalize import (
+    Algorithm1State,
+    derive_minlist,
+    legalize_minlist,
+    upper_parent_map,
+)
+from repro.prefix.structures import REGULAR_STRUCTURES
+from tests.conftest import random_walk_graph
+
+WIDTHS = (4, 8, 16, 32)
+
+
+def corpus(n, rng, walks=6, steps=25):
+    """Random legal graphs plus the regular structures at width ``n``."""
+    graphs = [random_walk_graph(n, steps, rng) for _ in range(walks)]
+    graphs += [ctor(n) for ctor in REGULAR_STRUCTURES.values()]
+    return graphs
+
+
+class TestAgainstLoopImplementations:
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_levels_bit_identical(self, n, rng):
+        for g in corpus(n, rng):
+            expected = ref.LoopAnalytics(g.grid).levels()
+            assert np.array_equal(g.levels(), expected)
+            assert g.levels().dtype == expected.dtype
+
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_fanouts_bit_identical(self, n, rng):
+        for g in corpus(n, rng):
+            expected = ref.LoopAnalytics(g.grid).fanouts()
+            assert np.array_equal(g.fanouts(), expected)
+            assert g.fanouts().dtype == expected.dtype
+
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_minlist_bit_identical(self, n, rng):
+        for g in corpus(n, rng):
+            expected = ref.LoopAnalytics(g.grid).minlist()
+            assert np.array_equal(g.minlist(), expected)
+            assert g.minlist().dtype == expected.dtype
+
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_children_identical_everywhere(self, n, rng):
+        for g in corpus(n, rng, walks=3):
+            ana = ref.LoopAnalytics(g.grid)
+            for m in range(n):
+                for l in range(m + 1):
+                    assert g.children(m, l) == ana.children(m, l)
+
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_upper_parent_map_matches_row_scans(self, n, rng):
+        for g in corpus(n, rng, walks=3):
+            ana = ref.LoopAnalytics(g.grid)
+            up = upper_parent_map(g.grid)
+            for m in range(n):
+                for l in range(m):
+                    assert (m, int(up[m, l])) == ana.upper_parent(m, l)
+                    assert g.parents(m, l) == ana.parents(m, l)
+
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_legalize_minlist_bit_identical(self, n, rng):
+        for g in corpus(n, rng):
+            min_grid = derive_minlist(g.grid)
+            assert np.array_equal(
+                legalize_minlist(min_grid), ref.legalize_minlist_loop(min_grid)
+            )
+        # Also from sparse random (not-yet-legal) minlists.
+        for _ in range(10):
+            mg = rng.random((n, n)) < 0.15
+            assert np.array_equal(legalize_minlist(mg), ref.legalize_minlist_loop(mg))
+
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_derive_minlist_bit_identical(self, n, rng):
+        for g in corpus(n, rng):
+            assert np.array_equal(
+                derive_minlist(g.grid), ref.derive_minlist_loop(g.grid)
+            )
+
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_validate_accepts_and_rejects_like_loops(self, n, rng):
+        for g in corpus(n, rng, walks=3):
+            # Legal graphs validate in both implementations (no raise).
+            ref.LoopAnalytics(g.grid).validate()
+            g.validate()
+            # Knock out one interior node's lower parent and both reject.
+            interior = g.interior_nodes()
+            if not interior:
+                continue
+            m, l = interior[0]
+            lm, ll = g.lower_parent(m, l)
+            if ll == 0 or lm == ll:
+                continue
+            broken = np.array(g.grid)
+            broken[lm, ll] = False
+            with pytest.raises(ValueError, match="lower parent"):
+                ref.LoopAnalytics(broken).validate()
+            with pytest.raises(ValueError, match="lower parent"):
+                PrefixGraph(broken)
+
+
+class TestAgainstAlgorithm1:
+    """Single actions from random states agree with the paper's pseudocode."""
+
+    @pytest.mark.parametrize("n", WIDTHS)
+    def test_action_analytics_match_oracle(self, n, rng):
+        for _ in range(6):
+            g = random_walk_graph(n, 15, rng)
+            alg = Algorithm1State(n)
+            ml = derive_minlist(g.grid)
+            alg.minlist = {(int(a), int(b)) for a, b in zip(*np.nonzero(ml))}
+            alg.legalize()
+            assert np.array_equal(alg.grid(), g.grid)
+
+            actions = [("add", m, l) for m in range(n) for l in range(1, m) if g.can_add(m, l)]
+            actions += [("del", m, l) for m in range(n) for l in range(1, m) if g.can_delete(m, l)]
+            kind, m, l = actions[int(rng.integers(len(actions)))]
+            if kind == "add":
+                g2 = g.add_node(m, l)
+                alg.add(m, l)
+            else:
+                g2 = g.delete_node(m, l)
+                alg.delete(m, l)
+            assert np.array_equal(g2.grid, alg.grid())
+            # The successor's analytics agree with the loop oracles on the
+            # oracle-evolved nodelist.
+            ana = ref.LoopAnalytics(alg.grid())
+            assert np.array_equal(g2.levels(), ana.levels())
+            assert np.array_equal(g2.fanouts(), ana.fanouts())
+            assert np.array_equal(g2.minlist(), ana.minlist())
+
+
+class TestDerivedCaches:
+    def test_cached_returns_same_object(self):
+        g = sklansky(8)
+        a = g.cached("x", lambda graph: np.arange(3))
+        b = g.cached("x", lambda graph: np.arange(99))
+        assert a is b
+
+    def test_analytics_cached_and_readonly(self):
+        g = ripple_carry(8)
+        assert g.levels() is g.levels()
+        assert g.fanouts() is g.fanouts()
+        assert g.minlist() is g.minlist()
+        assert g.upper_parent_map() is g.upper_parent_map()
+        for arr in (g.levels(), g.fanouts(), g.minlist(), g.upper_parent_map()):
+            with pytest.raises(ValueError):
+                arr[0, 0] = 1
+
+    def test_feature_and_mask_memo(self):
+        from repro.env import ActionSpace, graph_features
+
+        g = sklansky(8)
+        assert graph_features(g) is graph_features(g)
+        space = ActionSpace(8)
+        assert space.legal_mask(g) is space.legal_mask(g)
+        # Distinct instances of an equal graph memoize independently.
+        g2 = PrefixGraph(np.array(g.grid))
+        assert graph_features(g2) is not graph_features(g)
+        assert np.array_equal(graph_features(g2), graph_features(g))

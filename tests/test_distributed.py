@@ -92,3 +92,116 @@ class TestBatchedActor:
         actor = BatchedActor(envs, agent, rng=0)
         actor.collect(rounds=6, epsilon=1.0)
         assert all(env.archive.num_seen > 6 for env in envs)
+
+
+class TestFarmDispatchLayer:
+    """Dedup, cache routing, chunked submission and pool reuse."""
+
+    def test_pool_dedups_duplicate_graphs(self):
+        graphs = [sklansky(8), brent_kung(8)] * 3
+        with SynthesisFarm("nangate45", num_workers=2) as farm:
+            curves = farm.evaluate_curves(graphs)
+        stats = farm.last_stats
+        assert stats.num_graphs == 6
+        assert stats.unique_graphs == 2
+        assert stats.dispatched == 2
+        assert stats.chunks >= 1
+        # Duplicates map to the deduped result, order preserved.
+        assert curves[0] is curves[2] is curves[4]
+        assert curves[1] is curves[3] is curves[5]
+        assert not np.allclose(curves[0].areas, curves[1].areas)
+
+    def test_pool_dedup_matches_serial_results(self):
+        graphs = [sklansky(8), sklansky(8), brent_kung(8), sklansky(8)]
+        serial = SynthesisFarm("nangate45", num_workers=0).evaluate_curves(graphs)
+        with SynthesisFarm("nangate45", num_workers=2) as farm:
+            pooled = farm.evaluate_curves(graphs)
+        for s, p in zip(serial, pooled):
+            assert np.allclose(s.areas, p.areas)
+            assert np.allclose(s.delays, p.delays)
+
+    def test_cache_routing_skips_dispatch(self):
+        from repro.synth import SynthesisCache
+
+        cache = SynthesisCache()
+        graphs = [sklansky(8), brent_kung(8)]
+        with SynthesisFarm("nangate45", num_workers=2, cache=cache) as farm:
+            first = farm.evaluate_curves(graphs)
+            assert farm.last_stats.dispatched == 2
+            assert farm.last_stats.cache_hits == 0
+            second = farm.evaluate_curves(graphs)
+        assert farm.last_stats.dispatched == 0
+        assert farm.last_stats.cache_hits == 2
+        assert len(cache) == 2
+        for a, b in zip(first, second):
+            assert np.allclose(a.areas, b.areas)
+
+    def test_cache_shared_with_evaluator(self):
+        from repro.synth import SynthesisCache, SynthesisEvaluator
+
+        cache = SynthesisCache()
+        lib = nangate45()
+        evaluator = SynthesisEvaluator(lib, cache=cache)
+        evaluator.evaluate(sklansky(8))
+        with SynthesisFarm("nangate45", num_workers=2, cache=cache) as farm:
+            farm.evaluate_curves([sklansky(8)])
+        # The farm reused the evaluator's cached curve: nothing dispatched.
+        assert farm.last_stats.cache_hits == 1
+        assert farm.last_stats.dispatched == 0
+
+    def test_pool_reused_across_batches(self):
+        with SynthesisFarm("nangate45", num_workers=2) as farm:
+            farm.evaluate_curves([sklansky(8)])
+            pool = farm._pool
+            farm.evaluate_curves([brent_kung(8)])
+            assert farm._pool is pool
+
+    def test_pool_created_lazily_without_context_manager(self):
+        farm = SynthesisFarm("nangate45", num_workers=2)
+        try:
+            assert farm._pool is None
+            curves = farm.evaluate_curves([sklansky(8)])
+            assert farm._pool is not None
+            assert farm.last_stats.mode == "pool[2]"
+            assert len(curves) == 1
+        finally:
+            farm.close()
+
+    def test_chunk_size_override(self):
+        graphs = [sklansky(8), brent_kung(8), ripple_carry(8)]
+        with SynthesisFarm("nangate45", num_workers=2, chunk_size=1) as farm:
+            farm.evaluate_curves(graphs)
+        assert farm.last_stats.chunks == 3
+        with pytest.raises(ValueError):
+            SynthesisFarm(chunk_size=0)
+
+    def test_unknown_library_rejected_in_pool_mode(self):
+        with SynthesisFarm("no_such_lib", num_workers=1) as farm:
+            with pytest.raises(KeyError):
+                farm.evaluate_curves([sklansky(8)])
+
+
+class TestEvaluatorBatching:
+    def test_evaluate_many_dedups_lookups(self):
+        from repro.synth import SynthesisCache, SynthesisEvaluator
+
+        cache = SynthesisCache()
+        evaluator = SynthesisEvaluator(nangate45(), cache=cache)
+        graphs = [sklansky(8)] * 4 + [brent_kung(8)] * 2
+        metrics = evaluator.evaluate_many(graphs)
+        assert len(metrics) == 6
+        assert metrics[0] == metrics[1] == metrics[2] == metrics[3]
+        # One cache miss per unique graph, not per input graph.
+        assert cache.misses == 2
+        singles = [evaluator.evaluate(g) for g in graphs]
+        assert metrics == singles
+
+    def test_cache_get_put_many(self):
+        from repro.synth import SynthesisCache
+
+        cache = SynthesisCache(max_entries=3)
+        cache.put_many([(("k", i), i) for i in range(5)])
+        assert len(cache) == 3  # LRU evicted the oldest two
+        values = cache.get_many([("k", 4), ("k", 0)])
+        assert values == [4, None]
+        assert cache.hits == 1 and cache.misses == 1
