@@ -1,30 +1,38 @@
-"""Hot-path throughput benchmark: features, trainer, synthesis farm.
+"""Hot-path throughput benchmark: features, trainer, synthesis, farm.
 
-Measures the three layers this repo's training loop touches per step and
+Measures the layers this repo's training loop touches per step and
 writes the numbers to JSON:
 
 1. ``graph_features`` throughput (graphs/sec) at n in {16, 32, 64} over a
    fixed corpus of regular structures and random-walk graphs;
 2. ``Trainer.run`` environment-steps/sec at n in {16, 32} (plus, when the
    running tree supports them, the 8-env vectorized + float32 variants);
-3. ``SynthesisFarm`` pool-vs-serial speedup on the Section V-C workload.
+3. ``synthesize_curve`` throughput (graphs/sec) at n in {16, 32} — the
+   paper's true cost center, the target of the incremental-STA engine;
+4. ``SynthesisFarm`` pool-vs-serial speedup on the Section V-C workload.
 
 The script is deliberately restricted to APIs that exist in the seed tree
-so the *same* workload can be measured before and after the vectorization
-PR::
+so the *same* workload can be measured before and after the optimization
+PRs::
 
     # at the seed commit (e.g. in a worktree)
     PYTHONPATH=<seed>/src python benchmarks/bench_hotpath.py --output seed.json
-    # at HEAD, merging the recorded baseline and computing speedups
+    # at the previous release (for sections newer than the seed baseline)
+    PYTHONPATH=<parent>/src python benchmarks/bench_hotpath.py --output parent.json
+    # at HEAD, merging the recorded baselines and computing speedups
     PYTHONPATH=src python benchmarks/bench_hotpath.py \
-        --baseline seed.json --output BENCH_hotpath.json
+        --baseline seed.json --parent-baseline parent.json \
+        --output BENCH_hotpath.json
+
+``--smoke`` runs a seconds-scale version (tiny widths, one trainer run,
+no farm) for CI: it asserts the sections and speedup keys exist without
+producing publishable numbers.
 
 Corpus note: the random-walk graphs start from sklansky and the feature
 corpus excludes the ripple structure at n > 8, matching the figure
 benchmarks (``benchmarks/conftest.py`` notes ripple is off-scale there
-too); deep ripple-like graphs bound the level relaxation at depth sweeps
-and are reported separately in the per-width detail.
-"""
+too); deep ripple-like graphs bound the level analysis and are reported
+separately in the per-width detail (``ripple_ms_per_graph``)."""
 
 from __future__ import annotations
 
@@ -37,11 +45,12 @@ import time
 
 import numpy as np
 
+from repro.cells import nangate45
 from repro.distributed import SynthesisFarm
 from repro.env import PrefixEnv, graph_features
 from repro.prefix import PrefixGraph, REGULAR_STRUCTURES, ripple_carry, sklansky
 from repro.rl import ScalarizedDoubleDQN, Trainer, TrainerConfig
-from repro.synth import AnalyticalEvaluator
+from repro.synth import AnalyticalEvaluator, synthesize_curve
 
 try:
     from repro.env import VectorPrefixEnv
@@ -55,6 +64,8 @@ TRAINER_WIDTHS = (16, 32)
 TRAINER_STEPS = 160
 TRAINER_CONFIG = dict(batch_size=16, warmup_steps=32, learn_every=1)
 NUM_VECTOR_ENVS = 8
+SYNTHESIS_WIDTHS = (16, 32)
+SYNTHESIS_REPEATS = {16: 3, 32: 1}
 FARM_WIDTH = 16
 FARM_WORKERS = 4
 FARM_REPEATS = 3
@@ -148,6 +159,40 @@ def bench_trainer() -> dict:
     return out
 
 
+def synthesis_corpus(n: int) -> "list[PrefixGraph]":
+    rng = np.random.default_rng(99)
+    graphs = [
+        ctor(n)
+        for name, ctor in REGULAR_STRUCTURES.items()
+        if not (name == "ripple" and n > 8)
+    ]
+    graphs += [PrefixGraph(random_walk_grid(n, 10, rng), _validated=True) for _ in range(2)]
+    return graphs
+
+
+def bench_synthesis() -> dict:
+    """``synthesize_curve`` throughput — the synthesis-in-the-loop cost center."""
+    lib = nangate45()
+    out = {}
+    for n in SYNTHESIS_WIDTHS:
+        graphs = synthesis_corpus(n)
+        reps = SYNTHESIS_REPEATS[n]
+        synthesize_curve(graphs[0], lib)  # warm scipy/library build off the clock
+        start = time.perf_counter()
+        for _ in range(reps):
+            for g in graphs:
+                synthesize_curve(g, lib)
+        wall = time.perf_counter() - start
+        calls = reps * len(graphs)
+        out[str(n)] = {
+            "corpus_size": len(graphs),
+            "graphs_per_sec": calls / wall,
+            "ms_per_graph": wall / calls * 1000,
+        }
+        print(f"synthesis n={n}: {calls / wall:6.2f} graphs/s ({wall / calls * 1000:.1f} ms)")
+    return out
+
+
 def bench_farm() -> dict:
     graphs = [ctor(FARM_WIDTH) for ctor in REGULAR_STRUCTURES.values()] * FARM_REPEATS
     serial = SynthesisFarm("nangate45", num_workers=0)
@@ -187,26 +232,97 @@ def measure() -> dict:
         },
         "graph_features": bench_features(),
         "trainer": bench_trainer(),
+        "synthesis": bench_synthesis(),
         "synthesis_farm": bench_farm(),
     }
 
 
-def merge(baseline: dict, current: dict) -> dict:
-    """Combine a recorded seed baseline with the current measurements."""
+def _section_speedups(baseline: dict, current: dict) -> dict:
+    """Per-section throughput ratios of ``current`` over ``baseline``."""
     speedups = {}
     for n, row in current["graph_features"].items():
-        base = baseline["graph_features"].get(n)
+        base = baseline.get("graph_features", {}).get(n)
         if base:
             speedups[f"graph_features_n{n}"] = row["graphs_per_sec"] / base["graphs_per_sec"]
+            speedups[f"ripple_features_n{n}"] = (
+                base["ripple_ms_per_graph"] / row["ripple_ms_per_graph"]
+            )
     for n, row in current["trainer"].items():
-        base = baseline["trainer"].get(n, {}).get("single_env_steps_per_sec")
+        base = baseline.get("trainer", {}).get(n, {}).get("single_env_steps_per_sec")
         if not base:
             continue
         best = max(v for v in row.values())
         speedups[f"trainer_n{n}_single"] = row["single_env_steps_per_sec"] / base
         speedups[f"trainer_n{n}_best"] = best / base
+    for n, row in current.get("synthesis", {}).items():
+        base = baseline.get("synthesis", {}).get(n)
+        if base:
+            speedups[f"synthesize_curve_n{n}"] = (
+                row["graphs_per_sec"] / base["graphs_per_sec"]
+            )
+    return speedups
+
+
+def merge(baseline: dict, current: dict, parent: "dict | None" = None) -> dict:
+    """Combine recorded baselines with the current measurements.
+
+    ``baseline`` is the seed-commit measurement (historical reference);
+    ``parent`` optionally carries the previous release's numbers, so
+    sections introduced after the seed (e.g. ``synthesis``) get a
+    meaningful before/after ratio in ``speedups_vs_parent``.
+    """
+    speedups = _section_speedups(baseline, current)
     speedups["farm_pool_over_serial"] = current["synthesis_farm"]["pool_speedup"]
-    return {"seed_baseline": baseline, "optimized": current, "speedups": speedups}
+    result = {"seed_baseline": baseline, "optimized": current, "speedups": speedups}
+    if parent is not None:
+        result["parent_baseline"] = parent
+        result["speedups_vs_parent"] = _section_speedups(parent, current)
+    return result
+
+
+def apply_smoke_workload() -> None:
+    """Shrink every section to a seconds-scale CI smoke workload."""
+    global FEATURE_WIDTHS, TRAINER_WIDTHS, TRAINER_STEPS, NUM_VECTOR_ENVS
+    global SYNTHESIS_WIDTHS, SYNTHESIS_REPEATS, FARM_WIDTH, FARM_WORKERS, FARM_REPEATS
+    FEATURE_WIDTHS = (8, 16)
+    TRAINER_WIDTHS = (8,)
+    TRAINER_STEPS = 24
+    NUM_VECTOR_ENVS = 2
+    SYNTHESIS_WIDTHS = (8,)
+    SYNTHESIS_REPEATS = {8: 1}
+    FARM_WIDTH = 8
+    FARM_WORKERS = 2
+    FARM_REPEATS = 1
+
+
+def run_smoke(output: "str | None") -> None:
+    """CI gate: every section runs and every speedup key materializes.
+
+    Merges the measurement against itself (all ratios 1.0) purely to
+    exercise the key-generation path — the numbers are not publishable.
+    """
+    apply_smoke_workload()
+    current = measure()
+    result = merge(current, current, parent=current)
+    for section in ("graph_features", "trainer", "synthesis", "synthesis_farm"):
+        assert section in current, f"missing bench section {section!r}"
+    speedups = result["speedups"]
+    expected = [
+        "graph_features_n8",
+        "ripple_features_n8",
+        "trainer_n8_single",
+        "synthesize_curve_n8",
+        "farm_pool_over_serial",
+    ]
+    missing = [k for k in expected if k not in speedups]
+    assert not missing, f"missing speedup keys: {missing}"
+    assert "synthesize_curve_n8" in result["speedups_vs_parent"]
+    print("smoke OK: sections", sorted(current), "keys", sorted(speedups))
+    if output:
+        with open(output, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {output}")
 
 
 def main() -> None:
@@ -216,17 +332,37 @@ def main() -> None:
         "--baseline", default=None,
         help="seed-measurement JSON to merge against (adds a speedups section)",
     )
+    parser.add_argument(
+        "--parent-baseline", default=None,
+        help="previous-release JSON (adds a speedups_vs_parent section)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny CI workload; asserts sections and speedup keys exist",
+    )
     args = parser.parse_args()
+
+    if args.smoke:
+        run_smoke(args.output)
+        return
 
     if args.baseline and not os.path.exists(args.baseline):
         parser.error(f"baseline file not found: {args.baseline}")
+    if args.parent_baseline and not os.path.exists(args.parent_baseline):
+        parser.error(f"parent baseline file not found: {args.parent_baseline}")
 
     current = measure()
     if args.baseline:
+        parent = None
+        if args.parent_baseline:
+            with open(args.parent_baseline) as fh:
+                parent = json.load(fh)
         with open(args.baseline) as fh:
-            result = merge(json.load(fh), current)
+            result = merge(json.load(fh), current, parent=parent)
         for key, value in sorted(result["speedups"].items()):
             print(f"speedup {key}: {value:.2f}x")
+        for key, value in sorted(result.get("speedups_vs_parent", {}).items()):
+            print(f"vs-parent {key}: {value:.2f}x")
     else:
         result = current
 

@@ -124,6 +124,12 @@ class SynthesisFarm:
         self.chunk_size = chunk_size
         self._pool: "ProcessPoolExecutor | None" = None
         self.last_stats: "FarmStats | None" = None
+        # Cumulative dispatch accounting across all batches (see stats()).
+        self.total_batches = 0
+        self.total_graphs = 0
+        self.total_unique = 0
+        self.total_cache_hits = 0
+        self.total_dispatched = 0
 
     def __enter__(self) -> "SynthesisFarm":
         self._ensure_pool()
@@ -181,6 +187,7 @@ class SynthesisFarm:
                 unique_graphs=len(graphs),
                 dispatched=len(graphs),
             )
+            self._account(self.last_stats)
             return curves
 
         self._ensure_pool()
@@ -244,4 +251,39 @@ class SynthesisFarm:
             dispatched=len(misses),
             chunks=num_chunks,
         )
+        self._account(self.last_stats)
         return curves
+
+    def _account(self, stats: FarmStats) -> None:
+        self.total_batches += 1
+        self.total_graphs += stats.num_graphs
+        self.total_unique += stats.unique_graphs
+        self.total_cache_hits += stats.cache_hits
+        self.total_dispatched += stats.dispatched
+
+    def stats(self) -> dict:
+        """Cumulative dispatch counters plus the shared cache's hit/miss stats.
+
+        ``dedup_saved`` counts graphs that never even reached the cache
+        because an identical graph sat in the same batch; the nested
+        ``cache`` dict reflects the shared :class:`SynthesisCache` (absent
+        when the farm runs cacheless). Consumed by
+        :class:`repro.rl.Trainer` telemetry and the scaling benchmarks.
+        """
+        out = {
+            "mode": f"pool[{self.num_workers}]" if self.num_workers else "serial",
+            "batches": self.total_batches,
+            "graphs": self.total_graphs,
+            "unique_graphs": self.total_unique,
+            "dedup_saved": self.total_graphs - self.total_unique,
+            "cache_hits": self.total_cache_hits,
+            "dispatched": self.total_dispatched,
+        }
+        if self.cache is not None:
+            out["cache"] = {
+                "entries": len(self.cache),
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+            }
+        return out

@@ -14,9 +14,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.env.environment import PrefixEnv
+from repro.env.vector import VectorPrefixEnv
 from repro.rl.agent import ScalarizedDoubleDQN
 from repro.rl.replay import ReplayBuffer, Transition
 from repro.utils.rng import ensure_rng
@@ -36,7 +35,14 @@ class CollectStats:
 
 
 class BatchedActor:
-    """Steps several environments with one batched network call per round."""
+    """Steps several environments with one batched network call per round.
+
+    Collection runs through a :class:`repro.env.VectorPrefixEnv`, so when
+    the replicas share a synthesis cache the per-round successor (and
+    auto-reset) evaluations also collapse into one batched
+    ``evaluate_many`` call — the acting layer and the synthesis layer
+    amortize together.
+    """
 
     def __init__(self, envs: "list[PrefixEnv]", agent: ScalarizedDoubleDQN, rng=None):
         if not envs:
@@ -47,7 +53,8 @@ class BatchedActor:
         self.envs = envs
         self.agent = agent
         self._rng = ensure_rng(rng)
-        self._states = [env.reset() for env in envs]
+        self._venv = VectorPrefixEnv(envs)
+        self._venv.reset()
 
     def collect(
         self,
@@ -63,25 +70,24 @@ class BatchedActor:
         """
         start = time.perf_counter()
         steps = 0
+        venv = self._venv
         for _ in range(rounds):
-            feats = np.stack([env.observe(s) for env, s in zip(self.envs, self._states)])
-            masks = np.stack([env.legal_mask(s) for env, s in zip(self.envs, self._states)])
+            feats = venv.observe()
+            masks = venv.legal_masks()
             action_idxs = self.agent.act_batch(feats, masks, epsilon=epsilon, rng=self._rng)
-            for i, env in enumerate(self.envs):
-                action_idx = int(action_idxs[i])
-                result = env.step(env.action_space.action(action_idx))
-                if buffer is not None:
+            results = venv.step(action_idxs)
+            if buffer is not None:
+                for i, (env, result) in enumerate(zip(self.envs, results)):
                     buffer.push(
                         Transition(
                             state=feats[i],
-                            action=action_idx,
+                            action=int(action_idxs[i]),
                             reward=result.reward,
                             next_state=env.observe(result.next_state),
                             next_mask=env.legal_mask(result.next_state),
                             done=result.done,
                         )
                     )
-                self._states[i] = env.reset() if result.done else result.next_state
-                steps += 1
+            steps += len(results)
         wall = time.perf_counter() - start
         return CollectStats(env_steps=steps, wall_seconds=wall, num_envs=len(self.envs))

@@ -77,17 +77,32 @@ class PrefixEnv:
 
     # ------------------------------------------------------------------
 
-    def reset(self, start: "PrefixGraph | None" = None) -> PrefixGraph:
-        """Begin an episode; returns the initial state."""
+    def sample_start(self) -> PrefixGraph:
+        """Draw the next episode's start state (one RNG draw, no evaluation).
+
+        Splitting the draw from :meth:`reset` lets a vector environment
+        collect every resetting replica's start state and evaluate them in
+        one synthesis batch before finalizing the resets; the RNG stream
+        is consumed exactly as a plain ``reset()`` would.
+        """
+        ctor = self._start_ctors[int(self._rng.integers(len(self._start_ctors)))]
+        return ctor(self.n)
+
+    def reset(self, start: "PrefixGraph | None" = None, _metrics=None) -> PrefixGraph:
+        """Begin an episode; returns the initial state.
+
+        ``_metrics`` (internal, batched-evaluation path) supplies the start
+        state's already-computed evaluator metrics so they are recorded
+        without a second evaluation.
+        """
         if start is not None:
             if start.n != self.n:
                 raise ValueError(f"start state width {start.n} != env width {self.n}")
             self.state = start
         else:
-            ctor = self._start_ctors[int(self._rng.integers(len(self._start_ctors)))]
-            self.state = ctor(self.n)
+            self.state = self.sample_start()
         self._steps = 0
-        self._metrics = self._evaluate(self.state)
+        self._metrics = self._evaluate(self.state, _metrics)
         return self.state
 
     def observe(self, graph: "PrefixGraph | None" = None) -> np.ndarray:
@@ -104,14 +119,22 @@ class PrefixEnv:
             raise RuntimeError("environment not reset")
         return self.action_space.legal_mask(target)
 
-    def step(self, action: Action) -> StepResult:
-        """Apply ``action``; returns the transition with its vector reward."""
+    def step(self, action: Action, _next_state=None, _metrics=None) -> StepResult:
+        """Apply ``action``; returns the transition with its vector reward.
+
+        ``_next_state``/``_metrics`` (internal, batched-evaluation path)
+        supply an already-legalized successor and its already-computed
+        metrics, so a vector environment can evaluate a whole round of
+        replicas in one synthesis batch and then apply the transitions.
+        """
         if self.state is None:
             raise RuntimeError("environment not reset")
         state = self.state
-        next_state = self.action_space.apply(state, action)
+        next_state = (
+            self.action_space.apply(state, action) if _next_state is None else _next_state
+        )
         prev = self._metrics
-        cur = self._evaluate(next_state)
+        cur = self._evaluate(next_state, _metrics)
         c_area = getattr(self.evaluator, "c_area", 1.0)
         c_delay = getattr(self.evaluator, "c_delay", 1.0)
         reward = np.array(
@@ -143,7 +166,7 @@ class PrefixEnv:
 
     # ------------------------------------------------------------------
 
-    def _evaluate(self, graph: PrefixGraph):
-        metrics = self.evaluator.evaluate(graph)
+    def _evaluate(self, graph: PrefixGraph, precomputed=None):
+        metrics = self.evaluator.evaluate(graph) if precomputed is None else precomputed
         self.archive.add(metrics.area, metrics.delay, payload=graph)
         return metrics

@@ -10,6 +10,17 @@ engineering win is amortizing the convolution cost over many environments
 Episodes auto-reset: when a replica's episode ends, :meth:`step` returns
 the terminal transition and the replica starts a fresh episode, so the
 stacked observation always reflects ``E`` live states.
+
+When every replica's evaluator exposes ``evaluate_many`` and shares one
+:class:`repro.synth.SynthesisCache` (the recommended setup — pass a
+closure over a shared cache to :meth:`VectorPrefixEnv.make`), :meth:`step`
+routes the whole round through **one batched evaluation**: all successor
+states (and all auto-reset start states) are deduplicated and synthesized
+in a single ``evaluate_many`` call — optionally fanned out through a
+:class:`repro.distributed.SynthesisFarm` — instead of each replica paying
+for synthesis serially inside its own ``env.step``. Rewards and RL
+trajectories are unchanged (synthesis is deterministic); only the latency
+overlaps.
 """
 
 from __future__ import annotations
@@ -39,6 +50,37 @@ class VectorPrefixEnv:
         self.n = envs[0].n
         self.action_space = envs[0].action_space
         self._states = [None] * len(envs)
+        self._batch_evaluator = self._shared_batch_evaluator(self.envs)
+
+    @staticmethod
+    def _shared_batch_evaluator(envs):
+        """The evaluator to batch through, or None for per-replica stepping.
+
+        Batching is only safe when every replica resolves a graph to the
+        same metrics through the same cache: all evaluators must expose
+        ``evaluate_many``, share one cache object, and agree on the
+        scalarization (``w_area``/``w_delay``/``c_area``/``c_delay``) —
+        a weight-sweep setup with per-replica weights must step serially,
+        since each replica picks a different point on the shared curve.
+        """
+        first = envs[0].evaluator
+        if not hasattr(first, "evaluate_many"):
+            return None
+        cache = getattr(first, "cache", None)
+        if cache is None:
+            return None
+        scalarization = [
+            getattr(first, attr, None) for attr in ("w_area", "w_delay", "c_area", "c_delay")
+        ]
+        for env in envs[1:]:
+            ev = env.evaluator
+            if getattr(ev, "cache", None) is not cache:
+                return None
+            if [
+                getattr(ev, attr, None) for attr in ("w_area", "w_delay", "c_area", "c_delay")
+            ] != scalarization:
+                return None
+        return first
 
     @classmethod
     def make(cls, n: int, evaluator_factory, num_envs: int, horizon: int = 64, seed: int = 0) -> "VectorPrefixEnv":
@@ -92,11 +134,39 @@ class VectorPrefixEnv:
             raise ValueError(
                 f"got {len(action_indices)} actions for {len(self.envs)} environments"
             )
+        if self._batch_evaluator is not None:
+            return self._step_batched(action_indices)
         results = []
         for i, (env, idx) in enumerate(zip(self.envs, action_indices)):
             result = env.step(env.action_space.action(int(idx)))
             self._states[i] = env.reset() if result.done else result.next_state
             results.append(result)
+        return results
+
+    def _step_batched(self, action_indices) -> "list[StepResult]":
+        """One evaluator batch for all successors, one for all reset starts."""
+        envs = self.envs
+        actions = [
+            env.action_space.action(int(idx)) for env, idx in zip(envs, action_indices)
+        ]
+        successors = [
+            env.action_space.apply(env.state, action)
+            for env, action in zip(envs, actions)
+        ]
+        metrics = self._batch_evaluator.evaluate_many(successors)
+        results = [
+            env.step(action, _next_state=nxt, _metrics=m)
+            for env, action, nxt, m in zip(envs, actions, successors, metrics)
+        ]
+        for i, result in enumerate(results):
+            if not result.done:
+                self._states[i] = result.next_state
+        done = [i for i, result in enumerate(results) if result.done]
+        if done:
+            starts = [envs[i].sample_start() for i in done]
+            start_metrics = self._batch_evaluator.evaluate_many(starts)
+            for i, start, m in zip(done, starts, start_metrics):
+                self._states[i] = envs[i].reset(start=start, _metrics=m)
         return results
 
     def _require_reset(self) -> None:

@@ -11,11 +11,19 @@ from __future__ import annotations
 from repro.netlist.ir import Netlist
 
 
-def remove_dead_logic(netlist: Netlist) -> int:
+def remove_dead_logic(netlist: Netlist, remove=None) -> int:
     """Remove instances with no transitive path to a primary output.
 
     Returns the number of instances removed. Mutates ``netlist``.
+
+    ``remove`` overrides the removal callable (default
+    ``netlist.remove_instance``) so engine-aware callers — e.g. a
+    :class:`repro.sta.TimingGraph` whose analysis must stay live across
+    the sweep — can route removals through their own mutation API while
+    sharing this single definition of "dead".
     """
+    if remove is None:
+        remove = netlist.remove_instance
     removed = 0
     while True:
         dead = [
@@ -27,5 +35,5 @@ def remove_dead_logic(netlist: Netlist) -> int:
         if not dead:
             return removed
         for name in dead:
-            netlist.remove_instance(name)
+            remove(name)
             removed += 1

@@ -25,7 +25,14 @@ class IllegalActionError(ValueError):
     """Raised when an add/delete action violates the environment rules."""
 
 
-def relax_max_plus(values: np.ndarray, ms: np.ndarray, ls: np.ndarray, ups: np.ndarray, weights) -> None:
+def relax_max_plus(
+    values: np.ndarray,
+    ms: np.ndarray,
+    ls: np.ndarray,
+    ups: np.ndarray,
+    weights,
+    max_sweeps: "int | None" = None,
+) -> bool:
     """In-place max-plus longest-path fixpoint over a prefix-graph grid.
 
     For every non-input cell ``(ms, ls)`` with upper-parent LSB ``ups``,
@@ -36,6 +43,11 @@ def relax_max_plus(values: np.ndarray, ms: np.ndarray, ls: np.ndarray, ups: np.n
     node levels (weight 1) and fanout-loaded arrival times (per-node
     delays); ``values`` must be C-contiguous with parents pre-seeded
     (diagonal) and is modified in place.
+
+    ``max_sweeps`` bounds the sweep count; the return value reports
+    whether the fixpoint was reached. Deep (ripple-like) graphs that blow
+    the bound are finished by :func:`policy_doubling_longest_path`, whose
+    sweep count is logarithmic in depth instead of linear.
     """
     n = values.shape[0]
     flat = values.ravel()
@@ -43,12 +55,76 @@ def relax_max_plus(values: np.ndarray, ms: np.ndarray, ls: np.ndarray, ups: np.n
     iup = ms * n + ups
     ilo = (ups - 1) * n + ls
     cur = flat[own]
+    sweeps = 0
     while True:
         new = weights + np.maximum(flat[iup], flat[ilo])
         if np.array_equal(new, cur):
-            break
+            return True
         cur = new
         flat[own] = new
+        sweeps += 1
+        if max_sweeps is not None and sweeps >= max_sweeps:
+            return False
+
+
+def policy_doubling_longest_path(
+    values: np.ndarray, ms: np.ndarray, ls: np.ndarray, ups: np.ndarray, weights
+) -> None:
+    """Longest path by policy iteration with pointer-doubling evaluation.
+
+    The relaxation in :func:`relax_max_plus` needs depth(graph)+1 sweeps —
+    its worst case is the ripple-like chain, depth O(n). This routine
+    instead guesses, per cell, *which* parent carries the longest path
+    (the policy), evaluates all chain lengths under that guess by pointer
+    doubling (``value += value[jump]; jump = jump[jump]`` — O(log depth)
+    sweeps, since every parent pointer is acyclic), then switches any cell
+    whose other parent now looks longer. A result is accepted only when it
+    satisfies the Bellman condition ``value = weight + max(up, lo)``
+    everywhere — the recurrence's unique fixpoint — so the answer is exact
+    regardless of how policy iteration behaved; a bounded-round safety
+    valve falls back to plain relaxation seeded with the (lower-bound)
+    policy values.
+
+    Integer weights only: pointer doubling reassociates the additions
+    along a chain, which is exact for ints but would change float
+    rounding vs the sequential relaxation.
+    """
+    n = values.shape[0]
+    flat = values.ravel()
+    m = ms.size
+    own = ms * n + ls
+    # Compact to non-input cells: 0..m-1, plus one sentinel "settled" node
+    # (index m, value 0) standing in for every input/absent parent cell —
+    # deep graphs are sparse, so sweeps run on m elements, not n*n.
+    comp = np.full(n * n, m, dtype=np.int64)
+    comp[own] = np.arange(m)
+    cup = comp[ms * n + ups]
+    clo = comp[(ups - 1) * n + ls]
+    w = np.broadcast_to(np.asarray(weights, dtype=values.dtype), (m,))
+    policy = cup
+    val = None
+    for _ in range(32):
+        # Evaluate: chain length under the current policy, doubling jumps.
+        val = np.zeros(m + 1, dtype=values.dtype)
+        val[:m] = w
+        jump = np.append(policy, m)
+        while True:
+            njump = jump[jump]
+            if np.array_equal(njump, jump):
+                break
+            val += val[jump]
+            jump = njump
+        # Improve / verify: accept only at the Bellman fixpoint.
+        cand_up = val[cup]
+        cand_lo = val[clo]
+        if np.array_equal(w + np.maximum(cand_up, cand_lo), val[:m]):
+            flat[own] = val[:m]
+            return
+        policy = np.where(cand_lo > cand_up, clo, cup)
+    # Safety valve (not expected to trigger): policy values are true path
+    # lengths, hence lower bounds — finish monotonically by relaxation.
+    flat[own] = np.maximum(flat[own], val[:m])
+    relax_max_plus(values, ms, ls, ups, weights)
 
 
 class PrefixGraph:
@@ -225,12 +301,12 @@ class PrefixGraph:
     def levels(self) -> np.ndarray:
         """Topological depth of every node; inputs are level 0, absent cells -1.
 
-        The level of a non-input node is ``1 + max(level(up), level(lp))``.
-        Within a row the upper-parent chain visits the occupied columns in
-        descending order, so the recurrence ``L_j = 1 + max(L_{j-1}, low_j)``
-        (``low_j`` = the lower parent's level, settled in a lower row)
-        telescopes into ``L_j = j + max_{i <= j}(low_i + 1 - i)`` — one
-        ``np.maximum.accumulate`` per row instead of per-cell parent walks.
+        The level of a non-input node is ``1 + max(level(up), level(lp))``,
+        a max-plus longest path. Shallow graphs (the common case) settle
+        within a few whole-grid relaxation sweeps; deep ripple-like graphs
+        would need depth(graph) sweeps, so past a sweep budget the
+        computation switches to :func:`policy_doubling_longest_path`,
+        which needs only O(log depth) sweeps.
         """
         if self._levels is None:
             n = self._n
@@ -241,7 +317,12 @@ class PrefixGraph:
             if ms.size:
                 ups = self.upper_parent_map()[ms, ls]
                 lv[ms, ls] = 0
-                relax_max_plus(lv, ms, ls, ups, np.int32(1))
+                # Depth is at most n-1, so narrow graphs always settle
+                # within the relaxation budget; wide deep ones switch to
+                # the logarithmic doubling path once the budget blows.
+                budget = n if n <= 16 else 12
+                if not relax_max_plus(lv, ms, ls, ups, np.int32(1), max_sweeps=budget):
+                    policy_doubling_longest_path(lv, ms, ls, ups, np.int32(1))
             lv.setflags(write=False)
             self._levels = lv
         return self._levels

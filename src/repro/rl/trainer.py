@@ -51,6 +51,7 @@ class TrainingHistory:
     epsilon_trace: "list[float]" = field(default_factory=list)
     env_steps: int = 0
     gradient_steps: int = 0
+    synthesis_stats: "dict | None" = None  # cache/farm counters (synthesis evaluators only)
 
 
 class Trainer:
@@ -81,8 +82,47 @@ class Trainer:
             self.config.epsilon_start, self.config.epsilon_end, anneal
         )
         if isinstance(self.env, VectorPrefixEnv):
-            return self._run_vector(total, schedule)
-        return self._run_single(total, schedule)
+            history = self._run_vector(total, schedule)
+        else:
+            history = self._run_single(total, schedule)
+        history.synthesis_stats = self._synthesis_stats()
+        return history
+
+    def _synthesis_stats(self) -> "dict | None":
+        """Cache/farm observability snapshot for synthesis-backed evaluators.
+
+        Aggregates hit/miss counters over the distinct
+        :class:`repro.synth.SynthesisCache` objects behind the run's
+        evaluators (replicas usually share one) and attaches the
+        cumulative :meth:`repro.distributed.SynthesisFarm.stats` of an
+        attached farm. Returns None for cacheless (e.g. analytical)
+        evaluators.
+        """
+        envs = self.env.envs if isinstance(self.env, VectorPrefixEnv) else [self.env]
+        caches = []
+        farm = None
+        for env in envs:
+            cache = getattr(env.evaluator, "cache", None)
+            if cache is not None and not any(cache is c for c in caches):
+                caches.append(cache)
+            if farm is None:
+                farm = getattr(env.evaluator, "farm", None)
+        if not caches:
+            return None
+        hits = sum(c.hits for c in caches)
+        misses = sum(c.misses for c in caches)
+        stats = {
+            "cache": {
+                "entries": sum(len(c) for c in caches),
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "shared": len(caches) == 1 and len(envs) > 1,
+            }
+        }
+        if farm is not None:
+            stats["farm"] = farm.stats()
+        return stats
 
     # ------------------------------------------------------------------
     # Sequential collection (one environment)

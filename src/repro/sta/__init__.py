@@ -6,9 +6,27 @@ per-net slack, and critical-path extraction. Loads combine sink pin caps, a
 per-fanout wire cap, and primary-output port caps. Inputs arrive at t=0 and
 outputs share one required time — the uniform timing constraint the paper
 trains under (Section V-A).
+
+Two engines share one contract:
+
+- :class:`TimingGraph` — the production engine: compiles a netlist once
+  into arc tables, runs the forward pass as level-grouped array sweeps,
+  and keeps the analysis live across netlist edits (incremental cone
+  re-timing); :func:`analyze_timing` is a one-shot wrapper over it.
+- :mod:`repro.sta.reference` — the original dict-of-objects traversal,
+  preserved verbatim as the oracle the fast engine is property-tested
+  bit-identical against.
 """
 
 from repro.sta.timing import TimingReport, analyze_timing, net_load
+from repro.sta.graph import TimingGraph
 from repro.sta.power import PowerReport, estimate_power
 
-__all__ = ["TimingReport", "analyze_timing", "net_load", "PowerReport", "estimate_power"]
+__all__ = [
+    "TimingReport",
+    "TimingGraph",
+    "analyze_timing",
+    "net_load",
+    "PowerReport",
+    "estimate_power",
+]

@@ -63,78 +63,13 @@ def analyze_timing(
     constraints the paper lists as future work (Section VI). If ``target``
     is given, required times and slacks are computed and ``wns`` reflects
     the worst output.
+
+    Implemented on the array-backed :class:`repro.sta.graph.TimingGraph`
+    engine (level-grouped forward/backward sweeps); bit-identical to the
+    original traversal preserved in :mod:`repro.sta.reference`. Callers
+    that re-analyze after small edits should hold a ``TimingGraph`` and use
+    its incremental mutation methods instead of calling this repeatedly.
     """
-    arrival: "dict[str, float]" = {net: 0.0 for net in netlist.inputs}
-    if input_arrivals:
-        unknown = set(input_arrivals) - set(netlist.inputs)
-        if unknown:
-            raise ValueError(f"input_arrivals for non-input nets: {sorted(unknown)}")
-        arrival.update(input_arrivals)
-    loads: "dict[str, float]" = {}
-    order = netlist.topological_order()
+    from repro.sta.graph import TimingGraph
 
-    # Forward pass: arrival times. Track each net's worst contributing
-    # (instance, input net) so critical-path extraction is a direct walk.
-    worst_arc: "dict[str, tuple[str, str]]" = {}
-    for name in order:
-        inst = netlist.instances[name]
-        out = inst.output_net
-        load = loads.get(out)
-        if load is None:
-            load = net_load(netlist, out)
-            loads[out] = load
-        best = -1.0
-        best_src = None
-        for pin, net in inst.input_nets():
-            t = arrival[net] + inst.cell.arc_delay(pin, load)
-            if t > best:
-                best = t
-                best_src = net
-        arrival[out] = best
-        worst_arc[out] = (name, best_src)
-
-    if netlist.outputs:
-        worst_out = max(netlist.outputs, key=lambda n: arrival[n])
-        delay = arrival[worst_out]
-    else:
-        worst_out = None
-        delay = 0.0
-
-    critical_path: "list[str]" = []
-    net = worst_out
-    while net is not None and net in worst_arc:
-        inst_name, src = worst_arc[net]
-        critical_path.append(inst_name)
-        net = src
-    critical_path.reverse()
-
-    required: "dict[str, float]" = {}
-    slack: "dict[str, float]" = {}
-    wns = float("inf")
-    if target is not None:
-        for net_name in netlist.outputs:
-            required[net_name] = target
-        for name in reversed(order):
-            inst = netlist.instances[name]
-            out = inst.output_net
-            req_out = required.get(out, float("inf"))
-            load = loads[out]
-            for pin, net_name in inst.input_nets():
-                cand = req_out - inst.cell.arc_delay(pin, load)
-                prev = required.get(net_name, float("inf"))
-                if cand < prev:
-                    required[net_name] = cand
-        for net_name, arr in arrival.items():
-            slack[net_name] = required.get(net_name, float("inf")) - arr
-        wns = target - delay
-
-    return TimingReport(
-        delay=delay,
-        target=target,
-        wns=wns,
-        arrival=arrival,
-        required=required,
-        slack=slack,
-        critical_path=critical_path,
-        area=netlist.area(),
-    )
+    return TimingGraph(netlist, target=target, input_arrivals=input_arrivals).report()

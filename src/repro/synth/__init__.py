@@ -7,6 +7,15 @@ at 4 targets and PCHIP-interpolates the area-delay trade-off exactly as
 Section IV-D / Fig. 3 describe; ``AreaDelayCurve.w_optimal`` picks the
 scalarization-optimal point that defines the RL reward. ``SynthesisCache``
 reproduces the content-hash design cache of the training system.
+
+The optimizer runs on the incremental :class:`repro.sta.TimingGraph`
+engine: one compile per run, O(cone) accept/reject trials, and one
+compiled+pin-swapped state forked across a curve's delay targets. The
+pre-rewrite full-STA-per-trial path survives in
+:mod:`repro.synth.reference` and is regression-tested byte-identical.
+``SynthesisEvaluator`` batches (``evaluate_many``) with digest dedup
+through the shared cache and can route misses through a
+:class:`repro.distributed.SynthesisFarm`.
 """
 
 from repro.synth.optimizer import Synthesizer, SynthesisResult

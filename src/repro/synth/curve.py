@@ -145,17 +145,20 @@ def synthesize_curve(
     if synthesizer is None:
         synthesizer = Synthesizer()
     netlist = prefix_adder_netlist(graph, library)
+    # Compile + pin-swap once; every target forks the prepared state
+    # instead of recloning and re-timing the netlist from scratch.
+    prepared = synthesizer.prepare(netlist)
 
-    fast = synthesizer.optimize(netlist, target=0.0)
+    fast = synthesizer.optimize_prepared(prepared, target=0.0)
     samples = [(fast.delay, fast.area)]
     relaxed_target = max(fast.delay * 4.0, 1e-3)
-    relaxed = synthesizer.optimize(netlist, target=relaxed_target)
+    relaxed = synthesizer.optimize_prepared(prepared, target=relaxed_target)
     samples.append((relaxed.delay, relaxed.area))
 
     lo, hi = fast.delay, max(relaxed.delay, fast.delay * 1.01)
     for frac in np.linspace(0, 1, num_targets)[1:-1]:
         target = float(lo + (hi - lo) * frac)
-        result = synthesizer.optimize(netlist, target=target)
+        result = synthesizer.optimize_prepared(prepared, target=target)
         samples.append((result.delay, result.area))
 
     return AreaDelayCurve(samples)

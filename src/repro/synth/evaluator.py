@@ -46,6 +46,12 @@ class SynthesisEvaluator:
             (Section IV-B); must be nonnegative, normalized by the caller.
         cache: shared :class:`SynthesisCache` (one is created if omitted).
         c_area / c_delay: the paper's scaling constants.
+        farm: optional :class:`repro.distributed.SynthesisFarm`; batched
+            evaluations then route through its dispatch layer (dedup,
+            cache-aware routing, chunked worker submission) instead of
+            synthesizing misses serially in-process. The farm must target
+            the same library and synthesizer identity; it adopts this
+            evaluator's cache if it has none of its own.
     """
 
     def __init__(
@@ -57,6 +63,7 @@ class SynthesisEvaluator:
         cache: "SynthesisCache | None" = None,
         c_area: float = C_AREA,
         c_delay: float = C_DELAY,
+        farm=None,
     ):
         if w_area < 0 or w_delay < 0:
             raise ValueError("scalarization weights must be nonnegative")
@@ -67,6 +74,21 @@ class SynthesisEvaluator:
         self.cache = cache if cache is not None else SynthesisCache()
         self.c_area = c_area
         self.c_delay = c_delay
+        if farm is not None:
+            if farm.library_name != self.library.name:
+                raise ValueError(
+                    f"farm targets library {farm.library_name!r}, "
+                    f"evaluator uses {self.library.name!r}"
+                )
+            farm_synth = farm.synth_kwargs.get("name", "openphysyn")
+            if farm_synth != self.synthesizer.name:
+                raise ValueError(
+                    f"farm synthesizer {farm_synth!r} != evaluator "
+                    f"synthesizer {self.synthesizer.name!r} (cache keys would diverge)"
+                )
+            if farm.cache is None:
+                farm.cache = self.cache
+        self.farm = farm
 
     def curve(self, graph: PrefixGraph) -> AreaDelayCurve:
         """The graph's area-delay curve (cached by content digest)."""
@@ -90,7 +112,15 @@ class SynthesisEvaluator:
 
         Duplicate graphs in one batch (the common case in RL collection)
         resolve to a single lookup/synthesis; order matches the input.
+        With a :class:`repro.distributed.SynthesisFarm` attached, the whole
+        batch goes through the farm's dispatch layer (shared cache, only
+        misses cross the process boundary) in one call.
         """
+        # Serial farm mode (num_workers=0) is the deliberately-naive
+        # reference baseline (no dedup, no cache routing) — never route
+        # evaluator traffic through it.
+        if self.farm is not None and self.farm.num_workers > 0 and graphs:
+            return self.farm.evaluate_curves(list(graphs))
         unique: "dict[bytes, AreaDelayCurve]" = {}
         for graph in graphs:
             key = graph.key()

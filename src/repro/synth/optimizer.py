@@ -19,6 +19,14 @@ as greedy, STA-verified moves:
 
 All moves are deterministic (sorted iteration, name tie-breaks) so synthesis
 results — and therefore RL rewards — are reproducible.
+
+Since the :class:`repro.sta.TimingGraph` rewrite, one run compiles the
+netlist into the array engine once and applies/reverts every candidate
+move incrementally — the accept/reject check costs O(affected cone), not
+O(netlist). :meth:`Synthesizer.prepare` exposes the compiled, pin-swapped
+state so :func:`repro.synth.synthesize_curve` can fork it per delay target
+instead of recompiling; results are byte-identical to the original
+full-STA-per-trial path preserved in :mod:`repro.synth.reference`.
 """
 
 from __future__ import annotations
@@ -27,7 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.netlist.cleanup import remove_dead_logic
 from repro.netlist.ir import Netlist
-from repro.sta.timing import TimingReport, analyze_timing, net_load
+from repro.sta.graph import TimingGraph
 
 
 @dataclass
@@ -49,8 +57,21 @@ class SynthesisResult:
         )
 
 
+@dataclass
+class PreparedDesign:
+    """A pin-swapped netlist clone with its compiled timing graph.
+
+    Produced by :meth:`Synthesizer.prepare`; immutable from the caller's
+    point of view — every :meth:`Synthesizer.optimize_prepared` call forks
+    it, so one prepared design serves any number of delay targets.
+    """
+
+    tg: TimingGraph
+    pin_swaps: int
+
+
 class Synthesizer:
-    """Greedy timing-driven optimizer with STA-verified moves.
+    """Greedy timing-driven optimizer with incrementally STA-verified moves.
 
     Args:
         name: tool identifier (part of synthesis-cache keys).
@@ -86,46 +107,64 @@ class Synthesizer:
         self.recovery_passes = recovery_passes
 
     # ------------------------------------------------------------------
-    # Public entry point
+    # Public entry points
     # ------------------------------------------------------------------
+
+    def prepare(self, netlist: Netlist) -> PreparedDesign:
+        """Clone, pin-swap and compile ``netlist`` once, for reuse across targets.
+
+        Pin swapping is target-independent, so the swapped + compiled state
+        is shared by every target of a curve; the original netlist is never
+        mutated.
+        """
+        nl = netlist.clone()
+        tg = TimingGraph(nl)
+        swaps = self._pin_swap_pass(tg) if self.enable_pin_swap else 0
+        return PreparedDesign(tg=tg, pin_swaps=swaps)
 
     def optimize(self, netlist: Netlist, target: float) -> SynthesisResult:
         """Optimize a copy of ``netlist`` toward ``target`` (ns)."""
-        nl = netlist.clone()
-        moves = {"pin_swap": 0, "size_up": 0, "buffer": 0, "clone": 0, "size_down": 0}
+        return self.optimize_prepared(self.prepare(netlist), target)
 
-        if self.enable_pin_swap:
-            moves["pin_swap"] += self._pin_swap_pass(nl)
+    def optimize_prepared(self, prepared: PreparedDesign, target: float) -> SynthesisResult:
+        """Run the greedy passes against a fork of a prepared design."""
+        tg = prepared.tg.fork(target=target)
+        nl = tg.nl
+        moves = {
+            "pin_swap": prepared.pin_swaps,
+            "size_up": 0,
+            "buffer": 0,
+            "clone": 0,
+            "size_down": 0,
+        }
 
-        report = analyze_timing(nl, target)
         for _ in range(self.max_rounds):
-            if report.wns >= 0:
+            if tg.wns >= 0:
                 break
-            before = report.delay
-            report, accepted = self._sizing_pass(nl, target, report)
-            moves["size_up"] += accepted
-            if report.wns < 0 and self.enable_buffering:
-                report, accepted = self._buffering_pass(nl, target, report)
-                moves["buffer"] += accepted
-            if report.wns < 0 and self.enable_cloning:
-                report, accepted = self._cloning_pass(nl, target, report)
-                moves["clone"] += accepted
-            if report.delay >= before - 1e-12:
+            before = tg.delay
+            moves["size_up"] += self._sizing_pass(tg)
+            if tg.wns < 0 and self.enable_buffering:
+                moves["buffer"] += self._buffering_pass(tg)
+            if tg.wns < 0 and self.enable_cloning:
+                moves["clone"] += self._cloning_pass(tg)
+            if tg.delay >= before - 1e-12:
                 break
 
         for _ in range(self.recovery_passes):
-            report, accepted = self._recovery_pass(nl, target, report)
+            accepted = self._recovery_pass(tg)
             moves["size_down"] += accepted
             if not accepted:
                 break
 
-        remove_dead_logic(nl)
-        report = analyze_timing(nl, target)
+        # Removing through the graph keeps the analysis live (dropped
+        # sinks lighten their nets, which re-times the fanin cones), so
+        # the final delay/WNS need no recompile.
+        remove_dead_logic(nl, remove=tg.remove_instance)
         return SynthesisResult(
             area=nl.area(),
-            delay=report.delay,
+            delay=tg.delay,
             target=target,
-            met=report.wns >= 0,
+            met=tg.wns >= 0,
             netlist=nl,
             moves=moves,
         )
@@ -134,9 +173,15 @@ class Synthesizer:
     # Pin swapping
     # ------------------------------------------------------------------
 
-    def _pin_swap_pass(self, nl: Netlist) -> int:
-        """Assign later-arriving nets to faster pins within commutative groups."""
-        report = analyze_timing(nl)
+    def _pin_swap_pass(self, tg: TimingGraph) -> int:
+        """Assign later-arriving nets to faster pins within commutative groups.
+
+        Decisions read one arrival snapshot (the pass does not re-analyze
+        between swaps — same as the reference pass); the engine re-times
+        the swapped cones lazily afterwards.
+        """
+        nl = tg.nl
+        arrival = tg.report().arrival
         swaps = 0
         for name in sorted(nl.instances):
             inst = nl.instances[name]
@@ -146,10 +191,10 @@ class Synthesizer:
                 pin_a, pin_b = group
                 # Fast pin should carry the late net.
                 fast, slow = sorted(group, key=lambda p: inst.cell.intrinsics[p])
-                arr_fast = report.arrival[inst.pins[fast]]
-                arr_slow = report.arrival[inst.pins[slow]]
+                arr_fast = arrival[inst.pins[fast]]
+                arr_slow = arrival[inst.pins[slow]]
                 if arr_slow > arr_fast:
-                    nl.swap_pins(name, pin_a, pin_b)
+                    tg.swap_pins(name, pin_a, pin_b)
                     swaps += 1
         return swaps
 
@@ -157,13 +202,14 @@ class Synthesizer:
     # Gate sizing
     # ------------------------------------------------------------------
 
-    def _upsize_gain(self, nl: Netlist, name: str) -> float:
+    def _upsize_gain(self, tg: TimingGraph, name: str) -> float:
         """Analytic benefit estimate of one upsize step (ns saved)."""
+        nl = tg.nl
         inst = nl.instances[name]
         bigger = nl.library.next_size_up(inst.cell)
         if bigger is None:
             return -1.0
-        load = net_load(nl, inst.output_net)
+        load = tg.load_of(inst.output_net)
         gain = (inst.cell.resistance - bigger.resistance) * load
         # Penalty: heavier input pins slow the driver of each input net.
         for pin, net in inst.input_nets():
@@ -174,48 +220,45 @@ class Synthesizer:
             gain -= nl.instances[drv].cell.resistance * extra_cap
         return gain
 
-    def _sizing_pass(
-        self, nl: Netlist, target: float, report: TimingReport
-    ) -> "tuple[TimingReport, int]":
-        """Greedy critical-path upsizing with measured accept/revert."""
+    def _sizing_pass(self, tg: TimingGraph) -> int:
+        """Greedy critical-path upsizing with incrementally measured accept/revert."""
+        nl = tg.nl
         accepted = 0
         rejected: "set[tuple[str, str]]" = set()
-        while accepted < self.max_sizing_moves and report.wns < 0:
+        while accepted < self.max_sizing_moves and tg.wns < 0:
             candidates = []
-            for name in report.critical_path:
+            for name in tg.critical_path():
                 inst = nl.instances[name]
                 bigger = nl.library.next_size_up(inst.cell)
                 if bigger is None or (name, bigger.name) in rejected:
                     continue
-                candidates.append((self._upsize_gain(nl, name), name, bigger))
+                candidates.append((self._upsize_gain(tg, name), name, bigger))
             candidates = [c for c in candidates if c[0] > 0]
             if not candidates:
                 break
             candidates.sort(key=lambda c: (-c[0], c[1]))
             _, name, bigger = candidates[0]
             old_cell = nl.instances[name].cell
-            nl.replace_cell(name, bigger)
-            trial = analyze_timing(nl, target)
-            if trial.delay < report.delay - 1e-12:
-                report = trial
+            prev_delay = tg.delay
+            tg.replace_cell(name, bigger)
+            if tg.delay < prev_delay - 1e-12:
                 accepted += 1
             else:
-                nl.replace_cell(name, old_cell)
+                tg.replace_cell(name, old_cell)
                 rejected.add((name, bigger.name))
-        return report, accepted
+        return accepted
 
     # ------------------------------------------------------------------
     # Buffer insertion
     # ------------------------------------------------------------------
 
-    def _buffering_pass(
-        self, nl: Netlist, target: float, report: TimingReport
-    ) -> "tuple[TimingReport, int]":
+    def _buffering_pass(self, tg: TimingGraph) -> int:
         """Shield non-critical sinks of critical high-fanout nets behind a buffer."""
+        nl = tg.nl
         accepted = 0
-        critical_insts = set(report.critical_path)
-        critical_nets = {nl.instances[i].output_net for i in critical_insts}
-        for name in list(report.critical_path):
+        path = tg.critical_path()
+        critical_insts = set(path)
+        for name in list(path):
             inst = nl.instances[name]
             net = inst.output_net
             sinks = nl.sinks_of(net)
@@ -228,33 +271,31 @@ class Synthesizer:
                 continue
             buf_cell = nl.library.pick("BUF", min(4, nl.library.variants("BUF")[-1].drive))
             buf_out = nl.fresh_net("bufnet")
-            buf = nl.add_instance(buf_cell, {"A": net, buf_cell.output_pin: buf_out})
+            prev_delay = tg.delay
+            buf = tg.add_instance(buf_cell, {"A": net, buf_cell.output_pin: buf_out})
             for sink_name, pin in offload:
-                nl.rewire_sink(sink_name, pin, buf_out)
-            trial = analyze_timing(nl, target)
-            if trial.delay < report.delay - 1e-12:
-                report = trial
+                tg.rewire_sink(sink_name, pin, buf_out)
+            if tg.delay < prev_delay - 1e-12:
                 accepted += 1
             else:
                 for sink_name, pin in offload:
-                    nl.rewire_sink(sink_name, pin, net)
-                nl.remove_instance(buf.name)
-            if report.wns >= 0:
+                    tg.rewire_sink(sink_name, pin, net)
+                tg.remove_instance(buf.name)
+            if tg.wns >= 0:
                 break
-        del critical_nets
-        return report, accepted
+        return accepted
 
     # ------------------------------------------------------------------
     # Gate cloning
     # ------------------------------------------------------------------
 
-    def _cloning_pass(
-        self, nl: Netlist, target: float, report: TimingReport
-    ) -> "tuple[TimingReport, int]":
+    def _cloning_pass(self, tg: TimingGraph) -> int:
         """Duplicate critical multi-fanout cells; clone serves non-critical sinks."""
+        nl = tg.nl
         accepted = 0
-        critical_insts = set(report.critical_path)
-        for name in list(report.critical_path):
+        path = tg.critical_path()
+        critical_insts = set(path)
+        for name in list(path):
             inst = nl.instances.get(name)
             if inst is None or inst.cell.function == "BUF":
                 continue
@@ -270,38 +311,39 @@ class Synthesizer:
             clone_out = nl.fresh_net("clone")
             pins = dict(inst.pins)
             pins[inst.cell.output_pin] = clone_out
-            clone = nl.add_instance(inst.cell, pins)
+            prev_delay = tg.delay
+            clone = tg.add_instance(inst.cell, pins)
             for sink_name, pin in offload:
-                nl.rewire_sink(sink_name, pin, clone_out)
-            trial = analyze_timing(nl, target)
-            if trial.delay < report.delay - 1e-12:
-                report = trial
+                tg.rewire_sink(sink_name, pin, clone_out)
+            if tg.delay < prev_delay - 1e-12:
                 accepted += 1
             else:
                 for sink_name, pin in offload:
-                    nl.rewire_sink(sink_name, pin, net)
-                nl.remove_instance(clone.name)
-            if report.wns >= 0:
+                    tg.rewire_sink(sink_name, pin, net)
+                tg.remove_instance(clone.name)
+            if tg.wns >= 0:
                 break
-        return report, accepted
+        return accepted
 
     # ------------------------------------------------------------------
     # Area recovery
     # ------------------------------------------------------------------
 
-    def _recovery_pass(
-        self, nl: Netlist, target: float, report: TimingReport
-    ) -> "tuple[TimingReport, int]":
+    def _recovery_pass(self, tg: TimingGraph) -> int:
         """Downsize off-critical cells while the achieved delay holds.
 
         When the target is met, any move keeping WNS >= 0 is accepted; when
         it is not met (infeasible target), moves must not worsen the delay.
+        Slacks are recomputed (lazily) only when a move is accepted —
+        rejected trials restore the analysis state exactly.
         """
+        nl = tg.nl
         accepted = 0
-        baseline_delay = report.delay
+        baseline_delay = tg.delay
+        slacks = tg.slack_map()
         names = sorted(
             nl.instances,
-            key=lambda n: -report.slack.get(nl.instances[n].output_net, 0.0),
+            key=lambda n: -slacks.get(nl.instances[n].output_net, 0.0),
         )
         for name in names:
             inst = nl.instances.get(name)
@@ -310,16 +352,16 @@ class Synthesizer:
             smaller = nl.library.next_size_down(inst.cell)
             if smaller is None:
                 continue
-            slack = report.slack.get(inst.output_net, 0.0)
-            if report.wns >= 0 and slack <= 0:
+            slack = slacks.get(inst.output_net, 0.0)
+            was_met = tg.wns >= 0
+            if was_met and slack <= 0:
                 continue
             old_cell = inst.cell
-            nl.replace_cell(name, smaller)
-            trial = analyze_timing(nl, target)
-            ok = trial.wns >= 0 if report.wns >= 0 else trial.delay <= baseline_delay + 1e-12
+            tg.replace_cell(name, smaller)
+            ok = tg.wns >= 0 if was_met else tg.delay <= baseline_delay + 1e-12
             if ok:
-                report = trial
                 accepted += 1
+                slacks = tg.slack_map()
             else:
-                nl.replace_cell(name, old_cell)
-        return report, accepted
+                tg.replace_cell(name, old_cell)
+        return accepted

@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.cells import nangate45
 from repro.env import PrefixEnv, VectorPrefixEnv
 from repro.rl import ReplayBuffer, ScalarizedDoubleDQN, Trainer, TrainerConfig
-from repro.synth import AnalyticalEvaluator
+from repro.synth import AnalyticalEvaluator, SynthesisCache, SynthesisEvaluator
 
 
 def make_vector(n=6, num_envs=3, horizon=8):
@@ -71,6 +72,124 @@ class TestVectorPrefixEnv:
         venv.reset()
         with pytest.raises(ValueError):
             venv.step([0])
+
+
+class CountingEvaluator(SynthesisEvaluator):
+    """SynthesisEvaluator that records how it was invoked."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.evaluate_calls = 0
+        self.evaluate_many_calls = 0
+
+    def evaluate(self, graph):
+        self.evaluate_calls += 1
+        return super().evaluate(graph)
+
+    def evaluate_many(self, graphs):
+        self.evaluate_many_calls += 1
+        return super().evaluate_many(graphs)
+
+
+class TestBatchedSynthesisEvaluation:
+    """The tentpole contract: replicas do not serialize on synthesis."""
+
+    def _synthesis_vector(self, n=8, num_envs=3, horizon=3):
+        lib = nangate45()
+        cache = SynthesisCache()
+        evaluators = [CountingEvaluator(lib, cache=cache) for _ in range(num_envs)]
+        it = iter(evaluators)
+        venv = VectorPrefixEnv.make(
+            n, lambda: next(it), num_envs=num_envs, horizon=horizon, seed=0
+        )
+        return venv, evaluators
+
+    def test_shared_cache_evaluators_are_batched(self):
+        venv, evaluators = self._synthesis_vector()
+        assert venv._batch_evaluator is evaluators[0]
+        venv.reset()
+        before_many = evaluators[0].evaluate_many_calls
+        per_replica_before = [ev.evaluate_calls for ev in evaluators]
+        masks = venv.legal_masks()
+        venv.step([int(np.nonzero(m)[0][0]) for m in masks])
+        # One batched call for the round's successors, zero serial calls.
+        assert evaluators[0].evaluate_many_calls == before_many + 1
+        assert [ev.evaluate_calls for ev in evaluators] == per_replica_before
+
+    def test_auto_reset_starts_are_batched_too(self):
+        venv, evaluators = self._synthesis_vector(horizon=1)
+        venv.reset()
+        before = evaluators[0].evaluate_many_calls
+        masks = venv.legal_masks()
+        results = venv.step([int(np.nonzero(m)[0][0]) for m in masks])
+        assert all(r.done for r in results)
+        # Successor batch + reset-start batch.
+        assert evaluators[0].evaluate_many_calls == before + 2
+
+    def test_private_caches_fall_back_to_serial(self):
+        lib = nangate45()
+        evaluators = [CountingEvaluator(lib) for _ in range(2)]
+        it = iter(evaluators)
+        venv = VectorPrefixEnv.make(8, lambda: next(it), num_envs=2, horizon=3, seed=0)
+        assert venv._batch_evaluator is None
+        venv.reset()
+        masks = venv.legal_masks()
+        venv.step([int(np.nonzero(m)[0][0]) for m in masks])
+        assert evaluators[0].evaluate_many_calls == 0
+        assert all(ev.evaluate_calls > 0 for ev in evaluators)
+
+    def test_analytical_evaluator_not_batched(self):
+        venv = make_vector()
+        assert venv._batch_evaluator is None
+
+    def test_mixed_scalarization_weights_fall_back_to_serial(self):
+        # A weight sweep over one shared cache must NOT batch: each
+        # replica picks a different w-optimal point on the shared curve.
+        lib = nangate45()
+        cache = SynthesisCache()
+        weights = iter(((0.8, 0.2), (0.2, 0.8)))
+
+        def factory():
+            wa, wd = next(weights)
+            return SynthesisEvaluator(lib, w_area=wa, w_delay=wd, cache=cache)
+
+        venv = VectorPrefixEnv.make(8, factory, num_envs=2, horizon=3, seed=0)
+        assert venv._batch_evaluator is None
+        # Serial stepping still works and respects per-replica weights.
+        venv.reset()
+        masks = venv.legal_masks()
+        results = venv.step([int(np.nonzero(m)[0][0]) for m in masks])
+        assert len(results) == 2
+
+    def test_batched_trajectory_matches_serial(self):
+        # Same seeds, same actions: batched evaluation must not change
+        # rewards, infos, or auto-reset states — only how synthesis is
+        # dispatched.
+        def rollout(shared_cache):
+            lib = nangate45()
+            cache = SynthesisCache()
+            if shared_cache:
+                venv = VectorPrefixEnv.make(
+                    8, lambda: SynthesisEvaluator(lib, cache=cache),
+                    num_envs=2, horizon=2, seed=0,
+                )
+            else:
+                venv = VectorPrefixEnv.make(
+                    8, lambda: SynthesisEvaluator(lib),
+                    num_envs=2, horizon=2, seed=0,
+                )
+            venv.reset()
+            trace = []
+            for _ in range(4):
+                masks = venv.legal_masks()
+                results = venv.step([int(np.nonzero(m)[0][0]) for m in masks])
+                trace.append(
+                    [(tuple(r.reward), r.done, r.info["area"], r.info["delay"]) for r in results]
+                )
+            trace.append([s.key() for s in venv.states])
+            return trace
+
+        assert rollout(shared_cache=True) == rollout(shared_cache=False)
 
 
 class TestActBatch:

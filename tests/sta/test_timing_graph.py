@@ -1,0 +1,167 @@
+"""Property tests: the array-backed TimingGraph vs the reference STA oracle.
+
+The incremental engine must be *bit-identical* — same floats, same worst
+arcs, same dict contents — to :func:`repro.sta.reference.analyze_timing_reference`
+both on full analyses of randomized adder netlists and after randomized
+incremental move sequences (resize, pin swap, buffer-style insert/rewire,
+removal, with reverts)."""
+
+import numpy as np
+import pytest
+
+from repro.cells import nangate45
+from repro.netlist import prefix_adder_netlist
+from repro.prefix import REGULAR_STRUCTURES
+from repro.sta import TimingGraph, analyze_timing
+from repro.sta.reference import analyze_timing_reference
+from tests.conftest import random_walk_graph
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate45()
+
+
+def assert_reports_identical(got, want, ctx=""):
+    assert got.delay == want.delay, ctx
+    assert got.wns == want.wns, ctx
+    assert got.critical_path == want.critical_path, ctx
+    assert got.arrival == want.arrival, ctx
+    assert got.required == want.required, ctx
+    assert got.slack == want.slack, ctx
+    assert got.area == want.area, ctx
+
+
+def random_netlists(n, rng, lib, walks=3):
+    graphs = [ctor(n) for ctor in REGULAR_STRUCTURES.values()]
+    graphs += [random_walk_graph(n, 20, rng) for _ in range(walks)]
+    return [prefix_adder_netlist(g, lib) for g in graphs]
+
+
+class TestFullAnalysis:
+    @pytest.mark.parametrize("n", (4, 8, 16))
+    def test_bit_identical_to_reference(self, n, rng, lib):
+        for nl in random_netlists(n, rng, lib):
+            for target in (None, 0.0, 0.3, 2.0):
+                got = analyze_timing(nl, target)
+                want = analyze_timing_reference(nl, target)
+                assert_reports_identical(got, want, (nl.name, target))
+
+    def test_input_arrivals(self, rng, lib):
+        nl = random_netlists(8, rng, lib, walks=1)[-1]
+        arrivals = {"a3": 0.25, "b0": 0.1}
+        got = analyze_timing(nl, 0.5, input_arrivals=arrivals)
+        want = analyze_timing_reference(nl, 0.5, input_arrivals=arrivals)
+        assert_reports_identical(got, want)
+
+    def test_rejects_unknown_input_arrival(self, lib):
+        nl = prefix_adder_netlist(REGULAR_STRUCTURES["sklansky"](4), lib)
+        with pytest.raises(ValueError, match="non-input"):
+            TimingGraph(nl, input_arrivals={"nope": 1.0})
+
+    def test_empty_netlist(self, lib):
+        from repro.netlist import Netlist
+
+        nl = Netlist("empty", lib)
+        nl.add_input("a")
+        tg = TimingGraph(nl)
+        assert tg.delay == 0.0
+        assert tg.critical_path() == []
+
+
+def apply_random_move(tg, rng):
+    """One random optimizer-style move through the TimingGraph API."""
+    nl = tg.nl
+    names = sorted(nl.instances)
+    name = names[int(rng.integers(len(names)))]
+    inst = nl.instances[name]
+    kind = int(rng.integers(4))
+    if kind == 0:
+        bigger = nl.library.next_size_up(inst.cell)
+        if bigger is not None:
+            tg.replace_cell(name, bigger)
+    elif kind == 1:
+        smaller = nl.library.next_size_down(inst.cell)
+        if smaller is not None:
+            tg.replace_cell(name, smaller)
+    elif kind == 2:
+        groups = inst.cell.spec.commutative_groups
+        if groups and len(groups[0]) == 2:
+            tg.swap_pins(name, groups[0][0], groups[0][1])
+    else:
+        net = inst.output_net
+        sinks = nl.sinks_of(net)
+        if net in nl.outputs or len(sinks) < 2:
+            return
+        buf_cell = nl.library.pick("BUF", 1)
+        buf_out = nl.fresh_net("bufnet")
+        buf = tg.add_instance(buf_cell, {"A": net, buf_cell.output_pin: buf_out})
+        offload = sinks[: len(sinks) // 2]
+        for sink_name, pin in offload:
+            tg.rewire_sink(sink_name, pin, buf_out)
+        if rng.integers(2):
+            # Revert, optimizer-style: rewire back, drop the buffer.
+            for sink_name, pin in offload:
+                tg.rewire_sink(sink_name, pin, net)
+            tg.remove_instance(buf.name)
+
+
+class TestIncremental:
+    @pytest.mark.parametrize("n", (4, 8))
+    def test_random_move_sequences_match_oracle(self, n, rng, lib):
+        for nl in random_netlists(n, rng, lib, walks=2)[:4]:
+            tg = TimingGraph(nl, target=0.3)
+            for step in range(60):
+                apply_random_move(tg, rng)
+                if step % 6 == 0:
+                    want = analyze_timing_reference(nl, 0.3)
+                    assert_reports_identical(tg.report(), want, (nl.name, step))
+            assert_reports_identical(tg.report(), analyze_timing_reference(nl, 0.3))
+            nl.validate()
+
+    def test_replace_cell_revert_restores_state(self, rng, lib):
+        nl = prefix_adder_netlist(REGULAR_STRUCTURES["sklansky"](8), lib)
+        tg = TimingGraph(nl, target=0.3)
+        before = tg.report()
+        name = sorted(nl.instances)[5]
+        old = nl.instances[name].cell
+        bigger = lib.next_size_up(old)
+        tg.replace_cell(name, bigger)
+        tg.replace_cell(name, old)
+        assert_reports_identical(tg.report(), before)
+
+    def test_queries_match_reference_pointwise(self, rng, lib):
+        nl = prefix_adder_netlist(REGULAR_STRUCTURES["brent_kung"](8), lib)
+        tg = TimingGraph(nl, target=0.4)
+        for _ in range(20):
+            apply_random_move(tg, rng)
+        ref = analyze_timing_reference(nl, 0.4)
+        assert tg.delay == ref.delay
+        assert tg.wns == ref.wns
+        for net, arr in ref.arrival.items():
+            assert tg.arrival_of(net) == arr
+            assert tg.slack_of(net) == ref.slack[net]
+        assert tg.slack_map() == ref.slack
+        from repro.sta.timing import net_load
+
+        for inst in nl.instances.values():
+            assert tg.load_of(inst.output_net) == net_load(nl, inst.output_net)
+
+    def test_fork_is_independent(self, rng, lib):
+        nl = prefix_adder_netlist(REGULAR_STRUCTURES["sklansky"](8), lib)
+        tg = TimingGraph(nl, target=0.3)
+        fork = tg.fork(target=0.1)
+        assert fork.target == 0.1
+        # Mutate the fork heavily; the original must be untouched.
+        for _ in range(20):
+            apply_random_move(fork, rng)
+        assert_reports_identical(tg.report(), analyze_timing_reference(nl, 0.3))
+        assert_reports_identical(
+            fork.report(), analyze_timing_reference(fork.nl, 0.1)
+        )
+
+    def test_no_target_slack_raises(self, lib):
+        nl = prefix_adder_netlist(REGULAR_STRUCTURES["sklansky"](4), lib)
+        tg = TimingGraph(nl)
+        with pytest.raises(ValueError, match="without a target"):
+            tg.slack_of(nl.outputs[0])

@@ -181,6 +181,73 @@ class TestFarmDispatchLayer:
                 farm.evaluate_curves([sklansky(8)])
 
 
+class TestFarmStatsObservability:
+    def test_cumulative_counters_across_batches(self):
+        from repro.synth import SynthesisCache
+
+        cache = SynthesisCache()
+        with SynthesisFarm("nangate45", num_workers=2, cache=cache) as farm:
+            farm.evaluate_curves([sklansky(8), sklansky(8), brent_kung(8)])
+            farm.evaluate_curves([sklansky(8)])
+        stats = farm.stats()
+        assert stats["mode"] == "pool[2]"
+        assert stats["batches"] == 2
+        assert stats["graphs"] == 4
+        assert stats["unique_graphs"] == 3  # 2 in batch one, 1 in batch two
+        assert stats["dedup_saved"] == 1
+        assert stats["cache_hits"] == 1  # batch-two sklansky came from cache
+        assert stats["dispatched"] == 2
+        assert stats["cache"]["entries"] == 2
+        assert stats["cache"]["hits"] == cache.hits
+        assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
+
+    def test_serial_mode_counts_without_cache_section(self):
+        farm = SynthesisFarm("nangate45", num_workers=0)
+        farm.evaluate_curves([sklansky(8), sklansky(8)])
+        stats = farm.stats()
+        assert stats["mode"] == "serial"
+        assert stats["graphs"] == 2
+        assert stats["dedup_saved"] == 0  # serial reference mode never dedups
+        assert "cache" not in stats
+
+
+class TestEvaluatorFarmRouting:
+    def test_curve_many_routes_through_pooled_farm(self):
+        from repro.synth import SynthesisEvaluator
+
+        lib = nangate45()
+        with SynthesisFarm("nangate45", num_workers=2) as farm:
+            evaluator = SynthesisEvaluator(lib, farm=farm)
+            assert farm.cache is evaluator.cache  # farm adopted the cache
+            metrics = evaluator.evaluate_many([sklansky(8), sklansky(8), brent_kung(8)])
+            assert farm.stats()["batches"] == 1
+            assert farm.stats()["unique_graphs"] == 2
+        assert metrics[0] == metrics[1]
+        # Results agree with the local (farmless) path.
+        local = SynthesisEvaluator(lib)
+        assert metrics == local.evaluate_many([sklansky(8), sklansky(8), brent_kung(8)])
+
+    def test_serial_farm_not_used_for_evaluator_traffic(self):
+        from repro.synth import SynthesisEvaluator
+
+        farm = SynthesisFarm("nangate45", num_workers=0)
+        evaluator = SynthesisEvaluator(nangate45(), farm=farm)
+        evaluator.evaluate_many([sklansky(8)])
+        assert farm.stats()["batches"] == 0
+        assert evaluator.cache.misses == 1  # went through the cached local path
+
+    def test_mismatched_farm_rejected(self):
+        from repro.synth import SynthesisEvaluator
+
+        with pytest.raises(ValueError, match="library"):
+            SynthesisEvaluator(nangate45(), farm=SynthesisFarm("industrial8nm"))
+        with pytest.raises(ValueError, match="synthesizer"):
+            SynthesisEvaluator(
+                nangate45(),
+                farm=SynthesisFarm("nangate45", synth_kwargs={"name": "other"}),
+            )
+
+
 class TestEvaluatorBatching:
     def test_evaluate_many_dedups_lookups(self):
         from repro.synth import SynthesisCache, SynthesisEvaluator
