@@ -41,6 +41,7 @@ import inspect
 import json
 import os
 import platform
+import re
 import time
 
 import numpy as np
@@ -57,6 +58,11 @@ try:
 except ImportError:  # seed tree: no vectorized environment yet
     VectorPrefixEnv = None
 
+try:
+    from repro.rl import RuntimeConfig, TrainingRuntime
+except ImportError:  # seed/parent trees: no actor-learner runtime yet
+    TrainingRuntime = None
+
 AGENT_HAS_DTYPE = "dtype" in inspect.signature(ScalarizedDoubleDQN.__init__).parameters
 
 FEATURE_WIDTHS = (16, 32, 64)
@@ -69,6 +75,17 @@ SYNTHESIS_REPEATS = {16: 3, 32: 1}
 FARM_WIDTH = 16
 FARM_WORKERS = 4
 FARM_REPEATS = 3
+RUNTIME_WIDTH = 16
+RUNTIME_STEPS = 96
+RUNTIME_ROUNDS = 3
+RUNTIME_ACTORS = 2
+RUNTIME_ENVS_PER_ACTOR = 4
+RUNTIME_HORIZON = 8
+RUNTIME_NET = dict(blocks=2, channels=16)
+RUNTIME_CONFIG = dict(
+    batch_size=16, warmup_steps=16, learn_every=8, epsilon_anneal_frac=0.3
+)
+RUNTIME_PUBLISH_EVERY = 4
 
 
 def random_walk_grid(n: int, steps: int, rng: np.random.Generator) -> np.ndarray:
@@ -216,8 +233,134 @@ def bench_farm() -> dict:
     return out
 
 
+def _runtime_serial_throughput() -> "tuple[float, int]":
+    """The synchronous path: the same env count stepped one at a time.
+
+    This is the loop a user writes without the vector/runtime machinery —
+    per-env acting (one network forward per step), per-env synthesis
+    through a shared cache, learner inline on the synchronous cadence.
+    Uses only seed-tree APIs so it runs on every commit.
+    """
+    from repro.synth import SynthesisCache, SynthesisEvaluator
+    from repro.rl import ReplayBuffer, Transition
+
+    n = RUNTIME_WIDTH
+    lib = nangate45()
+    cache = SynthesisCache()
+    num_envs = RUNTIME_ACTORS * RUNTIME_ENVS_PER_ACTOR
+    config = TrainerConfig(steps=RUNTIME_STEPS, **RUNTIME_CONFIG)
+    agent = ScalarizedDoubleDQN(n, rng=0, **RUNTIME_NET)
+    envs = [
+        PrefixEnv(n, SynthesisEvaluator(lib, cache=cache), horizon=RUNTIME_HORIZON, rng=i)
+        for i in range(num_envs)
+    ]
+    buf = ReplayBuffer(config.buffer_capacity, rng=0)
+    anneal = max(int(RUNTIME_STEPS * config.epsilon_anneal_frac), 1)
+    start = time.perf_counter()
+    obs = [env.observe(env.reset()) for env in envs]
+    masks = [env.legal_mask() for env in envs]
+    steps = 0
+    while steps < RUNTIME_STEPS:
+        frac = min(steps / anneal, 1.0)
+        epsilon = config.epsilon_start + (config.epsilon_end - config.epsilon_start) * frac
+        for i, env in enumerate(envs):
+            if steps >= RUNTIME_STEPS:
+                break
+            action_idx = agent.act(obs[i], masks[i], epsilon=epsilon)
+            result = env.step(env.action_space.action(action_idx))
+            next_obs = env.observe(result.next_state)
+            next_mask = env.legal_mask(result.next_state)
+            buf.push(Transition(obs[i], action_idx, result.reward,
+                                next_obs, next_mask, result.done))
+            if result.done:
+                state = env.reset()
+                obs[i], masks[i] = env.observe(state), env.legal_mask(state)
+            else:
+                obs[i], masks[i] = next_obs, next_mask
+            steps += 1
+            if len(buf) >= config.warmup_steps and (steps - 1) % config.learn_every == 0:
+                agent.train_step(buf.sample(config.batch_size))
+    wall = time.perf_counter() - start
+    return steps / wall, cache.misses
+
+
+def _runtime_async_throughput() -> "tuple[float, int]":
+    """The actor-learner runtime on the same workload and env count."""
+    from repro.synth import SynthesisCache, SynthesisEvaluator
+
+    n = RUNTIME_WIDTH
+    lib = nangate45()
+    cache = SynthesisCache()
+    config = TrainerConfig(steps=RUNTIME_STEPS, **RUNTIME_CONFIG)
+    agent = ScalarizedDoubleDQN(n, rng=0, **RUNTIME_NET)
+    envs = [
+        VectorPrefixEnv.make(
+            n, lambda: SynthesisEvaluator(lib, cache=cache),
+            num_envs=RUNTIME_ENVS_PER_ACTOR, horizon=RUNTIME_HORIZON,
+            seed=i * RUNTIME_ENVS_PER_ACTOR,
+        )
+        for i in range(RUNTIME_ACTORS)
+    ]
+    runtime = TrainingRuntime(
+        envs, agent, config,
+        RuntimeConfig(
+            mode="async", num_actors=RUNTIME_ACTORS,
+            publish_every=RUNTIME_PUBLISH_EVERY,
+        ),
+        rng=0,
+    )
+    start = time.perf_counter()
+    history = runtime.run()
+    wall = time.perf_counter() - start
+    return history.env_steps / wall, cache.misses
+
+
+def bench_runtime() -> "dict | None":
+    """Async actor-learner runtime vs the serial synchronous path.
+
+    Interleaved rounds (serial, async, serial, async, ...), best-of per
+    mode — the host drifts, so only interleaved measurements are
+    comparable. Both modes step the same number of environments on the
+    same synthesis-in-the-loop workload; the async side additionally
+    reports its synthesis-miss count (batched ``evaluate_many`` dedup and
+    cross-actor cache sharing do strictly less synthesis work). On this
+    1-CPU container there is no latency to hide, so wall-clock lands at
+    parity — the async payoff in steps/sec needs parallel hardware
+    (multi-host actors, see ROADMAP).
+    """
+    if TrainingRuntime is None or VectorPrefixEnv is None:
+        return None
+    best = {"serial": 0.0, "async": 0.0}
+    misses = {}
+    for _ in range(RUNTIME_ROUNDS):
+        for mode, fn in (("serial", _runtime_serial_throughput),
+                         ("async", _runtime_async_throughput)):
+            sps, miss = fn()
+            best[mode] = max(best[mode], sps)
+            misses[mode] = min(misses.get(mode, miss), miss)
+    row = {
+        "steps": RUNTIME_STEPS,
+        "actors": RUNTIME_ACTORS,
+        "envs_per_actor": RUNTIME_ENVS_PER_ACTOR,
+        "rounds": RUNTIME_ROUNDS,
+        "serial_steps_per_sec": best["serial"],
+        "async_steps_per_sec": best["async"],
+        "serial_synthesis_misses": misses["serial"],
+        "async_synthesis_misses": misses["async"],
+        "async_over_serial": best["async"] / max(best["serial"], 1e-9),
+        "async_synthesis_work_saved": 1.0 - misses["async"] / max(misses["serial"], 1),
+    }
+    out = {str(RUNTIME_WIDTH): row}
+    print(f"runtime n={RUNTIME_WIDTH}: serial {best['serial']:.2f} steps/s "
+          f"({misses['serial']} misses), "
+          f"async[{RUNTIME_ACTORS}x{RUNTIME_ENVS_PER_ACTOR}] {best['async']:.2f} "
+          f"steps/s ({misses['async']} misses) -> {row['async_over_serial']:.2f}x "
+          f"wall, {row['async_synthesis_work_saved']:.0%} less synthesis")
+    return out
+
+
 def measure() -> dict:
-    return {
+    out = {
         "machine": {
             "platform": platform.platform(),
             "python": platform.python_version(),
@@ -235,6 +378,10 @@ def measure() -> dict:
         "synthesis": bench_synthesis(),
         "synthesis_farm": bench_farm(),
     }
+    runtime = bench_runtime()
+    if runtime is not None:
+        out["runtime"] = runtime
+    return out
 
 
 def _section_speedups(baseline: dict, current: dict) -> dict:
@@ -273,6 +420,12 @@ def merge(baseline: dict, current: dict, parent: "dict | None" = None) -> dict:
     """
     speedups = _section_speedups(baseline, current)
     speedups["farm_pool_over_serial"] = current["synthesis_farm"]["pool_speedup"]
+    for row in current.get("runtime", {}).values():
+        # Within-run ratios (interleaved best-of), like the farm number.
+        speedups[f"runtime_async{row['actors']}_over_serial"] = row["async_over_serial"]
+        speedups[f"runtime_async{row['actors']}_synthesis_saved"] = (
+            row["async_synthesis_work_saved"]
+        )
     result = {"seed_baseline": baseline, "optimized": current, "speedups": speedups}
     if parent is not None:
         result["parent_baseline"] = parent
@@ -284,6 +437,7 @@ def apply_smoke_workload() -> None:
     """Shrink every section to a seconds-scale CI smoke workload."""
     global FEATURE_WIDTHS, TRAINER_WIDTHS, TRAINER_STEPS, NUM_VECTOR_ENVS
     global SYNTHESIS_WIDTHS, SYNTHESIS_REPEATS, FARM_WIDTH, FARM_WORKERS, FARM_REPEATS
+    global RUNTIME_WIDTH, RUNTIME_STEPS, RUNTIME_ROUNDS, RUNTIME_ENVS_PER_ACTOR
     FEATURE_WIDTHS = (8, 16)
     TRAINER_WIDTHS = (8,)
     TRAINER_STEPS = 24
@@ -293,9 +447,76 @@ def apply_smoke_workload() -> None:
     FARM_WIDTH = 8
     FARM_WORKERS = 2
     FARM_REPEATS = 1
+    RUNTIME_WIDTH = 8
+    RUNTIME_STEPS = 16
+    RUNTIME_ROUNDS = 1
+    RUNTIME_ENVS_PER_ACTOR = 1
 
 
-def run_smoke(output: "str | None") -> None:
+_HIGHER_IS_BETTER = ("graphs_per_sec", "steps_per_sec")
+_LOWER_IS_BETTER = ("ms_per_graph",)
+
+
+def check_against(recorded: dict, result: dict, tolerance: float) -> "list[str]":
+    """Bench-regression gate: compare structure strictly, numbers loosely.
+
+    ``recorded`` is the committed ``BENCH_hotpath.json``; ``result`` is the
+    current (typically ``--smoke``) measurement. Strict: every recorded
+    bench section and every recorded speedup-key *family* (width suffixes
+    normalized, ``_n16`` -> ``_n*``) must still materialize — a key that
+    silently disappears means a bench or API regressed. Loose: where the
+    recorded and current runs share a width, throughput must not fall
+    below ``tolerance`` times the recorded value (and ms-per-item must not
+    exceed it by the inverse) — CI hosts differ from the recording host,
+    so the tolerance is generous noise-awareness, catching only
+    order-of-magnitude regressions.
+    """
+    problems = []
+    rec_opt = recorded.get("optimized", {})
+    cur_opt = result.get("optimized", {})
+    skip = ("machine", "workload")
+    for section in rec_opt:
+        if section not in skip and section not in cur_opt:
+            problems.append(f"bench section {section!r} disappeared")
+
+    def family(key: str) -> str:
+        return re.sub(r"_n\d+", "_n*", key)
+
+    rec_keys = {family(k) for k in recorded.get("speedups", {})}
+    cur_keys = {family(k) for k in result.get("speedups", {})}
+    for key in sorted(rec_keys - cur_keys):
+        problems.append(f"speedup key family {key!r} disappeared")
+
+    for section, rows in rec_opt.items():
+        if section in skip or not isinstance(rows, dict):
+            continue
+        cur_rows = cur_opt.get(section)
+        if not isinstance(cur_rows, dict):
+            continue
+        for width, row in rows.items():
+            cur_row = cur_rows.get(width)
+            if not isinstance(row, dict) or not isinstance(cur_row, dict):
+                continue
+            for metric, value in row.items():
+                cur_value = cur_row.get(metric)
+                if not isinstance(value, (int, float)) or not isinstance(
+                    cur_value, (int, float)
+                ):
+                    continue
+                if metric.endswith(_HIGHER_IS_BETTER) and cur_value < value * tolerance:
+                    problems.append(
+                        f"{section}[{width}].{metric} regressed: "
+                        f"{cur_value:.3f} < {tolerance} * recorded {value:.3f}"
+                    )
+                elif metric.endswith(_LOWER_IS_BETTER) and cur_value > value / tolerance:
+                    problems.append(
+                        f"{section}[{width}].{metric} regressed: "
+                        f"{cur_value:.3f} > recorded {value:.3f} / {tolerance}"
+                    )
+    return problems
+
+
+def run_smoke(output: "str | None") -> dict:
     """CI gate: every section runs and every speedup key materializes.
 
     Merges the measurement against itself (all ratios 1.0) purely to
@@ -314,6 +535,10 @@ def run_smoke(output: "str | None") -> None:
         "synthesize_curve_n8",
         "farm_pool_over_serial",
     ]
+    if TrainingRuntime is not None:
+        assert "runtime" in current, "missing bench section 'runtime'"
+        expected.append(f"runtime_async{RUNTIME_ACTORS}_over_serial")
+        expected.append(f"runtime_async{RUNTIME_ACTORS}_synthesis_saved")
     missing = [k for k in expected if k not in speedups]
     assert not missing, f"missing speedup keys: {missing}"
     assert "synthesize_curve_n8" in result["speedups_vs_parent"]
@@ -323,6 +548,7 @@ def run_smoke(output: "str | None") -> None:
             json.dump(result, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {output}")
+    return result
 
 
 def main() -> None:
@@ -340,10 +566,41 @@ def main() -> None:
         "--smoke", action="store_true",
         help="tiny CI workload; asserts sections and speedup keys exist",
     )
+    parser.add_argument(
+        "--check-against", default=None, metavar="BENCH_JSON",
+        help="regression gate: fail if a section/speedup key recorded in this "
+             "JSON is missing, or a shared-width metric regresses beyond "
+             "--tolerance (requires --smoke or --baseline)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="loose numeric gate for --check-against: current throughput must "
+             "stay above tolerance * recorded (default 0.2, i.e. within 5x — "
+             "CI hosts differ from the recording host)",
+    )
     args = parser.parse_args()
 
+    if args.check_against:
+        if not args.smoke and not args.baseline:
+            parser.error("--check-against requires --smoke or --baseline")
+        if not os.path.exists(args.check_against):
+            parser.error(f"check-against file not found: {args.check_against}")
+
+    def run_gate(result: dict) -> None:
+        if not args.check_against:
+            return
+        with open(args.check_against) as fh:
+            recorded = json.load(fh)
+        problems = check_against(recorded, result, args.tolerance)
+        for problem in problems:
+            print(f"REGRESSION: {problem}")
+        if problems:
+            raise SystemExit(1)
+        print(f"regression gate OK vs {args.check_against} "
+              f"(tolerance {args.tolerance})")
+
     if args.smoke:
-        run_smoke(args.output)
+        run_gate(run_smoke(args.output))
         return
 
     if args.baseline and not os.path.exists(args.baseline):
@@ -371,6 +628,7 @@ def main() -> None:
             json.dump(result, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.output}")
+    run_gate(result)
 
 
 if __name__ == "__main__":

@@ -10,7 +10,6 @@ This bench regenerates every series end-to-end at the CI stand-in width
 scale-substitution rationale).
 """
 
-import pytest
 
 from repro.baselines import pruned_search, sa_frontier
 from repro.pareto import (
@@ -70,7 +69,7 @@ def test_fig4a_pareto_32b(benchmark, rl_sweep_small, scale):
     binned = {name: bin_by_delay(pts, num_bins) for name, pts in series.items()}
 
     print(f"\n=== Fig. 4a: '32b' adder Pareto fronts (n={rl_sweep_small['n']}, "
-          f"openphysyn-like + nangate45-like) ===")
+          "openphysyn-like + nangate45-like) ===")
     print(scatter_plot(binned))
 
     rl = series["PrefixRL"]

@@ -12,7 +12,6 @@ Three measurable mechanisms from the paper's infrastructure sections:
    environments per network forward vs one.
 """
 
-import numpy as np
 
 from repro.distributed import BatchedActor, SynthesisFarm
 from repro.env import PrefixEnv

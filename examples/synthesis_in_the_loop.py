@@ -40,7 +40,7 @@ def main(n: int = 8, steps: int = 150, w_area: float = 0.5):
         print(f"  {name:>14s}: {curve}")
     c_area, c_delay = calibrate_scaling(calib)
     print(f"calibrated c_area={c_area:.5f}, c_delay={c_delay:.3f} "
-          f"(paper uses 0.001/10 at its 32b/64b scale)")
+          "(paper uses 0.001/10 at its 32b/64b scale)")
 
     evaluator = SynthesisEvaluator(
         library, synthesizer=synthesizer, w_area=w_area, w_delay=1 - w_area,

@@ -54,7 +54,7 @@ def main(n: int = 8, steps_per_weight: int = 400):
     )
     print(f"hypervolume  SA: {hypervolume_2d(series['SA'], ref):8.2f}   "
           f"PrefixRL: {hypervolume_2d(series['PrefixRL'], ref):8.2f}")
-    print(f"fraction of SA frontier dominated by PrefixRL: "
+    print("fraction of SA frontier dominated by PrefixRL: "
           f"{fraction_dominated(series['PrefixRL'], series['SA'], eps=1e-9):.2f}")
     print("\nFrontier designs (area, delay):")
     for area, delay, graph in sweep.frontier_designs():

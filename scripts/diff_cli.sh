@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Differential-CLI regression gate.
+#
+# The whole pipeline is deterministic, so the seed CLI commands must produce
+# byte-identical output at HEAD and at a base commit unless a change
+# *intends* to alter results. This is the verification trick used manually
+# in every optimization PR, promoted to a CI job: the train command's cache
+# stats + frontier output is a sensitive fingerprint of RL-trajectory
+# equivalence, and eval/synth cover the analytical and synthesis stacks.
+#
+# Usage: scripts/diff_cli.sh <base-commit>   (run from the repo root)
+set -euo pipefail
+
+BASE="${1:?usage: scripts/diff_cli.sh <base-commit>}"
+ROOT="$(git rev-parse --show-toplevel)"
+cd "$ROOT"
+
+WT="$(mktemp -d)/base"
+OUT="$(mktemp -d)"
+cleanup() {
+    git worktree remove --force "$WT" 2>/dev/null || true
+    rm -rf "$OUT"
+}
+trap cleanup EXIT
+git worktree add --detach --quiet "$WT" "$BASE"
+
+COMMANDS=(
+    "build brent_kung 16"
+    "eval sklansky 64"
+    "render kogge_stone 16 --grid"
+    "synth sklansky 16"
+    "train 8 --steps 60 --seed 3"
+    "sweep 6 --weights 2 --steps 40 --seed 1"
+)
+
+status=0
+for cmd in "${COMMANDS[@]}"; do
+    # shellcheck disable=SC2086
+    PYTHONPATH="$WT/src" python -m repro $cmd > "$OUT/base.out" 2>/dev/null || {
+        echo "SKIP (fails at base $BASE): repro $cmd"
+        continue
+    }
+    # shellcheck disable=SC2086
+    if ! PYTHONPATH=src python -m repro $cmd > "$OUT/head.out" 2> "$OUT/head.err"; then
+        echo "FAIL repro $cmd (errors at HEAD but worked at $BASE):"
+        cat "$OUT/head.err"
+        status=1
+        continue
+    fi
+    if diff -u "$OUT/base.out" "$OUT/head.out" > "$OUT/delta"; then
+        echo "OK  repro $cmd"
+    else
+        echo "DIFF repro $cmd (HEAD output differs from $BASE):"
+        cat "$OUT/delta"
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo
+    echo "CLI output changed vs the base commit. If the change is intentional"
+    echo "(new numbers, new output format), label the PR 'cli-output-change'"
+    echo "to skip this gate and say so in the PR description."
+fi
+exit "$status"

@@ -79,8 +79,15 @@ def cmd_synth(args) -> int:
 def cmd_train(args) -> int:
     from repro.cells import nangate45
     from repro.env import PrefixEnv
+    from repro.pareto.front import ParetoArchive
     from repro.prefix import REGULAR_STRUCTURES
-    from repro.rl import ScalarizedDoubleDQN, Trainer, TrainerConfig
+    from repro.rl import (
+        RuntimeConfig,
+        ScalarizedDoubleDQN,
+        Trainer,
+        TrainerConfig,
+        TrainingRuntime,
+    )
     from repro.synth import (
         SynthesisCache,
         SynthesisEvaluator,
@@ -88,27 +95,94 @@ def cmd_train(args) -> int:
         synthesize_curve,
     )
 
+    if args.checkpoint_every or args.stop_after is not None or args.resume:
+        if not args.checkpoint_dir:
+            raise SystemExit(
+                "--checkpoint-every/--stop-after/--resume require --checkpoint-dir"
+            )
+    if args.checkpoint_dir and args.runtime == "trainer":
+        raise SystemExit(
+            "checkpointing needs the runtime: pass --runtime sync (deterministic) "
+            "or --runtime async"
+        )
+
     library = _library(args.library)
     calib = []
     for ctor in REGULAR_STRUCTURES.values():
         curve = synthesize_curve(ctor(args.width), library)
         calib.extend((a, d) for d, a in curve.points())
     c_area, c_delay = calibrate_scaling(calib)
-    evaluator = SynthesisEvaluator(
-        library, w_area=args.w_area, w_delay=1 - args.w_area,
-        cache=SynthesisCache(), c_area=c_area, c_delay=c_delay,
-    )
-    env = PrefixEnv(args.width, evaluator, horizon=24, rng=args.seed)
-    agent = ScalarizedDoubleDQN(
-        args.width, w_area=args.w_area, w_delay=1 - args.w_area,
-        blocks=args.blocks, channels=args.channels, lr=3e-4, rng=args.seed,
-    )
-    trainer = Trainer(env, agent, TrainerConfig(steps=args.steps, batch_size=8, warmup_steps=16), rng=args.seed)
-    history = trainer.run()
+    cache = SynthesisCache()
+
+    def make_evaluator():
+        return SynthesisEvaluator(
+            library, w_area=args.w_area, w_delay=1 - args.w_area,
+            cache=cache, c_area=c_area, c_delay=c_delay,
+        )
+
+    def make_agent():
+        return ScalarizedDoubleDQN(
+            args.width, w_area=args.w_area, w_delay=1 - args.w_area,
+            blocks=args.blocks, channels=args.channels, lr=3e-4, rng=args.seed,
+        )
+
+    config = TrainerConfig(steps=args.steps, batch_size=8, warmup_steps=16)
+
+    if args.runtime == "trainer":
+        env = PrefixEnv(args.width, make_evaluator(), horizon=24, rng=args.seed)
+        trainer = Trainer(env, make_agent(), config, rng=args.seed)
+        history = trainer.run()
+        archive_envs = [env]
+    else:
+        runtime_config = RuntimeConfig(
+            mode=args.runtime,
+            num_actors=args.actors,
+            publish_every=args.publish_every,
+            checkpoint_every=args.checkpoint_every,
+            stop_after=args.stop_after,
+        )
+        if args.runtime == "sync":
+            env = PrefixEnv(args.width, make_evaluator(), horizon=24, rng=args.seed)
+            envs = env
+            archive_envs = [env]
+        else:
+            from repro.env import VectorPrefixEnv
+
+            envs = [
+                VectorPrefixEnv.make(
+                    args.width, make_evaluator, num_envs=args.envs_per_actor,
+                    horizon=24, seed=args.seed + i * args.envs_per_actor,
+                )
+                for i in range(args.actors)
+            ]
+            archive_envs = [e for venv in envs for e in venv.envs]
+        runtime = TrainingRuntime(
+            envs, make_agent(), config, runtime_config,
+            checkpoint_dir=args.checkpoint_dir, rng=args.seed,
+        )
+        history = runtime.run(
+            steps=None if args.resume else args.steps, resume=args.resume
+        )
+        if runtime.preempted:
+            print(
+                f"checkpointed at step {history.env_steps} into {args.checkpoint_dir}; "
+                "rerun with --resume to continue",
+                file=sys.stderr,
+            )
+            return 0
+
     print(f"trained {history.env_steps} steps ({history.gradient_steps} gradient steps)")
-    print(f"cache: {evaluator.cache}")
+    print(f"cache: {cache}")
     print("frontier (area um2, delay ns):")
-    for area, delay, _ in env.archive.entries():
+    if len(archive_envs) == 1:
+        entries = archive_envs[0].archive.entries()
+    else:
+        merged = ParetoArchive()
+        for env in archive_envs:
+            for area, delay, payload in env.archive.entries():
+                merged.add(area, delay, payload=payload)
+        entries = merged.entries()
+    for area, delay, _ in entries:
         print(f"  {area:10.2f}  {delay:.4f}")
     return 0
 
@@ -171,12 +245,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("train", help="synthesis-in-the-loop RL training")
     p.add_argument("width", type=int, nargs="?", default=8)
-    p.add_argument("--steps", type=int, default=150)
+    p.add_argument("--steps", type=int, default=150,
+                   help="env-step budget (ignored with --resume: the checkpoint's budget is used)")
     p.add_argument("--w-area", type=float, default=0.5)
     p.add_argument("--blocks", type=int, default=1)
     p.add_argument("--channels", type=int, default=8)
     p.add_argument("--library", default="nangate45")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--runtime", choices=("trainer", "sync", "async"), default="trainer",
+                   help="collection loop: legacy Trainer (default), the deterministic "
+                        "runtime (byte-identical, checkpointable) or the async "
+                        "actor-learner runtime")
+    p.add_argument("--actors", type=int, default=2,
+                   help="async runtime: actor thread count")
+    p.add_argument("--envs-per-actor", type=int, default=4,
+                   help="async runtime: lockstep env replicas per actor")
+    p.add_argument("--publish-every", type=int, default=1,
+                   help="async runtime: gradient steps between weight publications")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="checkpoint root (enables checkpointing; needs --runtime sync/async)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="env steps between checkpoints (0: only at halt/completion)")
+    p.add_argument("--stop-after", type=int, default=None,
+                   help="checkpoint and halt at this env step (simulated preemption)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the latest checkpoint in --checkpoint-dir")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser("sweep", help="multi-weight analytical sweep")

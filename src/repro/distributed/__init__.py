@@ -13,6 +13,20 @@ reproduces the mechanisms and their measurable effects:
 """
 
 from repro.distributed.farm import SynthesisFarm, FarmStats
-from repro.distributed.pipeline import BatchedActor, CollectStats
+from repro.distributed.pipeline import (
+    ActorPolicy,
+    ActorWorker,
+    BatchedActor,
+    CollectStats,
+    PolicyHub,
+)
 
-__all__ = ["SynthesisFarm", "FarmStats", "BatchedActor", "CollectStats"]
+__all__ = [
+    "SynthesisFarm",
+    "FarmStats",
+    "BatchedActor",
+    "CollectStats",
+    "ActorPolicy",
+    "ActorWorker",
+    "PolicyHub",
+]

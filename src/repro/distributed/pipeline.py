@@ -1,18 +1,30 @@
-"""Pipelined experience generation.
+"""Pipelined experience generation: batched acting and the actor side of
+the asynchronous actor-learner runtime.
 
 The paper decouples experience generation from learning (off-policy DQN)
-and runs many actors in parallel. The CPU equivalent implemented here is
-batched acting: ``k`` environment replicas advance in lockstep, with one
-batched Q-network forward serving all of them per round — amortizing the
-network cost exactly the way the paper's pipeline amortizes synthesis
-latency. :class:`CollectStats` reports the steps/second achieved so the
-speedup over one-env acting is measurable.
+and runs many actors in parallel. Two CPU-scale equivalents live here:
+
+- :class:`BatchedActor` — ``k`` environment replicas advance in lockstep,
+  with one batched Q-network forward serving all of them per round,
+  amortizing the network cost exactly the way the paper's pipeline
+  amortizes synthesis latency (:class:`CollectStats` reports the
+  steps/second achieved so the speedup over one-env acting is
+  measurable);
+- :class:`PolicyHub` / :class:`ActorPolicy` / :class:`ActorWorker` — the
+  actor half of :class:`repro.rl.runtime.TrainingRuntime`: worker threads
+  step their own environments against a *snapshot* of the learner's
+  policy (refreshed whenever the learner publishes weights, the paper's
+  delayed-parameter actors) and push transitions into their own shard of
+  a :class:`repro.rl.replay.ShardedReplayBuffer`.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.env.environment import PrefixEnv
 from repro.env.vector import VectorPrefixEnv
@@ -91,3 +103,186 @@ class BatchedActor:
             steps += len(results)
         wall = time.perf_counter() - start
         return CollectStats(env_steps=steps, wall_seconds=wall, num_envs=len(self.envs))
+
+
+# ----------------------------------------------------------------------
+# Asynchronous actors (the runtime's experience generators)
+# ----------------------------------------------------------------------
+
+
+class PolicyHub:
+    """The learner's published policy, shared with every actor.
+
+    The learner calls :meth:`publish` on its cadence (paper-style delayed
+    weight publication); each actor holds an :class:`ActorPolicy` that
+    copies the newest weights into its private network at round
+    boundaries. Publications are detached copies, so actors never observe
+    a half-applied gradient step.
+    """
+
+    def __init__(self, agent: ScalarizedDoubleDQN):
+        self._agent = agent
+        self.w = agent.w.copy()
+        self.actions = agent.actions
+        self._lock = threading.Lock()
+        self._weights = agent.publish_weights()
+        self._version = 1
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def publish(self) -> int:
+        """Snapshot the learner's current weights; returns the version."""
+        weights = self._agent.publish_weights()
+        with self._lock:
+            self._weights = weights
+            self._version += 1
+            return self._version
+
+    def _pull(self, have_version: int):
+        with self._lock:
+            if self._version == have_version:
+                return have_version, None
+            return self._version, self._weights
+
+    def subscribe(self) -> "ActorPolicy":
+        """A fresh actor-side policy copy tracking this hub."""
+        return ActorPolicy(self, self._agent.snapshot_network())
+
+
+class ActorPolicy:
+    """An actor's private inference network, lazily synced to the hub."""
+
+    def __init__(self, hub: PolicyHub, network):
+        self._hub = hub
+        self._net = network
+        self._version = 0
+        self.refresh()
+
+    def refresh(self) -> bool:
+        """Adopt newly published weights, if any; returns True on update."""
+        version, weights = self._hub._pull(self._version)
+        if weights is None:
+            return False
+        self._net.load_state_arrays(weights)
+        self._net.eval()
+        self._version = version
+        return True
+
+    def act_batch(
+        self, features: np.ndarray, legal_masks: np.ndarray, epsilon: float, rng
+    ) -> np.ndarray:
+        """Epsilon-greedy actions on the snapshot network.
+
+        The exploration draws happen *first*, so the (expensive) network
+        forward only runs for the replicas that exploit this round — at
+        epsilon 1 a round costs no convolutions at all, mirroring the
+        single-env ``agent.act`` fast path while keeping the exploit
+        subset batched in one forward.
+        """
+        legal_masks = np.asarray(legal_masks)
+        if not legal_masks.any(axis=1).all():
+            raise ValueError("no legal actions available in some state")
+        num = legal_masks.shape[0]
+        chosen = np.empty(num, dtype=np.int64)
+        explore = (
+            np.array([rng.random() < epsilon for _ in range(num)])
+            if epsilon > 0
+            else np.zeros(num, dtype=bool)
+        )
+        for e in np.nonzero(explore)[0]:
+            legal_idx = np.nonzero(legal_masks[e])[0]
+            chosen[e] = legal_idx[rng.integers(legal_idx.size)]
+        exploit = np.nonzero(~explore)[0]
+        if exploit.size:
+            qmaps = self._net.predict(np.asarray(features)[exploit])
+            flat = self._hub.actions.qmaps_to_flat(qmaps)
+            scalar = np.where(legal_masks[exploit], flat @ self._hub.w, -np.inf)
+            chosen[exploit] = np.argmax(scalar, axis=1)
+        return chosen
+
+
+class ActorWorker(threading.Thread):
+    """One experience-generating thread of the asynchronous runtime.
+
+    Each round: refresh the policy snapshot, act on every replica of this
+    actor's vector environment with one batched forward, step the
+    environment (replicas sharing a cache ride one ``evaluate_many``
+    synthesis batch), and push the transitions into this actor's replay
+    shard. Coordination state (step budget, pause gate for checkpoints,
+    shared history) is owned by the runtime and accessed under its lock.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        venv: VectorPrefixEnv,
+        policy: ActorPolicy,
+        buffer,
+        schedule,
+        coordinator,
+        rng,
+    ):
+        super().__init__(name=f"actor-{index}", daemon=True)
+        self.index = index
+        self.venv = venv
+        self.policy = policy
+        self.buffer = buffer
+        self.schedule = schedule
+        self.coord = coordinator
+        self.rng = ensure_rng(rng)
+        self.episode_returns = [0.0] * venv.num_envs
+        self.error: "BaseException | None" = None
+
+    def run(self) -> None:
+        try:
+            self.coord.register()
+            try:
+                while True:
+                    self.coord.checkpoint_point()
+                    step_now = self.coord.env_steps()
+                    if step_now >= self.coord.total or self.coord.stopping():
+                        return
+                    self._round(self.schedule(step_now))
+            finally:
+                self.coord.deregister()
+        except BaseException as exc:  # surface in the learner thread
+            self.error = exc
+            self.coord.abort()
+
+    def _round(self, epsilon: float) -> None:
+        venv = self.venv
+        self.policy.refresh()
+        obs = venv.observe()
+        masks = venv.legal_masks()
+        action_idxs = self.policy.act_batch(obs, masks, epsilon, self.rng)
+        results = venv.step(action_idxs)
+        next_obs = venv.observe()
+        next_masks = venv.legal_masks()
+
+        transitions = []
+        for i, result in enumerate(results):
+            if result.done:
+                t_obs = venv.envs[i].observe(result.next_state)
+                t_mask = venv.envs[i].legal_mask(result.next_state)
+            else:
+                t_obs = next_obs[i]
+                t_mask = next_masks[i]
+            transitions.append(
+                Transition(
+                    state=obs[i],
+                    action=int(action_idxs[i]),
+                    reward=result.reward,
+                    next_state=t_obs,
+                    next_mask=t_mask,
+                    done=result.done,
+                )
+            )
+        # Record under the coordinator's lock; the budget may truncate the
+        # round (the replicas did advance; their archives keep those
+        # evaluations, matching the vector trainer's convention).
+        kept = self.coord.record_round(self, results, epsilon)
+        for transition in transitions[:kept]:
+            self.buffer.push(transition, shard=self.index)

@@ -170,3 +170,63 @@ class PrefixEnv:
         metrics = self.evaluator.evaluate(graph) if precomputed is None else precomputed
         self.archive.add(metrics.area, metrics.delay, payload=graph)
         return metrics
+
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything a checkpoint needs to resume the MDP bit-for-bit:
+        the current graph, episode/lifetime step counters, the current
+        metrics (reward baselines), the start-state RNG stream and the
+        Pareto archive with its design payloads."""
+        from repro.prefix.serialize import graph_to_dict
+        from repro.utils.rng import rng_state
+
+        def encode(payload):
+            if payload is None:
+                return None
+            if isinstance(payload, PrefixGraph):
+                return graph_to_dict(payload)
+            raise TypeError(
+                f"cannot checkpoint archive payload of type {type(payload).__name__}"
+            )
+
+        return {
+            "n": self.n,
+            "horizon": self.horizon,
+            "graph": graph_to_dict(self.state) if self.state is not None else None,
+            "steps": self._steps,
+            "total_steps": self.total_steps,
+            "metrics": (
+                [self._metrics.area, self._metrics.delay]
+                if self._metrics is not None
+                else None
+            ),
+            "rng": rng_state(self._rng),
+            "archive": self.archive.state_dict(encode_payload=encode),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a same-width env."""
+        from repro.prefix.serialize import graph_from_dict
+        from repro.synth.evaluator import CircuitMetrics
+        from repro.utils.rng import set_rng_state
+
+        if int(state["n"]) != self.n:
+            raise ValueError(
+                f"environment width mismatch: checkpoint n={state['n']}, env n={self.n}"
+            )
+        self.horizon = int(state["horizon"])
+        self.state = graph_from_dict(state["graph"]) if state["graph"] else None
+        self._steps = int(state["steps"])
+        self.total_steps = int(state["total_steps"])
+        metrics = state["metrics"]
+        self._metrics = (
+            CircuitMetrics(area=float(metrics[0]), delay=float(metrics[1]))
+            if metrics is not None
+            else None
+        )
+        set_rng_state(self._rng, state["rng"])
+        self.archive.load_state_dict(
+            state["archive"],
+            decode_payload=lambda p: graph_from_dict(p) if p is not None else None,
+        )

@@ -172,3 +172,20 @@ class VectorPrefixEnv:
     def _require_reset(self) -> None:
         if any(s is None for s in self._states):
             raise RuntimeError("vector environment not reset")
+
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Per-replica snapshots (see :meth:`PrefixEnv.state_dict`)."""
+        return {"envs": [env.state_dict() for env in self.envs]}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore every replica and re-derive the lockstep state list."""
+        snaps = state["envs"]
+        if len(snaps) != len(self.envs):
+            raise ValueError(
+                f"checkpoint has {len(snaps)} replicas, vector env has {len(self.envs)}"
+            )
+        for env, snap in zip(self.envs, snaps):
+            env.load_state_dict(snap)
+        self._states = [env.state for env in self.envs]

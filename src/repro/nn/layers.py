@@ -131,7 +131,10 @@ class Module:
 class Conv2d(Module):
     """Same-padded stride-1 convolution with He-initialized weights."""
 
-    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, rng=None, bias: bool = True, dtype=np.float64):
+    def __init__(
+        self, in_channels: int, out_channels: int, kernel_size: int,
+        rng=None, bias: bool = True, dtype=np.float64,
+    ):
         super().__init__()
         gen = ensure_rng(rng)
         fan_in = in_channels * kernel_size * kernel_size

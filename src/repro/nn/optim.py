@@ -78,3 +78,32 @@ class Adam:
     def zero_grad(self) -> None:
         for p in self.params:
             p.zero_grad()
+
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Moment estimates and step count (parameter order is positional)."""
+        return {
+            "t": self._t,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto the same parameter list."""
+        m, v = state["m"], state["v"]
+        if len(m) != len(self.params) or len(v) != len(self.params):
+            raise ValueError(
+                f"optimizer state has {len(m)} slots, "
+                f"optimizer tracks {len(self.params)} parameters"
+            )
+        self._t = int(state["t"])
+        for slot, arr in zip(self._m, m):
+            if slot.shape != np.asarray(arr).shape:
+                raise ValueError(
+                    f"optimizer moment shape mismatch: {np.asarray(arr).shape} "
+                    f"vs {slot.shape}"
+                )
+            slot[...] = arr
+        for slot, arr in zip(self._v, v):
+            slot[...] = arr

@@ -74,6 +74,29 @@ class ParetoArchive:
         """(area, delay, payload) triples sorted by delay."""
         return sorted(self._entries, key=lambda e: e[1])
 
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self, encode_payload=None) -> dict:
+        """Snapshot preserving internal entry order (checkpoint/resume).
+
+        ``encode_payload`` maps each payload to something serializable
+        (e.g. :func:`repro.prefix.graph_to_dict`); the default stores
+        payloads as-is, which is only safe for plain data.
+        """
+        enc = encode_payload if encode_payload is not None else (lambda p: p)
+        return {
+            "num_seen": self.num_seen,
+            "entries": [[a, d, enc(p)] for a, d, p in self._entries],
+        }
+
+    def load_state_dict(self, state: dict, decode_payload=None) -> None:
+        """Restore a :meth:`state_dict` snapshot (inverse codec applied)."""
+        dec = decode_payload if decode_payload is not None else (lambda p: p)
+        self.num_seen = int(state["num_seen"])
+        self._entries = [
+            (float(a), float(d), dec(p)) for a, d, p in state["entries"]
+        ]
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -99,13 +122,11 @@ def bin_by_delay(
     if hi <= lo:
         best = min(points, key=lambda p: p[0])
         return [best]
-    edges = np.linspace(lo, hi, num_bins + 1)
     keep: "dict[int, tuple[float, float]]" = {}
     for area, delay in points:
         idx = min(int((delay - lo) / (hi - lo) * num_bins), num_bins - 1)
         if idx not in keep or area < keep[idx][0]:
             keep[idx] = (area, delay)
-    del edges
     return sorted(keep.values(), key=lambda p: p[1])
 
 

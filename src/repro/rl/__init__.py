@@ -8,10 +8,20 @@ sweeps one scalarization weight; a Pareto frontier comes from sweeping
 several (Section V-A trains 15 agents with w in [0.10, 0.99]).
 """
 
-from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.replay import ReplayBuffer, ShardedReplayBuffer, Transition
 from repro.rl.schedule import LinearSchedule
 from repro.rl.agent import ScalarizedDoubleDQN
-from repro.rl.trainer import Trainer, TrainerConfig, TrainingHistory
+from repro.rl.trainer import (
+    SingleEnvLoop,
+    Trainer,
+    TrainerConfig,
+    TrainingHistory,
+    VectorEnvLoop,
+    make_loop,
+    synthesis_stats,
+)
+from repro.rl.checkpoint import CheckpointError, CheckpointManager
+from repro.rl.runtime import RuntimeConfig, TrainingRuntime
 from repro.rl.sweep import pareto_sweep, SweepResult
 from repro.rl.evaluation import greedy_rollout, evaluate_policy, RolloutResult
 
@@ -20,12 +30,21 @@ __all__ = [
     "evaluate_policy",
     "RolloutResult",
     "ReplayBuffer",
+    "ShardedReplayBuffer",
     "Transition",
     "LinearSchedule",
     "ScalarizedDoubleDQN",
+    "SingleEnvLoop",
+    "VectorEnvLoop",
+    "make_loop",
+    "synthesis_stats",
     "Trainer",
     "TrainerConfig",
     "TrainingHistory",
+    "CheckpointError",
+    "CheckpointManager",
+    "RuntimeConfig",
+    "TrainingRuntime",
     "pareto_sweep",
     "SweepResult",
 ]

@@ -15,7 +15,7 @@ from repro.env.actions import ActionSpace
 from repro.nn.loss import huber_loss
 from repro.nn.optim import Adam
 from repro.nn.qnet import QNetwork
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, rng_state, set_rng_state
 
 
 class ScalarizedDoubleDQN:
@@ -183,3 +183,64 @@ class ScalarizedDoubleDQN:
         """Copy local weights into the target network."""
         self.target.copy_from(self.local)
         self.target.eval()
+
+    # ------------------------------------------------------------------
+    # Policy publication (async actor-learner runtime)
+    # ------------------------------------------------------------------
+
+    def snapshot_network(self) -> QNetwork:
+        """A detached inference copy of the local network.
+
+        Actors in the asynchronous runtime act on snapshots like this
+        (refreshed whenever the learner publishes weights) instead of
+        racing the learner's in-place gradient updates.
+        """
+        net = QNetwork(
+            self.n,
+            blocks=self.local.blocks,
+            channels=self.local.channels,
+            dtype=self.local.dtype,
+        )
+        net.copy_from(self.local)
+        net.eval()
+        return net
+
+    def publish_weights(self) -> "dict[str, np.ndarray]":
+        """Detached copies of the local network's weights and buffers."""
+        return {k: v.copy() for k, v in self.local.state_arrays().items()}
+
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything a checkpoint needs to resume training bit-for-bit:
+        both networks, optimizer moments, step counters and the
+        exploration RNG stream."""
+        return {
+            "n": self.n,
+            "gamma": self.gamma,
+            "double": self.double,
+            "target_sync_every": self.target_sync_every,
+            "w": self.w.copy(),
+            "gradient_steps": self.gradient_steps,
+            "rng": rng_state(self._rng),
+            "local": {k: v.copy() for k, v in self.local.state_arrays().items()},
+            "target": {k: v.copy() for k, v in self.target.state_arrays().items()},
+            "optimizer": self.optimizer.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot onto a same-shape agent."""
+        if int(state["n"]) != self.n:
+            raise ValueError(
+                f"agent width mismatch: checkpoint n={state['n']}, agent n={self.n}"
+            )
+        self.gamma = float(state["gamma"])
+        self.double = bool(state["double"])
+        self.target_sync_every = int(state["target_sync_every"])
+        self.w = np.asarray(state["w"], dtype=np.float64)
+        self.gradient_steps = int(state["gradient_steps"])
+        set_rng_state(self._rng, state["rng"])
+        self.local.load_state_arrays(state["local"])
+        self.target.load_state_arrays(state["target"])
+        self.target.eval()
+        self.optimizer.load_state_dict(state["optimizer"])

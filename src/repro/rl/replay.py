@@ -1,17 +1,35 @@
-"""Experience replay buffer.
+"""Experience replay: array-backed ring buffers, optionally sharded.
 
 Stores dense feature tensors plus next-state legal masks (needed for the
-masked double-DQN argmax). Ring-buffer semantics with uniform sampling —
-the paper's setup ("an experience buffer with up to 4x10^5 elements").
+masked double-DQN argmax) — the paper's setup ("an experience buffer with
+up to 4x10^5 elements"). Two implementations share one storage scheme:
+
+- :class:`ReplayBuffer` — one ring of preallocated arrays with fully
+  vectorized sampling (a batch is one fancy-index per field, no Python
+  loop over transitions). Single-threaded; this is what the synchronous
+  :class:`repro.rl.Trainer` uses, and its RNG consumption is identical to
+  the historical list-backed buffer so trained trajectories are preserved
+  bit for bit.
+- :class:`ShardedReplayBuffer` — ``K`` independent rings, each behind its
+  own lock, for the asynchronous actor–learner runtime: actors push to
+  their own shard (no cross-actor contention) while the learner samples
+  uniformly over the union, touching each shard's lock only for the
+  vectorized gather of the indices that landed in it.
+
+Both expose ``state_dict``/``load_state_dict`` so a checkpoint can capture
+the exact buffer contents, ring position and sampling-RNG stream.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import ensure_rng, rng_state, set_rng_state
+
+_FIELDS = ("states", "actions", "rewards", "next_states", "next_masks", "dones")
 
 
 @dataclass
@@ -27,26 +45,55 @@ class Transition:
 
 
 class ReplayBuffer:
-    """Fixed-capacity ring buffer with uniform batch sampling."""
+    """Fixed-capacity ring buffer with uniform vectorized batch sampling."""
 
     def __init__(self, capacity: int, rng=None):
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._rng = ensure_rng(rng)
-        self._storage: "list[Transition]" = []
+        self._arrays: "dict[str, np.ndarray] | None" = None
+        self._size = 0
         self._cursor = 0
+
+    def _allocate(self, t: Transition) -> None:
+        """Size the ring arrays from the first transition's shapes/dtypes."""
+        state = np.asarray(t.state)
+        mask = np.asarray(t.next_mask)
+        reward = np.asarray(t.reward)
+        cap = self.capacity
+        self._arrays = {
+            "states": np.empty((cap, *state.shape), dtype=state.dtype),
+            "actions": np.empty(cap, dtype=np.int64),
+            "rewards": np.empty((cap, *reward.shape), dtype=np.float64),
+            "next_states": np.empty((cap, *state.shape), dtype=state.dtype),
+            "next_masks": np.empty((cap, *mask.shape), dtype=mask.dtype),
+            "dones": np.empty(cap, dtype=bool),
+        }
 
     def push(self, transition: Transition) -> None:
         """Insert, overwriting the oldest entry once full."""
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
-        else:
-            self._storage[self._cursor] = transition
-        self._cursor = (self._cursor + 1) % self.capacity
+        if self._arrays is None:
+            self._allocate(transition)
+        arrays = self._arrays
+        i = self._cursor
+        arrays["states"][i] = transition.state
+        arrays["actions"][i] = transition.action
+        arrays["rewards"][i] = transition.reward
+        arrays["next_states"][i] = transition.next_state
+        arrays["next_masks"][i] = transition.next_mask
+        arrays["dones"][i] = transition.done
+        self._cursor = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
 
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
+
+    def gather(self, idx: np.ndarray) -> "dict[str, np.ndarray]":
+        """Stack the transitions at ring positions ``idx`` (one fancy-index
+        per field). Positions must be < ``len(self)``."""
+        arrays = self._arrays
+        return {name: arrays[name][idx] for name in _FIELDS}
 
     def sample(self, batch_size: int) -> "dict[str, np.ndarray]":
         """Uniformly sample a batch as stacked arrays.
@@ -54,15 +101,155 @@ class ReplayBuffer:
         Keys: ``states (B,4,N,N)``, ``actions (B,)``, ``rewards (B,2)``,
         ``next_states (B,4,N,N)``, ``next_masks (B,A)``, ``dones (B,)``.
         """
-        if not self._storage:
+        if not self._size:
             raise ValueError("cannot sample from an empty buffer")
-        idx = self._rng.integers(len(self._storage), size=batch_size)
-        items = [self._storage[i] for i in idx]
-        return {
-            "states": np.stack([t.state for t in items]),
-            "actions": np.array([t.action for t in items], dtype=np.int64),
-            "rewards": np.stack([t.reward for t in items]),
-            "next_states": np.stack([t.next_state for t in items]),
-            "next_masks": np.stack([t.next_mask for t in items]),
-            "dones": np.array([t.done for t in items], dtype=bool),
+        idx = self._rng.integers(self._size, size=batch_size)
+        return self.gather(idx)
+
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of contents, ring position and sampling-RNG stream.
+
+        Arrays are trimmed to the filled prefix (physical ring order), so a
+        warm 1%-full paper-scale buffer checkpoints at 1% of capacity.
+        """
+        out = {
+            "capacity": self.capacity,
+            "size": self._size,
+            "cursor": self._cursor,
+            "rng": rng_state(self._rng),
         }
+        if self._arrays is not None:
+            out["arrays"] = {
+                name: self._arrays[name][: self._size].copy() for name in _FIELDS
+            }
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (capacity must match)."""
+        if state["capacity"] != self.capacity:
+            raise ValueError(
+                f"buffer capacity mismatch: checkpoint has {state['capacity']}, "
+                f"live buffer has {self.capacity}"
+            )
+        self._size = int(state["size"])
+        self._cursor = int(state["cursor"])
+        set_rng_state(self._rng, state["rng"])
+        arrays = state.get("arrays")
+        if arrays is None:
+            self._arrays = None
+            return
+        cap = self.capacity
+        self._arrays = {
+            name: np.empty((cap, *np.asarray(arr).shape[1:]), dtype=np.asarray(arr).dtype)
+            for name, arr in arrays.items()
+        }
+        for name, arr in arrays.items():
+            self._arrays[name][: self._size] = arr
+
+
+class ShardedReplayBuffer:
+    """``K`` ring shards behind per-shard locks, sampled as one buffer.
+
+    The asynchronous runtime's shared buffer: each actor pushes to its own
+    shard (``push(t, shard=actor_index)``), so concurrent actors never
+    contend on a lock, and the learner's :meth:`sample` draws uniformly
+    over the union of shards — the global index space is split by a
+    cumulative-size ``searchsorted``, then each shard is gathered with one
+    vectorized fancy-index under its own lock.
+
+    Args:
+        capacity: total capacity, split evenly across shards (the first
+            ``capacity % num_shards`` shards get one extra slot).
+        num_shards: shard count (typically the number of actors).
+        rng: seed or generator for the learner's sampling draws.
+    """
+
+    def __init__(self, capacity: int, num_shards: int = 2, rng=None):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if capacity < num_shards:
+            raise ValueError(
+                f"capacity {capacity} cannot be split over {num_shards} shards"
+            )
+        self.capacity = capacity
+        self.num_shards = num_shards
+        self._rng = ensure_rng(rng)
+        base, extra = divmod(capacity, num_shards)
+        self.shards = [
+            ReplayBuffer(base + (1 if i < extra else 0)) for i in range(num_shards)
+        ]
+        self._locks = [threading.Lock() for _ in range(num_shards)]
+        self._round_robin = 0
+
+    def push(self, transition: Transition, shard: "int | None" = None) -> None:
+        """Insert into ``shard`` (actors pass their index) or round-robin."""
+        if shard is None:
+            shard = self._round_robin
+            self._round_robin = (shard + 1) % self.num_shards
+        i = shard % self.num_shards
+        with self._locks[i]:
+            self.shards[i].push(transition)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def sample(self, batch_size: int) -> "dict[str, np.ndarray]":
+        """Uniform vectorized sample over the union of all shards."""
+        sizes = np.array([len(s) for s in self.shards], dtype=np.int64)
+        total = int(sizes.sum())
+        if not total:
+            raise ValueError("cannot sample from an empty buffer")
+        bounds = np.cumsum(sizes)
+        flat = self._rng.integers(total, size=batch_size)
+        owner = np.searchsorted(bounds, flat, side="right")
+        local = flat - (bounds - sizes)[owner]
+        batch: "dict[str, np.ndarray] | None" = None
+        for i in np.unique(owner):
+            pick = owner == i
+            with self._locks[i]:
+                part = self.shards[i].gather(local[pick])
+            if batch is None:
+                batch = {
+                    name: np.empty((batch_size, *arr.shape[1:]), dtype=arr.dtype)
+                    for name, arr in part.items()
+                }
+            for name, arr in part.items():
+                batch[name][pick] = arr
+        return batch
+
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Snapshot of every shard plus the routing and sampling state."""
+        shards = []
+        for lock, shard in zip(self._locks, self.shards):
+            with lock:
+                shards.append(shard.state_dict())
+        return {
+            "capacity": self.capacity,
+            "num_shards": self.num_shards,
+            "round_robin": self._round_robin,
+            "rng": rng_state(self._rng),
+            "shards": shards,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (layout must match)."""
+        if (
+            state["capacity"] != self.capacity
+            or state["num_shards"] != self.num_shards
+        ):
+            raise ValueError(
+                "sharded buffer layout mismatch: checkpoint has "
+                f"capacity={state['capacity']} shards={state['num_shards']}, live "
+                f"buffer has capacity={self.capacity} shards={self.num_shards}"
+            )
+        self._round_robin = int(state["round_robin"])
+        set_rng_state(self._rng, state["rng"])
+        for lock, shard, snap in zip(self._locks, self.shards, state["shards"]):
+            with lock:
+                shard.load_state_dict(snap)

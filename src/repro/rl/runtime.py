@@ -1,0 +1,596 @@
+"""The asynchronous actor-learner training runtime (Section IV-D).
+
+The paper's headline scale comes from decoupling experience generation
+from learning: hundreds of actors step synthesis-evaluated environments
+against delayed policy snapshots while one learner consumes a shared
+replay buffer. :class:`TrainingRuntime` reproduces that architecture at
+library scale, in two modes:
+
+- ``mode="async"`` — ``num_actors`` worker threads
+  (:class:`repro.distributed.ActorWorker`), each stepping its own
+  (vector) environment against a private policy snapshot and pushing
+  into its own shard of a :class:`repro.rl.replay.ShardedReplayBuffer`;
+  the learner thread runs gradient steps at the synchronous cadence
+  (one per ``learn_every`` collected env steps) and publishes weights
+  every ``publish_every`` gradient steps through a
+  :class:`repro.distributed.PolicyHub`. On a single CPU the win is
+  batching and cross-actor cache sharing, not parallel compute — see
+  ``benchmarks/bench_hotpath.py``'s ``runtime`` section.
+- ``mode="sync"`` — the deterministic fallback: the exact
+  :class:`repro.rl.trainer.Trainer` collection loop (same stepper
+  classes, same RNG consumption, bit-identical
+  :class:`~repro.rl.trainer.TrainingHistory`), with checkpoint hooks
+  between ticks. This is the mode CI differential-checks.
+
+Both modes support full checkpoint/resume through
+:class:`repro.rl.checkpoint.CheckpointManager`: Q-net weights, optimizer
+moments, replay shards, every RNG stream, schedule position, environment
+and archive state, synthesis-cache contents and the accumulated
+:class:`~repro.rl.trainer.TrainingHistory`. In sync mode,
+save -> resume -> continue is bit-identical to an uninterrupted run; in
+async mode a resume restores exact component state but thread
+interleaving is, by nature, not replayed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+from repro.env.environment import PrefixEnv
+from repro.env.vector import VectorPrefixEnv
+from repro.rl.agent import ScalarizedDoubleDQN
+from repro.rl.checkpoint import CheckpointError, CheckpointManager
+from repro.rl.replay import ReplayBuffer, ShardedReplayBuffer
+from repro.rl.trainer import (
+    TrainerConfig,
+    TrainingHistory,
+    make_loop,
+    synthesis_stats,
+)
+from repro.synth.cache import SynthesisCache
+from repro.synth.curve import AreaDelayCurve
+from repro.utils.rng import ensure_rng, rng_state, set_rng_state, spawn_rngs
+
+
+@dataclass
+class RuntimeConfig:
+    """Knobs of the runtime that are not :class:`TrainerConfig` knobs."""
+
+    mode: str = "sync"             # "sync" (deterministic) or "async"
+    num_actors: int = 2            # async only: actor thread count
+    publish_every: int = 1         # async only: gradient steps between weight publications
+    checkpoint_every: int = 0      # env steps between checkpoints (0: only stop/final)
+    keep_checkpoints: int = 3      # snapshots retained on disk
+    stop_after: "int | None" = None  # checkpoint and halt at this env step (preemption)
+
+    def __post_init__(self):
+        if self.mode not in ("sync", "async"):
+            raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        if self.num_actors < 1:
+            raise ValueError("num_actors must be positive")
+        if self.publish_every < 1:
+            raise ValueError("publish_every must be positive")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be nonnegative")
+
+
+class _Coordinator:
+    """Shared state between the learner thread and the actor threads."""
+
+    def __init__(self, total: int, history: TrainingHistory):
+        self.total = total
+        self.history = history
+        self.lock = threading.Lock()
+        self._stop = threading.Event()
+        self._cond = threading.Condition()
+        self._alive = 0
+        self._paused = 0
+        self._pausing = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def register(self) -> None:
+        with self._cond:
+            self._alive += 1
+
+    def deregister(self) -> None:
+        with self._cond:
+            self._alive -= 1
+            self._cond.notify_all()
+
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def abort(self) -> None:
+        self._stop.set()
+        with self._cond:
+            self._cond.notify_all()
+
+    # -- progress accounting ---------------------------------------------
+
+    def env_steps(self) -> int:
+        with self.lock:
+            return self.history.env_steps
+
+    def gradient_steps(self) -> int:
+        with self.lock:
+            return self.history.gradient_steps
+
+    def record_round(self, actor, results, epsilon: float) -> int:
+        """Fold one actor round into the history; returns transitions kept."""
+        history = self.history
+        kept = 0
+        with self.lock:
+            for i, result in enumerate(results):
+                if history.env_steps >= self.total:
+                    break
+                actor.episode_returns[i] += float(
+                    actor.policy._hub.w @ result.reward
+                )
+                history.areas.append(result.info["area"])
+                history.delays.append(result.info["delay"])
+                history.epsilon_trace.append(epsilon)
+                history.env_steps += 1
+                kept += 1
+                if result.done:
+                    history.episode_returns.append(actor.episode_returns[i])
+                    actor.episode_returns[i] = 0.0
+        return kept
+
+    def record_loss(self, loss: float) -> None:
+        with self.lock:
+            self.history.losses.append(loss)
+            self.history.gradient_steps += 1
+
+    # -- checkpoint barrier ----------------------------------------------
+
+    def checkpoint_point(self) -> None:
+        """Actors park here (round boundary) while a checkpoint is taken."""
+        with self._cond:
+            while self._pausing and not self._stop.is_set():
+                self._paused += 1
+                self._cond.notify_all()
+                self._cond.wait()
+                self._paused -= 1
+                self._cond.notify_all()
+
+    def pause_actors(self) -> None:
+        """Block until every live actor is parked at the barrier."""
+        with self._cond:
+            self._pausing = True
+            self._cond.notify_all()
+            while self._paused < self._alive and not self._stop.is_set():
+                self._cond.wait(timeout=0.1)
+
+    def resume_actors(self) -> None:
+        with self._cond:
+            self._pausing = False
+            self._cond.notify_all()
+
+
+class TrainingRuntime:
+    """Actor-learner training with checkpoint/resume.
+
+    Args:
+        env: the collection environment(s). Sync mode takes one
+            :class:`PrefixEnv` or :class:`VectorPrefixEnv` (exactly like
+            :class:`~repro.rl.trainer.Trainer`). Async mode takes a list
+            with one entry per actor (single envs are wrapped into
+            one-replica vector envs).
+        agent: the learner's agent.
+        config: :class:`TrainerConfig` (steps, batch size, cadences).
+        runtime: :class:`RuntimeConfig` (mode, actors, checkpoint cadence).
+        checkpoint_dir: root directory for snapshots (required for
+            checkpointing/resume; optional otherwise).
+        rng: seed or generator. Sync mode consumes it exactly as
+            ``Trainer(..., rng=rng)`` does (replay sampling), keeping the
+            two paths bit-identical; async mode additionally derives
+            per-actor exploration streams from it.
+    """
+
+    def __init__(
+        self,
+        env,
+        agent: ScalarizedDoubleDQN,
+        config: "TrainerConfig | None" = None,
+        runtime: "RuntimeConfig | None" = None,
+        checkpoint_dir=None,
+        rng=None,
+    ):
+        self.agent = agent
+        self.config = config if config is not None else TrainerConfig()
+        self.runtime = runtime if runtime is not None else RuntimeConfig()
+        self.manager = (
+            CheckpointManager(checkpoint_dir, keep_last=self.runtime.keep_checkpoints)
+            if checkpoint_dir is not None
+            else None
+        )
+        if self.runtime.mode == "sync":
+            if isinstance(env, (list, tuple)):
+                raise ValueError("sync mode takes a single environment, not a list")
+            self.env = env
+            self.actor_envs = None
+            self.buffer = ReplayBuffer(self.config.buffer_capacity, rng=rng)
+            self._actor_rngs = None
+        else:
+            if isinstance(env, (list, tuple)):
+                envs = list(env)
+            else:
+                envs = [env]
+            if len(envs) != self.runtime.num_actors:
+                raise ValueError(
+                    f"async mode with num_actors={self.runtime.num_actors} needs "
+                    f"{self.runtime.num_actors} environments, got {len(envs)}"
+                )
+            self.actor_envs = [
+                e if isinstance(e, VectorPrefixEnv) else VectorPrefixEnv([e])
+                for e in envs
+            ]
+            self.env = None
+            base = ensure_rng(rng)
+            self.buffer = ShardedReplayBuffer(
+                self.config.buffer_capacity,
+                num_shards=self.runtime.num_actors,
+                rng=base,
+            )
+            self._actor_rngs = spawn_rngs(base, self.runtime.num_actors)
+        self.preempted = False
+
+    # ------------------------------------------------------------------
+    # Checkpoint assembly
+    # ------------------------------------------------------------------
+
+    def _all_envs(self) -> "list[PrefixEnv]":
+        if self.runtime.mode == "sync":
+            return self.env.envs if isinstance(self.env, VectorPrefixEnv) else [self.env]
+        return [e for venv in self.actor_envs for e in venv.envs]
+
+    def _collect_caches(self):
+        """Distinct evaluator caches plus each env's index into them."""
+        caches: "list[SynthesisCache]" = []
+        refs: "list[int | None]" = []
+        for env in self._all_envs():
+            cache = getattr(env.evaluator, "cache", None)
+            if cache is None:
+                refs.append(None)
+                continue
+            for i, seen in enumerate(caches):
+                if seen is cache:
+                    refs.append(i)
+                    break
+            else:
+                refs.append(len(caches))
+                caches.append(cache)
+        return caches, refs
+
+    def _cache_states(self) -> "list[dict]":
+        caches, refs = self._collect_caches()
+        states = []
+        for cache in caches:
+            entries, hits, misses = cache.snapshot()
+            encoded = []
+            for key, value in entries:
+                if not isinstance(value, AreaDelayCurve):
+                    raise TypeError(
+                        "cannot checkpoint synthesis cache value of type "
+                        f"{type(value).__name__}"
+                    )
+                encoded.append([list(key), value.points()])
+            states.append(
+                {
+                    "max_entries": cache.max_entries,
+                    "hits": hits,
+                    "misses": misses,
+                    "entries": encoded,
+                }
+            )
+        return states
+
+    def _restore_caches(self, states: "list[dict]") -> None:
+        caches, _refs = self._collect_caches()
+        if len(states) != len(caches):
+            raise CheckpointError(
+                f"checkpoint has {len(states)} synthesis caches, "
+                f"live evaluators expose {len(caches)}"
+            )
+        for cache, state in zip(caches, states):
+            entries = [
+                (tuple(key), AreaDelayCurve([tuple(p) for p in points]))
+                for key, points in state["entries"]
+            ]
+            cache.restore(entries, hits=state["hits"], misses=state["misses"])
+
+    def _farm(self):
+        for env in self._all_envs():
+            farm = getattr(env.evaluator, "farm", None)
+            if farm is not None:
+                return farm
+        return None
+
+    def _history_state(self, history: TrainingHistory) -> dict:
+        return {
+            "losses": list(history.losses),
+            "episode_returns": list(history.episode_returns),
+            "areas": list(history.areas),
+            "delays": list(history.delays),
+            "epsilon_trace": list(history.epsilon_trace),
+            "env_steps": history.env_steps,
+            "gradient_steps": history.gradient_steps,
+        }
+
+    @staticmethod
+    def _history_from_state(state: dict) -> TrainingHistory:
+        return TrainingHistory(
+            losses=[float(x) for x in state["losses"]],
+            episode_returns=[float(x) for x in state["episode_returns"]],
+            areas=[float(x) for x in state["areas"]],
+            delays=[float(x) for x in state["delays"]],
+            epsilon_trace=[float(x) for x in state["epsilon_trace"]],
+            env_steps=int(state["env_steps"]),
+            gradient_steps=int(state["gradient_steps"]),
+        )
+
+    def _snapshot(self, total: int, history: TrainingHistory, loop_state: dict) -> dict:
+        state = {
+            "mode": self.runtime.mode,
+            "total": total,
+            "trainer_config": asdict(self.config),
+            "loop": loop_state,
+            "history": self._history_state(history),
+            "agent": self.agent.state_dict(),
+            "buffer": self.buffer.state_dict(),
+            "caches": self._cache_states(),
+        }
+        if self.runtime.mode == "sync":
+            state["env_kind"] = (
+                "vector" if isinstance(self.env, VectorPrefixEnv) else "single"
+            )
+            state["env"] = self.env.state_dict()
+        else:
+            state["env_kind"] = "actors"
+            state["env"] = {"actors": [v.state_dict() for v in self.actor_envs]}
+            state["actor_rngs"] = [rng_state(r) for r in self._actor_rngs]
+        farm = self._farm()
+        if farm is not None:
+            state["farm"] = {
+                "total_batches": farm.total_batches,
+                "total_graphs": farm.total_graphs,
+                "total_unique": farm.total_unique,
+                "total_cache_hits": farm.total_cache_hits,
+                "total_dispatched": farm.total_dispatched,
+            }
+        return state
+
+    def _save(self, total: int, history: TrainingHistory, loop_state: dict) -> None:
+        if self.manager is None:
+            raise CheckpointError(
+                "cannot checkpoint: TrainingRuntime was built without a checkpoint_dir"
+            )
+        self.manager.save(
+            self._snapshot(total, history, loop_state),
+            step=history.env_steps,
+            meta={
+                "mode": self.runtime.mode,
+                "env_steps": history.env_steps,
+                "gradient_steps": history.gradient_steps,
+                "total": total,
+            },
+        )
+
+    def _load(self, steps: "int | None"):
+        if self.manager is None:
+            raise CheckpointError(
+                "cannot resume: TrainingRuntime was built without a checkpoint_dir"
+            )
+        state, _manifest = self.manager.load()
+        if state["mode"] != self.runtime.mode:
+            raise CheckpointError(
+                f"checkpoint was taken in {state['mode']!r} mode, "
+                f"runtime is configured for {self.runtime.mode!r}"
+            )
+        saved_cfg = state["trainer_config"]
+        live_cfg = asdict(self.config)
+        drift = {
+            k: (saved_cfg.get(k), live_cfg[k])
+            for k in live_cfg
+            if k != "steps" and saved_cfg.get(k) != live_cfg[k]
+        }
+        if drift:
+            raise CheckpointError(
+                "trainer config drifted since the checkpoint (resuming would "
+                f"silently change the trajectory): {drift}"
+            )
+        total = int(state["total"])
+        if steps is not None and steps != total:
+            raise CheckpointError(
+                f"checkpoint targets {total} total steps; pass steps={total} "
+                f"(or None) to resume, got {steps}"
+            )
+        self.agent.load_state_dict(state["agent"])
+        self.buffer.load_state_dict(state["buffer"])
+        self._restore_caches(state["caches"])
+        if self.runtime.mode == "sync":
+            self.env.load_state_dict(state["env"])
+        else:
+            actors = state["env"]["actors"]
+            if len(actors) != len(self.actor_envs):
+                raise CheckpointError(
+                    f"checkpoint has {len(actors)} actors, runtime has "
+                    f"{len(self.actor_envs)}"
+                )
+            for venv, snap in zip(self.actor_envs, actors):
+                venv.load_state_dict(snap)
+            for rng, snap in zip(self._actor_rngs, state["actor_rngs"]):
+                set_rng_state(rng, snap)
+        farm = self._farm()
+        if farm is not None and "farm" in state:
+            for key, value in state["farm"].items():
+                setattr(farm, key, int(value))
+        history = self._history_from_state(state["history"])
+        return total, history, state["loop"]
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, steps: "int | None" = None, resume: bool = False) -> TrainingHistory:
+        """Train to the step budget (or ``stop_after``); returns the history.
+
+        ``resume=True`` restores the latest checkpoint and continues to
+        its recorded total. A run halted by ``stop_after`` checkpoints
+        itself and leaves :attr:`preempted` True, so the caller can tell
+        completion from preemption.
+        """
+        self.preempted = False
+        if self.runtime.mode == "sync":
+            return self._run_sync(steps, resume)
+        return self._run_async(steps, resume)
+
+    def _checkpoint_due(self, history: TrainingHistory, last_saved: int) -> bool:
+        every = self.runtime.checkpoint_every
+        return bool(every) and history.env_steps - last_saved >= every
+
+    def _stop_requested(self, history: TrainingHistory) -> bool:
+        stop = self.runtime.stop_after
+        return stop is not None and history.env_steps >= stop
+
+    def _run_sync(self, steps: "int | None", resume: bool) -> TrainingHistory:
+        if resume:
+            total, history, loop_state = self._load(steps)
+        else:
+            total = steps if steps is not None else self.config.steps
+            history = TrainingHistory()
+            loop_state = None
+
+        loop = make_loop(
+            self.env, self.agent, self.buffer, self.config,
+            total, self.config.schedule(total), history,
+        )
+        if loop_state is not None:
+            loop.load_state_dict(loop_state)
+            loop.resume()
+        else:
+            loop.start()
+
+        last_saved = history.env_steps
+        while not loop.done:
+            loop.tick()
+            if self._stop_requested(history) and not loop.done:
+                self._save(total, history, loop.state_dict())
+                self.preempted = True
+                return history
+            if self._checkpoint_due(history, last_saved):
+                self._save(total, history, loop.state_dict())
+                last_saved = history.env_steps
+
+        if self.manager is not None:
+            self._save(total, history, loop.state_dict())
+        history.synthesis_stats = synthesis_stats(self.env)
+        return history
+
+    def _run_async(self, steps: "int | None", resume: bool) -> TrainingHistory:
+        from repro.distributed.pipeline import ActorWorker, PolicyHub
+
+        saved_returns = None
+        if resume:
+            total, history, loop_state = self._load(steps)
+            saved_returns = loop_state.get("episode_returns")
+        else:
+            total = steps if steps is not None else self.config.steps
+            history = TrainingHistory()
+            for venv in self.actor_envs:
+                venv.reset()
+
+        cfg = self.config
+        coord = _Coordinator(total, history)
+        hub = PolicyHub(self.agent)
+        schedule = cfg.schedule(total)
+        actors = [
+            ActorWorker(
+                index=i,
+                venv=venv,
+                policy=hub.subscribe(),
+                buffer=self.buffer,
+                schedule=schedule,
+                coordinator=coord,
+                rng=self._actor_rngs[i],
+            )
+            for i, venv in enumerate(self.actor_envs)
+        ]
+        if saved_returns is not None:
+            # Restore the per-replica in-flight episode returns, so episodes
+            # spanning a preemption report their full accumulated return.
+            for actor, returns in zip(actors, saved_returns):
+                if len(returns) != actor.venv.num_envs:
+                    raise CheckpointError(
+                        f"checkpoint has {len(returns)} replica returns for actor "
+                        f"{actor.index}, env has {actor.venv.num_envs}"
+                    )
+                actor.episode_returns = [float(r) for r in returns]
+
+        def loop_state_now():
+            return {
+                "kind": "async",
+                "episode_returns": [list(a.episode_returns) for a in actors],
+            }
+
+        for actor in actors:
+            actor.start()
+
+        last_saved = history.env_steps
+        stopped_early = False
+        try:
+            while True:
+                env_steps = coord.env_steps()
+                if any(a.error for a in actors):
+                    break
+                if self._stop_requested(history):
+                    stopped_early = True
+                    break
+                # Same cadence as the synchronous single-env loop: it fires
+                # at (0-indexed) step s when s % learn_every == 0 and the
+                # buffer already holds warmup_steps, i.e. s >= warmup-1.
+                done_steps = min(env_steps, total)
+                le = max(cfg.learn_every, 1)
+                first = -(-(cfg.warmup_steps - 1) // le) * le
+                grads_allowed = (
+                    (done_steps - 1 - first) // le + 1 if done_steps > first else 0
+                )
+                if (
+                    len(self.buffer) >= cfg.warmup_steps
+                    and coord.gradient_steps() < grads_allowed
+                ):
+                    loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
+                    coord.record_loss(loss)
+                    if history.gradient_steps % self.runtime.publish_every == 0:
+                        hub.publish()
+                elif env_steps >= total:
+                    break
+                else:
+                    time.sleep(0.002)
+                if self._checkpoint_due(history, last_saved):
+                    coord.pause_actors()
+                    try:
+                        self._save(total, history, loop_state_now())
+                        last_saved = history.env_steps
+                    finally:
+                        coord.resume_actors()
+        finally:
+            coord.abort()
+            for actor in actors:
+                actor.join(timeout=60.0)
+        for actor in actors:
+            if actor.error is not None:
+                raise RuntimeError(
+                    f"actor {actor.index} failed: {actor.error!r}"
+                ) from actor.error
+
+        if self.manager is not None:
+            # Like the sync path: a checkpoint_dir always gets a final (or
+            # halt-point) snapshot, so --resume can extend any run.
+            self._save(total, history, loop_state_now())
+        self.preempted = stopped_early and history.env_steps < total
+        history.synthesis_stats = synthesis_stats(self.actor_envs)
+        return history

@@ -18,6 +18,20 @@ class LinearSchedule:
         self.end = end
         self.duration = duration
 
+    @classmethod
+    def annealed(
+        cls, start: float, end: float, total_steps: int, frac: float
+    ) -> "LinearSchedule":
+        """The run-level anneal: ramp over ``frac`` of ``total_steps``.
+
+        This is the one place the paper's "annealed over a fraction of
+        training" convention is turned into a duration, shared by the
+        trainer and the async runtime so both resolve identical epsilon
+        values for the same step index — a resumed run rebuilds its
+        schedule from the checkpointed total, not the remaining steps.
+        """
+        return cls(start, end, max(int(total_steps * frac), 1))
+
     def value(self, step: int) -> float:
         """Scheduled value at ``step`` (clamped beyond the endpoints)."""
         if step <= 0:

@@ -10,6 +10,13 @@ replicas then advance in lockstep with one stacked Q-net forward per round
 (amortizing the convolution cost — Section V-C's batched acting), while
 featurization/mask work rides the per-graph memo so each state is analyzed
 once no matter how many times the loop observes it.
+
+The collection loops themselves live in :class:`SingleEnvLoop` /
+:class:`VectorEnvLoop` — resumable steppers that advance one env step (or
+one lockstep round) per :meth:`~SingleEnvLoop.tick`. :meth:`Trainer.run`
+just drives a loop to completion; :class:`repro.rl.runtime.TrainingRuntime`
+drives the same steppers with checkpoint hooks between ticks, which is what
+makes its deterministic mode bit-identical to this trainer by construction.
 """
 
 from __future__ import annotations
@@ -39,6 +46,12 @@ class TrainerConfig:
     epsilon_end: float = 0.0          # paper: annealed to zero
     epsilon_anneal_frac: float = 0.8  # fraction of steps to anneal over
 
+    def schedule(self, total_steps: int) -> LinearSchedule:
+        """The run's epsilon schedule for a ``total_steps`` budget."""
+        return LinearSchedule.annealed(
+            self.epsilon_start, self.epsilon_end, total_steps, self.epsilon_anneal_frac
+        )
+
 
 @dataclass
 class TrainingHistory:
@@ -52,6 +65,296 @@ class TrainingHistory:
     env_steps: int = 0
     gradient_steps: int = 0
     synthesis_stats: "dict | None" = None  # cache/farm counters (synthesis evaluators only)
+
+
+def synthesis_stats(env) -> "dict | None":
+    """Cache/farm observability snapshot for synthesis-backed evaluators.
+
+    ``env`` may be a :class:`PrefixEnv`, a :class:`VectorPrefixEnv`, or a
+    list of either (the async runtime's per-actor environments).
+    Aggregates hit/miss counters over the distinct
+    :class:`repro.synth.SynthesisCache` objects behind the run's
+    evaluators (replicas usually share one) and attaches the cumulative
+    :meth:`repro.distributed.SynthesisFarm.stats` of an attached farm.
+    Returns None for cacheless (e.g. analytical) evaluators.
+    """
+    tops = list(env) if isinstance(env, (list, tuple)) else [env]
+    envs = []
+    for top in tops:
+        envs.extend(top.envs if isinstance(top, VectorPrefixEnv) else [top])
+    caches = []
+    farm = None
+    for e in envs:
+        cache = getattr(e.evaluator, "cache", None)
+        if cache is not None and not any(cache is c for c in caches):
+            caches.append(cache)
+        if farm is None:
+            farm = getattr(e.evaluator, "farm", None)
+    if not caches:
+        return None
+    hits = sum(c.hits for c in caches)
+    misses = sum(c.misses for c in caches)
+    stats = {
+        "cache": {
+            "entries": sum(len(c) for c in caches),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "shared": len(caches) == 1 and len(envs) > 1,
+        }
+    }
+    if farm is not None:
+        stats["farm"] = farm.stats()
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Resumable collection loops
+# ----------------------------------------------------------------------
+
+
+class SingleEnvLoop:
+    """Sequential collection stepper: one :meth:`tick` = one env step.
+
+    Holds only the loop-local state (running episode return); everything
+    else (env, agent, buffer, history) is owned by the caller and captured
+    by their own ``state_dict`` methods, so a checkpoint taken between
+    ticks plus :meth:`resume` reproduces the remaining run bit for bit.
+    """
+
+    def __init__(
+        self,
+        env: PrefixEnv,
+        agent: ScalarizedDoubleDQN,
+        buffer: ReplayBuffer,
+        config: TrainerConfig,
+        total: int,
+        schedule: LinearSchedule,
+        history: TrainingHistory,
+    ):
+        self.env = env
+        self.agent = agent
+        self.buffer = buffer
+        self.config = config
+        self.total = total
+        self.schedule = schedule
+        self.history = history
+        self.episode_return = 0.0
+        self._obs = None
+        self._mask = None
+
+    def start(self) -> None:
+        """Begin a fresh run (resets the environment)."""
+        state = self.env.reset()
+        self._obs = self.env.observe(state)
+        self._mask = self.env.legal_mask(state)
+
+    def resume(self) -> None:
+        """Continue from restored env/agent/buffer/history state."""
+        self._obs = self.env.observe()
+        self._mask = self.env.legal_mask()
+
+    @property
+    def done(self) -> bool:
+        return self.history.env_steps >= self.total
+
+    def tick(self) -> None:
+        """One env step (and, past warmup, the due gradient steps)."""
+        cfg = self.config
+        history = self.history
+        step = history.env_steps
+        epsilon = self.schedule(step)
+        action_idx = self.agent.act(self._obs, self._mask, epsilon=epsilon)
+        action = self.env.action_space.action(action_idx)
+        result = self.env.step(action)
+
+        next_obs = self.env.observe(result.next_state)
+        next_mask = self.env.legal_mask(result.next_state)
+        self.buffer.push(
+            Transition(
+                state=self._obs,
+                action=action_idx,
+                reward=result.reward,
+                next_state=next_obs,
+                next_mask=next_mask,
+                done=result.done,
+            )
+        )
+        self.episode_return += float(self.agent.w @ result.reward)
+        history.areas.append(result.info["area"])
+        history.delays.append(result.info["delay"])
+        history.epsilon_trace.append(epsilon)
+        history.env_steps += 1
+
+        if result.done:
+            history.episode_returns.append(self.episode_return)
+            self.episode_return = 0.0
+            state = self.env.reset()
+            self._obs = self.env.observe(state)
+            self._mask = self.env.legal_mask(state)
+        else:
+            self._obs = next_obs
+            self._mask = next_mask
+
+        if len(self.buffer) >= cfg.warmup_steps and step % cfg.learn_every == 0:
+            loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
+            history.losses.append(loss)
+            history.gradient_steps += 1
+
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Loop-local state (the rest lives with env/agent/buffer/history)."""
+        return {"kind": "single", "episode_return": self.episode_return}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != "single":
+            raise ValueError(f"loop state is {state.get('kind')!r}, expected 'single'")
+        self.episode_return = float(state["episode_return"])
+
+
+class VectorEnvLoop:
+    """Batched collection stepper: one :meth:`tick` = one lockstep round.
+
+    Checkpoints happen at round boundaries; the per-replica running
+    returns and the fractional gradient debt are the only loop-local
+    state.
+    """
+
+    def __init__(
+        self,
+        env: VectorPrefixEnv,
+        agent: ScalarizedDoubleDQN,
+        buffer: ReplayBuffer,
+        config: TrainerConfig,
+        total: int,
+        schedule: LinearSchedule,
+        history: TrainingHistory,
+    ):
+        self.env = env
+        self.agent = agent
+        self.buffer = buffer
+        self.config = config
+        self.total = total
+        self.schedule = schedule
+        self.history = history
+        self.episode_returns = [0.0] * env.num_envs
+        self.gradient_debt = 0.0
+        self._obs = None
+        self._masks = None
+
+    def start(self) -> None:
+        """Begin a fresh run (resets every replica)."""
+        self.env.reset()
+        self._obs = self.env.observe()
+        self._masks = self.env.legal_masks()
+
+    def resume(self) -> None:
+        """Continue from restored env/agent/buffer/history state."""
+        self._obs = self.env.observe()
+        self._masks = self.env.legal_masks()
+
+    @property
+    def done(self) -> bool:
+        return self.history.env_steps >= self.total
+
+    def tick(self) -> None:
+        """One lockstep round: E env steps plus the due gradient steps."""
+        cfg = self.config
+        venv = self.env
+        history = self.history
+        num_envs = venv.num_envs
+        obs, masks = self._obs, self._masks
+
+        epsilon = self.schedule(history.env_steps)
+        action_idxs = self.agent.act_batch(obs, masks, epsilon=epsilon)
+        results = venv.step(action_idxs)
+        # The per-graph feature/mask memo makes these stacks cheap for
+        # replicas whose state was already observed this round.
+        next_obs = venv.observe()
+        next_masks = venv.legal_masks()
+
+        for i, result in enumerate(results):
+            if history.env_steps >= self.total:
+                # The round stepped every replica, but the budget is
+                # exact: drop the overshoot (the replicas did advance;
+                # their archives keep those evaluations).
+                break
+            # For terminal replicas the vector env has already reset,
+            # so featurize the terminal state directly for the buffer.
+            if result.done:
+                t_obs = venv.envs[i].observe(result.next_state)
+                t_mask = venv.envs[i].legal_mask(result.next_state)
+            else:
+                t_obs = next_obs[i]
+                t_mask = next_masks[i]
+            self.buffer.push(
+                Transition(
+                    state=obs[i],
+                    action=int(action_idxs[i]),
+                    reward=result.reward,
+                    next_state=t_obs,
+                    next_mask=t_mask,
+                    done=result.done,
+                )
+            )
+            self.episode_returns[i] += float(self.agent.w @ result.reward)
+            history.areas.append(result.info["area"])
+            history.delays.append(result.info["delay"])
+            history.epsilon_trace.append(epsilon)
+            history.env_steps += 1
+            if result.done:
+                history.episode_returns.append(self.episode_returns[i])
+                self.episode_returns[i] = 0.0
+
+        self._obs = next_obs
+        self._masks = next_masks
+
+        if len(self.buffer) >= cfg.warmup_steps:
+            # One gradient step per learn_every env steps, matching the
+            # sequential cadence in aggregate (fractional remainders
+            # carry over between rounds).
+            self.gradient_debt += num_envs / max(cfg.learn_every, 1)
+            while self.gradient_debt >= 1.0:
+                loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
+                history.losses.append(loss)
+                history.gradient_steps += 1
+                self.gradient_debt -= 1.0
+
+    # -- persistence -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Loop-local state (the rest lives with env/agent/buffer/history)."""
+        return {
+            "kind": "vector",
+            "episode_returns": list(self.episode_returns),
+            "gradient_debt": self.gradient_debt,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != "vector":
+            raise ValueError(f"loop state is {state.get('kind')!r}, expected 'vector'")
+        returns = [float(r) for r in state["episode_returns"]]
+        if len(returns) != self.env.num_envs:
+            raise ValueError(
+                f"loop state has {len(returns)} replicas, env has {self.env.num_envs}"
+            )
+        self.episode_returns = returns
+        self.gradient_debt = float(state["gradient_debt"])
+
+
+def make_loop(
+    env: "PrefixEnv | VectorPrefixEnv",
+    agent: ScalarizedDoubleDQN,
+    buffer: ReplayBuffer,
+    config: TrainerConfig,
+    total: int,
+    schedule: LinearSchedule,
+    history: TrainingHistory,
+) -> "SingleEnvLoop | VectorEnvLoop":
+    """The collection stepper matching ``env``'s type."""
+    cls = VectorEnvLoop if isinstance(env, VectorPrefixEnv) else SingleEnvLoop
+    return cls(env, agent, buffer, config, total, schedule, history)
 
 
 class Trainer:
@@ -77,178 +380,17 @@ class Trainer:
     def run(self, steps: "int | None" = None) -> TrainingHistory:
         """Train for ``steps`` environment steps (default: config.steps)."""
         total = steps if steps is not None else self.config.steps
-        anneal = max(int(total * self.config.epsilon_anneal_frac), 1)
-        schedule = LinearSchedule(
-            self.config.epsilon_start, self.config.epsilon_end, anneal
+        history = TrainingHistory()
+        loop = make_loop(
+            self.env, self.agent, self.buffer, self.config,
+            total, self.config.schedule(total), history,
         )
-        if isinstance(self.env, VectorPrefixEnv):
-            history = self._run_vector(total, schedule)
-        else:
-            history = self._run_single(total, schedule)
+        loop.start()
+        while not loop.done:
+            loop.tick()
         history.synthesis_stats = self._synthesis_stats()
         return history
 
     def _synthesis_stats(self) -> "dict | None":
-        """Cache/farm observability snapshot for synthesis-backed evaluators.
-
-        Aggregates hit/miss counters over the distinct
-        :class:`repro.synth.SynthesisCache` objects behind the run's
-        evaluators (replicas usually share one) and attaches the
-        cumulative :meth:`repro.distributed.SynthesisFarm.stats` of an
-        attached farm. Returns None for cacheless (e.g. analytical)
-        evaluators.
-        """
-        envs = self.env.envs if isinstance(self.env, VectorPrefixEnv) else [self.env]
-        caches = []
-        farm = None
-        for env in envs:
-            cache = getattr(env.evaluator, "cache", None)
-            if cache is not None and not any(cache is c for c in caches):
-                caches.append(cache)
-            if farm is None:
-                farm = getattr(env.evaluator, "farm", None)
-        if not caches:
-            return None
-        hits = sum(c.hits for c in caches)
-        misses = sum(c.misses for c in caches)
-        stats = {
-            "cache": {
-                "entries": sum(len(c) for c in caches),
-                "hits": hits,
-                "misses": misses,
-                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
-                "shared": len(caches) == 1 and len(envs) > 1,
-            }
-        }
-        if farm is not None:
-            stats["farm"] = farm.stats()
-        return stats
-
-    # ------------------------------------------------------------------
-    # Sequential collection (one environment)
-    # ------------------------------------------------------------------
-
-    def _run_single(self, total: int, schedule: LinearSchedule) -> TrainingHistory:
-        cfg = self.config
-        history = TrainingHistory()
-
-        state = self.env.reset()
-        obs = self.env.observe(state)
-        mask = self.env.legal_mask(state)
-        episode_return = 0.0
-
-        for step in range(total):
-            epsilon = schedule(step)
-            action_idx = self.agent.act(obs, mask, epsilon=epsilon)
-            action = self.env.action_space.action(action_idx)
-            result = self.env.step(action)
-
-            next_obs = self.env.observe(result.next_state)
-            next_mask = self.env.legal_mask(result.next_state)
-            self.buffer.push(
-                Transition(
-                    state=obs,
-                    action=action_idx,
-                    reward=result.reward,
-                    next_state=next_obs,
-                    next_mask=next_mask,
-                    done=result.done,
-                )
-            )
-            episode_return += float(self.agent.w @ result.reward)
-            history.areas.append(result.info["area"])
-            history.delays.append(result.info["delay"])
-            history.epsilon_trace.append(epsilon)
-            history.env_steps += 1
-
-            if result.done:
-                history.episode_returns.append(episode_return)
-                episode_return = 0.0
-                state = self.env.reset()
-                obs = self.env.observe(state)
-                mask = self.env.legal_mask(state)
-            else:
-                state = result.next_state
-                obs = next_obs
-                mask = next_mask
-
-            if len(self.buffer) >= cfg.warmup_steps and step % cfg.learn_every == 0:
-                loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
-                history.losses.append(loss)
-                history.gradient_steps += 1
-
-        return history
-
-    # ------------------------------------------------------------------
-    # Batched collection (E lockstep environments)
-    # ------------------------------------------------------------------
-
-    def _run_vector(self, total: int, schedule: LinearSchedule) -> TrainingHistory:
-        cfg = self.config
-        venv: VectorPrefixEnv = self.env
-        num_envs = venv.num_envs
-        history = TrainingHistory()
-
-        venv.reset()
-        obs = venv.observe()
-        masks = venv.legal_masks()
-        episode_returns = [0.0] * num_envs
-        gradient_debt = 0.0
-
-        while history.env_steps < total:
-            epsilon = schedule(history.env_steps)
-            action_idxs = self.agent.act_batch(obs, masks, epsilon=epsilon)
-            results = venv.step(action_idxs)
-            # The per-graph feature/mask memo makes these stacks cheap for
-            # replicas whose state was already observed this round.
-            next_obs = venv.observe()
-            next_masks = venv.legal_masks()
-
-            for i, result in enumerate(results):
-                if history.env_steps >= total:
-                    # The round stepped every replica, but the budget is
-                    # exact: drop the overshoot (the replicas did advance;
-                    # their archives keep those evaluations).
-                    break
-                # For terminal replicas the vector env has already reset,
-                # so featurize the terminal state directly for the buffer.
-                if result.done:
-                    t_obs = self.env.envs[i].observe(result.next_state)
-                    t_mask = self.env.envs[i].legal_mask(result.next_state)
-                else:
-                    t_obs = next_obs[i]
-                    t_mask = next_masks[i]
-                self.buffer.push(
-                    Transition(
-                        state=obs[i],
-                        action=int(action_idxs[i]),
-                        reward=result.reward,
-                        next_state=t_obs,
-                        next_mask=t_mask,
-                        done=result.done,
-                    )
-                )
-                episode_returns[i] += float(self.agent.w @ result.reward)
-                history.areas.append(result.info["area"])
-                history.delays.append(result.info["delay"])
-                history.epsilon_trace.append(epsilon)
-                history.env_steps += 1
-                if result.done:
-                    history.episode_returns.append(episode_returns[i])
-                    episode_returns[i] = 0.0
-
-            obs = next_obs
-            masks = next_masks
-
-            if len(self.buffer) >= cfg.warmup_steps:
-                # One gradient step per learn_every env steps, matching the
-                # sequential cadence in aggregate (fractional remainders
-                # carry over between rounds).
-                gradient_debt += num_envs / max(cfg.learn_every, 1)
-                while gradient_debt >= 1.0:
-                    loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
-                    history.losses.append(loss)
-                    history.gradient_steps += 1
-                    gradient_debt -= 1.0
-
-        return history
+        """See :func:`synthesis_stats` (kept as a method for callers)."""
+        return synthesis_stats(self.env)

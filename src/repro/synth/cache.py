@@ -87,6 +87,27 @@ class SynthesisCache:
             self.hits = 0
             self.misses = 0
 
+    def snapshot(self) -> "tuple[list[tuple[tuple, object]], int, int]":
+        """``(entries, hits, misses)`` in LRU order (oldest first).
+
+        Values are returned as stored; the checkpoint layer is
+        responsible for serializing them (e.g. an
+        :class:`repro.synth.AreaDelayCurve` via its ``points()``).
+        """
+        with self._lock:
+            return list(self._data.items()), self.hits, self.misses
+
+    def restore(
+        self, entries: "list[tuple[tuple, object]]", hits: int = 0, misses: int = 0
+    ) -> None:
+        """Replace contents and counters with a :meth:`snapshot` (order kept)."""
+        with self._lock:
+            self._data = OrderedDict((tuple(k), v) for k, v in entries)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+            self.hits = int(hits)
+            self.misses = int(misses)
+
     def __repr__(self) -> str:
         return (
             f"SynthesisCache(entries={len(self)}, hits={self.hits}, "

@@ -8,7 +8,6 @@ when eyeballing what the optimizer actually did to a design.
 
 from __future__ import annotations
 
-from repro.netlist.ir import Netlist
 from repro.sta.timing import analyze_timing, net_load
 from repro.synth.optimizer import SynthesisResult
 from repro.utils.ascii_plot import format_table

@@ -5,12 +5,21 @@ component receives an explicit :class:`numpy.random.Generator`) and free of
 ad-hoc environment probing (all scale knobs go through :func:`run_scale`).
 """
 
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import (
+    ensure_rng,
+    rng_from_state,
+    rng_state,
+    set_rng_state,
+    spawn_rngs,
+)
 from repro.utils.config import RunScale, run_scale
 from repro.utils.ascii_plot import scatter_plot, format_table
 
 __all__ = [
     "ensure_rng",
+    "rng_state",
+    "set_rng_state",
+    "rng_from_state",
     "spawn_rngs",
     "RunScale",
     "run_scale",

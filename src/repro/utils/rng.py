@@ -27,6 +27,35 @@ def ensure_rng(rng: "int | np.random.Generator | None") -> np.random.Generator:
     return np.random.default_rng(int(rng))
 
 
+def rng_state(rng: np.random.Generator) -> dict:
+    """JSON-serializable snapshot of a generator's exact stream position.
+
+    The returned dict is ``rng.bit_generator.state`` (bit-generator name
+    plus integer state words); feeding it back through
+    :func:`set_rng_state` resumes the stream at precisely the next draw,
+    which is what checkpoint/resume needs for bit-identical training.
+    """
+    return rng.bit_generator.state
+
+
+def set_rng_state(rng: np.random.Generator, state: dict) -> np.random.Generator:
+    """Restore a generator to a snapshot taken with :func:`rng_state`."""
+    expected = type(rng.bit_generator).__name__
+    name = state.get("bit_generator") if isinstance(state, dict) else None
+    if name != expected:
+        raise ValueError(
+            f"RNG state is for bit generator {name!r}, "
+            f"but the live generator uses {expected!r}"
+        )
+    rng.bit_generator.state = state
+    return rng
+
+
+def rng_from_state(state: dict) -> np.random.Generator:
+    """Build a fresh generator positioned at a :func:`rng_state` snapshot."""
+    return set_rng_state(np.random.default_rng(0), state)
+
+
 def spawn_rngs(rng: "int | np.random.Generator | None", count: int) -> list:
     """Split ``rng`` into ``count`` independent child generators.
 

@@ -88,7 +88,7 @@ class TestEnvironment:
         # Cumulative reward equals total (scaled) improvement start->end.
         env = self._env(horizon=50)
         rng = np.random.default_rng(0)
-        start = env.reset(ripple_carry(8))
+        env.reset(ripple_carry(8))
         m0 = env.current_metrics()
         total = np.zeros(2)
         for _ in range(20):

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cells import nangate45
 from repro.env import PrefixEnv, VectorPrefixEnv
-from repro.rl import ReplayBuffer, ScalarizedDoubleDQN, Trainer, TrainerConfig
+from repro.rl import ScalarizedDoubleDQN, Trainer, TrainerConfig
 from repro.synth import AnalyticalEvaluator, SynthesisCache, SynthesisEvaluator
 
 

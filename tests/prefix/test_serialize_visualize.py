@@ -5,7 +5,6 @@ import json
 import pytest
 
 from repro.prefix import (
-    PrefixGraph,
     brent_kung,
     graph_from_dict,
     graph_from_json,

@@ -137,9 +137,8 @@ class TestLearning:
         agent = make_agent()
         batch = make_batch(agent, size=2)
         agent.local.train()
-        qmap = agent.local.forward(batch["states"])
+        agent.local.forward(batch["states"])
         # Re-run the masking logic: the huber mask has 2 entries per sample.
         positions = [agent.actions.qmap_positions(int(a)) for a in batch["actions"]]
         flat_positions = {(i, *p) for i, pair in enumerate(positions) for p in pair}
         assert len(flat_positions) == 2 * len(positions)
-        del qmap

@@ -1,0 +1,263 @@
+"""Checkpoint format and save -> resume -> continue bit-identity."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.env import PrefixEnv
+from repro.rl import (
+    CheckpointError,
+    CheckpointManager,
+    RuntimeConfig,
+    ScalarizedDoubleDQN,
+    TrainerConfig,
+    TrainingRuntime,
+)
+from repro.rl.checkpoint import _flatten, _unflatten
+from repro.synth import AnalyticalEvaluator
+
+
+def make_sync_runtime(tmp_path=None, seed=3, steps=60, runtime=None, evaluator=None):
+    env = PrefixEnv(
+        6,
+        evaluator if evaluator is not None else AnalyticalEvaluator(0.5, 0.5),
+        horizon=12,
+        rng=seed,
+    )
+    agent = ScalarizedDoubleDQN(6, 0.5, 0.5, blocks=0, channels=4, lr=1e-3, rng=seed)
+    cfg = TrainerConfig(steps=steps, batch_size=4, warmup_steps=8)
+    return TrainingRuntime(
+        env, agent, cfg,
+        runtime if runtime is not None else RuntimeConfig(mode="sync"),
+        checkpoint_dir=tmp_path, rng=seed,
+    ), env
+
+
+def assert_histories_identical(a, b):
+    assert a.env_steps == b.env_steps
+    assert a.gradient_steps == b.gradient_steps
+    for f in ("losses", "episode_returns", "areas", "delays", "epsilon_trace"):
+        assert getattr(a, f) == getattr(b, f), f  # exact float equality
+
+
+class TestFlatten:
+    def test_round_trip(self):
+        state = {
+            "a": np.arange(6.0).reshape(2, 3),
+            "b": {"c": [1, 2.5, None, True, "x"], "d": np.ones(2, dtype=bool)},
+            "big": 2**127 + 1,  # PCG64-sized integer
+            "e": [{"f": np.float64(1.25)}, (np.int64(3), "y")],
+        }
+        arrays = {}
+        payload = _flatten(state, "", arrays)
+        text = json.dumps(payload)  # must be JSON-serializable
+        restored = _unflatten(json.loads(text), arrays)
+        np.testing.assert_array_equal(restored["a"], state["a"])
+        np.testing.assert_array_equal(restored["b"]["d"], state["b"]["d"])
+        assert restored["b"]["c"] == [1, 2.5, None, True, "x"]
+        assert restored["big"] == 2**127 + 1
+        assert restored["e"][0]["f"] == 1.25
+        assert restored["e"][1] == [3, "y"]
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError, match="cannot checkpoint"):
+            _flatten({"bad": object()}, "", {})
+
+    def test_rejects_non_str_keys(self):
+        with pytest.raises(TypeError, match="keys must be str"):
+            _flatten({("t",): 1}, "", {})
+
+
+class TestCheckpointManager:
+    def _state(self):
+        return {"x": np.arange(4.0), "y": {"z": 7}}
+
+    def test_save_load_round_trip(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(self._state(), step=10, meta={"mode": "sync"})
+        state, manifest = mgr.load()
+        np.testing.assert_array_equal(state["x"], np.arange(4.0))
+        assert state["y"]["z"] == 7
+        assert manifest["step"] == 10
+        assert manifest["meta"]["mode"] == "sync"
+
+    def test_latest_wins(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save({"v": 1}, step=5)
+        mgr.save({"v": 2}, step=9)
+        state, manifest = mgr.load()
+        assert state["v"] == 2 and manifest["step"] == 9
+        state, _ = mgr.load(step=5)
+        assert state["v"] == 1
+
+    def test_prune_keeps_last(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep_last=2)
+        for step in (1, 2, 3, 4):
+            mgr.save({"v": step}, step=step)
+        assert mgr.steps() == [3, 4]
+
+    def test_empty_dir_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint found"):
+            CheckpointManager(tmp_path).load()
+
+    def test_corrupted_arrays_detected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(self._state(), step=3)
+        blob = (path / "arrays.npz").read_bytes()
+        (path / "arrays.npz").write_bytes(blob[:-7] + b"garbage")
+        with pytest.raises(CheckpointError, match="corrupted"):
+            mgr.load()
+
+    def test_truncated_state_detected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(self._state(), step=3)
+        text = (path / "state.json").read_text()
+        (path / "state.json").write_text(text[: len(text) // 2])
+        with pytest.raises(CheckpointError, match="corrupted"):
+            mgr.load()
+
+    def test_missing_payload_detected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(self._state(), step=3)
+        (path / "arrays.npz").unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            mgr.load()
+
+    def test_missing_manifest_detected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(self._state(), step=3)
+        (path / "manifest.json").unlink()
+        with pytest.raises(CheckpointError, match="incomplete"):
+            mgr.load()
+
+    def test_version_gate(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(self._state(), step=3)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["version"] = 999
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="version 999"):
+            mgr.load()
+
+    def test_foreign_format_rejected(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        path = mgr.save(self._state(), step=3)
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["format"] = "something-else"
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(CheckpointError, match="not a prefixrl-checkpoint"):
+            mgr.load()
+
+    def test_interrupted_save_is_invisible(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(self._state(), step=3)
+        # A crash mid-save leaves a .tmp-* staging directory behind.
+        staged = tmp_path / ".tmp-step-00000009-1234"
+        staged.mkdir()
+        (staged / "state.json").write_text("{}")
+        state, manifest = mgr.load()
+        assert manifest["step"] == 3
+        assert mgr.steps() == [3]
+
+
+class TestTrainingRoundTrip:
+    def test_resume_bit_identical_analytical(self, tmp_path):
+        rt_full, _ = make_sync_runtime()
+        h_full = rt_full.run()
+
+        rt_part, _ = make_sync_runtime(
+            tmp_path, runtime=RuntimeConfig(mode="sync", stop_after=25)
+        )
+        h_part = rt_part.run()
+        assert rt_part.preempted and h_part.env_steps == 25
+
+        rt_res, _ = make_sync_runtime(tmp_path, seed=3)
+        h_res = rt_res.run(resume=True)
+        assert not rt_res.preempted
+        assert_histories_identical(h_full, h_res)
+
+    def test_resume_bit_identical_synthesis(self, tmp_path):
+        from repro.cells import nangate45
+        from repro.synth import SynthesisCache, SynthesisEvaluator
+
+        library = nangate45()
+
+        def evaluator():
+            return SynthesisEvaluator(library, cache=SynthesisCache())
+
+        rt_full, env_full = make_sync_runtime(steps=30, evaluator=evaluator())
+        h_full = rt_full.run()
+
+        rt_part, _ = make_sync_runtime(
+            tmp_path, steps=30, evaluator=evaluator(),
+            runtime=RuntimeConfig(mode="sync", stop_after=12),
+        )
+        rt_part.run()
+
+        rt_res, env_res = make_sync_runtime(tmp_path, steps=30, evaluator=evaluator())
+        h_res = rt_res.run(resume=True)
+        assert_histories_identical(h_full, h_res)
+        # Cache counters and archive ride along exactly.
+        assert h_res.synthesis_stats == h_full.synthesis_stats
+        assert env_res.archive.points() == env_full.archive.points()
+
+    def test_resume_through_multiple_preemptions(self, tmp_path):
+        rt_full, _ = make_sync_runtime()
+        h_full = rt_full.run()
+
+        rt, _ = make_sync_runtime(
+            tmp_path, runtime=RuntimeConfig(mode="sync", stop_after=10)
+        )
+        rt.run()
+        for stop in (20, 40):
+            rt, _ = make_sync_runtime(
+                tmp_path, runtime=RuntimeConfig(mode="sync", stop_after=stop)
+            )
+            h = rt.run(resume=True)
+            assert h.env_steps == stop
+        rt, _ = make_sync_runtime(tmp_path)
+        h_res = rt.run(resume=True)
+        assert_histories_identical(h_full, h_res)
+
+    def test_periodic_checkpoints_written(self, tmp_path):
+        rt, _ = make_sync_runtime(
+            tmp_path, runtime=RuntimeConfig(mode="sync", checkpoint_every=20,
+                                            keep_checkpoints=10)
+        )
+        rt.run()
+        assert rt.manager.steps() == [20, 40, 60]
+
+    def test_config_drift_rejected(self, tmp_path):
+        rt, _ = make_sync_runtime(
+            tmp_path, runtime=RuntimeConfig(mode="sync", stop_after=10)
+        )
+        rt.run()
+        env = PrefixEnv(6, AnalyticalEvaluator(0.5, 0.5), horizon=12, rng=3)
+        agent = ScalarizedDoubleDQN(6, 0.5, 0.5, blocks=0, channels=4, rng=3)
+        drifted = TrainerConfig(steps=60, batch_size=8, warmup_steps=8)
+        rt2 = TrainingRuntime(
+            env, agent, drifted, RuntimeConfig(mode="sync"),
+            checkpoint_dir=tmp_path, rng=3,
+        )
+        with pytest.raises(CheckpointError, match="drifted"):
+            rt2.run(resume=True)
+
+    def test_mode_mismatch_rejected(self, tmp_path):
+        rt, _ = make_sync_runtime(
+            tmp_path, runtime=RuntimeConfig(mode="sync", stop_after=10)
+        )
+        rt.run()
+        envs = [PrefixEnv(6, AnalyticalEvaluator(0.5, 0.5), horizon=12, rng=i) for i in range(2)]
+        agent = ScalarizedDoubleDQN(6, 0.5, 0.5, blocks=0, channels=4, rng=3)
+        rt2 = TrainingRuntime(
+            envs, agent, TrainerConfig(steps=60, batch_size=4, warmup_steps=8),
+            RuntimeConfig(mode="async", num_actors=2), checkpoint_dir=tmp_path, rng=3,
+        )
+        with pytest.raises(CheckpointError, match="mode"):
+            rt2.run(resume=True)
+
+    def test_resume_without_checkpoint_dir_fails(self):
+        rt, _ = make_sync_runtime()
+        with pytest.raises(CheckpointError, match="without a checkpoint_dir"):
+            rt.run(resume=True)

@@ -121,7 +121,7 @@ class TestTrainer:
         # After training, the archive must contain something at least as
         # good as both start states.
         from repro.analytical import evaluate_analytical
-        from repro.prefix import ripple_carry, sklansky
+        from repro.prefix import ripple_carry
 
         trainer, env = self._trainer(steps=120)
         trainer.run()

@@ -1,0 +1,249 @@
+"""The asynchronous actor-learner runtime and its deterministic fallback."""
+
+import numpy as np
+import pytest
+
+from repro.env import PrefixEnv, VectorPrefixEnv
+from repro.rl import (
+    RuntimeConfig,
+    ScalarizedDoubleDQN,
+    Trainer,
+    TrainerConfig,
+    TrainingRuntime,
+)
+from repro.synth import AnalyticalEvaluator, SynthesisCache, SynthesisEvaluator
+
+
+def make_agent(seed=0, n=6):
+    return ScalarizedDoubleDQN(n, 0.5, 0.5, blocks=0, channels=4, lr=1e-3, rng=seed)
+
+
+def make_env(seed=0, n=6):
+    return PrefixEnv(n, AnalyticalEvaluator(0.5, 0.5), horizon=12, rng=seed)
+
+
+CFG = TrainerConfig(steps=60, batch_size=4, warmup_steps=8)
+
+
+def assert_histories_identical(a, b):
+    assert a.env_steps == b.env_steps
+    assert a.gradient_steps == b.gradient_steps
+    for f in ("losses", "episode_returns", "areas", "delays", "epsilon_trace"):
+        assert getattr(a, f) == getattr(b, f), f
+
+
+class TestSyncMode:
+    def test_bit_identical_to_trainer_single_env(self):
+        h_trainer = Trainer(make_env(), make_agent(), CFG, rng=0).run()
+        h_runtime = TrainingRuntime(
+            make_env(), make_agent(), CFG, RuntimeConfig(mode="sync"), rng=0
+        ).run()
+        assert_histories_identical(h_trainer, h_runtime)
+
+    def test_bit_identical_to_trainer_vector_env(self):
+        def venv():
+            return VectorPrefixEnv.make(
+                6, lambda: AnalyticalEvaluator(0.5, 0.5), num_envs=3, horizon=12, seed=0
+            )
+
+        h_trainer = Trainer(venv(), make_agent(), CFG, rng=0).run()
+        h_runtime = TrainingRuntime(
+            venv(), make_agent(), CFG, RuntimeConfig(mode="sync"), rng=0
+        ).run()
+        assert_histories_identical(h_trainer, h_runtime)
+
+    def test_rejects_env_list(self):
+        with pytest.raises(ValueError, match="single environment"):
+            TrainingRuntime([make_env()], make_agent(), CFG, RuntimeConfig(mode="sync"))
+
+    def test_weights_equal_after_identical_runs(self):
+        agent_a, agent_b = make_agent(), make_agent()
+        Trainer(make_env(), agent_a, CFG, rng=0).run()
+        TrainingRuntime(
+            make_env(), agent_b, CFG, RuntimeConfig(mode="sync"), rng=0
+        ).run()
+        for ka, kb in zip(
+            agent_a.local.state_arrays().items(), agent_b.local.state_arrays().items()
+        ):
+            assert ka[0] == kb[0]
+            np.testing.assert_array_equal(ka[1], kb[1])
+
+
+class TestAsyncMode:
+    def _runtime(self, num_actors=2, steps=60, seed=0, **runtime_kwargs):
+        envs = [make_env(seed=seed + 10 * i) for i in range(num_actors)]
+        cfg = TrainerConfig(steps=steps, batch_size=4, warmup_steps=8)
+        return TrainingRuntime(
+            envs, make_agent(seed), cfg,
+            RuntimeConfig(mode="async", num_actors=num_actors, **runtime_kwargs),
+            rng=seed,
+        )
+
+    def test_reaches_budget_with_consistent_counters(self):
+        rt = self._runtime()
+        h = rt.run()
+        assert h.env_steps == 60
+        assert len(h.areas) == len(h.delays) == len(h.epsilon_trace) == 60
+        assert len(h.losses) == h.gradient_steps
+        # Learner cadence matches the synchronous loop: first gradient step
+        # when the warmup fills, then one per learn_every env steps.
+        expected = (60 - CFG.warmup_steps) // CFG.learn_every + 1
+        assert h.gradient_steps == expected
+
+    def test_actor_count_must_match_envs(self):
+        with pytest.raises(ValueError, match="needs 3 environments"):
+            TrainingRuntime(
+                [make_env(), make_env(1)], make_agent(), CFG,
+                RuntimeConfig(mode="async", num_actors=3),
+            )
+
+    def test_vector_envs_per_actor(self):
+        envs = [
+            VectorPrefixEnv.make(
+                6, lambda: AnalyticalEvaluator(0.5, 0.5), num_envs=2,
+                horizon=12, seed=i * 7,
+            )
+            for i in range(2)
+        ]
+        rt = TrainingRuntime(
+            envs, make_agent(), CFG, RuntimeConfig(mode="async", num_actors=2), rng=0
+        )
+        h = rt.run()
+        assert h.env_steps == 60
+
+    def test_weight_publication_reaches_actors(self):
+        rt = self._runtime(publish_every=1)
+        h = rt.run()
+        assert h.gradient_steps > 0
+        # Episodes complete and returns accumulate across actors.
+        assert len(h.episode_returns) >= 2
+
+    def test_epsilon_anneals(self):
+        # Actors interleave, so the trace need not be perfectly sorted —
+        # but it starts fully exploratory and ends mostly greedy.
+        h = self._runtime().run()
+        assert h.epsilon_trace[0] == 1.0
+        assert min(h.epsilon_trace) < 0.2
+        assert h.epsilon_trace[-1] < 0.5
+
+    def test_shared_cache_across_actors(self):
+        from repro.cells import nangate45
+
+        library = nangate45()
+        cache = SynthesisCache()
+        envs = [
+            PrefixEnv(6, SynthesisEvaluator(library, cache=cache), horizon=8, rng=i)
+            for i in range(2)
+        ]
+        cfg = TrainerConfig(steps=24, batch_size=4, warmup_steps=8)
+        rt = TrainingRuntime(
+            envs, make_agent(), cfg, RuntimeConfig(mode="async", num_actors=2), rng=0
+        )
+        h = rt.run()
+        assert h.env_steps == 24
+        stats = h.synthesis_stats
+        assert stats is not None
+        assert stats["cache"]["shared"] is True
+        assert stats["cache"]["hits"] > 0  # both actors start from the same structures
+
+    def test_async_preempt_and_resume(self, tmp_path):
+        rt = TrainingRuntime(
+            [make_env(seed=0), make_env(seed=10)], make_agent(), CFG,
+            RuntimeConfig(mode="async", num_actors=2, stop_after=30),
+            checkpoint_dir=tmp_path, rng=0,
+        )
+        h1 = rt.run()
+        assert rt.preempted
+        assert 30 <= h1.env_steps < 60
+
+        rt2 = TrainingRuntime(
+            [make_env(seed=0), make_env(seed=10)], make_agent(), CFG,
+            RuntimeConfig(mode="async", num_actors=2),
+            checkpoint_dir=tmp_path, rng=0,
+        )
+        h2 = rt2.run(resume=True)
+        assert not rt2.preempted
+        assert h2.env_steps == 60
+        # The resumed history extends the preempted one.
+        assert h2.areas[: len(h1.areas)] == h1.areas
+        assert h2.losses[: len(h1.losses)] == h1.losses
+
+    def test_gradient_cadence_matches_sync_for_sparse_learning(self):
+        # warmup not aligned to learn_every: the async learner must land on
+        # exactly the synchronous schedule (steps 16, 24, 32 for this cfg).
+        cfg = TrainerConfig(steps=40, batch_size=4, warmup_steps=16, learn_every=8)
+        h_sync = Trainer(make_env(), make_agent(), cfg, rng=0).run()
+        envs = [make_env(seed=i * 9) for i in range(2)]
+        h_async = TrainingRuntime(
+            envs, make_agent(), cfg, RuntimeConfig(mode="async", num_actors=2), rng=0
+        ).run()
+        assert h_async.gradient_steps == h_sync.gradient_steps
+
+    def test_completed_async_run_always_checkpoints(self, tmp_path):
+        # checkpoint_every=0 still writes the final snapshot (resume-extend).
+        cfg = TrainerConfig(steps=24, batch_size=4, warmup_steps=8)
+        rt = TrainingRuntime(
+            [make_env(), make_env(5)], make_agent(), cfg,
+            RuntimeConfig(mode="async", num_actors=2),
+            checkpoint_dir=tmp_path, rng=0,
+        )
+        rt.run()
+        assert rt.manager.steps() == [24]
+
+    def test_inflight_episode_returns_survive_resume(self, tmp_path):
+        # Preempt mid-episode (horizon 12, stop at 8): the accumulated
+        # returns must ride the checkpoint, not reset to zero.
+        cfg = TrainerConfig(steps=40, batch_size=4, warmup_steps=8)
+        rt = TrainingRuntime(
+            [make_env(0), make_env(7)], make_agent(), cfg,
+            RuntimeConfig(mode="async", num_actors=2, stop_after=8),
+            checkpoint_dir=tmp_path, rng=0,
+        )
+        rt.run()
+        state, _ = rt.manager.load()
+        saved = state["loop"]["episode_returns"]
+        assert len(saved) == 2
+        assert any(abs(r) > 0 for returns in saved for r in returns)
+
+        rt2 = TrainingRuntime(
+            [make_env(0), make_env(7)], make_agent(), cfg,
+            RuntimeConfig(mode="async", num_actors=2),
+            checkpoint_dir=tmp_path, rng=0,
+        )
+        h = rt2.run(resume=True)
+        assert h.env_steps == 40
+
+    def test_actor_error_propagates(self):
+        class ExplodingEvaluator(AnalyticalEvaluator):
+            def __init__(self):
+                super().__init__(0.5, 0.5)
+                self.calls = 0
+
+            def evaluate(self, graph):
+                self.calls += 1
+                if self.calls > 10:
+                    raise RuntimeError("synthetic evaluator failure")
+                return super().evaluate(graph)
+
+        envs = [
+            PrefixEnv(6, ExplodingEvaluator(), horizon=12, rng=i) for i in range(2)
+        ]
+        rt = TrainingRuntime(
+            envs, make_agent(), CFG, RuntimeConfig(mode="async", num_actors=2), rng=0
+        )
+        with pytest.raises(RuntimeError, match="actor"):
+            rt.run()
+
+
+class TestRuntimeConfigValidation:
+    def test_bad_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            RuntimeConfig(mode="turbo")
+
+    def test_bad_actor_count(self):
+        with pytest.raises(ValueError, match="num_actors"):
+            RuntimeConfig(num_actors=0)
+
+    def test_bad_publish_cadence(self):
+        with pytest.raises(ValueError, match="publish_every"):
+            RuntimeConfig(publish_every=0)

@@ -6,7 +6,6 @@ both on full analyses of randomized adder netlists and after randomized
 incremental move sequences (resize, pin swap, buffer-style insert/rewire,
 removal, with reverts)."""
 
-import numpy as np
 import pytest
 
 from repro.cells import nangate45

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cells import CELL_FUNCTIONS, Cell, CellLibrary, industrial8nm, nangate45
+from repro.cells import Cell, CellLibrary, industrial8nm, nangate45
 from repro.cells.library import build_scaled_family
 
 

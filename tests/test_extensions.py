@@ -1,7 +1,6 @@
 """Tests for the future-work extensions: power, nonuniform timing,
 Verilog export, greedy evaluation rollouts."""
 
-import numpy as np
 import pytest
 
 from repro.cells import industrial8nm, nangate45

@@ -1,6 +1,5 @@
 """Pareto utilities: dominance, frontiers, binning, hypervolume, savings."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cells import nangate45
 from repro.netlist import Netlist, prefix_adder_netlist
-from repro.prefix import REGULAR_STRUCTURES, kogge_stone, ripple_carry
+from repro.prefix import REGULAR_STRUCTURES, kogge_stone
 from repro.sta import analyze_timing, net_load
 
 
