@@ -63,6 +63,11 @@ try:
 except ImportError:  # seed/parent trees: no actor-learner runtime yet
     TrainingRuntime = None
 
+try:
+    import repro.net as repro_net
+except ImportError:  # seed/parent trees: no network subsystem yet
+    repro_net = None
+
 AGENT_HAS_DTYPE = "dtype" in inspect.signature(ScalarizedDoubleDQN.__init__).parameters
 
 FEATURE_WIDTHS = (16, 32, 64)
@@ -86,6 +91,10 @@ RUNTIME_CONFIG = dict(
     batch_size=16, warmup_steps=16, learn_every=8, epsilon_anneal_frac=0.3
 )
 RUNTIME_PUBLISH_EVERY = 4
+CLUSTER_WIDTH = 16
+CLUSTER_PROTOCOL_BATCH = 8      # transitions per measured wire frame
+CLUSTER_PROTOCOL_ITERS = 200
+CLUSTER_PREPARED_ROUNDS = 3
 
 
 def random_walk_grid(n: int, steps: int, rng: np.random.Generator) -> np.ndarray:
@@ -359,6 +368,228 @@ def bench_runtime() -> "dict | None":
     return out
 
 
+def _bench_protocol() -> dict:
+    """Per-frame wire overhead over a real loopback socket.
+
+    Measures the protocol's own cost (encode + frame + TCP loopback
+    round trip + decode), for a PING and for a realistic transition-batch
+    CALL, as best-of medians — this is pure overhead a cluster pays per
+    round, reported as milliseconds (absolute, host-specific; no speedup
+    claims).
+    """
+    import socket
+    import threading
+
+    from repro.net.protocol import CALL, REPLY, Connection, decode_payload, encode_payload
+
+    n = CLUSTER_WIDTH
+    k = CLUSTER_PROTOCOL_BATCH
+    rng = np.random.default_rng(0)
+    batch = {
+        "epsilon": 0.5,
+        "states": rng.random((k, 4, n, n)),
+        "actions": np.arange(k),
+        "rewards": rng.random((k, 2)),
+        "next_states": rng.random((k, 4, n, n)),
+        "next_masks": np.ones((k, 2 * n * n), dtype=bool),
+        "dones": np.zeros(k, dtype=bool),
+        "areas": rng.random(k),
+        "delays": rng.random(k),
+    }
+    payload = encode_payload(batch)
+
+    start = time.perf_counter()
+    for _ in range(CLUSTER_PROTOCOL_ITERS):
+        encode_payload(batch)
+    encode_ms = (time.perf_counter() - start) / CLUSTER_PROTOCOL_ITERS * 1000
+    start = time.perf_counter()
+    for _ in range(CLUSTER_PROTOCOL_ITERS):
+        decode_payload(payload)
+    decode_ms = (time.perf_counter() - start) / CLUSTER_PROTOCOL_ITERS * 1000
+
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+
+    def echo():
+        sock, _ = listener.accept()
+        conn = Connection(sock, timeout=30.0)
+        try:
+            while True:
+                ftype, _body = conn.recv()
+                if ftype == CALL:
+                    conn.send(REPLY, {"ok": True})
+                elif ftype == 4:  # PING
+                    conn.send(5)  # PONG
+                else:
+                    return
+        except Exception:
+            pass
+        finally:
+            conn.close()
+
+    thread = threading.Thread(target=echo, daemon=True)
+    thread.start()
+    client = Connection(socket.create_connection(listener.getsockname()), timeout=30.0)
+
+    client.ping()  # warm the path
+    start = time.perf_counter()
+    for _ in range(CLUSTER_PROTOCOL_ITERS):
+        client.ping()
+    ping_ms = (time.perf_counter() - start) / CLUSTER_PROTOCOL_ITERS * 1000
+
+    client.call("noop", batch)
+    iters = max(CLUSTER_PROTOCOL_ITERS // 4, 1)
+    start = time.perf_counter()
+    for _ in range(iters):
+        client.call("noop", batch)
+    batch_ms = (time.perf_counter() - start) / iters * 1000
+
+    client.close(bye=True)
+    listener.close()
+    thread.join(timeout=5)
+    return {
+        "batch_transitions": k,
+        "batch_payload_bytes": len(payload),
+        "payload_encode_ms": encode_ms,
+        "payload_decode_ms": decode_ms,
+        "ping_roundtrip_ms": ping_ms,
+        "batch_roundtrip_ms": batch_ms,
+    }
+
+
+def _bench_prepared() -> dict:
+    """Worker-side setup cost: shipped prepared netlists vs graph JSON.
+
+    Interleaved rounds against a fresh worker per round (prepared cache
+    off, so repeats do not contaminate the comparison); the worker's own
+    clock separates obtaining the Netlist (the part prepared shipping
+    removes) from the optimize ladder (identical in both modes). Best-of
+    per mode. The saving is *worker-side* work moved to the dispatcher —
+    a win when workers are the scarce resource (the paper's farm), not a
+    wall-clock win on this 1-CPU host.
+    """
+    from repro.distributed import SynthesisFarm
+    from repro.net import FarmWorkerServer
+
+    graphs = synthesis_corpus(CLUSTER_WIDTH)
+    best = {"prepared": float("inf"), "json": float("inf")}
+    opt_ms = float("inf")
+    for _ in range(CLUSTER_PREPARED_ROUNDS):
+        for mode, ship in (("prepared", True), ("json", False)):
+            server = FarmWorkerServer(("127.0.0.1", 0), prepared_cache_entries=0)
+            server.start()
+            farm = SynthesisFarm(
+                "nangate45",
+                num_workers=0,
+                remote_workers=[server.address],
+                ship_prepared=ship,
+            )
+            try:
+                farm.evaluate_curves(graphs)
+                stats = farm.last_stats
+                per_task = stats.worker_setup_seconds / max(stats.dispatched, 1)
+                best[mode] = min(best[mode], per_task * 1000)
+                opt_ms = min(opt_ms, stats.worker_opt_seconds / max(stats.dispatched, 1) * 1000)
+            finally:
+                farm.close()
+                server.stop()
+    saved = 1.0 - best["prepared"] / best["json"] if best["json"] > 0 else 0.0
+    return {
+        "corpus_size": len(graphs),
+        "worker_setup_ms_json": best["json"],
+        "worker_setup_ms_prepared": best["prepared"],
+        "worker_opt_ms": opt_ms,
+        "prepared_setup_saved": saved,
+    }
+
+
+def _cluster_train_throughput() -> "tuple[float, int]":
+    """One cluster training run: learner + actor *subprocesses* on loopback.
+
+    Same workload/env count as the serial reference. Wall clock includes
+    actor-process spawn (honest: a cluster pays it); the synthesis-work
+    number is the learner-side shared-cache miss count, which equals the
+    synthesis runs performed across all actor processes.
+    """
+    from repro.net import ClusterSpec, run_local_cluster
+
+    config = TrainerConfig(steps=RUNTIME_STEPS, **RUNTIME_CONFIG)
+    agent = ScalarizedDoubleDQN(RUNTIME_WIDTH, rng=0, **RUNTIME_NET)
+    spec = ClusterSpec.for_agent(
+        agent,
+        horizon=RUNTIME_HORIZON,
+        envs_per_actor=RUNTIME_ENVS_PER_ACTOR,
+        library="nangate45",
+        seed=0,
+    )
+    runtime = TrainingRuntime(
+        None,
+        agent,
+        config,
+        RuntimeConfig(
+            mode="cluster",
+            num_actors=RUNTIME_ACTORS,
+            publish_every=RUNTIME_PUBLISH_EVERY,
+        ),
+        rng=0,
+        cluster=spec,
+    )
+    start = time.perf_counter()
+    history, _codes = run_local_cluster(runtime, num_actors=RUNTIME_ACTORS)
+    wall = time.perf_counter() - start
+    return history.env_steps / wall, runtime._cluster_cache.misses
+
+
+def bench_cluster() -> "dict | None":
+    """The network subsystem's honest 1-CPU numbers.
+
+    Interleaved serial-vs-cluster rounds like ``bench_runtime``; on one
+    core the multi-process cluster *loses* wall-clock to spawn and wire
+    overhead (recorded, not hidden) while doing measurably less synthesis
+    work through the shared cache service — the steps/sec payoff needs
+    real cores. Plus per-frame protocol costs and the prepared-design
+    worker savings.
+    """
+    if repro_net is None or TrainingRuntime is None:
+        return None
+    best = {"serial": 0.0, "cluster": 0.0}
+    misses = {}
+    for _ in range(RUNTIME_ROUNDS):
+        for mode, fn in (
+            ("serial", _runtime_serial_throughput),
+            ("cluster", _cluster_train_throughput),
+        ):
+            sps, miss = fn()
+            best[mode] = max(best[mode], sps)
+            misses[mode] = min(misses.get(mode, miss), miss)
+    row = {
+        "steps": RUNTIME_STEPS,
+        "actors": RUNTIME_ACTORS,
+        "envs_per_actor": RUNTIME_ENVS_PER_ACTOR,
+        "rounds": RUNTIME_ROUNDS,
+        "serial_steps_per_sec": best["serial"],
+        "cluster_steps_per_sec": best["cluster"],
+        "serial_synthesis_misses": misses["serial"],
+        "cluster_synthesis_misses": misses["cluster"],
+        "cluster_over_serial": best["cluster"] / max(best["serial"], 1e-9),
+        "cluster_synthesis_work_saved": 1.0 - misses["cluster"] / max(misses["serial"], 1),
+        "protocol": _bench_protocol(),
+        "prepared": _bench_prepared(),
+    }
+    out = {str(RUNTIME_WIDTH): row}
+    print(
+        f"cluster n={RUNTIME_WIDTH}: serial {best['serial']:.2f} steps/s "
+        f"({misses['serial']} misses), cluster[{RUNTIME_ACTORS}proc"
+        f"x{RUNTIME_ENVS_PER_ACTOR}] {best['cluster']:.2f} steps/s "
+        f"({misses['cluster']} misses) -> {row['cluster_over_serial']:.2f}x wall, "
+        f"{row['cluster_synthesis_work_saved']:.0%} less synthesis; "
+        f"frame {row['protocol']['batch_roundtrip_ms']:.2f} ms, "
+        f"prepared saves {row['prepared']['prepared_setup_saved']:.0%} worker setup"
+    )
+    return out
+
+
 def measure() -> dict:
     out = {
         "machine": {
@@ -381,6 +612,9 @@ def measure() -> dict:
     runtime = bench_runtime()
     if runtime is not None:
         out["runtime"] = runtime
+    cluster = bench_cluster()
+    if cluster is not None:
+        out["cluster"] = cluster
     return out
 
 
@@ -426,6 +660,15 @@ def merge(baseline: dict, current: dict, parent: "dict | None" = None) -> dict:
         speedups[f"runtime_async{row['actors']}_synthesis_saved"] = (
             row["async_synthesis_work_saved"]
         )
+    for row in current.get("cluster", {}).values():
+        # Honest within-run ratios: on 1 CPU cluster_over_serial is a
+        # *cost* record (spawn + wire overhead), not a speedup claim; the
+        # work-saved fractions are the real wins at this core count.
+        speedups[f"cluster_{row['actors']}proc_over_serial"] = row["cluster_over_serial"]
+        speedups[f"cluster_{row['actors']}proc_synthesis_saved"] = (
+            row["cluster_synthesis_work_saved"]
+        )
+        speedups["cluster_prepared_setup_saved"] = row["prepared"]["prepared_setup_saved"]
     result = {"seed_baseline": baseline, "optimized": current, "speedups": speedups}
     if parent is not None:
         result["parent_baseline"] = parent
@@ -438,6 +681,7 @@ def apply_smoke_workload() -> None:
     global FEATURE_WIDTHS, TRAINER_WIDTHS, TRAINER_STEPS, NUM_VECTOR_ENVS
     global SYNTHESIS_WIDTHS, SYNTHESIS_REPEATS, FARM_WIDTH, FARM_WORKERS, FARM_REPEATS
     global RUNTIME_WIDTH, RUNTIME_STEPS, RUNTIME_ROUNDS, RUNTIME_ENVS_PER_ACTOR
+    global CLUSTER_WIDTH, CLUSTER_PROTOCOL_ITERS, CLUSTER_PREPARED_ROUNDS
     FEATURE_WIDTHS = (8, 16)
     TRAINER_WIDTHS = (8,)
     TRAINER_STEPS = 24
@@ -451,6 +695,9 @@ def apply_smoke_workload() -> None:
     RUNTIME_STEPS = 16
     RUNTIME_ROUNDS = 1
     RUNTIME_ENVS_PER_ACTOR = 1
+    CLUSTER_WIDTH = 8
+    CLUSTER_PROTOCOL_ITERS = 20
+    CLUSTER_PREPARED_ROUNDS = 1
 
 
 _HIGHER_IS_BETTER = ("graphs_per_sec", "steps_per_sec")
@@ -539,6 +786,11 @@ def run_smoke(output: "str | None") -> dict:
         assert "runtime" in current, "missing bench section 'runtime'"
         expected.append(f"runtime_async{RUNTIME_ACTORS}_over_serial")
         expected.append(f"runtime_async{RUNTIME_ACTORS}_synthesis_saved")
+    if repro_net is not None and TrainingRuntime is not None:
+        assert "cluster" in current, "missing bench section 'cluster'"
+        expected.append(f"cluster_{RUNTIME_ACTORS}proc_over_serial")
+        expected.append(f"cluster_{RUNTIME_ACTORS}proc_synthesis_saved")
+        expected.append("cluster_prepared_setup_saved")
     missing = [k for k in expected if k not in speedups]
     assert not missing, f"missing speedup keys: {missing}"
     assert "synthesize_curve_n8" in result["speedups_vs_parent"]

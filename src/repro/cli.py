@@ -8,6 +8,13 @@ Subcommands mirror the library's main entry points:
 - ``train``   — run a small synthesis-in-the-loop training
 - ``sweep``   — multi-weight analytical sweep and frontier dump
 - ``render``  — network/grid diagrams of a design
+
+Cluster commands (the :mod:`repro.net` subsystem):
+
+- ``serve-learner`` — run the learner half of a cluster and wait for actors
+- ``actor``         — run one remote actor process against a learner
+- ``cluster``       — localhost convenience: learner + N actor subprocesses
+- ``farm-worker``   — run one remote synthesis-farm worker daemon
 """
 
 from __future__ import annotations
@@ -187,6 +194,192 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _cluster_pieces(args):
+    """Shared setup of the cluster-side learner (serve-learner/cluster).
+
+    Mirrors ``cmd_train``'s calibration so a cluster learner and a local
+    ``train`` run score designs identically; the resulting constants ride
+    to actors inside the ClusterSpec instead of being recomputed there.
+    """
+    from repro.net import ClusterSpec
+    from repro.prefix import REGULAR_STRUCTURES
+    from repro.rl import RuntimeConfig, ScalarizedDoubleDQN, TrainerConfig
+    from repro.synth import calibrate_scaling, synthesize_curve
+
+    library = _library(args.library)
+    calib = []
+    for ctor in REGULAR_STRUCTURES.values():
+        curve = synthesize_curve(ctor(args.width), library)
+        calib.extend((a, d) for d, a in curve.points())
+    c_area, c_delay = calibrate_scaling(calib)
+
+    agent = ScalarizedDoubleDQN(
+        args.width,
+        w_area=args.w_area,
+        w_delay=1 - args.w_area,
+        blocks=args.blocks,
+        channels=args.channels,
+        lr=3e-4,
+        rng=args.seed,
+    )
+    spec = ClusterSpec.for_agent(
+        agent,
+        horizon=24,
+        envs_per_actor=args.envs_per_actor,
+        library=args.library,
+        c_area=c_area,
+        c_delay=c_delay,
+        seed=args.seed,
+    )
+    config = TrainerConfig(steps=args.steps, batch_size=8, warmup_steps=16)
+    runtime_config = RuntimeConfig(
+        mode="cluster",
+        num_actors=args.actors,
+        publish_every=args.publish_every,
+        checkpoint_every=args.checkpoint_every,
+        stop_after=args.stop_after,
+        listen=args.listen,
+        heartbeat_timeout=args.heartbeat_timeout,
+        cluster_wait=args.cluster_wait,
+    )
+    return agent, spec, config, runtime_config
+
+
+def _history_frontier(history):
+    """The Pareto frontier of every (area, delay) the run evaluated.
+
+    Cluster actors keep their archives in their own processes, so the
+    learner summarizes from the telemetry it ingested — same designs,
+    minus any actor-local evaluations the budget truncated away.
+    """
+    from repro.pareto.front import ParetoArchive
+
+    archive = ParetoArchive()
+    for area, delay in zip(history.areas, history.delays):
+        archive.add(area, delay)
+    return archive.entries()
+
+
+def _print_cluster_summary(history) -> None:
+    print(f"trained {history.env_steps} steps ({history.gradient_steps} gradient steps)")
+    stats = history.synthesis_stats or {}
+    cache = stats.get("cache")
+    if cache:
+        print(
+            f"shared cache: entries={cache['entries']}, hits={cache['hits']}, "
+            f"misses={cache['misses']}, hit_rate={cache['hit_rate']:.1%}"
+        )
+    print("history frontier (area um2, delay ns):")
+    for area, delay, _ in _history_frontier(history):
+        print(f"  {area:10.2f}  {delay:.4f}")
+
+
+def cmd_serve_learner(args) -> int:
+    from repro.rl import TrainingRuntime
+
+    if args.checkpoint_every or args.stop_after is not None or args.resume:
+        if not args.checkpoint_dir:
+            raise SystemExit(
+                "--checkpoint-every/--stop-after/--resume require --checkpoint-dir"
+            )
+    agent, spec, config, runtime_config = _cluster_pieces(args)
+    runtime = TrainingRuntime(
+        None, agent, config, runtime_config,
+        checkpoint_dir=args.checkpoint_dir, rng=args.seed, cluster=spec,
+    )
+    host, port = runtime.bind()
+    print(f"learner listening on {host}:{port}", flush=True)
+    # 0.0.0.0 accepts from anywhere but is not a dialable address.
+    dial_host = "<this-host>" if host == "0.0.0.0" else host
+    print(
+        f"dial with: python -m repro actor --connect {dial_host}:{port}",
+        file=sys.stderr, flush=True,
+    )
+    history = runtime.run(
+        steps=None if args.resume else args.steps, resume=args.resume
+    )
+    if runtime.preempted:
+        print(
+            f"checkpointed at step {history.env_steps} into {args.checkpoint_dir}; "
+            "rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 0
+    _print_cluster_summary(history)
+    return 0
+
+
+def cmd_actor(args) -> int:
+    from repro.net import RemoteActorWorker, parse_address
+
+    worker = RemoteActorWorker(
+        parse_address(args.connect),
+        front_cache_entries=args.front_cache,
+        heartbeat_timeout=args.heartbeat_timeout,
+    )
+    stats = worker.run()
+    print(
+        f"actor {stats['actor_id']}: {stats['rounds']} rounds, "
+        f"{stats['env_steps_kept']} env steps kept in {stats['wall_seconds']:.1f}s "
+        f"(cache {stats['cache_hits']} hits / {stats['cache_misses']} misses)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from repro.net import run_local_cluster
+    from repro.rl import TrainingRuntime
+
+    if args.checkpoint_every or args.stop_after is not None or args.resume:
+        if not args.checkpoint_dir:
+            raise SystemExit(
+                "--checkpoint-every/--stop-after/--resume require --checkpoint-dir"
+            )
+    agent, spec, config, runtime_config = _cluster_pieces(args)
+    runtime = TrainingRuntime(
+        None, agent, config, runtime_config,
+        checkpoint_dir=args.checkpoint_dir, rng=args.seed, cluster=spec,
+    )
+    history, codes = run_local_cluster(
+        runtime,
+        num_actors=args.actors,
+        steps=None if args.resume else args.steps,
+        resume=args.resume,
+    )
+    for i, code in enumerate(codes):
+        if code != 0:
+            print(f"warning: actor subprocess {i} exited with {code}", file=sys.stderr)
+    if runtime.preempted:
+        print(
+            f"checkpointed at step {history.env_steps} into {args.checkpoint_dir}; "
+            "rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 0
+    _print_cluster_summary(history)
+    return 0
+
+
+def cmd_farm_worker(args) -> int:
+    from repro.net import FarmWorkerServer, parse_address
+
+    server = FarmWorkerServer(
+        parse_address(args.listen),
+        prepared_cache_entries=args.prepared_cache,
+    )
+    host, port = server.address
+    print(f"farm worker listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.closing = True
+        server.server_close()
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from repro.rl import TrainerConfig
     from repro.rl.sweep import pareto_sweep, weight_grid
@@ -271,6 +464,67 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="resume from the latest checkpoint in --checkpoint-dir")
     p.set_defaults(func=cmd_train)
+
+    def add_cluster_common(p):
+        p.add_argument("width", type=int, nargs="?", default=8)
+        p.add_argument("--steps", type=int, default=150,
+                       help="env-step budget (ignored with --resume)")
+        p.add_argument("--w-area", type=float, default=0.5)
+        p.add_argument("--blocks", type=int, default=1)
+        p.add_argument("--channels", type=int, default=8)
+        p.add_argument("--library", default="nangate45")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--actors", type=int, default=2,
+                       help="actor process slots (replay shards)")
+        p.add_argument("--envs-per-actor", type=int, default=4,
+                       help="lockstep env replicas per actor process")
+        p.add_argument("--publish-every", type=int, default=1,
+                       help="gradient steps between weight publications")
+        p.add_argument("--listen", default="127.0.0.1:0",
+                       help="learner bind address (default: loopback, ephemeral port)")
+        p.add_argument("--heartbeat-timeout", type=float, default=60.0,
+                       help="drop an actor silent this long (seconds); must exceed "
+                            "one acting round's synthesis time")
+        p.add_argument("--cluster-wait", type=float, default=60.0,
+                       help="abort if no actor is connected for this long (seconds)")
+        p.add_argument("--checkpoint-dir", default=None,
+                       help="checkpoint root (cluster checkpoints capture the learner state)")
+        p.add_argument("--checkpoint-every", type=int, default=0,
+                       help="env steps between checkpoints (0: only at halt/completion)")
+        p.add_argument("--stop-after", type=int, default=None,
+                       help="checkpoint and halt at this env step (simulated preemption)")
+        p.add_argument("--resume", action="store_true",
+                       help="resume from the latest checkpoint in --checkpoint-dir")
+
+    p = sub.add_parser(
+        "serve-learner",
+        help="run a cluster learner server and wait for remote actors",
+    )
+    add_cluster_common(p)
+    p.set_defaults(func=cmd_serve_learner)
+
+    p = sub.add_parser("actor", help="run one remote actor against a learner")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="learner address (printed by serve-learner)")
+    p.add_argument("--front-cache", type=int, default=50_000,
+                   help="actor-local front cache entries over the shared cache")
+    p.add_argument("--heartbeat-timeout", type=float, default=300.0,
+                   help="give up if the learner is silent this long (seconds)")
+    p.set_defaults(func=cmd_actor)
+
+    p = sub.add_parser(
+        "cluster",
+        help="localhost cluster: learner + N actor subprocesses",
+    )
+    add_cluster_common(p)
+    p.set_defaults(func=cmd_cluster)
+
+    p = sub.add_parser("farm-worker", help="run a remote synthesis-farm worker")
+    p.add_argument("--listen", default="127.0.0.1:0",
+                   help="bind address (default: loopback, ephemeral port)")
+    p.add_argument("--prepared-cache", type=int, default=10_000,
+                   help="per-worker prepared-netlist LRU entries (0 disables)")
+    p.set_defaults(func=cmd_farm_worker)
 
     p = sub.add_parser("sweep", help="multi-weight analytical sweep")
     p.add_argument("width", type=int, nargs="?", default=8)

@@ -20,6 +20,14 @@ measures:
 
 ``num_workers=0`` runs the plain per-graph serial loop with no dispatch
 layer — the un-optimized reference the speedup is measured against.
+
+With ``remote_workers`` the same dispatch layer (dedup, cache routing,
+chunking) feeds :class:`repro.net.farm.FarmWorkerServer` daemons over the
+framed socket protocol instead of a local process pool — and by default
+ships *prepared designs* (the built adder netlist, serialized) so workers
+skip the per-task graph-JSON parse/validate and netlist construction the
+ROADMAP calls out (``ship_prepared=False`` restores the legacy payload
+for comparison; the ``cluster`` bench section measures the difference).
 """
 
 from __future__ import annotations
@@ -80,6 +88,9 @@ class FarmStats:
     cache_hits: int = 0
     dispatched: int = 0
     chunks: int = 0
+    worker_setup_seconds: float = 0.0  # remote only: worker-side netlist obtain time
+    worker_opt_seconds: float = 0.0    # remote only: worker-side prepare+optimize time
+    prepared_hits: int = 0             # remote only: worker prepared-cache hits
 
     @property
     def graphs_per_second(self) -> float:
@@ -100,6 +111,13 @@ class SynthesisFarm:
             farms (or batches) to share synthesis work between them.
         chunk_size: graphs per worker submission; default splits each
             batch's misses evenly across the pool.
+        remote_workers: ``host:port`` addresses (or ``(host, port)``
+            tuples) of :class:`repro.net.farm.FarmWorkerServer` daemons;
+            mutually exclusive with a local pool (``num_workers`` must be
+            0 when given — the farm is then in remote mode).
+        ship_prepared: remote mode payloads — True ships the built,
+            serialized adder netlist (the prepared design); False ships
+            graph JSON and workers rebuild per task.
 
     The pool is created lazily on first pooled evaluation (or eagerly by
     ``with farm: ...``) and reused until :meth:`close`.
@@ -112,16 +130,35 @@ class SynthesisFarm:
         synth_kwargs: "dict | None" = None,
         cache: "SynthesisCache | None" = None,
         chunk_size: "int | None" = None,
+        remote_workers: "list | None" = None,
+        ship_prepared: bool = True,
     ):
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
         if chunk_size is not None and chunk_size < 1:
             raise ValueError("chunk_size must be positive")
+        if remote_workers is not None and num_workers:
+            raise ValueError(
+                "remote_workers and a local pool are mutually exclusive; "
+                "pass num_workers=0 with remote_workers"
+            )
         self.library_name = library_name
         self.num_workers = num_workers
         self.synth_kwargs = dict(synth_kwargs or {})
         self.cache = cache
         self.chunk_size = chunk_size
+        self.ship_prepared = ship_prepared
+        self.remote_workers = None
+        self._remote = None
+        if remote_workers is not None:
+            from repro.net.protocol import parse_address
+
+            self.remote_workers = [
+                parse_address(a) if isinstance(a, str) else tuple(a)
+                for a in remote_workers
+            ]
+            if not self.remote_workers:
+                raise ValueError("remote_workers must name at least one worker")
         self._pool: "ProcessPoolExecutor | None" = None
         self.last_stats: "FarmStats | None" = None
         # Cumulative dispatch accounting across all batches (see stats()).
@@ -130,6 +167,15 @@ class SynthesisFarm:
         self.total_unique = 0
         self.total_cache_hits = 0
         self.total_dispatched = 0
+        self.total_worker_setup_seconds = 0.0
+        self.total_worker_opt_seconds = 0.0
+        self.total_prepared_hits = 0
+
+    @property
+    def active(self) -> bool:
+        """True when the farm has a dispatch layer (pool or remote) —
+        the serial num_workers=0 reference mode is not one."""
+        return self.num_workers > 0 or self.remote_workers is not None
 
     def __enter__(self) -> "SynthesisFarm":
         self._ensure_pool()
@@ -140,6 +186,10 @@ class SynthesisFarm:
 
     def _ensure_pool(self) -> None:
         """Create and warm the worker pool (one-time; reused across batches)."""
+        if self.remote_workers is not None and self._remote is None:
+            from repro.net.farm import RemoteFarmPool
+
+            self._remote = RemoteFarmPool(self.remote_workers)
         if self.num_workers > 0 and self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.num_workers)
             warmups = [
@@ -155,10 +205,13 @@ class SynthesisFarm:
                     break
 
     def close(self) -> None:
-        """Shut the pool down."""
+        """Shut the pool (and any remote connections) down."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+        if self._remote is not None:
+            self._remote.close()
+            self._remote = None
 
     def _cache_key(self, graph: PrefixGraph) -> tuple:
         # Same key layout as SynthesisEvaluator.curve, so one cache can be
@@ -169,12 +222,12 @@ class SynthesisFarm:
     def evaluate_curves(self, graphs: "list[PrefixGraph]") -> "list[AreaDelayCurve]":
         """Synthesize every graph's curve; order matches the input.
 
-        Serial mode evaluates each graph in turn. Pool mode dedups by
-        digest, serves cache hits locally, and ships only the unique misses
-        to the workers in per-worker chunks.
+        Serial mode evaluates each graph in turn. Pool and remote modes
+        dedup by digest, serve cache hits locally, and ship only the
+        unique misses to the workers in per-worker chunks.
         """
         start = time.perf_counter()
-        if self.num_workers == 0:
+        if not self.active:
             points = [
                 _synthesize_task(graph_to_json(g), self.library_name, self.synth_kwargs)
                 for g in graphs
@@ -215,44 +268,80 @@ class SynthesisFarm:
         else:
             misses = list(range(len(keys)))
 
-        # Chunked submission: one future per worker-sized slice.
+        # Chunked submission: one future (or one remote call) per slice.
         num_chunks = 0
+        worker_setup = worker_opt = 0.0
+        prepared_hits = 0
         if misses:
             chunk = self.chunk_size
             if chunk is None:
-                chunk = max(1, -(-len(misses) // self.num_workers))
+                width = len(self.remote_workers or []) or self.num_workers
+                chunk = max(1, -(-len(misses) // width))
             chunks = [misses[c : c + chunk] for c in range(0, len(misses), chunk)]
             num_chunks = len(chunks)
-            futures = [
-                self._pool.submit(
-                    _synthesize_chunk,
-                    [graph_to_json(keys[i][1]) for i in idxs],
+            if self.remote_workers is not None:
+                chunk_points = self._remote.synth_chunks(
+                    [[self._remote_task(keys[i][1]) for i in idxs] for idxs in chunks],
                     self.library_name,
                     self.synth_kwargs,
                 )
-                for idxs in chunks
-            ]
+                worker_setup = self._remote.last_setup_seconds
+                worker_opt = self._remote.last_opt_seconds
+                prepared_hits = self._remote.last_prepared_hits
+            else:
+                futures = [
+                    self._pool.submit(
+                        _synthesize_chunk,
+                        [graph_to_json(keys[i][1]) for i in idxs],
+                        self.library_name,
+                        self.synth_kwargs,
+                    )
+                    for idxs in chunks
+                ]
+                chunk_points = [future.result() for future in futures]
             fresh = []
-            for idxs, future in zip(chunks, futures):
-                for i, pts in zip(idxs, future.result()):
-                    curve = AreaDelayCurve(pts)
+            for idxs, points in zip(chunks, chunk_points):
+                for i, pts in zip(idxs, points):
+                    curve = AreaDelayCurve.from_points(pts)
                     unique_curves[i] = curve
                     fresh.append((self._cache_key(keys[i][1]), curve))
             if self.cache is not None and fresh:
                 self.cache.put_many(fresh)
 
         curves = [unique_curves[order[g.key()]] for g in graphs]
+        mode = (
+            f"remote[{len(self.remote_workers)}]"
+            if self.remote_workers is not None
+            else f"pool[{self.num_workers}]"
+        )
         self.last_stats = FarmStats(
             num_graphs=len(graphs),
             wall_seconds=time.perf_counter() - start,
-            mode=f"pool[{self.num_workers}]",
+            mode=mode,
             unique_graphs=len(keys),
             cache_hits=cache_hits,
             dispatched=len(misses),
             chunks=num_chunks,
+            worker_setup_seconds=worker_setup,
+            worker_opt_seconds=worker_opt,
+            prepared_hits=prepared_hits,
         )
         self._account(self.last_stats)
         return curves
+
+    def _remote_task(self, graph: PrefixGraph) -> dict:
+        """One remote work unit: a prepared design or the legacy graph JSON."""
+        task = {"digest": graph_digest(graph)}
+        if self.ship_prepared:
+            from repro.net.farm import _library
+            from repro.netlist.adder import prefix_adder_netlist
+            from repro.netlist.serialize import netlist_to_dict
+
+            netlist = prefix_adder_netlist(graph, _library(self.library_name))
+            task["netlist"] = netlist_to_dict(netlist)
+        else:
+            task["graph"] = graph_to_json(graph)
+        return task
 
     def _account(self, stats: FarmStats) -> None:
         self.total_batches += 1
@@ -260,6 +349,9 @@ class SynthesisFarm:
         self.total_unique += stats.unique_graphs
         self.total_cache_hits += stats.cache_hits
         self.total_dispatched += stats.dispatched
+        self.total_worker_setup_seconds += stats.worker_setup_seconds
+        self.total_worker_opt_seconds += stats.worker_opt_seconds
+        self.total_prepared_hits += stats.prepared_hits
 
     def stats(self) -> dict:
         """Cumulative dispatch counters plus the shared cache's hit/miss stats.
@@ -270,8 +362,14 @@ class SynthesisFarm:
         when the farm runs cacheless). Consumed by
         :class:`repro.rl.Trainer` telemetry and the scaling benchmarks.
         """
+        if self.remote_workers is not None:
+            mode = f"remote[{len(self.remote_workers)}]"
+        elif self.num_workers:
+            mode = f"pool[{self.num_workers}]"
+        else:
+            mode = "serial"
         out = {
-            "mode": f"pool[{self.num_workers}]" if self.num_workers else "serial",
+            "mode": mode,
             "batches": self.total_batches,
             "graphs": self.total_graphs,
             "unique_graphs": self.total_unique,
@@ -279,6 +377,14 @@ class SynthesisFarm:
             "cache_hits": self.total_cache_hits,
             "dispatched": self.total_dispatched,
         }
+        if self.remote_workers is not None:
+            out["remote"] = {
+                "workers": len(self.remote_workers),
+                "ship_prepared": self.ship_prepared,
+                "worker_setup_seconds": self.total_worker_setup_seconds,
+                "worker_opt_seconds": self.total_worker_opt_seconds,
+                "prepared_hits": self.total_prepared_hits,
+            }
         if self.cache is not None:
             out["cache"] = {
                 "entries": len(self.cache),

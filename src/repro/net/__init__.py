@@ -1,0 +1,63 @@
+"""repro.net — the cluster network subsystem (stdlib sockets only).
+
+The paper's headline scaling (Section V-C) runs many CPU actor/synthesis
+workers against GPU learners over a network. This package is that layer at
+library scale: a versioned length-prefixed framed protocol with handshake
+and heartbeats (:mod:`repro.net.protocol`), a threaded framed server base
+(:mod:`repro.net.server`), the learner's service face — replay ingest,
+weight publication, shared synthesis cache —
+(:mod:`repro.net.learner`), actor *processes* that escape the GIL
+(:mod:`repro.net.actor`), remote synthesis-farm workers fed serialized
+prepared designs (:mod:`repro.net.farm`), and a localhost cluster
+launcher (:mod:`repro.net.cluster`).
+
+Entry points: ``repro serve-learner``, ``repro actor --connect``,
+``repro cluster --actors N``, ``repro farm-worker`` — and
+``TrainingRuntime(mode="cluster")`` as the library API.
+"""
+
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    Connection,
+    ConnectionClosed,
+    FrameTooLarge,
+    HandshakeError,
+    PeerTimeout,
+    ProtocolError,
+    RemoteError,
+    connect,
+    decode_payload,
+    encode_payload,
+    parse_address,
+)
+from repro.net.server import FramedServer
+from repro.net.learner import ClusterSpec, LearnerServer, LearnerState
+from repro.net.actor import RemoteActorWorker, RemoteSynthesisCache
+from repro.net.farm import FarmWorkerServer, RemoteFarmPool
+from repro.net.cluster import launch_actors, reap_actors, run_local_cluster
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Connection",
+    "ConnectionClosed",
+    "FrameTooLarge",
+    "HandshakeError",
+    "PeerTimeout",
+    "ProtocolError",
+    "RemoteError",
+    "connect",
+    "decode_payload",
+    "encode_payload",
+    "parse_address",
+    "FramedServer",
+    "ClusterSpec",
+    "LearnerServer",
+    "LearnerState",
+    "RemoteActorWorker",
+    "RemoteSynthesisCache",
+    "FarmWorkerServer",
+    "RemoteFarmPool",
+    "launch_actors",
+    "reap_actors",
+    "run_local_cluster",
+]

@@ -1,0 +1,269 @@
+"""The remote actor: experience generation in its own OS process.
+
+:class:`RemoteActorWorker` is the process-shaped sibling of the threaded
+:class:`repro.distributed.ActorWorker` — the step the ROADMAP's
+"multi-host actors" item asks for. Where the thread shares the learner's
+memory (and its GIL), the remote actor shares nothing: it dials a
+:class:`repro.net.learner.LearnerServer`, receives the
+:class:`~repro.net.learner.ClusterSpec` on ``join``, rebuilds the vector
+environment and an inference-only Q-network locally, and then loops the
+familiar round — refresh the weight snapshot if the learner published,
+act exploration-first on every replica, step the environment (synthesis
+misses resolve through the learner's shared cache service, so work done
+by *any* actor process is reused by all), and push the round's
+transitions back. The ``push_batch`` reply carries the next epsilon and
+the stop flag, so schedule position and shutdown need no side channel.
+
+On a 1-CPU host this buys work reduction, not wall-clock (the repo's
+honest-measurement policy; see the ``cluster`` bench section). On real
+multi-core/multi-host hardware each actor owns a core — the scaling shape
+of the paper's Section V-C.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.env.actions import ActionSpace
+from repro.env.vector import VectorPrefixEnv
+from repro.net.farm import _library
+from repro.net.protocol import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_MAX_FRAME_BYTES,
+    connect,
+)
+from repro.nn.qnet import QNetwork
+from repro.synth.evaluator import SynthesisEvaluator
+from repro.utils.rng import ensure_rng
+
+
+class RemoteSynthesisCache:
+    """A :class:`repro.synth.SynthesisCache` look-alike backed by the learner.
+
+    Lookups go local-front-LRU first, then over the wire to the learner's
+    shared cache; stores write through. The front absorbs the repeat
+    lookups *within* this actor (RL batches revisit states constantly) so
+    the wire only carries first sightings — cross-process sharing at
+    roughly one round trip per unique design.
+
+    Hit/miss counters describe this actor's view (front and remote hits
+    both count as hits); the learner's cache keeps the cluster-wide
+    truth.
+    """
+
+    def __init__(self, conn, front_entries: int = 50_000):
+        self._conn = conn
+        self.front_entries = front_entries
+        self._front: "OrderedDict[tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _front_put(self, key: tuple, value) -> None:
+        self._front[key] = value
+        self._front.move_to_end(key)
+        while len(self._front) > self.front_entries:
+            self._front.popitem(last=False)
+
+    def get_many(self, keys: "list[tuple]") -> list:
+        from repro.synth.curve import AreaDelayCurve
+
+        out: "list" = [None] * len(keys)
+        remote_idx = []
+        for i, key in enumerate(keys):
+            if key in self._front:
+                self._front.move_to_end(key)
+                out[i] = self._front[key]
+                self.hits += 1
+            else:
+                remote_idx.append(i)
+        if remote_idx:
+            reply = self._conn.call(
+                "cache_get", {"keys": [list(keys[i]) for i in remote_idx]}
+            )
+            for i, points in zip(remote_idx, reply["curves"]):
+                if points is None:
+                    self.misses += 1
+                    continue
+                curve = AreaDelayCurve.from_points(points)
+                self._front_put(keys[i], curve)
+                out[i] = curve
+                self.hits += 1
+        return out
+
+    def put_many(self, items: "list[tuple]") -> None:
+        for key, value in items:
+            self._front_put(key, value)
+        self._conn.call(
+            "cache_put",
+            {"items": [[list(key), value.points()] for key, value in items]},
+        )
+
+    def get(self, key: tuple):
+        return self.get_many([key])[0]
+
+    def put(self, key: tuple, value) -> None:
+        self.put_many([(key, value)])
+
+    def __len__(self) -> int:
+        return len(self._front)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class RemoteActorWorker:
+    """One remote experience generator (the body of ``repro actor``)."""
+
+    def __init__(
+        self,
+        address: "tuple[str, int]",
+        front_cache_entries: int = 50_000,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        connect_timeout: float = 30.0,
+    ):
+        self.address = address
+        self.front_cache_entries = front_cache_entries
+        self.max_frame_bytes = max_frame_bytes
+        self.heartbeat_timeout = heartbeat_timeout
+        self.connect_timeout = connect_timeout
+        self.actor_id: "int | None" = None
+        self.rounds = 0
+        self.env_steps_kept = 0
+
+    # -- setup -----------------------------------------------------------
+
+    def _build(self, join: dict, conn):
+        spec = join["spec"]
+        library = _library(spec["library"])
+        cache = RemoteSynthesisCache(conn, front_entries=self.front_cache_entries)
+
+        def make_evaluator():
+            return SynthesisEvaluator(
+                library,
+                w_area=spec["w_area"],
+                w_delay=spec["w_delay"],
+                cache=cache,
+                c_area=spec["c_area"],
+                c_delay=spec["c_delay"],
+            )
+
+        venv = VectorPrefixEnv.make(
+            spec["width"],
+            make_evaluator,
+            num_envs=spec["envs_per_actor"],
+            horizon=spec["horizon"],
+            seed=join["env_seed"],
+        )
+        net = QNetwork(
+            spec["width"],
+            blocks=spec["blocks"],
+            channels=spec["channels"],
+            dtype=np.dtype(spec["dtype"]),
+        )
+        net.eval()
+        actions = ActionSpace(spec["width"])
+        total = spec["w_area"] + spec["w_delay"]
+        w = np.array([spec["w_area"] / total, spec["w_delay"] / total])
+        rng = ensure_rng(join["exploration_seed"])
+        return venv, net, actions, w, rng, cache
+
+    def _act_batch(self, net, actions, w, rng, features, legal_masks, epsilon):
+        """Exploration-first epsilon-greedy on the snapshot network
+        (the :class:`repro.distributed.ActorPolicy` policy, sans hub)."""
+        legal_masks = np.asarray(legal_masks)
+        if not legal_masks.any(axis=1).all():
+            raise ValueError("no legal actions available in some state")
+        num = legal_masks.shape[0]
+        chosen = np.empty(num, dtype=np.int64)
+        explore = (
+            np.array([rng.random() < epsilon for _ in range(num)])
+            if epsilon > 0
+            else np.zeros(num, dtype=bool)
+        )
+        for e in np.nonzero(explore)[0]:
+            legal_idx = np.nonzero(legal_masks[e])[0]
+            chosen[e] = legal_idx[rng.integers(legal_idx.size)]
+        exploit = np.nonzero(~explore)[0]
+        if exploit.size:
+            qmaps = net.predict(np.asarray(features)[exploit])
+            flat = actions.qmaps_to_flat(qmaps)
+            scalar = np.where(legal_masks[exploit], flat @ w, -np.inf)
+            chosen[exploit] = np.argmax(scalar, axis=1)
+        return chosen
+
+    # -- the loop --------------------------------------------------------
+
+    def run(self) -> dict:
+        """Generate experience until the learner says stop; returns stats."""
+        conn, _welcome = connect(
+            self.address,
+            role="actor",
+            max_frame_bytes=self.max_frame_bytes,
+            timeout=self.heartbeat_timeout,
+            connect_timeout=self.connect_timeout,
+        )
+        try:
+            join = conn.call("join", {})
+            self.actor_id = join["actor_id"]
+            venv, net, actions, w, rng, cache = self._build(join, conn)
+            epsilon = join["epsilon"]
+            stop = join["stop"]
+            version = 0
+            start = time.perf_counter()
+            if not stop:
+                venv.reset()
+            while not stop:
+                reply = conn.call("pull_weights", {"have_version": version})
+                if "weights" in reply:
+                    net.load_state_arrays(reply["weights"])
+                    net.eval()
+                version = reply["version"]
+                obs = venv.observe()
+                masks = venv.legal_masks()
+                chosen = self._act_batch(net, actions, w, rng, obs, masks, epsilon)
+                results = venv.step(chosen)
+                next_obs = venv.observe()
+                next_masks = venv.legal_masks()
+                t_obs = np.array(next_obs)
+                t_masks = np.array(next_masks)
+                for i, result in enumerate(results):
+                    if result.done:
+                        # The replica auto-reset; the transition's successor
+                        # is the terminal state, not the new episode.
+                        t_obs[i] = venv.envs[i].observe(result.next_state)
+                        t_masks[i] = venv.envs[i].legal_mask(result.next_state)
+                reply = conn.call(
+                    "push_batch",
+                    {
+                        "epsilon": epsilon,
+                        "states": obs,
+                        "actions": chosen,
+                        "rewards": np.stack([r.reward for r in results]),
+                        "next_states": t_obs,
+                        "next_masks": t_masks,
+                        "dones": np.array([r.done for r in results]),
+                        "areas": np.array([r.info["area"] for r in results]),
+                        "delays": np.array([r.info["delay"] for r in results]),
+                    },
+                )
+                self.rounds += 1
+                self.env_steps_kept += reply["kept"]
+                epsilon = reply["epsilon"]
+                stop = reply["stop"]
+            wall = time.perf_counter() - start
+            return {
+                "actor_id": self.actor_id,
+                "rounds": self.rounds,
+                "env_steps_kept": self.env_steps_kept,
+                "wall_seconds": wall,
+                "cache_hits": cache.hits,
+                "cache_misses": cache.misses,
+            }
+        finally:
+            conn.close(bye=True)

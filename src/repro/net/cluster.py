@@ -1,0 +1,112 @@
+"""Localhost cluster orchestration: one learner, N actor OS processes.
+
+``repro cluster --actors N`` is the zero-config proof of the network
+subsystem: it binds the learner server on a loopback port, spawns ``N``
+``repro actor --connect`` *subprocesses* (real OS processes — each with
+its own interpreter and GIL, which is the payoff the threaded runtime
+could not reach), drives the learner loop to the step budget, and reaps
+the actors. The same actor command pointed at a routable address is the
+multi-host deployment; nothing here is loopback-specific except the
+default bind.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def actor_command(
+    address: "tuple[str, int]", extra_args: "list[str] | None" = None
+) -> "list[str]":
+    """The argv that runs one remote actor against ``address``."""
+    return [
+        sys.executable,
+        "-m",
+        "repro",
+        "actor",
+        "--connect",
+        f"{address[0]}:{address[1]}",
+        *(extra_args or []),
+    ]
+
+
+def _actor_env() -> "dict[str, str]":
+    """Subprocess environment with this repro importable on PYTHONPATH."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    parts = [src_root] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    return env
+
+
+def launch_actors(
+    address: "tuple[str, int]",
+    count: int,
+    extra_args: "list[str] | None" = None,
+) -> "list[subprocess.Popen]":
+    """Spawn ``count`` actor subprocesses dialing ``address``."""
+    if count < 1:
+        raise ValueError("need at least one actor")
+    env = _actor_env()
+    return [
+        subprocess.Popen(actor_command(address, extra_args), env=env)
+        for _ in range(count)
+    ]
+
+
+def reap_actors(
+    procs: "list[subprocess.Popen]", timeout: float = 60.0
+) -> "list[int]":
+    """Wait for actor subprocesses; escalate to kill past the timeout.
+
+    Returns the exit codes (killed actors report their signal-negative
+    code — the caller decides whether that is a failure).
+    """
+    deadline = time.monotonic() + timeout
+    codes = []
+    for proc in procs:
+        remaining = max(deadline - time.monotonic(), 0.1)
+        try:
+            codes.append(proc.wait(timeout=remaining))
+        except subprocess.TimeoutExpired:
+            proc.terminate()
+            try:
+                codes.append(proc.wait(timeout=5.0))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                codes.append(proc.wait())
+    return codes
+
+
+def run_local_cluster(
+    runtime,
+    num_actors: int,
+    steps: "int | None" = None,
+    resume: bool = False,
+    actor_args: "list[str] | None" = None,
+    reap_timeout: float = 60.0,
+):
+    """Bind, spawn actors, train, reap; returns ``(history, exit_codes)``.
+
+    ``runtime`` must be a :class:`repro.rl.runtime.TrainingRuntime` in
+    cluster mode. Actors that outlive the learner (it stops serving once
+    the budget is met) exit on their next round's stop reply; stragglers
+    are terminated after ``reap_timeout``.
+    """
+    address = runtime.bind()
+    procs = launch_actors(address, num_actors, extra_args=actor_args)
+    try:
+        history = runtime.run(steps=steps, resume=resume)
+    except BaseException:
+        for proc in procs:
+            proc.terminate()
+        reap_actors(procs, timeout=5.0)
+        raise
+    codes = reap_actors(procs, timeout=reap_timeout)
+    return history, codes

@@ -1,0 +1,285 @@
+"""Remote synthesis farm: worker daemons and the dispatch-side pool.
+
+The multi-host half of :class:`repro.distributed.SynthesisFarm`: instead of
+a local process pool, curve tasks ship over the framed protocol to
+:class:`FarmWorkerServer` daemons (``repro farm-worker``) running anywhere.
+
+Two task forms (the dispatcher picks per
+``SynthesisFarm(ship_prepared=...)``):
+
+- ``graph`` — the legacy payload: graph JSON, and the worker re-derives
+  graph -> validated PrefixGraph -> adder netlist per task;
+- ``netlist`` — a *prepared design*: the dispatcher builds the adder
+  netlist once and ships its serialized form
+  (:func:`repro.netlist.serialize.netlist_to_dict`), so the worker skips
+  the graph parse/validation and netlist construction entirely.
+
+Workers additionally keep a digest-keyed LRU of built netlists (the
+ROADMAP's "per-worker prepared caches"), time their per-task setup
+(obtaining a Netlist) separately from optimization, and report both — the
+``cluster`` bench section turns those timings into the honest
+prepared-design savings number. Curves are byte-identical across all
+paths: every one ends in the same
+:func:`repro.synth.curve.curve_from_prepared` ladder.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.net.protocol import (
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_MAX_FRAME_BYTES,
+    ProtocolError,
+    connect,
+)
+from repro.net.server import FramedServer
+from repro.netlist.adder import prefix_adder_netlist
+from repro.netlist.serialize import netlist_from_dict
+from repro.prefix.serialize import graph_from_json
+from repro.synth.curve import curve_from_prepared
+from repro.synth.optimizer import Synthesizer
+
+_LIBRARIES: dict = {}
+
+
+def _library(name: str):
+    """Build (and memoize per process) a cell library by registry name."""
+    if name not in _LIBRARIES:
+        from repro.cells import industrial8nm, nangate45
+
+        registry = {"nangate45": nangate45, "industrial8nm": industrial8nm}
+        if name not in registry:
+            raise KeyError(f"unknown library {name!r}")
+        _LIBRARIES[name] = registry[name]()
+    return _LIBRARIES[name]
+
+
+class FarmWorkerServer(FramedServer):
+    """One remote synthesis worker daemon.
+
+    Serves ``synth_batch`` calls from any number of dispatchers; each call
+    carries its own library name and synthesizer kwargs, so one worker can
+    serve several experiments. ``prepared_cache_entries`` bounds the
+    digest-keyed netlist LRU (0 disables it — the bench does this so the
+    shipped-vs-rebuilt comparison is not contaminated by cache hits).
+    """
+
+    roles = ("dispatcher",)
+
+    def __init__(
+        self,
+        address: "tuple[str, int]" = ("127.0.0.1", 0),
+        prepared_cache_entries: int = 10_000,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    ):
+        super().__init__(
+            address, max_frame_bytes=max_frame_bytes, heartbeat_timeout=heartbeat_timeout
+        )
+        self.prepared_cache_entries = prepared_cache_entries
+        self._prepared: "OrderedDict[str, object]" = OrderedDict()
+        self._prepared_lock = threading.Lock()
+        self.tasks_served = 0
+        self.methods = {"synth_batch": self._synth_batch, "worker_info": self._worker_info}
+
+    # -- prepared-netlist LRU -------------------------------------------
+
+    def _prepared_get(self, digest: "str | None"):
+        if digest is None or not self.prepared_cache_entries:
+            return None
+        with self._prepared_lock:
+            netlist = self._prepared.get(digest)
+            if netlist is not None:
+                self._prepared.move_to_end(digest)
+            return netlist
+
+    def _prepared_put(self, digest: "str | None", netlist) -> None:
+        if digest is None or not self.prepared_cache_entries:
+            return
+        with self._prepared_lock:
+            self._prepared[digest] = netlist
+            self._prepared.move_to_end(digest)
+            while len(self._prepared) > self.prepared_cache_entries:
+                self._prepared.popitem(last=False)
+
+    # -- methods ---------------------------------------------------------
+
+    def _obtain_netlist(self, task: dict, library):
+        """Task payload -> Netlist, via the prepared cache when possible."""
+        digest = task.get("digest")
+        cached = self._prepared_get(digest)
+        if cached is not None:
+            return cached.clone(), True
+        if "netlist" in task:
+            netlist = netlist_from_dict(task["netlist"], library)
+        elif "graph" in task:
+            graph = graph_from_json(task["graph"])
+            netlist = prefix_adder_netlist(graph, library)
+        else:
+            raise ValueError("task carries neither a netlist nor a graph")
+        self._prepared_put(digest, netlist.clone())
+        return netlist, False
+
+    def _synth_batch(self, ctx, params: dict) -> dict:
+        library = _library(params["library"])
+        synthesizer = Synthesizer(**params.get("synth_kwargs", {}))
+        points = []
+        setup_seconds = 0.0
+        opt_seconds = 0.0
+        prepared_hits = 0
+        for task in params["tasks"]:
+            t0 = time.perf_counter()
+            netlist, hit = self._obtain_netlist(task, library)
+            t1 = time.perf_counter()
+            prepared = synthesizer.prepare(netlist)
+            curve = curve_from_prepared(prepared, synthesizer)
+            t2 = time.perf_counter()
+            setup_seconds += t1 - t0
+            opt_seconds += t2 - t1
+            prepared_hits += bool(hit)
+            points.append(curve.points())
+        self.tasks_served += len(points)
+        return {
+            "points": points,
+            "setup_seconds": setup_seconds,
+            "opt_seconds": opt_seconds,
+            "prepared_hits": prepared_hits,
+        }
+
+    def _worker_info(self, ctx, params) -> dict:
+        return {
+            "tasks_served": self.tasks_served,
+            "prepared_cache_entries": len(self._prepared),
+            "libraries_loaded": sorted(_LIBRARIES),
+        }
+
+
+class RemoteFarmPool:
+    """Dispatch-side view of a set of :class:`FarmWorkerServer` daemons.
+
+    Owns one connection per worker (dialed lazily, redialed after a drop)
+    and fans a list of task chunks across them — chunks are assigned
+    round-robin and each worker's share runs on its own thread, so
+    multi-worker dispatch overlaps while one socket stays strictly
+    request/response.
+    """
+
+    def __init__(
+        self,
+        addresses: "list[tuple[str, int]]",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        timeout: float = 300.0,
+    ):
+        if not addresses:
+            raise ValueError("need at least one worker address")
+        self.addresses = list(addresses)
+        self.max_frame_bytes = max_frame_bytes
+        self.timeout = timeout
+        self._conns: "list" = [None] * len(addresses)
+        self.last_setup_seconds = 0.0
+        self.last_opt_seconds = 0.0
+        self.last_prepared_hits = 0
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def _conn(self, i: int):
+        if self._conns[i] is None:
+            conn, _welcome = connect(
+                self.addresses[i],
+                role="dispatcher",
+                max_frame_bytes=self.max_frame_bytes,
+                timeout=self.timeout,
+            )
+            self._conns[i] = conn
+        return self._conns[i]
+
+    def synth_chunks(
+        self,
+        chunks: "list[list[dict]]",
+        library: str,
+        synth_kwargs: dict,
+    ) -> "list[list[list[tuple[float, float]]]]":
+        """Run every chunk of tasks; returns per-chunk curve point lists.
+
+        A worker failure (wire error, remote exception) propagates — the
+        dispatcher's caller decides whether to fall back; silently
+        dropping tasks would corrupt the farm's order contract.
+        """
+        results: "list" = [None] * len(chunks)
+        errors: "list" = []
+        timings = {"setup": 0.0, "opt": 0.0, "hits": 0}
+        timings_lock = threading.Lock()
+        by_worker: "dict[int, list[int]]" = {}
+        for c in range(len(chunks)):
+            by_worker.setdefault(c % len(self.addresses), []).append(c)
+
+        def call_worker(worker: int, params: dict, retried: bool = False) -> dict:
+            """One synth_batch call, redialing once on a wire failure.
+
+            Workers drop connections idle beyond their heartbeat timeout;
+            a dispatcher coming back after a quiet stretch must not fail
+            its first batch on the stale socket.
+            """
+            conn = self._conn(worker)
+            try:
+                return conn.call("synth_batch", params)
+            except ProtocolError:
+                self._drop(worker)
+                if retried:
+                    raise
+                return call_worker(worker, params, retried=True)
+
+        def drive(worker: int, chunk_ids: "list[int]") -> None:
+            try:
+                for c in chunk_ids:
+                    reply = call_worker(
+                        worker,
+                        {
+                            "library": library,
+                            "synth_kwargs": synth_kwargs,
+                            "tasks": chunks[c],
+                        },
+                    )
+                    results[c] = reply["points"]
+                    with timings_lock:
+                        timings["setup"] += reply["setup_seconds"]
+                        timings["opt"] += reply["opt_seconds"]
+                        timings["hits"] += reply["prepared_hits"]
+            except BaseException as exc:
+                self._drop(worker)
+                errors.append((worker, exc))
+
+        threads = [
+            threading.Thread(target=drive, args=(w, ids), daemon=True)
+            for w, ids in by_worker.items()
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            worker, exc = errors[0]
+            raise RuntimeError(
+                f"remote farm worker {self.addresses[worker]} failed: {exc!r}"
+            ) from exc
+        self.last_setup_seconds = timings["setup"]
+        self.last_opt_seconds = timings["opt"]
+        self.last_prepared_hits = timings["hits"]
+        return results
+
+    def _drop(self, i: int) -> None:
+        conn = self._conns[i]
+        self._conns[i] = None
+        if conn is not None:
+            conn.close()
+
+    def close(self) -> None:
+        for i in range(len(self._conns)):
+            conn = self._conns[i]
+            self._conns[i] = None
+            if conn is not None:
+                conn.close(bye=True)

@@ -1,0 +1,360 @@
+"""The learner's network face: replay ingest, weight publication, shared cache.
+
+:class:`LearnerServer` is what ``repro serve-learner`` (and
+``TrainingRuntime(mode="cluster")``) listens with. It exposes the existing
+in-process services of the asynchronous runtime to remote actor
+*processes*:
+
+- ``join`` — an actor registers, is assigned a replay shard, and receives
+  the :class:`ClusterSpec` (environment + network architecture) so the
+  actor CLI needs nothing but ``--connect``;
+- ``pull_weights`` — versioned snapshots from the learner's
+  :class:`repro.distributed.PolicyHub` (the paper's delayed-parameter
+  publication), shipped only when the actor's version is stale;
+- ``push_batch`` — one acting round's transitions; the server folds
+  telemetry into the shared :class:`~repro.rl.trainer.TrainingHistory`
+  under the ingest lock (the same accounting as the threaded runtime's
+  coordinator), pushes the budget-kept prefix into the actor's shard of
+  the :class:`repro.rl.replay.ShardedReplayBuffer`, and answers with the
+  next epsilon and the stop flag — so pausing ingest (checkpoint at a
+  round boundary) and stopping the run are ordinary replies, not extra
+  machinery;
+- ``cache_get`` / ``cache_put`` — a shared
+  :class:`repro.synth.SynthesisCache` service: actors route synthesis
+  lookups through the learner, which is what makes cache sharing work
+  *across processes* (the threaded runtime got it for free from shared
+  memory) and lets cluster checkpoints capture the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.net.protocol import DEFAULT_HEARTBEAT_TIMEOUT, DEFAULT_MAX_FRAME_BYTES
+from repro.net.server import FramedServer
+from repro.synth.cache import SynthesisCache
+from repro.synth.curve import AreaDelayCurve
+
+
+@dataclass
+class ClusterSpec:
+    """Everything a remote actor needs to rebuild the collection setup.
+
+    Cell libraries and synthesizers are code, not data: only names and
+    scalars cross the wire. ``seed`` is the base environment seed; actor
+    ``k`` gets ``seed + k * envs_per_actor`` (matching the CLI's threaded
+    async layout) plus a derived exploration stream.
+    """
+
+    width: int
+    horizon: int = 24
+    envs_per_actor: int = 4
+    library: str = "nangate45"
+    w_area: float = 0.5
+    w_delay: float = 0.5
+    c_area: float = 0.001
+    c_delay: float = 10.0
+    seed: int = 0
+    blocks: int = 2
+    channels: int = 16
+    dtype: str = "float64"
+
+    @classmethod
+    def for_agent(cls, agent, **kwargs) -> "ClusterSpec":
+        """Derive width/architecture/scalarization from a live agent."""
+        return cls(
+            width=agent.n,
+            w_area=float(agent.w[0]),
+            w_delay=float(agent.w[1]),
+            blocks=agent.local.blocks,
+            channels=agent.local.channels,
+            dtype=np.dtype(agent.local.dtype).name,
+            **kwargs,
+        )
+
+
+def encode_cache_key(key: tuple) -> "list":
+    return list(key)
+
+
+def decode_cache_key(key: "list") -> tuple:
+    return tuple(key)
+
+
+class LearnerState:
+    """Shared state behind a :class:`LearnerServer`'s method handlers.
+
+    The learner thread and the per-actor handler threads meet here: the
+    ``lock`` guards history/actor bookkeeping, and ``ingest_lock``
+    additionally serializes whole push rounds so the learner can quiesce
+    ingestion at a round boundary (checkpoint) by holding it.
+    """
+
+    def __init__(
+        self,
+        agent,
+        hub,
+        buffer,
+        history,
+        schedule,
+        total,
+        spec: ClusterSpec,
+        cache: "SynthesisCache | None" = None,
+        halt_at: "int | None" = None,
+    ):
+        self.agent = agent
+        self.hub = hub
+        self.buffer = buffer
+        self.history = history
+        self.schedule = schedule
+        self.total = total
+        self.spec = spec
+        self.cache = cache if cache is not None else SynthesisCache()
+        # Ingest never records past this step: the budget, tightened by a
+        # requested preemption point so the halt snapshot lands exactly
+        # there no matter how actor pushes interleave.
+        self.limit = total if halt_at is None else min(total, halt_at)
+        self.lock = threading.Lock()
+        self.ingest_lock = threading.RLock()
+        self.stop = False
+        self.actors: "dict[int, dict]" = {}
+        self.ever_joined = 0
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def env_steps(self) -> int:
+        with self.lock:
+            return self.history.env_steps
+
+    def gradient_steps(self) -> int:
+        with self.lock:
+            return self.history.gradient_steps
+
+    def record_loss(self, loss: float) -> None:
+        with self.lock:
+            self.history.losses.append(loss)
+            self.history.gradient_steps += 1
+
+    def connected_actors(self) -> int:
+        with self.lock:
+            return sum(a["connected"] for a in self.actors.values())
+
+    def epsilon_now(self) -> float:
+        with self.lock:
+            return float(self.schedule(min(self.history.env_steps, self.total)))
+
+    # -- join / leave ----------------------------------------------------
+
+    def join(self) -> "tuple[int, dict]":
+        with self.lock:
+            for shard in range(self.buffer.num_shards):
+                actor = self.actors.get(shard)
+                if actor is None or not actor["connected"]:
+                    self.actors[shard] = {
+                        "connected": True,
+                        "episode_returns": [0.0] * self.spec.envs_per_actor,
+                    }
+                    self.ever_joined += 1
+                    return shard, {
+                        "actor_id": shard,
+                        "spec": asdict(self.spec),
+                        "env_seed": self.spec.seed + shard * self.spec.envs_per_actor,
+                        "exploration_seed": self.spec.seed + 7_919 * (shard + 1),
+                        "total": self.total,
+                        "env_steps": self.history.env_steps,
+                        "epsilon": float(
+                            self.schedule(min(self.history.env_steps, self.total))
+                        ),
+                        "stop": self.stop or self.history.env_steps >= self.total,
+                    }
+        raise RuntimeError(
+            f"cluster is full: all {self.buffer.num_shards} actor slots are taken"
+        )
+
+    def leave(self, actor_id: "int | None") -> None:
+        if actor_id is None:
+            return
+        with self.lock:
+            actor = self.actors.get(actor_id)
+            if actor is not None:
+                actor["connected"] = False
+
+    # -- ingest ----------------------------------------------------------
+
+    def push_batch(self, actor_id: int, batch: dict) -> dict:
+        """Fold one remote acting round; returns the actor's next marching
+        orders. Mirrors the threaded coordinator's ``record_round``: the
+        step budget may truncate the round, and only the kept prefix
+        enters the replay shard."""
+        from repro.rl.replay import Transition
+
+        rewards = np.asarray(batch["rewards"], dtype=np.float64)
+        dones = np.asarray(batch["dones"], dtype=bool)
+        areas = np.asarray(batch["areas"], dtype=np.float64)
+        delays = np.asarray(batch["delays"], dtype=np.float64)
+        num = rewards.shape[0]
+        with self.ingest_lock:
+            with self.lock:
+                actor = self.actors.get(actor_id)
+                if actor is None:
+                    raise RuntimeError(f"actor {actor_id} never joined")
+                history = self.history
+                if self.stop:
+                    # The learner is halting (preemption or budget): the
+                    # final snapshot may already be staged, so record
+                    # nothing — the actor just learns it is time to leave.
+                    return {
+                        "kept": 0,
+                        "env_steps": history.env_steps,
+                        "epsilon": float(
+                            self.schedule(min(history.env_steps, self.total))
+                        ),
+                        "stop": True,
+                    }
+                epsilon = float(batch["epsilon"])
+                returns = actor["episode_returns"]
+                if num > len(returns):
+                    # The replica count is the actor's to choose; the spec's
+                    # envs_per_actor only sizes the initial slots.
+                    returns.extend([0.0] * (num - len(returns)))
+                kept = 0
+                for i in range(num):
+                    if history.env_steps >= self.limit:
+                        break
+                    actor["episode_returns"][i] += float(self.hub.w @ rewards[i])
+                    history.areas.append(float(areas[i]))
+                    history.delays.append(float(delays[i]))
+                    history.epsilon_trace.append(epsilon)
+                    history.env_steps += 1
+                    kept += 1
+                    if dones[i]:
+                        history.episode_returns.append(actor["episode_returns"][i])
+                        actor["episode_returns"][i] = 0.0
+                env_steps = history.env_steps
+                stop = self.stop or env_steps >= self.total
+                next_epsilon = float(self.schedule(min(env_steps, self.total)))
+            states = np.asarray(batch["states"])
+            actions = np.asarray(batch["actions"])
+            next_states = np.asarray(batch["next_states"])
+            next_masks = np.asarray(batch["next_masks"])
+            for i in range(kept):
+                self.buffer.push(
+                    Transition(
+                        state=states[i],
+                        action=int(actions[i]),
+                        reward=rewards[i],
+                        next_state=next_states[i],
+                        next_mask=next_masks[i],
+                        done=bool(dones[i]),
+                    ),
+                    shard=actor_id,
+                )
+        return {
+            "kept": kept,
+            "env_steps": env_steps,
+            "epsilon": next_epsilon,
+            "stop": stop,
+        }
+
+
+class LearnerServer(FramedServer):
+    """The framed-protocol face of a cluster learner.
+
+    Constructed unbound from state: ``repro cluster`` binds the port (so
+    actor subprocesses know where to dial) before the runtime has built or
+    restored its training state, then :meth:`attach` publishes the state
+    and unblocks waiting handlers.
+    """
+
+    roles = ("actor", "observer")
+
+    def __init__(
+        self,
+        address: "tuple[str, int]" = ("127.0.0.1", 0),
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        state_wait: float = 60.0,
+    ):
+        super().__init__(
+            address, max_frame_bytes=max_frame_bytes, heartbeat_timeout=heartbeat_timeout
+        )
+        self.state: "LearnerState | None" = None
+        self.state_wait = state_wait
+        self._state_ready = threading.Event()
+        self.methods = {
+            "join": self._join,
+            "pull_weights": self._pull_weights,
+            "push_batch": self._push_batch,
+            "cache_get": self._cache_get,
+            "cache_put": self._cache_put,
+            "stats": self._stats,
+        }
+
+    def attach(self, state: LearnerState) -> None:
+        self.state = state
+        self._state_ready.set()
+
+    # -- connection hooks ------------------------------------------------
+
+    def on_connect(self, conn, hello):
+        if not self._state_ready.wait(timeout=self.state_wait):
+            raise RuntimeError("learner is not ready (no training state attached)")
+        return {"conn": conn, "hello": hello, "actor_id": None}
+
+    def on_disconnect(self, ctx) -> None:
+        if self.state is not None:
+            self.state.leave(ctx.get("actor_id"))
+
+    # -- methods ---------------------------------------------------------
+
+    def _join(self, ctx, params) -> dict:
+        if ctx["actor_id"] is not None:
+            raise RuntimeError(f"connection already joined as actor {ctx['actor_id']}")
+        actor_id, reply = self.state.join()
+        ctx["actor_id"] = actor_id
+        return reply
+
+    def _pull_weights(self, ctx, params) -> dict:
+        version, weights = self.state.hub._pull(int(params["have_version"]))
+        reply = {"version": version}
+        if weights is not None:
+            reply["weights"] = weights
+        return reply
+
+    def _push_batch(self, ctx, params) -> dict:
+        if ctx["actor_id"] is None:
+            raise RuntimeError("push_batch before join")
+        return self.state.push_batch(ctx["actor_id"], params)
+
+    def _cache_get(self, ctx, params) -> dict:
+        keys = [decode_cache_key(k) for k in params["keys"]]
+        values = self.state.cache.get_many(keys)
+        return {
+            "curves": [None if v is None else v.points() for v in values],
+        }
+
+    def _cache_put(self, ctx, params) -> dict:
+        items = [
+            (decode_cache_key(key), AreaDelayCurve.from_points(points))
+            for key, points in params["items"]
+        ]
+        self.state.cache.put_many(items)
+        return {"stored": len(items)}
+
+    def _stats(self, ctx, params) -> dict:
+        state = self.state
+        with state.lock:
+            return {
+                "env_steps": state.history.env_steps,
+                "gradient_steps": state.history.gradient_steps,
+                "total": state.total,
+                "actors_connected": sum(
+                    a["connected"] for a in state.actors.values()
+                ),
+                "buffer_size": len(state.buffer),
+                "cache_entries": len(state.cache),
+                "stop": state.stop,
+            }

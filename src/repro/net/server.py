@@ -1,0 +1,165 @@
+"""Threaded framed-protocol server base (the listen side of repro.net).
+
+:class:`FramedServer` is a :class:`socketserver.ThreadingTCPServer` whose
+per-connection handler speaks :mod:`repro.net.protocol`: handshake
+(version/role checked before any service traffic), then a CALL/REPLY
+dispatch loop with PING/PONG heartbeats and dead-peer detection (a client
+silent beyond the heartbeat timeout is dropped). Application errors inside
+a method travel back as ERROR frames and keep the connection alive; wire
+errors tear it down.
+
+Concrete services — :class:`repro.net.learner.LearnerServer`,
+:class:`repro.net.farm.FarmWorkerServer` — subclass and provide the method
+registry plus per-connection context hooks.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+
+from repro.net.protocol import (
+    BYE,
+    CALL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR,
+    FRAME_NAMES,
+    PING,
+    PONG,
+    REPLY,
+    Connection,
+    HandshakeError,
+    ProtocolError,
+)
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        server: FramedServer = self.server
+        conn = Connection(
+            self.request,
+            max_frame_bytes=server.max_frame_bytes,
+            timeout=server.heartbeat_timeout,
+        )
+        try:
+            hello = conn.welcome(server.roles)
+        except (HandshakeError, ProtocolError):
+            conn.close()
+            return
+        try:
+            ctx = server.on_connect(conn, hello)
+        except Exception as exc:
+            conn._reject(f"{type(exc).__name__}: {exc}")
+            conn.close()
+            return
+        try:
+            self._serve(server, conn, ctx)
+        finally:
+            server.on_disconnect(ctx)
+            conn.close()
+
+    def _serve(self, server: "FramedServer", conn: Connection, ctx) -> None:
+        while not server.closing:
+            try:
+                ftype, body = conn.recv()
+            except ProtocolError:
+                # Timeout (dead peer), close, or stream corruption: the
+                # connection is unusable either way.
+                return
+            if ftype == PING:
+                conn.send(PONG)
+                continue
+            if ftype == BYE:
+                return
+            if ftype != CALL:
+                conn.send(
+                    ERROR,
+                    {"error": f"unexpected {FRAME_NAMES.get(ftype, ftype)} frame"},
+                )
+                return
+            method = body.get("method") if isinstance(body, dict) else None
+            handler = server.methods.get(method)
+            if handler is None:
+                conn.send(ERROR, {"error": f"unknown method {method!r}"})
+                continue
+            try:
+                result = handler(ctx, body.get("params"))
+            except ProtocolError:
+                raise
+            except Exception as exc:
+                conn.send(ERROR, {"error": f"{type(exc).__name__}: {exc}"})
+                continue
+            conn.send(REPLY, result)
+
+
+class FramedServer(socketserver.ThreadingTCPServer):
+    """A framed-protocol service listening on ``address``.
+
+    Subclasses set :attr:`roles` (accepted HELLO roles) and
+    :attr:`methods` (name -> ``fn(ctx, params) -> result``), and may
+    override :meth:`on_connect` / :meth:`on_disconnect` for
+    per-connection state. ``address`` may use port 0; the bound address
+    is :attr:`address`.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    roles: "tuple[str, ...]" = ()
+
+    def __init__(
+        self,
+        address: "tuple[str, int]",
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    ):
+        self.max_frame_bytes = max_frame_bytes
+        self.heartbeat_timeout = heartbeat_timeout
+        self.methods: "dict[str, object]" = {}
+        self.closing = False
+        self._thread: "threading.Thread | None" = None
+        super().__init__(address, _Handler)
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        """The bound (host, port) — resolves port 0 to the real port."""
+        return self.server_address[:2]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Serve in a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            name=f"{type(self).__name__}@{self.address[1]}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting, unblock handlers, close the socket."""
+        self.closing = True
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "FramedServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- per-connection hooks -------------------------------------------
+
+    def on_connect(self, conn: Connection, hello: dict):
+        """Build the per-connection context passed to every method."""
+        return {"conn": conn, "hello": hello}
+
+    def on_disconnect(self, ctx) -> None:
+        """Release per-connection state (peer gone or server closing)."""

@@ -1,0 +1,73 @@
+"""Netlist serialization: plain-dict round-trip for shipping built designs.
+
+Cell libraries are code, not data — only the library *name* crosses a
+process or host boundary, and the receiving side rebinds instances to its
+own library object by cell name. This is what lets the synthesis farm ship
+*prepared* designs (the already-built adder netlist) to remote workers
+instead of having every worker re-derive the netlist from graph JSON per
+task (see :class:`repro.distributed.SynthesisFarm` and ROADMAP's
+"ship prepared designs to farm workers").
+
+The dict form is JSON-safe and deterministic (instances in insertion
+order, which :meth:`repro.netlist.ir.Netlist.topological_order` and the
+optimizer's pass order depend on), so a shipped netlist synthesizes to
+byte-identical results remotely and locally.
+"""
+
+from __future__ import annotations
+
+from repro.cells.library import CellLibrary
+from repro.netlist.ir import Netlist
+
+SERIAL_VERSION = 1
+
+
+def netlist_to_dict(netlist: Netlist) -> dict:
+    """Serialize structure + library binding by name (JSON-safe)."""
+    return {
+        "version": SERIAL_VERSION,
+        "name": netlist.name,
+        "library": netlist.library.name,
+        "inputs": list(netlist.inputs),
+        "outputs": list(netlist.outputs),
+        "counter": netlist._counter,
+        "instances": [
+            [name, inst.cell.name, dict(inst.pins)]
+            for name, inst in netlist.instances.items()
+        ],
+    }
+
+
+def netlist_from_dict(data: dict, library: CellLibrary) -> Netlist:
+    """Rebuild a :func:`netlist_to_dict` payload against a live library.
+
+    The caller resolves the library (``data["library"]`` names it); a
+    mismatched name is rejected rather than silently rebinding a design
+    to different cells.
+    """
+    version = data.get("version")
+    if version != SERIAL_VERSION:
+        raise ValueError(
+            f"netlist payload version {version!r} not supported "
+            f"(this build reads {SERIAL_VERSION})"
+        )
+    if data["library"] != library.name:
+        raise ValueError(
+            f"netlist was built against library {data['library']!r}, "
+            f"got {library.name!r}"
+        )
+    netlist = Netlist(data["name"], library)
+    for net in data["inputs"]:
+        netlist.add_input(net)
+    for name, cell_name, pins in data["instances"]:
+        try:
+            cell = library.cell(cell_name)
+        except KeyError as exc:
+            raise ValueError(
+                f"library {library.name!r} has no cell {cell_name!r}"
+            ) from exc
+        netlist.add_instance(cell, pins, name=name)
+    for net in data["outputs"]:
+        netlist.add_output(net)
+    netlist._counter = int(data["counter"])
+    return netlist

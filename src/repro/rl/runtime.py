@@ -21,6 +21,16 @@ library scale, in two modes:
   classes, same RNG consumption, bit-identical
   :class:`~repro.rl.trainer.TrainingHistory`), with checkpoint hooks
   between ticks. This is the mode CI differential-checks.
+- ``mode="cluster"`` — the multi-process / multi-host shape: the runtime
+  owns only the learner half (agent, sharded buffer, history, the shared
+  synthesis cache) and serves it over a
+  :class:`repro.net.learner.LearnerServer`; experience arrives from
+  :class:`repro.net.actor.RemoteActorWorker` *processes* (``repro actor
+  --connect``), which is where the actor/learner split escapes the GIL.
+  Checkpoints capture the learner-owned state (round-boundary quiesce via
+  the ingest lock); remote environments are rebuilt fresh by actors on
+  reconnect, so a resume continues the learning trajectory without
+  replaying actor-side episode tails.
 
 Both modes support full checkpoint/resume through
 :class:`repro.rl.checkpoint.CheckpointManager`: Q-net weights, optimizer
@@ -58,22 +68,43 @@ from repro.utils.rng import ensure_rng, rng_state, set_rng_state, spawn_rngs
 class RuntimeConfig:
     """Knobs of the runtime that are not :class:`TrainerConfig` knobs."""
 
-    mode: str = "sync"             # "sync" (deterministic) or "async"
-    num_actors: int = 2            # async only: actor thread count
-    publish_every: int = 1         # async only: gradient steps between weight publications
+    mode: str = "sync"             # "sync" (deterministic), "async" or "cluster"
+    num_actors: int = 2            # async/cluster: actor (thread/process) count
+    publish_every: int = 1         # async/cluster: gradient steps between weight publications
     checkpoint_every: int = 0      # env steps between checkpoints (0: only stop/final)
     keep_checkpoints: int = 3      # snapshots retained on disk
     stop_after: "int | None" = None  # checkpoint and halt at this env step (preemption)
+    listen: str = "127.0.0.1:0"    # cluster only: learner bind address
+    heartbeat_timeout: float = 60.0  # cluster only: dead-peer cutoff (seconds);
+    #   must exceed an actor's worst acting round (synthesis included) —
+    #   the actor is wire-silent while it steps its environments
+    cluster_wait: float = 60.0     # cluster only: max seconds with zero actors
 
     def __post_init__(self):
-        if self.mode not in ("sync", "async"):
-            raise ValueError(f"mode must be 'sync' or 'async', got {self.mode!r}")
+        if self.mode not in ("sync", "async", "cluster"):
+            raise ValueError(
+                f"mode must be 'sync', 'async' or 'cluster', got {self.mode!r}"
+            )
         if self.num_actors < 1:
             raise ValueError("num_actors must be positive")
         if self.publish_every < 1:
             raise ValueError("publish_every must be positive")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be nonnegative")
+
+
+def grads_allowed(env_steps: int, total: int, cfg: TrainerConfig) -> int:
+    """Gradient steps the synchronous cadence permits after ``env_steps``.
+
+    The single-env loop fires at (0-indexed) step ``s`` when
+    ``s % learn_every == 0`` and the buffer already holds
+    ``warmup_steps``, i.e. ``s >= warmup - 1``; the async and cluster
+    learners reproduce that budget so all modes train at one cadence.
+    """
+    done_steps = min(env_steps, total)
+    le = max(cfg.learn_every, 1)
+    first = -(-(cfg.warmup_steps - 1) // le) * le
+    return (done_steps - 1 - first) // le + 1 if done_steps > first else 0
 
 
 class _Coordinator:
@@ -188,6 +219,10 @@ class TrainingRuntime:
             ``Trainer(..., rng=rng)`` does (replay sampling), keeping the
             two paths bit-identical; async mode additionally derives
             per-actor exploration streams from it.
+        cluster: cluster mode only — the :class:`repro.net.ClusterSpec`
+            actors receive on join (env shape, library, scalarization,
+            network architecture). ``env`` must be None: environments
+            live in the actor processes.
     """
 
     def __init__(
@@ -198,6 +233,7 @@ class TrainingRuntime:
         runtime: "RuntimeConfig | None" = None,
         checkpoint_dir=None,
         rng=None,
+        cluster=None,
     ):
         self.agent = agent
         self.config = config if config is not None else TrainerConfig()
@@ -207,7 +243,33 @@ class TrainingRuntime:
             if checkpoint_dir is not None
             else None
         )
-        if self.runtime.mode == "sync":
+        if cluster is not None and self.runtime.mode != "cluster":
+            raise ValueError("a ClusterSpec only makes sense with mode='cluster'")
+        if self.runtime.mode == "cluster":
+            if env is not None:
+                raise ValueError(
+                    "cluster mode takes env=None: environments live in the "
+                    "remote actor processes"
+                )
+            if cluster is None:
+                raise ValueError("cluster mode needs a ClusterSpec (cluster=...)")
+            if cluster.width != agent.n:
+                raise ValueError(
+                    f"ClusterSpec width {cluster.width} != agent width {agent.n}"
+                )
+            self.env = None
+            self.actor_envs = None
+            self.cluster = cluster
+            self.buffer = ShardedReplayBuffer(
+                self.config.buffer_capacity,
+                num_shards=self.runtime.num_actors,
+                rng=ensure_rng(rng),
+            )
+            self._actor_rngs = None
+            self._server = None
+            self._state = None
+            self._cluster_cache = SynthesisCache()
+        elif self.runtime.mode == "sync":
             if isinstance(env, (list, tuple)):
                 raise ValueError("sync mode takes a single environment, not a list")
             self.env = env
@@ -236,6 +298,10 @@ class TrainingRuntime:
                 rng=base,
             )
             self._actor_rngs = spawn_rngs(base, self.runtime.num_actors)
+        if self.runtime.mode != "cluster":
+            self.cluster = None
+            self._server = None
+            self._state = None
         self.preempted = False
 
     # ------------------------------------------------------------------
@@ -243,12 +309,18 @@ class TrainingRuntime:
     # ------------------------------------------------------------------
 
     def _all_envs(self) -> "list[PrefixEnv]":
+        if self.runtime.mode == "cluster":
+            return []  # environments live in the actor processes
         if self.runtime.mode == "sync":
             return self.env.envs if isinstance(self.env, VectorPrefixEnv) else [self.env]
         return [e for venv in self.actor_envs for e in venv.envs]
 
     def _collect_caches(self):
         """Distinct evaluator caches plus each env's index into them."""
+        if self.runtime.mode == "cluster":
+            # The learner-owned shared cache service is the only cache a
+            # cluster checkpoint can (and needs to) capture.
+            return [self._cluster_cache], []
         caches: "list[SynthesisCache]" = []
         refs: "list[int | None]" = []
         for env in self._all_envs():
@@ -297,7 +369,7 @@ class TrainingRuntime:
             )
         for cache, state in zip(caches, states):
             entries = [
-                (tuple(key), AreaDelayCurve([tuple(p) for p in points]))
+                (tuple(key), AreaDelayCurve.from_points(points))
                 for key, points in state["entries"]
             ]
             cache.restore(entries, hits=state["hits"], misses=state["misses"])
@@ -343,7 +415,12 @@ class TrainingRuntime:
             "buffer": self.buffer.state_dict(),
             "caches": self._cache_states(),
         }
-        if self.runtime.mode == "sync":
+        if self.runtime.mode == "cluster":
+            # Remote env state lives in (and is rebuilt by) the actor
+            # processes; the snapshot carries only what the learner owns.
+            state["env_kind"] = "cluster"
+            state["env"] = {"num_actors": self.runtime.num_actors}
+        elif self.runtime.mode == "sync":
             state["env_kind"] = (
                 "vector" if isinstance(self.env, VectorPrefixEnv) else "single"
             )
@@ -411,7 +488,9 @@ class TrainingRuntime:
         self.agent.load_state_dict(state["agent"])
         self.buffer.load_state_dict(state["buffer"])
         self._restore_caches(state["caches"])
-        if self.runtime.mode == "sync":
+        if self.runtime.mode == "cluster":
+            pass  # no env state: actors rebuild environments on reconnect
+        elif self.runtime.mode == "sync":
             self.env.load_state_dict(state["env"])
         else:
             actors = state["env"]["actors"]
@@ -446,7 +525,129 @@ class TrainingRuntime:
         self.preempted = False
         if self.runtime.mode == "sync":
             return self._run_sync(steps, resume)
+        if self.runtime.mode == "cluster":
+            return self._run_cluster(steps, resume)
         return self._run_async(steps, resume)
+
+    # ------------------------------------------------------------------
+    # Cluster mode (repro.net)
+    # ------------------------------------------------------------------
+
+    def bind(self) -> "tuple[str, int]":
+        """Bind the cluster learner server; returns its (host, port).
+
+        Binding is separate from :meth:`run` so launchers can hand the
+        address to actor subprocesses first — connections made before the
+        training state exists wait on the server's ready gate.
+        """
+        if self.runtime.mode != "cluster":
+            raise RuntimeError("bind() is only meaningful in cluster mode")
+        if self._server is None:
+            from repro.net.learner import LearnerServer
+            from repro.net.protocol import parse_address
+
+            self._server = LearnerServer(
+                parse_address(self.runtime.listen),
+                heartbeat_timeout=self.runtime.heartbeat_timeout,
+                state_wait=self.runtime.cluster_wait,
+            )
+            self._server.start()
+        return self._server.address
+
+    def _run_cluster(self, steps: "int | None", resume: bool) -> TrainingHistory:
+        from repro.distributed.pipeline import PolicyHub
+        from repro.net.learner import LearnerState
+
+        self.bind()
+        server = self._server
+        try:
+            if resume:
+                total, history, _loop_state = self._load(steps)
+            else:
+                total = steps if steps is not None else self.config.steps
+                history = TrainingHistory()
+
+            cfg = self.config
+            hub = PolicyHub(self.agent)
+            state = LearnerState(
+                agent=self.agent,
+                hub=hub,
+                buffer=self.buffer,
+                history=history,
+                schedule=cfg.schedule(total),
+                total=total,
+                spec=self.cluster,
+                cache=self._cluster_cache,
+                halt_at=self.runtime.stop_after,
+            )
+            self._state = state
+            server.attach(state)
+
+            last_saved = history.env_steps
+            stopped_early = False
+            idle_since = time.monotonic()
+            while True:
+                env_steps = state.env_steps()
+                if self._stop_requested(history):
+                    stopped_early = True
+                    break
+                if (
+                    len(self.buffer) >= cfg.warmup_steps
+                    and state.gradient_steps() < grads_allowed(env_steps, total, cfg)
+                ):
+                    loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
+                    state.record_loss(loss)
+                    if history.gradient_steps % self.runtime.publish_every == 0:
+                        hub.publish()
+                    idle_since = time.monotonic()
+                elif env_steps >= total:
+                    break
+                else:
+                    if state.ever_joined and state.connected_actors():
+                        idle_since = time.monotonic()
+                    elif time.monotonic() - idle_since > self.runtime.cluster_wait:
+                        raise RuntimeError(
+                            f"no actors connected for {self.runtime.cluster_wait:.0f}s "
+                            f"at env step {env_steps}/{total}; is anything dialing "
+                            f"{server.address[0]}:{server.address[1]}?"
+                        )
+                    time.sleep(0.002)
+                if self._checkpoint_due(history, last_saved):
+                    # Holding the ingest lock parks every actor at its next
+                    # round boundary (push_batch blocks), the cluster's
+                    # equivalent of the async pause barrier.
+                    with state.ingest_lock:
+                        self._save(total, history, {"kind": "cluster"})
+                        last_saved = history.env_steps
+
+            state.stop = True
+            # Drain: let connected actors see the stop reply and leave.
+            # Rounds in flight once stop is set are discarded (kept=0) —
+            # the final snapshot is exactly the state at the halt step.
+            deadline = time.monotonic() + self.runtime.heartbeat_timeout
+            while state.connected_actors() and time.monotonic() < deadline:
+                time.sleep(0.01)
+
+            if self.manager is not None:
+                with state.ingest_lock:
+                    self._save(total, history, {"kind": "cluster"})
+            self.preempted = stopped_early and history.env_steps < total
+            cache = state.cache
+            lookups = cache.hits + cache.misses
+            history.synthesis_stats = {
+                "cache": {
+                    "entries": len(cache),
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "hit_rate": cache.hits / lookups if lookups else 0.0,
+                    "shared": True,
+                }
+            }
+            return history
+        finally:
+            self._state = None
+            server.stop()
+            self._server = None
 
     def _checkpoint_due(self, history: TrainingHistory, last_saved: int) -> bool:
         every = self.runtime.checkpoint_every
@@ -549,18 +750,9 @@ class TrainingRuntime:
                 if self._stop_requested(history):
                     stopped_early = True
                     break
-                # Same cadence as the synchronous single-env loop: it fires
-                # at (0-indexed) step s when s % learn_every == 0 and the
-                # buffer already holds warmup_steps, i.e. s >= warmup-1.
-                done_steps = min(env_steps, total)
-                le = max(cfg.learn_every, 1)
-                first = -(-(cfg.warmup_steps - 1) // le) * le
-                grads_allowed = (
-                    (done_steps - 1 - first) // le + 1 if done_steps > first else 0
-                )
                 if (
                     len(self.buffer) >= cfg.warmup_steps
-                    and coord.gradient_steps() < grads_allowed
+                    and coord.gradient_steps() < grads_allowed(env_steps, total, cfg)
                 ):
                     loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
                     coord.record_loss(loss)

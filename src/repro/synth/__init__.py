@@ -19,7 +19,14 @@ through the shared cache and can route misses through a
 """
 
 from repro.synth.optimizer import Synthesizer, SynthesisResult
-from repro.synth.curve import AreaDelayCurve, synthesize_curve, calibrate_scaling, C_AREA, C_DELAY
+from repro.synth.curve import (
+    AreaDelayCurve,
+    synthesize_curve,
+    curve_from_prepared,
+    calibrate_scaling,
+    C_AREA,
+    C_DELAY,
+)
 from repro.synth.cache import SynthesisCache
 from repro.synth.evaluator import SynthesisEvaluator, AnalyticalEvaluator, CircuitMetrics
 from repro.synth.commercial import CommercialSynthesizer, commercial_adder_family
@@ -30,6 +37,7 @@ __all__ = [
     "SynthesisResult",
     "AreaDelayCurve",
     "synthesize_curve",
+    "curve_from_prepared",
     "calibrate_scaling",
     "C_AREA",
     "C_DELAY",

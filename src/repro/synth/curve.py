@@ -84,6 +84,16 @@ class AreaDelayCurve:
         else:
             self._interp = None
 
+    @classmethod
+    def from_points(cls, points) -> "AreaDelayCurve":
+        """Rebuild from a :meth:`points` list (JSON round-trip safe).
+
+        The single owner of the serialized-curve convention: checkpoints
+        and every ``repro.net`` wire message ship curves as
+        ``[[delay, area], ...]`` and rebuild through here.
+        """
+        return cls([tuple(p) for p in points])
+
     @property
     def min_delay(self) -> float:
         return float(self.delays[0])
@@ -148,7 +158,21 @@ def synthesize_curve(
     # Compile + pin-swap once; every target forks the prepared state
     # instead of recloning and re-timing the netlist from scratch.
     prepared = synthesizer.prepare(netlist)
+    return curve_from_prepared(prepared, synthesizer, num_targets=num_targets)
 
+
+def curve_from_prepared(
+    prepared,
+    synthesizer: Synthesizer,
+    num_targets: int = NUM_TARGETS,
+) -> AreaDelayCurve:
+    """The target ladder of :func:`synthesize_curve` over a prepared design.
+
+    Split out so callers holding an already-built netlist — remote farm
+    workers receiving shipped designs (:mod:`repro.net.farm`), ablations
+    reusing one compile — skip the graph-to-netlist derivation while
+    producing byte-identical curves.
+    """
     fast = synthesizer.optimize_prepared(prepared, target=0.0)
     samples = [(fast.delay, fast.area)]
     relaxed_target = max(fast.delay * 4.0, 1e-3)

@@ -112,21 +112,43 @@ class SynthesisEvaluator:
 
         Duplicate graphs in one batch (the common case in RL collection)
         resolve to a single lookup/synthesis; order matches the input.
-        With a :class:`repro.distributed.SynthesisFarm` attached, the whole
+        The batch's cache traffic is two bulk calls (``get_many`` for the
+        unique designs, ``put_many`` for the fresh ones) — one round trip
+        each when the cache is a cluster actor's
+        :class:`repro.net.RemoteSynthesisCache`. With a
+        :class:`repro.distributed.SynthesisFarm` attached, the whole
         batch goes through the farm's dispatch layer (shared cache, only
         misses cross the process boundary) in one call.
         """
-        # Serial farm mode (num_workers=0) is the deliberately-naive
-        # reference baseline (no dedup, no cache routing) — never route
-        # evaluator traffic through it.
-        if self.farm is not None and self.farm.num_workers > 0 and graphs:
+        # Serial farm mode (num_workers=0, no remote workers) is the
+        # deliberately-naive reference baseline (no dedup, no cache
+        # routing) — never route evaluator traffic through it.
+        if self.farm is not None and self.farm.active and graphs:
             return self.farm.evaluate_curves(list(graphs))
-        unique: "dict[bytes, AreaDelayCurve]" = {}
+        order: "dict[bytes, int]" = {}
+        unique_graphs: "list[PrefixGraph]" = []
         for graph in graphs:
             key = graph.key()
-            if key not in unique:
-                unique[key] = self.curve(graph)
-        return [unique[graph.key()] for graph in graphs]
+            if key not in order:
+                order[key] = len(unique_graphs)
+                unique_graphs.append(graph)
+        cached = self.cache.get_many(
+            [
+                (graph_digest(g), self.library.name, self.synthesizer.name)
+                for g in unique_graphs
+            ]
+        )
+        fresh = []
+        for i, (graph, value) in enumerate(zip(unique_graphs, cached)):
+            if value is None:
+                curve = synthesize_curve(graph, self.library, self.synthesizer)
+                cached[i] = curve
+                fresh.append(
+                    ((graph_digest(graph), self.library.name, self.synthesizer.name), curve)
+                )
+        if fresh:
+            self.cache.put_many(fresh)
+        return [cached[order[graph.key()]] for graph in graphs]
 
     def evaluate_many(self, graphs: "list[PrefixGraph]") -> "list[CircuitMetrics]":
         """Batched :meth:`evaluate` via :meth:`curve_many`."""

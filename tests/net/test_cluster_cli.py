@@ -1,0 +1,97 @@
+"""End-to-end CLI cluster: learner + real actor subprocesses, resume.
+
+This is the acceptance check of the cluster PR: ``repro cluster
+--actors 2`` on localhost completes a short run with *OS-process* actors,
+writes a checkpoint, and ``--resume`` extends it to the full budget. The
+CI cluster-smoke job runs this file on its own.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def run_cli(*args, timeout=240):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )
+
+
+@pytest.mark.slow
+def test_cluster_preempt_resume_end_to_end(tmp_path):
+    ckpt = tmp_path / "ckpt"
+    first = run_cli(
+        "cluster", "8",
+        "--steps", "24",
+        "--actors", "2",
+        "--envs-per-actor", "2",
+        "--checkpoint-dir", str(ckpt),
+        "--stop-after", "12",
+        "--seed", "3",
+    )
+    assert first.returncode == 0, first.stderr
+    assert "rerun with --resume" in first.stderr
+    assert "warning: actor subprocess" not in first.stderr, first.stderr
+    assert (ckpt / "LATEST").is_file()
+
+    resumed = run_cli(
+        "cluster", "8",
+        "--actors", "2",
+        "--envs-per-actor", "2",
+        "--checkpoint-dir", str(ckpt),
+        "--resume",
+        "--seed", "3",
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert "warning: actor subprocess" not in resumed.stderr, resumed.stderr
+    assert "trained 24 steps" in resumed.stdout
+    assert "shared cache:" in resumed.stdout
+    assert "history frontier" in resumed.stdout
+    # Both snapshots exist (preemption point and completion).
+    steps = sorted(p.name for p in ckpt.iterdir() if p.name.startswith("step-"))
+    assert steps == ["step-00000012", "step-00000024"]
+
+
+@pytest.mark.slow
+def test_farm_worker_cli_serves(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "farm-worker", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert "farm worker listening on" in line
+        address = line.strip().rsplit(" ", 1)[-1]
+
+        sys.path.insert(0, SRC)
+        from repro.distributed import SynthesisFarm
+        from repro.prefix import sklansky
+
+        farm = SynthesisFarm("nangate45", num_workers=0, remote_workers=[address])
+        curves = farm.evaluate_curves([sklansky(8)])
+        assert len(curves) == 1 and len(curves[0].points()) >= 2
+        farm.close()
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)

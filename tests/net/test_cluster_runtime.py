@@ -1,0 +1,173 @@
+"""TrainingRuntime(mode="cluster"): end-to-end training over sockets.
+
+Actors run as in-process threads here (each with its own Connection, so
+the full wire path is exercised); the true multi-process shape is covered
+by the CLI end-to-end test and the CI cluster-smoke job.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.net import ClusterSpec, RemoteActorWorker
+from repro.rl import (
+    RuntimeConfig,
+    ScalarizedDoubleDQN,
+    TrainerConfig,
+    TrainingRuntime,
+)
+from repro.rl.checkpoint import CheckpointError
+
+
+def make_runtime(steps=20, num_actors=2, checkpoint_dir=None, **runtime_kwargs):
+    agent = ScalarizedDoubleDQN(4, blocks=0, channels=4, lr=3e-4, rng=0)
+    spec = ClusterSpec.for_agent(
+        agent, horizon=6, envs_per_actor=2, library="nangate45", seed=0
+    )
+    config = TrainerConfig(steps=steps, batch_size=8, warmup_steps=8)
+    runtime_kwargs.setdefault("cluster_wait", 30.0)
+    runtime_config = RuntimeConfig(
+        mode="cluster", num_actors=num_actors, **runtime_kwargs
+    )
+    return TrainingRuntime(
+        None,
+        agent,
+        config,
+        runtime_config,
+        checkpoint_dir=checkpoint_dir,
+        rng=0,
+        cluster=spec,
+    )
+
+
+def run_with_actors(runtime, num_actors=2, steps=None, resume=False):
+    address = runtime.bind()
+    stats = {}
+
+    def actor(i):
+        stats[i] = RemoteActorWorker(address).run()
+
+    threads = [
+        threading.Thread(target=actor, args=(i,), daemon=True)
+        for i in range(num_actors)
+    ]
+    for t in threads:
+        t.start()
+    history = runtime.run(steps=steps, resume=resume)
+    for t in threads:
+        t.join(timeout=30)
+    assert not any(t.is_alive() for t in threads), "actor thread leaked"
+    return history, stats
+
+
+class TestClusterTraining:
+    def test_full_run_reaches_budget_and_trains(self):
+        runtime = make_runtime(steps=20)
+        history, stats = run_with_actors(runtime)
+        assert history.env_steps == 20
+        assert history.gradient_steps > 0
+        assert len(history.areas) == 20 and len(history.losses) > 0
+        assert sorted(s["actor_id"] for s in stats.values()) == [0, 1]
+        assert sum(s["env_steps_kept"] for s in stats.values()) == 20
+        assert history.synthesis_stats["cache"]["shared"] is True
+
+    def test_construction_contracts(self):
+        agent = ScalarizedDoubleDQN(4, blocks=0, channels=4, rng=0)
+        with pytest.raises(ValueError, match="needs a ClusterSpec"):
+            TrainingRuntime(None, agent, runtime=RuntimeConfig(mode="cluster"))
+        with pytest.raises(ValueError, match="env=None"):
+            TrainingRuntime(
+                object(),
+                agent,
+                runtime=RuntimeConfig(mode="cluster"),
+                cluster=ClusterSpec.for_agent(agent),
+            )
+        with pytest.raises(ValueError, match="only makes sense"):
+            TrainingRuntime(
+                None,
+                agent,
+                runtime=RuntimeConfig(mode="sync"),
+                cluster=ClusterSpec.for_agent(agent),
+            )
+        spec = ClusterSpec.for_agent(agent)
+        spec.width = 8
+        with pytest.raises(ValueError, match="width"):
+            TrainingRuntime(
+                None, agent, runtime=RuntimeConfig(mode="cluster"), cluster=spec
+            )
+
+    def test_no_actors_is_a_clear_timeout(self):
+        runtime = make_runtime(steps=8, cluster_wait=0.5)
+        with pytest.raises(RuntimeError, match="no actors connected"):
+            runtime.run()
+
+
+class TestClusterCheckpoint:
+    def test_preempt_then_resume_completes(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        runtime = make_runtime(steps=20, checkpoint_dir=ckpt, stop_after=10)
+        history, _stats = run_with_actors(runtime)
+        assert runtime.preempted
+        assert history.env_steps >= 10
+        saved_steps = history.env_steps
+
+        resumed = make_runtime(steps=20, checkpoint_dir=ckpt)
+        history2, _stats = run_with_actors(resumed, steps=None, resume=True)
+        assert not resumed.preempted
+        assert history2.env_steps == 20
+        # The resumed history extends the checkpointed one.
+        assert history2.areas[:saved_steps] == history.areas[:saved_steps]
+        assert history2.epsilon_trace[:saved_steps] == history.epsilon_trace[:saved_steps]
+
+    def test_resume_restores_shared_cache(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        runtime = make_runtime(steps=12, checkpoint_dir=ckpt)
+        run_with_actors(runtime)
+        entries = len(runtime._cluster_cache)
+        assert entries > 0
+
+        resumed = make_runtime(steps=12, checkpoint_dir=ckpt)
+        resumed.bind()
+        try:
+            resumed._load(None)
+            assert len(resumed._cluster_cache) == entries
+        finally:
+            resumed._server.stop()
+            resumed._server = None
+
+    def test_resume_with_different_actor_count_rejected(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        runtime = make_runtime(steps=12, checkpoint_dir=ckpt)
+        run_with_actors(runtime)
+
+        mismatched = make_runtime(steps=12, num_actors=3, checkpoint_dir=ckpt)
+        mismatched.bind()
+        try:
+            with pytest.raises(ValueError, match="layout mismatch"):
+                mismatched._load(None)
+        finally:
+            mismatched._server.stop()
+            mismatched._server = None
+
+    def test_mode_mismatch_rejected(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        runtime = make_runtime(steps=12, checkpoint_dir=ckpt)
+        run_with_actors(runtime)
+
+        from repro.env import PrefixEnv
+        from repro.synth import AnalyticalEvaluator
+
+        agent = ScalarizedDoubleDQN(4, blocks=0, channels=4, rng=0)
+        env = PrefixEnv(4, AnalyticalEvaluator(), horizon=6, rng=0)
+        sync = TrainingRuntime(
+            env,
+            agent,
+            TrainerConfig(steps=12, batch_size=8, warmup_steps=8),
+            RuntimeConfig(mode="sync"),
+            checkpoint_dir=ckpt,
+            rng=0,
+        )
+        with pytest.raises(CheckpointError, match="mode"):
+            sync.run(resume=True)

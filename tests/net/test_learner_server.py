@@ -1,0 +1,206 @@
+"""LearnerServer services: join/shards, weight versioning, ingest, cache.
+
+Exercises the server through real sockets (loopback) but with hand-rolled
+clients, so each service's contract is pinned independently of the actor
+loop that normally drives them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributed.pipeline import PolicyHub
+from repro.net import ClusterSpec, LearnerServer, LearnerState, RemoteError, connect
+from repro.rl import ScalarizedDoubleDQN, TrainerConfig
+from repro.rl.replay import ShardedReplayBuffer
+from repro.rl.trainer import TrainingHistory
+from repro.synth.curve import AreaDelayCurve
+
+
+@pytest.fixture
+def server():
+    agent = ScalarizedDoubleDQN(4, blocks=0, channels=4, rng=0)
+    config = TrainerConfig(steps=10, batch_size=4, warmup_steps=4)
+    state = LearnerState(
+        agent=agent,
+        hub=PolicyHub(agent),
+        buffer=ShardedReplayBuffer(100, num_shards=2, rng=0),
+        history=TrainingHistory(),
+        schedule=config.schedule(10),
+        total=10,
+        spec=ClusterSpec.for_agent(agent, envs_per_actor=2, seed=0),
+    )
+    srv = LearnerServer(("127.0.0.1", 0), heartbeat_timeout=5.0)
+    srv.attach(state)
+    srv.start()
+    yield srv, state
+    srv.stop()
+
+
+def dial(srv):
+    conn, _welcome = connect(srv.address, role="actor", timeout=5.0)
+    return conn
+
+
+def make_batch(k: int, n: int = 4, done=None):
+    A = 2 * n * n
+    return {
+        "epsilon": 0.5,
+        "states": np.zeros((k, 4, n, n)),
+        "actions": np.arange(k),
+        "rewards": np.ones((k, 2)) * 0.25,
+        "next_states": np.zeros((k, 4, n, n)),
+        "next_masks": np.ones((k, A), dtype=bool),
+        "dones": np.array(done if done is not None else [False] * k),
+        "areas": np.full(k, 7.0),
+        "delays": np.full(k, 0.3),
+    }
+
+
+class TestJoin:
+    def test_join_assigns_shards_then_fills_up(self, server):
+        srv, _state = server
+        c1, c2, c3 = dial(srv), dial(srv), dial(srv)
+        j1 = c1.call("join")
+        j2 = c2.call("join")
+        assert {j1["actor_id"], j2["actor_id"]} == {0, 1}
+        assert j1["spec"]["width"] == 4
+        assert j1["total"] == 10 and j1["stop"] is False
+        with pytest.raises(RemoteError, match="cluster is full"):
+            c3.call("join")
+        for c in (c1, c2, c3):
+            c.close(bye=True)
+
+    def test_slot_is_reusable_after_disconnect(self, server):
+        srv, state = server
+        c1 = dial(srv)
+        first = c1.call("join")["actor_id"]
+        c1.close(bye=True)
+        deadline = 100
+        while state.connected_actors() and deadline:
+            deadline -= 1
+            import time
+
+            time.sleep(0.01)
+        c2 = dial(srv)
+        assert c2.call("join")["actor_id"] == first
+        c2.close(bye=True)
+
+    def test_push_before_join_rejected(self, server):
+        srv, _state = server
+        conn = dial(srv)
+        with pytest.raises(RemoteError, match="before join"):
+            conn.call("push_batch", make_batch(1))
+        conn.close(bye=True)
+
+
+class TestWeights:
+    def test_pull_only_ships_when_stale(self, server):
+        srv, state = server
+        conn = dial(srv)
+        conn.call("join")
+        first = conn.call("pull_weights", {"have_version": 0})
+        assert "weights" in first and first["version"] == 1
+        again = conn.call("pull_weights", {"have_version": first["version"]})
+        assert "weights" not in again
+        state.hub.publish()
+        fresh = conn.call("pull_weights", {"have_version": first["version"]})
+        assert fresh["version"] == 2 and "weights" in fresh
+        np.testing.assert_array_equal(
+            fresh["weights"]["body.stages.0.weight"],
+            state.agent.local.state_arrays()["body.stages.0.weight"],
+        )
+        conn.close(bye=True)
+
+
+class TestIngest:
+    def test_push_records_history_and_buffer(self, server):
+        srv, state = server
+        conn = dial(srv)
+        actor_id = conn.call("join")["actor_id"]
+        reply = conn.call("push_batch", make_batch(2, done=[False, True]))
+        assert reply["kept"] == 2 and reply["env_steps"] == 2
+        assert reply["stop"] is False
+        assert state.history.areas == [7.0, 7.0]
+        assert len(state.history.episode_returns) == 1
+        assert len(state.buffer.shards[actor_id]) == 2
+        conn.close(bye=True)
+
+    def test_budget_truncates_and_stops(self, server):
+        srv, state = server
+        conn = dial(srv)
+        conn.call("join")
+        replies = [conn.call("push_batch", make_batch(4)) for _ in range(3)]
+        assert state.history.env_steps == 10  # budget, not 12
+        assert [r["kept"] for r in replies] == [4, 4, 2]
+        assert replies[-1]["stop"] is True
+        # After stop, pushes are no-ops that keep saying stop.
+        reply = conn.call("push_batch", make_batch(4))
+        assert reply["kept"] == 0 and reply["stop"] is True
+        assert state.history.env_steps == 10
+        conn.close(bye=True)
+
+
+class TestCacheService:
+    def test_get_put_roundtrip(self, server):
+        srv, _state = server
+        conn = dial(srv)
+        key = ["digest123", "nangate45", "openphysyn"]
+        missing = conn.call("cache_get", {"keys": [key]})
+        assert missing["curves"] == [None]
+        points = [[0.2, 50.0], [0.4, 40.0]]
+        conn.call("cache_put", {"items": [[key, points]]})
+        hit = conn.call("cache_get", {"keys": [key]})
+        assert hit["curves"][0] == points
+        conn.close(bye=True)
+
+    def test_shared_across_connections(self, server):
+        srv, state = server
+        c1, c2 = dial(srv), dial(srv)
+        key = ["d", "nangate45", "openphysyn"]
+        c1.call("cache_put", {"items": [[key, [[0.1, 9.0]]]]})
+        assert c2.call("cache_get", {"keys": [key]})["curves"] == [[[0.1, 9.0]]]
+        assert isinstance(state.cache.get(tuple(key)), AreaDelayCurve)
+        c1.close(bye=True)
+        c2.close(bye=True)
+
+    def test_unknown_method_is_remote_error(self, server):
+        srv, _state = server
+        conn = dial(srv)
+        with pytest.raises(RemoteError, match="unknown method"):
+            conn.call("no_such_method")
+        conn.close(bye=True)
+
+
+class TestDeadPeer:
+    def test_server_drops_silent_actor(self):
+        agent = ScalarizedDoubleDQN(4, blocks=0, channels=4, rng=0)
+        config = TrainerConfig(steps=10, batch_size=4, warmup_steps=4)
+        state = LearnerState(
+            agent=agent,
+            hub=PolicyHub(agent),
+            buffer=ShardedReplayBuffer(100, num_shards=1, rng=0),
+            history=TrainingHistory(),
+            schedule=config.schedule(10),
+            total=10,
+            spec=ClusterSpec.for_agent(agent, envs_per_actor=1, seed=0),
+        )
+        srv = LearnerServer(("127.0.0.1", 0), heartbeat_timeout=0.3)
+        srv.attach(state)
+        srv.start()
+        try:
+            conn = dial(srv)
+            conn.call("join")
+            assert state.connected_actors() == 1
+            # Go silent: past the heartbeat timeout the server must free
+            # the slot without any traffic from us.
+            import time
+
+            deadline = time.monotonic() + 5.0
+            while state.connected_actors() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert state.connected_actors() == 0
+            conn.close()
+        finally:
+            srv.stop()

@@ -1,0 +1,260 @@
+"""Wire-protocol robustness: framing, handshake, heartbeats, payloads.
+
+The satellite contract of the cluster PR: truncated/partial frames,
+version-mismatch rejection, dead-peer heartbeat timeouts and oversized
+frames must all produce clear errors — never hangs, never garbage.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net.protocol import (
+    BYE,
+    CALL,
+    HELLO,
+    MAGIC,
+    PING,
+    PROTOCOL_VERSION,
+    REPLY,
+    Connection,
+    ConnectionClosed,
+    FrameTooLarge,
+    HandshakeError,
+    PeerTimeout,
+    ProtocolError,
+    decode_payload,
+    encode_payload,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+
+def pair(timeout=5.0, max_frame=None):
+    a, b = socket.socketpair()
+    kwargs = {"timeout": timeout}
+    if max_frame is not None:
+        kwargs["max_frame_bytes"] = max_frame
+    return Connection(a, **kwargs), Connection(b, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Payload encoding
+# ----------------------------------------------------------------------
+
+
+class TestPayload:
+    def test_json_roundtrip(self):
+        obj = {"a": 1, "b": [1.5, "x", None, True], "c": {"d": 2**80}}
+        assert decode_payload(encode_payload(obj)) == obj
+
+    def test_array_roundtrip_exact(self):
+        obj = {
+            "f64": np.linspace(0, 1, 7),
+            "f32": np.ones((2, 3), dtype=np.float32),
+            "i64": np.arange(5),
+            "bool": np.array([True, False]),
+            "nested": [{"x": np.zeros(2)}],
+        }
+        out = decode_payload(encode_payload(obj))
+        for key in ("f64", "f32", "i64", "bool"):
+            assert out[key].dtype == obj[key].dtype
+            assert (out[key] == obj[key]).all()
+        assert (out["nested"][0]["x"] == obj["nested"][0]["x"]).all()
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="empty payload"):
+            decode_payload(b"")
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown payload encoding"):
+            decode_payload(bytes([99]) + b"{}")
+
+    def test_truncated_split_payload_rejected(self):
+        full = encode_payload({"arr": np.arange(10)})
+        with pytest.raises(ProtocolError):
+            decode_payload(full[: len(full) // 2])
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = socket.socketpair()
+        send_frame(a, CALL, b"hello")
+        ftype, payload = recv_frame(b)
+        assert (ftype, payload) == (CALL, b"hello")
+
+    def test_truncated_header_is_protocol_error(self):
+        a, b = socket.socketpair()
+        a.sendall(MAGIC + bytes([PROTOCOL_VERSION]))  # 3 of 8 header bytes
+        a.close()
+        with pytest.raises(ProtocolError, match="truncated frame"):
+            recv_frame(b)
+
+    def test_truncated_payload_is_protocol_error(self):
+        a, b = socket.socketpair()
+        header = struct.pack("!2sBBI", MAGIC, PROTOCOL_VERSION, CALL, 100)
+        a.sendall(header + b"only-part")
+        a.close()
+        with pytest.raises(ProtocolError, match="truncated frame"):
+            recv_frame(b)
+
+    def test_clean_close_is_connection_closed(self):
+        a, b = socket.socketpair()
+        a.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(b)
+
+    def test_bad_magic_rejected(self):
+        a, b = socket.socketpair()
+        a.sendall(struct.pack("!2sBBI", b"ZZ", PROTOCOL_VERSION, CALL, 0))
+        with pytest.raises(ProtocolError, match="bad frame magic"):
+            recv_frame(b)
+
+    def test_version_skew_rejected(self):
+        a, b = socket.socketpair()
+        a.sendall(struct.pack("!2sBBI", MAGIC, PROTOCOL_VERSION + 1, CALL, 0))
+        with pytest.raises(ProtocolError, match="protocol version"):
+            recv_frame(b)
+
+    def test_oversized_announcement_rejected_without_reading(self):
+        a, b = socket.socketpair()
+        a.sendall(struct.pack("!2sBBI", MAGIC, PROTOCOL_VERSION, CALL, 1 << 30))
+        with pytest.raises(FrameTooLarge, match="announced"):
+            recv_frame(b, max_frame_bytes=1024)
+
+    def test_oversized_send_refused(self):
+        a, _b = socket.socketpair()
+        with pytest.raises(FrameTooLarge, match="refusing to send"):
+            send_frame(a, CALL, b"x" * 2048, max_frame_bytes=1024)
+
+
+# ----------------------------------------------------------------------
+# Heartbeats / dead peers
+# ----------------------------------------------------------------------
+
+
+class TestHeartbeat:
+    def test_silent_peer_times_out(self):
+        _quiet, listener = pair(timeout=0.2)
+        with pytest.raises(PeerTimeout, match="silent"):
+            listener.recv()
+
+    def test_ping_pong(self):
+        a, b = pair()
+
+        def answer():
+            ftype, _ = b.recv()
+            assert ftype == PING
+            b.send(5)  # PONG
+
+        t = threading.Thread(target=answer)
+        t.start()
+        a.ping()
+        t.join()
+
+    def test_call_skips_interleaved_pong(self):
+        a, b = pair()
+
+        def answer():
+            ftype, body = b.recv()
+            assert ftype == CALL
+            b.send(5)  # stale PONG from an earlier PING
+            b.send(REPLY, {"ok": True})
+
+        t = threading.Thread(target=answer)
+        t.start()
+        assert a.call("m")["ok"] is True
+        t.join()
+
+
+# ----------------------------------------------------------------------
+# Handshake
+# ----------------------------------------------------------------------
+
+
+class TestHandshake:
+    def test_hello_welcome(self):
+        a, b = pair()
+        t = threading.Thread(target=lambda: b.welcome(("actor",), body={"extra": 1}))
+        t.start()
+        welcome = a.hello("actor")
+        t.join()
+        assert welcome["version"] == PROTOCOL_VERSION
+        assert welcome["extra"] == 1
+
+    def test_version_mismatch_rejected_with_reason(self):
+        a, b = pair()
+        errors = []
+
+        def listen():
+            try:
+                b.welcome(("actor",))
+            except HandshakeError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=listen)
+        t.start()
+        # A HELLO whose in-band version is stale (frame header is current).
+        a.send(HELLO, {"version": PROTOCOL_VERSION + 9, "role": "actor"})
+        ftype, body = a.recv()
+        t.join()
+        assert ftype == 3  # ERROR
+        assert "version" in body["error"]
+        assert errors and "version" in str(errors[0])
+
+    def test_unexpected_role_rejected(self):
+        a, b = pair()
+        errors = []
+
+        def listen():
+            try:
+                b.welcome(("actor",))
+            except HandshakeError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=listen)
+        t.start()
+        with pytest.raises(HandshakeError, match="rejected"):
+            a.hello("impostor")
+        t.join()
+        assert errors and "role" in str(errors[0])
+
+    def test_non_hello_first_frame_rejected(self):
+        a, b = pair()
+
+        def listen():
+            with pytest.raises(HandshakeError):
+                b.welcome()
+
+        t = threading.Thread(target=listen)
+        t.start()
+        a.send(BYE)
+        ftype, _body = a.recv()
+        assert ftype == 3  # ERROR
+        t.join()
+
+
+class TestAddresses:
+    def test_parse_host_port(self):
+        assert parse_address("10.0.0.1:9000") == ("10.0.0.1", 9000)
+
+    def test_parse_bare_port_defaults_host(self):
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+
+    def test_parse_bare_host(self):
+        assert parse_address("somehost", default_port=7) == ("somehost", 7)
+
+    def test_parse_junk_rejected(self):
+        with pytest.raises(ValueError, match="bad address"):
+            parse_address("host:notaport")

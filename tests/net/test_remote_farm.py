@@ -1,0 +1,149 @@
+"""Remote synthesis farm: byte-identical curves, prepared shipping, caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells import nangate45
+from repro.distributed import SynthesisFarm
+from repro.net import FarmWorkerServer
+from repro.prefix import brent_kung, kogge_stone, sklansky
+from repro.synth import SynthesisCache, SynthesisEvaluator, synthesize_curve
+
+
+@pytest.fixture(scope="module")
+def worker():
+    server = FarmWorkerServer(("127.0.0.1", 0))
+    server.start()
+    yield server
+    server.stop()
+
+
+@pytest.fixture(scope="module")
+def expected():
+    lib = nangate45()
+    graphs = [sklansky(8), brent_kung(8), kogge_stone(8), sklansky(8)]
+    return graphs, [synthesize_curve(g, lib).points() for g in graphs]
+
+
+def addr(worker):
+    return f"{worker.address[0]}:{worker.address[1]}"
+
+
+class TestRemoteCurves:
+    def test_prepared_shipping_matches_local(self, worker, expected):
+        graphs, points = expected
+        farm = SynthesisFarm("nangate45", num_workers=0, remote_workers=[addr(worker)])
+        try:
+            curves = farm.evaluate_curves(graphs)
+            assert [c.points() for c in curves] == points
+            stats = farm.last_stats
+            assert stats.mode == "remote[1]"
+            assert stats.unique_graphs == 3  # duplicate sklansky deduped
+            assert stats.dispatched == 3
+            assert stats.worker_opt_seconds > 0
+            assert farm.stats()["remote"]["ship_prepared"] is True
+        finally:
+            farm.close()
+
+    def test_graph_json_mode_matches_local(self, worker, expected):
+        graphs, points = expected
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[addr(worker)],
+            ship_prepared=False,
+        )
+        try:
+            curves = farm.evaluate_curves(graphs)
+            assert [c.points() for c in curves] == points
+        finally:
+            farm.close()
+
+    def test_cache_routes_around_the_wire(self, worker, expected):
+        graphs, points = expected
+        cache = SynthesisCache()
+        farm = SynthesisFarm(
+            "nangate45", num_workers=0, remote_workers=[addr(worker)], cache=cache
+        )
+        try:
+            farm.evaluate_curves(graphs)
+            first_dispatched = farm.last_stats.dispatched
+            farm.evaluate_curves(graphs)
+            assert first_dispatched == 3
+            assert farm.last_stats.dispatched == 0  # all hits, nothing crossed
+            assert farm.last_stats.cache_hits == 3
+        finally:
+            farm.close()
+
+    def test_prepared_cache_hits_on_repeats(self, expected):
+        graphs, points = expected
+        server = FarmWorkerServer(("127.0.0.1", 0))
+        server.start()
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[f"{server.address[0]}:{server.address[1]}"],
+        )
+        try:
+            farm.evaluate_curves(graphs)
+            assert farm.last_stats.prepared_hits == 0
+            farm.evaluate_curves(graphs)  # no dispatcher cache: re-dispatches
+            assert farm.last_stats.prepared_hits == 3
+            assert [c.points() for c in farm.evaluate_curves(graphs)] == points
+        finally:
+            farm.close()
+            server.stop()
+
+    def test_evaluator_routes_through_remote_farm(self, worker, expected):
+        graphs, points = expected
+        farm = SynthesisFarm("nangate45", num_workers=0, remote_workers=[addr(worker)])
+        evaluator = SynthesisEvaluator(nangate45(), farm=farm)
+        try:
+            metrics = evaluator.evaluate_many(graphs)
+            assert len(metrics) == len(graphs)
+            assert farm.last_stats is not None and farm.last_stats.mode == "remote[1]"
+            # The farm adopted the evaluator's cache: a repeat batch stays local.
+            evaluator.evaluate_many(graphs)
+            assert farm.last_stats.dispatched == 0
+        finally:
+            farm.close()
+
+    def test_remote_conflicts_with_local_pool(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            SynthesisFarm("nangate45", num_workers=2, remote_workers=["h:1"])
+
+    def test_dead_worker_is_a_clear_error(self, expected):
+        graphs, _points = expected
+        server = FarmWorkerServer(("127.0.0.1", 0))
+        server.start()
+        dead = f"{server.address[0]}:{server.address[1]}"
+        server.stop()
+        farm = SynthesisFarm("nangate45", num_workers=0, remote_workers=[dead])
+        try:
+            with pytest.raises(RuntimeError, match="remote farm worker"):
+                farm.evaluate_curves(graphs[:1])
+        finally:
+            farm.close()
+
+
+class TestMultiWorker:
+    def test_chunks_spread_over_workers(self, expected):
+        graphs, points = expected
+        servers = [FarmWorkerServer(("127.0.0.1", 0)) for _ in range(2)]
+        for s in servers:
+            s.start()
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[f"{s.address[0]}:{s.address[1]}" for s in servers],
+        )
+        try:
+            curves = farm.evaluate_curves(graphs)
+            assert [c.points() for c in curves] == points
+            assert farm.last_stats.chunks == 2
+            assert all(s.tasks_served > 0 for s in servers)
+        finally:
+            farm.close()
+            for s in servers:
+                s.stop()

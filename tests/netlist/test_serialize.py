@@ -1,0 +1,61 @@
+"""Netlist dict round-trip: structure, determinism, library binding."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cells import industrial8nm, nangate45
+from repro.netlist.adder import prefix_adder_netlist
+from repro.netlist.serialize import netlist_from_dict, netlist_to_dict
+from repro.prefix import brent_kung, kogge_stone, sklansky
+from repro.sta.timing import analyze_timing
+
+
+@pytest.fixture(scope="module")
+def library():
+    return nangate45()
+
+
+@pytest.mark.parametrize("ctor", [sklansky, brent_kung, kogge_stone])
+def test_roundtrip_preserves_structure_and_timing(ctor, library):
+    original = prefix_adder_netlist(ctor(8), library)
+    rebuilt = netlist_from_dict(netlist_to_dict(original), library)
+    rebuilt.validate()
+    assert rebuilt.inputs == original.inputs
+    assert rebuilt.outputs == original.outputs
+    assert list(rebuilt.instances) == list(original.instances)  # insertion order
+    assert rebuilt.area() == original.area()
+    assert rebuilt.cell_histogram() == original.cell_histogram()
+    # Timing must agree exactly: the optimizer's trajectory (and thus the
+    # remote farm's byte-identical-curves guarantee) depends on it.
+    assert analyze_timing(rebuilt).delay == analyze_timing(original).delay
+
+
+def test_dict_is_json_safe_and_deterministic(library):
+    netlist = prefix_adder_netlist(sklansky(4), library)
+    one = json.dumps(netlist_to_dict(netlist), sort_keys=True)
+    two = json.dumps(netlist_to_dict(netlist), sort_keys=True)
+    assert one == two
+
+
+def test_fresh_names_stay_unique_after_roundtrip(library):
+    netlist = prefix_adder_netlist(sklansky(4), library)
+    rebuilt = netlist_from_dict(netlist_to_dict(netlist), library)
+    fresh = rebuilt.fresh_net()
+    assert rebuilt.driver_of(fresh) is None
+    assert fresh not in rebuilt.nets()
+
+
+def test_library_mismatch_rejected(library):
+    payload = netlist_to_dict(prefix_adder_netlist(sklansky(4), library))
+    with pytest.raises(ValueError, match="built against library"):
+        netlist_from_dict(payload, industrial8nm())
+
+
+def test_unknown_version_rejected(library):
+    payload = netlist_to_dict(prefix_adder_netlist(sklansky(4), library))
+    payload["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        netlist_from_dict(payload, library)
