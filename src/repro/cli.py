@@ -269,6 +269,13 @@ def _print_cluster_summary(history) -> None:
             f"shared cache: entries={cache['entries']}, hits={cache['hits']}, "
             f"misses={cache['misses']}, hit_rate={cache['hit_rate']:.1%}"
         )
+    lease = stats.get("lease")
+    if lease:
+        print(
+            f"lease dedup: granted={lease['granted']}, fulfilled={lease['fulfilled']}, "
+            f"duplicate waits={lease['waits']}, reclaimed={lease['reclaimed']}",
+            file=sys.stderr,
+        )
     print("history frontier (area um2, delay ns):")
     for area, delay, _ in _history_frontier(history):
         print(f"  {area:10.2f}  {delay:.4f}")
@@ -312,23 +319,41 @@ def cmd_serve_learner(args) -> int:
 def cmd_actor(args) -> int:
     from repro.net import RemoteActorWorker, parse_address
 
+    farm_workers = [
+        address
+        for spec in (args.farm or [])
+        for address in spec.split(",")
+        if address
+    ]
     worker = RemoteActorWorker(
         parse_address(args.connect),
         front_cache_entries=args.front_cache,
+        farm_workers=farm_workers or None,
         heartbeat_timeout=args.heartbeat_timeout,
     )
     stats = worker.run()
+    backend = stats.get("backend") or {}
     print(
         f"actor {stats['actor_id']}: {stats['rounds']} rounds, "
         f"{stats['env_steps_kept']} env steps kept in {stats['wall_seconds']:.1f}s "
-        f"(cache {stats['cache_hits']} hits / {stats['cache_misses']} misses)",
+        f"(cache {stats['cache_hits']} hits / {stats['cache_misses']} misses, "
+        f"synthesized {backend.get('synthesized', 0)})",
         file=sys.stderr,
     )
+    farm = backend.get("farm")
+    if farm:
+        print(
+            f"actor {stats['actor_id']} farm routed: "
+            f"dispatched={farm['synthesized']} workers="
+            f"{farm.get('remote', {}).get('workers', 0)} "
+            f"elided={farm.get('remote', {}).get('shipped_elided', 0)}",
+            file=sys.stderr,
+        )
     return 0
 
 
 def cmd_cluster(args) -> int:
-    from repro.net import run_local_cluster
+    from repro.net import launch_farm_workers, run_local_cluster, stop_farm_workers
     from repro.rl import TrainingRuntime
 
     if args.checkpoint_every or args.stop_after is not None or args.resume:
@@ -341,12 +366,25 @@ def cmd_cluster(args) -> int:
         None, agent, config, runtime_config,
         checkpoint_dir=args.checkpoint_dir, rng=args.seed, cluster=spec,
     )
-    history, codes = run_local_cluster(
-        runtime,
-        num_actors=args.actors,
-        steps=None if args.resume else args.steps,
-        resume=args.resume,
-    )
+    farm_procs: list = []
+    actor_args = None
+    if args.farm_workers:
+        farm_procs, farm_addresses = launch_farm_workers(args.farm_workers)
+        print(
+            f"farm workers listening on {', '.join(farm_addresses)}",
+            file=sys.stderr, flush=True,
+        )
+        actor_args = ["--farm", ",".join(farm_addresses)]
+    try:
+        history, codes = run_local_cluster(
+            runtime,
+            num_actors=args.actors,
+            steps=None if args.resume else args.steps,
+            resume=args.resume,
+            actor_args=actor_args,
+        )
+    finally:
+        stop_farm_workers(farm_procs)
     for i, code in enumerate(codes):
         if code != 0:
             print(f"warning: actor subprocess {i} exited with {code}", file=sys.stderr)
@@ -506,6 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("actor", help="run one remote actor against a learner")
     p.add_argument("--connect", required=True, metavar="HOST:PORT",
                    help="learner address (printed by serve-learner)")
+    p.add_argument("--farm", action="append", metavar="HOST:PORT[,HOST:PORT...]",
+                   help="route this actor's leased synthesis to farm-worker "
+                        "daemons (repeat or comma-separate for several)")
     p.add_argument("--front-cache", type=int, default=50_000,
                    help="actor-local front cache entries over the shared cache")
     p.add_argument("--heartbeat-timeout", type=float, default=300.0,
@@ -517,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="localhost cluster: learner + N actor subprocesses",
     )
     add_cluster_common(p)
+    p.add_argument("--farm-workers", type=int, default=0,
+                   help="also spawn this many farm-worker daemons and point "
+                        "every actor's synthesis at them")
     p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("farm-worker", help="run a remote synthesis-farm worker")

@@ -91,6 +91,7 @@ class FarmStats:
     worker_setup_seconds: float = 0.0  # remote only: worker-side netlist obtain time
     worker_opt_seconds: float = 0.0    # remote only: worker-side prepare+optimize time
     prepared_hits: int = 0             # remote only: worker prepared-cache hits
+    shipped_elided: int = 0            # remote only: payloads elided (worker had the design)
 
     @property
     def graphs_per_second(self) -> float:
@@ -170,6 +171,7 @@ class SynthesisFarm:
         self.total_worker_setup_seconds = 0.0
         self.total_worker_opt_seconds = 0.0
         self.total_prepared_hits = 0
+        self.total_shipped_elided = 0
 
     @property
     def active(self) -> bool:
@@ -272,6 +274,7 @@ class SynthesisFarm:
         num_chunks = 0
         worker_setup = worker_opt = 0.0
         prepared_hits = 0
+        shipped_elided = 0
         if misses:
             chunk = self.chunk_size
             if chunk is None:
@@ -288,6 +291,7 @@ class SynthesisFarm:
                 worker_setup = self._remote.last_setup_seconds
                 worker_opt = self._remote.last_opt_seconds
                 prepared_hits = self._remote.last_prepared_hits
+                shipped_elided = self._remote.last_shipped_elided
             else:
                 futures = [
                     self._pool.submit(
@@ -325,6 +329,7 @@ class SynthesisFarm:
             worker_setup_seconds=worker_setup,
             worker_opt_seconds=worker_opt,
             prepared_hits=prepared_hits,
+            shipped_elided=shipped_elided,
         )
         self._account(self.last_stats)
         return curves
@@ -352,30 +357,38 @@ class SynthesisFarm:
         self.total_worker_setup_seconds += stats.worker_setup_seconds
         self.total_worker_opt_seconds += stats.worker_opt_seconds
         self.total_prepared_hits += stats.prepared_hits
+        self.total_shipped_elided += stats.shipped_elided
 
     def stats(self) -> dict:
-        """Cumulative dispatch counters plus the shared cache's hit/miss stats.
+        """Cumulative dispatch counters in the unified backend stats schema
+        (:data:`repro.synth.backend.STATS_KEYS`).
 
         ``dedup_saved`` counts graphs that never even reached the cache
-        because an identical graph sat in the same batch; the nested
-        ``cache`` dict reflects the shared :class:`SynthesisCache` (absent
-        when the farm runs cacheless). Consumed by
-        :class:`repro.rl.Trainer` telemetry and the scaling benchmarks.
+        because an identical graph sat in the same batch; ``synthesized``
+        equals the dispatched count (every miss crosses to a worker). The
+        nested ``cache`` dict reflects the shared :class:`SynthesisCache`
+        (None when the farm runs cacheless); remote farms add a
+        ``remote`` extension. Consumed by :class:`repro.rl.Trainer`
+        telemetry and the scaling benchmarks.
         """
+        from repro.synth.backend import cache_counters
+
         if self.remote_workers is not None:
-            mode = f"remote[{len(self.remote_workers)}]"
+            backend = f"farm-remote[{len(self.remote_workers)}]"
         elif self.num_workers:
-            mode = f"pool[{self.num_workers}]"
+            backend = f"farm-pool[{self.num_workers}]"
         else:
-            mode = "serial"
+            backend = "farm-serial"
         out = {
-            "mode": mode,
+            "backend": backend,
             "batches": self.total_batches,
-            "graphs": self.total_graphs,
-            "unique_graphs": self.total_unique,
+            "designs": self.total_graphs,
+            "unique_designs": self.total_unique,
             "dedup_saved": self.total_graphs - self.total_unique,
             "cache_hits": self.total_cache_hits,
-            "dispatched": self.total_dispatched,
+            "cache_misses": self.total_dispatched,
+            "synthesized": self.total_dispatched,
+            "cache": cache_counters(self.cache),
         }
         if self.remote_workers is not None:
             out["remote"] = {
@@ -384,12 +397,6 @@ class SynthesisFarm:
                 "worker_setup_seconds": self.total_worker_setup_seconds,
                 "worker_opt_seconds": self.total_worker_opt_seconds,
                 "prepared_hits": self.total_prepared_hits,
-            }
-        if self.cache is not None:
-            out["cache"] = {
-                "entries": len(self.cache),
-                "hits": self.cache.hits,
-                "misses": self.cache.misses,
-                "hit_rate": self.cache.hit_rate,
+                "shipped_elided": self.total_shipped_elided,
             }
         return out

@@ -57,24 +57,34 @@ class VectorPrefixEnv:
         """The evaluator to batch through, or None for per-replica stepping.
 
         Batching is only safe when every replica resolves a graph to the
-        same metrics through the same cache: all evaluators must expose
-        ``evaluate_many``, share one cache object, and agree on the
+        same metrics through the same state: all evaluators must expose
+        ``evaluate_many``, share one evaluation-backend token
+        (:meth:`repro.synth.backend.EvaluationBackend.share_token` — for
+        cache-backed backends the cache object itself, so per-replica
+        evaluators over one cache still batch), and agree on the
         scalarization (``w_area``/``w_delay``/``c_area``/``c_delay``) —
         a weight-sweep setup with per-replica weights must step serially,
         since each replica picks a different point on the shared curve.
         """
+
+        def token(evaluator):
+            backend = getattr(evaluator, "backend", None)
+            if backend is not None:
+                return backend.share_token()
+            return getattr(evaluator, "cache", None)
+
         first = envs[0].evaluator
         if not hasattr(first, "evaluate_many"):
             return None
-        cache = getattr(first, "cache", None)
-        if cache is None:
+        shared = token(first)
+        if shared is None:
             return None
         scalarization = [
             getattr(first, attr, None) for attr in ("w_area", "w_delay", "c_area", "c_delay")
         ]
         for env in envs[1:]:
             ev = env.evaluator
-            if getattr(ev, "cache", None) is not cache:
+            if token(ev) is not shared:
                 return None
             if [
                 getattr(ev, attr, None) for attr in ("w_area", "w_delay", "c_area", "c_delay")

@@ -32,9 +32,15 @@ from repro.net.protocol import (
 )
 from repro.net.server import FramedServer
 from repro.net.learner import ClusterSpec, LearnerServer, LearnerState
-from repro.net.actor import RemoteActorWorker, RemoteSynthesisCache
+from repro.net.actor import RemoteActorWorker, RemoteCacheClient
 from repro.net.farm import FarmWorkerServer, RemoteFarmPool
-from repro.net.cluster import launch_actors, reap_actors, run_local_cluster
+from repro.net.cluster import (
+    launch_actors,
+    launch_farm_workers,
+    reap_actors,
+    run_local_cluster,
+    stop_farm_workers,
+)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -54,10 +60,12 @@ __all__ = [
     "LearnerServer",
     "LearnerState",
     "RemoteActorWorker",
-    "RemoteSynthesisCache",
+    "RemoteCacheClient",
     "FarmWorkerServer",
     "RemoteFarmPool",
     "launch_actors",
+    "launch_farm_workers",
     "reap_actors",
     "run_local_cluster",
+    "stop_farm_workers",
 ]

@@ -8,11 +8,18 @@ memory (and its GIL), the remote actor shares nothing: it dials a
 :class:`~repro.net.learner.ClusterSpec` on ``join``, rebuilds the vector
 environment and an inference-only Q-network locally, and then loops the
 familiar round — refresh the weight snapshot if the learner published,
-act exploration-first on every replica, step the environment (synthesis
-misses resolve through the learner's shared cache service, so work done
-by *any* actor process is reused by all), and push the round's
-transitions back. The ``push_batch`` reply carries the next epsilon and
-the stop flag, so schedule position and shutdown need no side channel.
+act exploration-first on every replica, step the environment, and push
+the round's transitions back. The ``push_batch`` reply carries the next
+epsilon and the stop flag, so schedule position and shutdown need no side
+channel.
+
+Synthesis routes through a :class:`repro.synth.backend.ClusterBackend`
+over :class:`RemoteCacheClient`: misses *claim* at the learner's shared
+cache service, so across all actor processes each unique design is
+synthesized exactly once (the claim/lease protocol), and designs this
+actor is leased are synthesized in-process or — with ``farm_workers`` /
+``repro actor --farm`` — fanned out to remote ``repro farm-worker``
+daemons, the paper's one-actor-host-drives-many-synthesis-hosts shape.
 
 On a 1-CPU host this buys work reduction, not wall-clock (the repo's
 honest-measurement policy; see the ``cluster`` bench section). On real
@@ -23,7 +30,6 @@ of the paper's Section V-C.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 
 import numpy as np
 
@@ -36,99 +42,66 @@ from repro.net.protocol import (
     connect,
 )
 from repro.nn.qnet import QNetwork
+from repro.synth.backend import ClusterBackend
+from repro.synth.curve import AreaDelayCurve
 from repro.synth.evaluator import SynthesisEvaluator
 from repro.utils.rng import ensure_rng
 
 
-class RemoteSynthesisCache:
-    """A :class:`repro.synth.SynthesisCache` look-alike backed by the learner.
+class RemoteCacheClient:
+    """Wire adapter giving :class:`ClusterBackend` the claim/put face.
 
-    Lookups go local-front-LRU first, then over the wire to the learner's
-    shared cache; stores write through. The front absorbs the repeat
-    lookups *within* this actor (RL batches revisit states constantly) so
-    the wire only carries first sightings — cross-process sharing at
-    roughly one round trip per unique design.
-
-    Hit/miss counters describe this actor's view (front and remote hits
-    both count as hits); the learner's cache keeps the cluster-wide
-    truth.
+    The lease owner is implicit — the learner keys leases to this
+    connection and releases them when it drops (heartbeat timeout or BYE),
+    which is the dead-peer half of lease reclamation.
     """
 
-    def __init__(self, conn, front_entries: int = 50_000):
+    def __init__(self, conn):
         self._conn = conn
-        self.front_entries = front_entries
-        self._front: "OrderedDict[tuple, object]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
 
-    def _front_put(self, key: tuple, value) -> None:
-        self._front[key] = value
-        self._front.move_to_end(key)
-        while len(self._front) > self.front_entries:
-            self._front.popitem(last=False)
-
-    def get_many(self, keys: "list[tuple]") -> list:
-        from repro.synth.curve import AreaDelayCurve
-
-        out: "list" = [None] * len(keys)
-        remote_idx = []
-        for i, key in enumerate(keys):
-            if key in self._front:
-                self._front.move_to_end(key)
-                out[i] = self._front[key]
-                self.hits += 1
+    def claim(self, keys, counted: bool = True):
+        reply = self._conn.call(
+            "cache_claim",
+            {"keys": [list(k) for k in keys], "counted": counted},
+        )
+        out = []
+        for result in reply["results"]:
+            if "curve" in result:
+                out.append({"curve": AreaDelayCurve.from_points(result["curve"])})
             else:
-                remote_idx.append(i)
-        if remote_idx:
-            reply = self._conn.call(
-                "cache_get", {"keys": [list(keys[i]) for i in remote_idx]}
-            )
-            for i, points in zip(remote_idx, reply["curves"]):
-                if points is None:
-                    self.misses += 1
-                    continue
-                curve = AreaDelayCurve.from_points(points)
-                self._front_put(keys[i], curve)
-                out[i] = curve
-                self.hits += 1
+                out.append(result)
         return out
 
-    def put_many(self, items: "list[tuple]") -> None:
-        for key, value in items:
-            self._front_put(key, value)
+    def put(self, items, lease_ids=None):
         self._conn.call(
             "cache_put",
-            {"items": [[list(key), value.points()] for key, value in items]},
+            {
+                "items": [[list(key), curve.points()] for key, curve in items],
+                "leases": list(lease_ids) if lease_ids is not None else None,
+            },
         )
-
-    def get(self, key: tuple):
-        return self.get_many([key])[0]
-
-    def put(self, key: tuple, value) -> None:
-        self.put_many([(key, value)])
-
-    def __len__(self) -> int:
-        return len(self._front)
-
-    @property
-    def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
 
 
 class RemoteActorWorker:
-    """One remote experience generator (the body of ``repro actor``)."""
+    """One remote experience generator (the body of ``repro actor``).
+
+    ``farm_workers`` (``host:port`` strings or tuples) points this actor's
+    leased synthesis at remote farm-worker daemons instead of its own
+    process — ``repro actor --connect ... --farm host:port``.
+    """
 
     def __init__(
         self,
         address: "tuple[str, int]",
         front_cache_entries: int = 50_000,
+        farm_workers: "list | None" = None,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         connect_timeout: float = 30.0,
     ):
         self.address = address
         self.front_cache_entries = front_cache_entries
+        self.farm_workers = list(farm_workers) if farm_workers else None
         self.max_frame_bytes = max_frame_bytes
         self.heartbeat_timeout = heartbeat_timeout
         self.connect_timeout = connect_timeout
@@ -141,14 +114,30 @@ class RemoteActorWorker:
     def _build(self, join: dict, conn):
         spec = join["spec"]
         library = _library(spec["library"])
-        cache = RemoteSynthesisCache(conn, front_entries=self.front_cache_entries)
+        farm = None
+        if self.farm_workers:
+            from repro.distributed.farm import SynthesisFarm
+
+            # Cacheless on purpose: the learner's shared service is the
+            # cache; the farm is pure dispatch for this actor's leases.
+            farm = SynthesisFarm(
+                spec["library"], num_workers=0, remote_workers=self.farm_workers
+            )
+        backend = ClusterBackend(
+            RemoteCacheClient(conn),
+            library,
+            farm=farm,
+            front_entries=self.front_cache_entries,
+        )
 
         def make_evaluator():
+            # All replicas share the one backend: the vector env batches
+            # every round's evaluations through it (share_token identity).
             return SynthesisEvaluator(
                 library,
                 w_area=spec["w_area"],
                 w_delay=spec["w_delay"],
-                cache=cache,
+                backend=backend,
                 c_area=spec["c_area"],
                 c_delay=spec["c_delay"],
             )
@@ -171,7 +160,7 @@ class RemoteActorWorker:
         total = spec["w_area"] + spec["w_delay"]
         w = np.array([spec["w_area"] / total, spec["w_delay"] / total])
         rng = ensure_rng(join["exploration_seed"])
-        return venv, net, actions, w, rng, cache
+        return venv, net, actions, w, rng, backend
 
     def _act_batch(self, net, actions, w, rng, features, legal_masks, epsilon):
         """Exploration-first epsilon-greedy on the snapshot network
@@ -208,10 +197,11 @@ class RemoteActorWorker:
             timeout=self.heartbeat_timeout,
             connect_timeout=self.connect_timeout,
         )
+        backend = None
         try:
             join = conn.call("join", {})
             self.actor_id = join["actor_id"]
-            venv, net, actions, w, rng, cache = self._build(join, conn)
+            venv, net, actions, w, rng, backend = self._build(join, conn)
             epsilon = join["epsilon"]
             stop = join["stop"]
             version = 0
@@ -262,8 +252,11 @@ class RemoteActorWorker:
                 "rounds": self.rounds,
                 "env_steps_kept": self.env_steps_kept,
                 "wall_seconds": wall,
-                "cache_hits": cache.hits,
-                "cache_misses": cache.misses,
+                "cache_hits": backend.cache_hits,
+                "cache_misses": backend.cache_misses,
+                "backend": backend.stats(),
             }
         finally:
+            if backend is not None:
+                backend.close()
             conn.close(bye=True)

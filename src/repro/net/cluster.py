@@ -45,6 +45,61 @@ def _actor_env() -> "dict[str, str]":
     return env
 
 
+def launch_farm_workers(
+    count: int, extra_args: "list[str] | None" = None
+) -> "tuple[list[subprocess.Popen], list[str]]":
+    """Spawn ``count`` ``repro farm-worker`` daemons on ephemeral ports.
+
+    Returns ``(processes, addresses)`` — each daemon prints its bound
+    address on stdout, which is read back here so actors can be pointed
+    at the workers (``repro actor --farm``).
+    """
+    if count < 1:
+        raise ValueError("need at least one farm worker")
+    env = _actor_env()
+    procs = []
+    addresses = []
+    try:
+        for _ in range(count):
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "farm-worker",
+                    "--listen",
+                    "127.0.0.1:0",
+                    *(extra_args or []),
+                ],
+                stdout=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            procs.append(proc)
+            line = proc.stdout.readline()
+            if "listening on" not in line:
+                raise RuntimeError(
+                    f"farm worker failed to start (got {line.strip()!r})"
+                )
+            addresses.append(line.strip().rsplit(" ", 1)[-1])
+    except BaseException:
+        stop_farm_workers(procs)
+        raise
+    return procs, addresses
+
+
+def stop_farm_workers(procs: "list[subprocess.Popen]", timeout: float = 10.0) -> None:
+    """Terminate farm-worker daemons (they serve until told to stop)."""
+    for proc in procs:
+        proc.terminate()
+    for proc in procs:
+        try:
+            proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
 def launch_actors(
     address: "tuple[str, int]",
     count: int,

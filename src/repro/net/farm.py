@@ -108,7 +108,13 @@ class FarmWorkerServer(FramedServer):
     # -- methods ---------------------------------------------------------
 
     def _obtain_netlist(self, task: dict, library):
-        """Task payload -> Netlist, via the prepared cache when possible."""
+        """Task payload -> Netlist, via the prepared cache when possible.
+
+        A *digest-only* task (the dispatcher elided the payload because it
+        believes this worker already holds the design) that misses the
+        prepared cache returns ``None`` — the dispatcher must re-ship the
+        full payload. Anything else without a payload is a protocol error.
+        """
         digest = task.get("digest")
         cached = self._prepared_get(digest)
         if cached is not None:
@@ -118,6 +124,8 @@ class FarmWorkerServer(FramedServer):
         elif "graph" in task:
             graph = graph_from_json(task["graph"])
             netlist = prefix_adder_netlist(graph, library)
+        elif digest is not None:
+            return None, False  # elided payload, evicted here: report missing
         else:
             raise ValueError("task carries neither a netlist nor a graph")
         self._prepared_put(digest, netlist.clone())
@@ -127,12 +135,17 @@ class FarmWorkerServer(FramedServer):
         library = _library(params["library"])
         synthesizer = Synthesizer(**params.get("synth_kwargs", {}))
         points = []
+        missing = []
         setup_seconds = 0.0
         opt_seconds = 0.0
         prepared_hits = 0
-        for task in params["tasks"]:
+        for index, task in enumerate(params["tasks"]):
             t0 = time.perf_counter()
             netlist, hit = self._obtain_netlist(task, library)
+            if netlist is None:
+                missing.append(index)
+                points.append(None)
+                continue
             t1 = time.perf_counter()
             prepared = synthesizer.prepare(netlist)
             curve = curve_from_prepared(prepared, synthesizer)
@@ -141,12 +154,14 @@ class FarmWorkerServer(FramedServer):
             opt_seconds += t2 - t1
             prepared_hits += bool(hit)
             points.append(curve.points())
-        self.tasks_served += len(points)
+        self.tasks_served += len(points) - len(missing)
         return {
             "points": points,
+            "missing": missing,
             "setup_seconds": setup_seconds,
             "opt_seconds": opt_seconds,
             "prepared_hits": prepared_hits,
+            "prepared_enabled": bool(self.prepared_cache_entries),
         }
 
     def _worker_info(self, ctx, params) -> dict:
@@ -165,6 +180,17 @@ class RemoteFarmPool:
     round-robin and each worker's share runs on its own thread, so
     multi-worker dispatch overlaps while one socket stays strictly
     request/response.
+
+    The pool also keeps a per-worker LRU of *shipped* design digests: a
+    task whose digest this worker has already received (and whose prepared
+    LRU is enabled) is sent digest-only, eliding the serialized-netlist
+    payload. The elision is strictly an optimization with two safety
+    valves: a worker that evicted the design answers ``missing`` and the
+    full payload is re-shipped on the spot, and any connection drop
+    (redial-on-use after an idle timeout, worker restart, wire error)
+    clears that worker's shipped LRU *before* the retry payload is built —
+    a reconnect therefore never replays a stale prepared id at a worker
+    that may no longer hold (or be) what the LRU remembered.
     """
 
     def __init__(
@@ -172,16 +198,23 @@ class RemoteFarmPool:
         addresses: "list[tuple[str, int]]",
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         timeout: float = 300.0,
+        shipped_entries: int = 10_000,
     ):
         if not addresses:
             raise ValueError("need at least one worker address")
         self.addresses = list(addresses)
         self.max_frame_bytes = max_frame_bytes
         self.timeout = timeout
+        self.shipped_entries = shipped_entries
         self._conns: "list" = [None] * len(addresses)
+        self._shipped: "list[OrderedDict[str, None]]" = [
+            OrderedDict() for _ in addresses
+        ]
+        self._elidable = [True] * len(addresses)
         self.last_setup_seconds = 0.0
         self.last_opt_seconds = 0.0
         self.last_prepared_hits = 0
+        self.last_shipped_elided = 0
 
     def __len__(self) -> int:
         return len(self.addresses)
@@ -197,6 +230,30 @@ class RemoteFarmPool:
             self._conns[i] = conn
         return self._conns[i]
 
+    # -- shipped-digest LRU (per worker, touched only by its drive thread) --
+
+    def _elide_task(self, worker: int, task: dict) -> "tuple[dict, bool]":
+        """The payload to actually send: digest-only when already shipped."""
+        digest = task.get("digest")
+        if (
+            digest is None
+            or not self.shipped_entries
+            or not self._elidable[worker]
+            or digest not in self._shipped[worker]
+        ):
+            return task, False
+        self._shipped[worker].move_to_end(digest)
+        return {"digest": digest}, True
+
+    def _record_shipped(self, worker: int, digest: "str | None") -> None:
+        if digest is None or not self.shipped_entries:
+            return
+        shipped = self._shipped[worker]
+        shipped[digest] = None
+        shipped.move_to_end(digest)
+        while len(shipped) > self.shipped_entries:
+            shipped.popitem(last=False)
+
     def synth_chunks(
         self,
         chunks: "list[list[dict]]",
@@ -211,44 +268,96 @@ class RemoteFarmPool:
         """
         results: "list" = [None] * len(chunks)
         errors: "list" = []
-        timings = {"setup": 0.0, "opt": 0.0, "hits": 0}
+        timings = {"setup": 0.0, "opt": 0.0, "hits": 0, "elided": 0}
         timings_lock = threading.Lock()
         by_worker: "dict[int, list[int]]" = {}
         for c in range(len(chunks)):
             by_worker.setdefault(c % len(self.addresses), []).append(c)
 
-        def call_worker(worker: int, params: dict, retried: bool = False) -> dict:
-            """One synth_batch call, redialing once on a wire failure.
+        def call_worker(worker: int, tasks: "list[dict]", retried: bool = False) -> dict:
+            """One chunk through one worker, redialing once on a wire failure.
 
             Workers drop connections idle beyond their heartbeat timeout;
             a dispatcher coming back after a quiet stretch must not fail
-            its first batch on the stale socket.
+            its first batch on the stale socket. The elided payload is
+            rebuilt *per attempt* — :meth:`_drop` has wiped the shipped
+            LRU by the time the retry runs, so the reconnect ships full
+            payloads instead of replaying now-stale prepared ids.
             """
             conn = self._conn(worker)
+            wire_tasks = []
+            elided = 0
+            for task in tasks:
+                sendable, was_elided = self._elide_task(worker, task)
+                wire_tasks.append(sendable)
+                elided += was_elided
+            params = {
+                "library": library,
+                "synth_kwargs": synth_kwargs,
+                "tasks": wire_tasks,
+            }
             try:
-                return conn.call("synth_batch", params)
+                reply = conn.call("synth_batch", params)
             except ProtocolError:
                 self._drop(worker)
                 if retried:
                     raise
-                return call_worker(worker, params, retried=True)
+                return call_worker(worker, tasks, retried=True)
+            missing = reply.get("missing") or []
+            if missing:
+                # The worker evicted designs we elided: forget them and
+                # re-ship the full payloads in one follow-up call. A wire
+                # failure here gets the same one-redial treatment as the
+                # primary call — the whole chunk is resent full-payload
+                # against the wiped LRU.
+                for j in missing:
+                    self._shipped[worker].pop(tasks[j].get("digest"), None)
+                try:
+                    retry = conn.call(
+                        "synth_batch",
+                        {
+                            "library": library,
+                            "synth_kwargs": synth_kwargs,
+                            "tasks": [tasks[j] for j in missing],
+                        },
+                    )
+                except ProtocolError:
+                    self._drop(worker)
+                    if retried:
+                        raise
+                    return call_worker(worker, tasks, retried=True)
+                if retry.get("missing"):
+                    raise ProtocolError(
+                        f"worker {self.addresses[worker]} reported full-payload "
+                        "tasks as missing"
+                    )
+                for j, pts in zip(missing, retry["points"]):
+                    reply["points"][j] = pts
+                reply["setup_seconds"] += retry["setup_seconds"]
+                reply["opt_seconds"] += retry["opt_seconds"]
+                reply["prepared_hits"] += retry["prepared_hits"]
+                elided -= len(missing)
+            if not reply.get("prepared_enabled", True):
+                # The worker runs without a prepared LRU: eliding against it
+                # would bounce every repeat through the missing path.
+                self._elidable[worker] = False
+                self._shipped[worker].clear()
+            else:
+                for task in tasks:
+                    self._record_shipped(worker, task.get("digest"))
+            reply["shipped_elided"] = max(elided, 0)
+            return reply
 
         def drive(worker: int, chunk_ids: "list[int]") -> None:
             try:
                 for c in chunk_ids:
-                    reply = call_worker(
-                        worker,
-                        {
-                            "library": library,
-                            "synth_kwargs": synth_kwargs,
-                            "tasks": chunks[c],
-                        },
-                    )
+                    reply = call_worker(worker, chunks[c])
                     results[c] = reply["points"]
                     with timings_lock:
                         timings["setup"] += reply["setup_seconds"]
                         timings["opt"] += reply["opt_seconds"]
                         timings["hits"] += reply["prepared_hits"]
+                        timings["elided"] += reply["shipped_elided"]
             except BaseException as exc:
                 self._drop(worker)
                 errors.append((worker, exc))
@@ -269,11 +378,19 @@ class RemoteFarmPool:
         self.last_setup_seconds = timings["setup"]
         self.last_opt_seconds = timings["opt"]
         self.last_prepared_hits = timings["hits"]
+        self.last_shipped_elided = timings["elided"]
         return results
 
     def _drop(self, i: int) -> None:
+        """Sever worker ``i``: close the socket and forget what it holds.
+
+        Clearing the shipped LRU here (not at redial time) is what makes
+        the retry path safe — the next payload is built against an empty
+        set, so nothing digest-only reaches a worker we cannot vouch for.
+        """
         conn = self._conns[i]
         self._conns[i] = None
+        self._shipped[i].clear()
         if conn is not None:
             conn.close()
 
@@ -281,5 +398,6 @@ class RemoteFarmPool:
         for i in range(len(self._conns)):
             conn = self._conns[i]
             self._conns[i] = None
+            self._shipped[i].clear()
             if conn is not None:
                 conn.close(bye=True)

@@ -19,15 +19,22 @@ in-process services of the asynchronous runtime to remote actor
   next epsilon and the stop flag — so pausing ingest (checkpoint at a
   round boundary) and stopping the run are ordinary replies, not extra
   machinery;
-- ``cache_get`` / ``cache_put`` — a shared
-  :class:`repro.synth.SynthesisCache` service: actors route synthesis
+- ``cache_get`` / ``cache_put`` / ``cache_claim`` — a shared
+  :class:`repro.synth.SynthesisCache` service behind a
+  :class:`repro.synth.leases.SharedCacheService`: actors route synthesis
   lookups through the learner, which is what makes cache sharing work
   *across processes* (the threaded runtime got it for free from shared
-  memory) and lets cluster checkpoints capture the cache.
+  memory) and lets cluster checkpoints capture the cache. ``cache_claim``
+  adds the claim/lease protocol: a miss is answered with the value, a
+  granted lease ("you synthesize it") or "wait" (someone else already is),
+  so concurrent actors never synthesize the same digest twice. Leases die
+  with their connection (the per-connection owner token is released on
+  disconnect, i.e. on the existing heartbeat timeout) or by age.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import asdict, dataclass
 
@@ -37,6 +44,7 @@ from repro.net.protocol import DEFAULT_HEARTBEAT_TIMEOUT, DEFAULT_MAX_FRAME_BYTE
 from repro.net.server import FramedServer
 from repro.synth.cache import SynthesisCache
 from repro.synth.curve import AreaDelayCurve
+from repro.synth.leases import SharedCacheService
 
 
 @dataclass
@@ -104,6 +112,7 @@ class LearnerState:
         spec: ClusterSpec,
         cache: "SynthesisCache | None" = None,
         halt_at: "int | None" = None,
+        lease_timeout: float = 60.0,
     ):
         self.agent = agent
         self.hub = hub
@@ -112,7 +121,11 @@ class LearnerState:
         self.schedule = schedule
         self.total = total
         self.spec = spec
-        self.cache = cache if cache is not None else SynthesisCache()
+        self.cache_service = SharedCacheService(
+            cache if cache is not None else SynthesisCache(),
+            lease_timeout=lease_timeout,
+        )
+        self.cache = self.cache_service.cache
         # Ingest never records past this step: the budget, tightened by a
         # requested preemption point so the halt snapshot lands exactly
         # there no matter how actor pushes interleave.
@@ -284,12 +297,14 @@ class LearnerServer(FramedServer):
         self.state: "LearnerState | None" = None
         self.state_wait = state_wait
         self._state_ready = threading.Event()
+        self._owner_ids = itertools.count(1)
         self.methods = {
             "join": self._join,
             "pull_weights": self._pull_weights,
             "push_batch": self._push_batch,
             "cache_get": self._cache_get,
             "cache_put": self._cache_put,
+            "cache_claim": self._cache_claim,
             "stats": self._stats,
         }
 
@@ -302,11 +317,19 @@ class LearnerServer(FramedServer):
     def on_connect(self, conn, hello):
         if not self._state_ready.wait(timeout=self.state_wait):
             raise RuntimeError("learner is not ready (no training state attached)")
-        return {"conn": conn, "hello": hello, "actor_id": None}
+        return {
+            "conn": conn,
+            "hello": hello,
+            "actor_id": None,
+            # Lease-ownership token: dies with the connection, so a peer
+            # dropped by the heartbeat timeout frees its leases at once.
+            "cache_owner": f"conn-{next(self._owner_ids)}",
+        }
 
     def on_disconnect(self, ctx) -> None:
         if self.state is not None:
             self.state.leave(ctx.get("actor_id"))
+            self.state.cache_service.release_owner(ctx.get("cache_owner"))
 
     # -- methods ---------------------------------------------------------
 
@@ -341,8 +364,23 @@ class LearnerServer(FramedServer):
             (decode_cache_key(key), AreaDelayCurve.from_points(points))
             for key, points in params["items"]
         ]
-        self.state.cache.put_many(items)
+        self.state.cache_service.put(
+            items, owner=ctx["cache_owner"], lease_ids=params.get("leases")
+        )
         return {"stored": len(items)}
+
+    def _cache_claim(self, ctx, params) -> dict:
+        keys = [decode_cache_key(k) for k in params["keys"]]
+        replies = self.state.cache_service.claim(
+            keys, ctx["cache_owner"], counted=bool(params.get("counted", True))
+        )
+        results = []
+        for reply in replies:
+            if "curve" in reply:
+                results.append({"curve": reply["curve"].points()})
+            else:
+                results.append(reply)
+        return {"results": results}
 
     def _stats(self, ctx, params) -> dict:
         state = self.state
@@ -356,5 +394,6 @@ class LearnerServer(FramedServer):
                 ),
                 "buffer_size": len(state.buffer),
                 "cache_entries": len(state.cache),
+                "active_leases": state.cache_service.active_leases(),
                 "stop": state.stop,
             }

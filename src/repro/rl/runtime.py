@@ -59,8 +59,8 @@ from repro.rl.trainer import (
     make_loop,
     synthesis_stats,
 )
+from repro.synth.backend import encode_cache_state, restore_cache_state
 from repro.synth.cache import SynthesisCache
-from repro.synth.curve import AreaDelayCurve
 from repro.utils.rng import ensure_rng, rng_state, set_rng_state, spawn_rngs
 
 
@@ -315,64 +315,75 @@ class TrainingRuntime:
             return self.env.envs if isinstance(self.env, VectorPrefixEnv) else [self.env]
         return [e for venv in self.actor_envs for e in venv.envs]
 
-    def _collect_caches(self):
-        """Distinct evaluator caches plus each env's index into them."""
-        if self.runtime.mode == "cluster":
-            # The learner-owned shared cache service is the only cache a
-            # cluster checkpoint can (and needs to) capture.
-            return [self._cluster_cache], []
-        caches: "list[SynthesisCache]" = []
-        refs: "list[int | None]" = []
+    def _collect_backend_groups(self) -> "list[list]":
+        """Distinct evaluation backends, grouped by shared state token.
+
+        Each group shares one ``share_token()`` (typically one
+        :class:`SynthesisCache`): its state is checkpointed once, with one
+        counter record per member backend (deterministic env order), so a
+        resumed run's telemetry continues bit-for-bit.
+        """
+        groups: "list[list]" = []
+        tokens: "list" = []
         for env in self._all_envs():
-            cache = getattr(env.evaluator, "cache", None)
-            if cache is None:
-                refs.append(None)
+            backend = getattr(env.evaluator, "backend", None)
+            if backend is None:
                 continue
-            for i, seen in enumerate(caches):
-                if seen is cache:
-                    refs.append(i)
+            token = backend.share_token()
+            for i, seen in enumerate(tokens):
+                if seen is token:
+                    if all(backend is not b for b in groups[i]):
+                        groups[i].append(backend)
                     break
             else:
-                refs.append(len(caches))
-                caches.append(cache)
-        return caches, refs
+                tokens.append(token)
+                groups.append([backend])
+        return groups
 
     def _cache_states(self) -> "list[dict]":
-        caches, refs = self._collect_caches()
+        if self.runtime.mode == "cluster":
+            # The learner-owned shared cache service is the only evaluation
+            # state a cluster checkpoint can (and needs to) capture; lease
+            # bookkeeping is transient — actors reconnect and re-claim.
+            return [{"cache": encode_cache_state(self._cluster_cache), "counters": []}]
         states = []
-        for cache in caches:
-            entries, hits, misses = cache.snapshot()
-            encoded = []
-            for key, value in entries:
-                if not isinstance(value, AreaDelayCurve):
-                    raise TypeError(
-                        "cannot checkpoint synthesis cache value of type "
-                        f"{type(value).__name__}"
-                    )
-                encoded.append([list(key), value.points()])
-            states.append(
-                {
-                    "max_entries": cache.max_entries,
-                    "hits": hits,
-                    "misses": misses,
-                    "entries": encoded,
-                }
-            )
+        for group in self._collect_backend_groups():
+            state = group[0].state_dict()
+            state["counters"] = [backend.counters_dict() for backend in group]
+            states.append(state)
         return states
 
     def _restore_caches(self, states: "list[dict]") -> None:
-        caches, _refs = self._collect_caches()
-        if len(states) != len(caches):
+        if self.runtime.mode == "cluster":
+            if len(states) != 1:
+                raise CheckpointError(
+                    f"cluster checkpoint has {len(states)} synthesis caches, expected 1"
+                )
+            restore_cache_state(self._cluster_cache, states[0]["cache"])
+            return
+        groups = self._collect_backend_groups()
+        if len(states) != len(groups):
             raise CheckpointError(
-                f"checkpoint has {len(states)} synthesis caches, "
-                f"live evaluators expose {len(caches)}"
+                f"checkpoint has {len(states)} evaluation-backend groups, "
+                f"live evaluators expose {len(groups)}"
             )
-        for cache, state in zip(caches, states):
-            entries = [
-                (tuple(key), AreaDelayCurve.from_points(points))
-                for key, points in state["entries"]
-            ]
-            cache.restore(entries, hits=state["hits"], misses=state["misses"])
+        for group, state in zip(groups, states):
+            if state.get("cache") is not None:
+                cache = getattr(group[0], "cache", None)
+                if cache is None:
+                    raise CheckpointError(
+                        "checkpoint carries cache contents for a backend "
+                        f"({group[0].name}) that has no local cache"
+                    )
+                restore_cache_state(cache, state["cache"])
+            counters = state.get("counters") or []
+            if len(counters) != len(group):
+                raise CheckpointError(
+                    f"checkpoint has {len(counters)} backend counter records "
+                    f"for a group of {len(group)} backends"
+                )
+            for backend, record in zip(group, counters):
+                backend.load_counters(record)
 
     def _farm(self):
         for env in self._all_envs():
@@ -579,6 +590,10 @@ class TrainingRuntime:
                 spec=self.cluster,
                 cache=self._cluster_cache,
                 halt_at=self.runtime.stop_after,
+                # Lease reclamation rides the same dead-peer budget as the
+                # connection teardown: a wedged holder is reclaimable the
+                # moment the heartbeat would have declared it dead.
+                lease_timeout=self.runtime.heartbeat_timeout,
             )
             self._state = state
             server.attach(state)
@@ -632,22 +647,42 @@ class TrainingRuntime:
                 with state.ingest_lock:
                     self._save(total, history, {"kind": "cluster"})
             self.preempted = stopped_early and history.env_steps < total
-            cache = state.cache
-            lookups = cache.hits + cache.misses
-            history.synthesis_stats = {
-                "cache": {
-                    "entries": len(cache),
-                    "hits": cache.hits,
-                    "misses": cache.misses,
-                    "hit_rate": cache.hits / lookups if lookups else 0.0,
-                    "shared": True,
-                }
-            }
+            history.synthesis_stats = self._cluster_synthesis_stats(state)
             return history
         finally:
             self._state = None
             server.stop()
             self._server = None
+
+    @staticmethod
+    def _cluster_synthesis_stats(state) -> dict:
+        """The learner's view of the cluster's evaluation work, in the
+        unified :data:`repro.synth.backend.STATS_KEYS` schema.
+
+        The learner sees one counted claim per unique design an actor
+        first sights (actor-side fronts and in-batch dedup never reach
+        the wire), so ``designs == unique_designs`` here; ``synthesized``
+        is the fulfilled-lease count — the cluster-wide synthesis work
+        after claim/lease dedup.
+        """
+        from repro.synth.backend import cache_counters
+
+        service = state.cache_service
+        lease = service.stats()
+        cache = cache_counters(service.cache)
+        cache["shared"] = True
+        return {
+            "backend": "cluster-service",
+            "batches": lease["claim_batches"],
+            "designs": lease["claim_keys"],
+            "unique_designs": lease["claim_keys"],
+            "dedup_saved": 0,
+            "cache_hits": cache["hits"],
+            "cache_misses": cache["misses"],
+            "synthesized": lease["fulfilled"],
+            "cache": cache,
+            "lease": lease,
+        }
 
     def _checkpoint_due(self, history: TrainingHistory, last_saved: int) -> bool:
         every = self.runtime.checkpoint_every

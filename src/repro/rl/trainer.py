@@ -64,47 +64,75 @@ class TrainingHistory:
     epsilon_trace: "list[float]" = field(default_factory=list)
     env_steps: int = 0
     gradient_steps: int = 0
-    synthesis_stats: "dict | None" = None  # cache/farm counters (synthesis evaluators only)
+    synthesis_stats: "dict | None" = None  # unified backend stats (synthesis evaluators only)
 
 
 def synthesis_stats(env) -> "dict | None":
-    """Cache/farm observability snapshot for synthesis-backed evaluators.
+    """Evaluation-backend observability snapshot for a run's environments.
 
     ``env`` may be a :class:`PrefixEnv`, a :class:`VectorPrefixEnv`, or a
     list of either (the async runtime's per-actor environments).
-    Aggregates hit/miss counters over the distinct
-    :class:`repro.synth.SynthesisCache` objects behind the run's
-    evaluators (replicas usually share one) and attaches the cumulative
-    :meth:`repro.distributed.SynthesisFarm.stats` of an attached farm.
-    Returns None for cacheless (e.g. analytical) evaluators.
+    Aggregates the distinct :class:`repro.synth.backend.EvaluationBackend`
+    objects behind the run's evaluators (replicas usually share one
+    backend, or several backends over one cache) into the unified
+    :data:`repro.synth.backend.STATS_KEYS` schema, adding a ``shared``
+    flag to the nested cache counters (True when every environment
+    resolved through one shared token). Returns None for backend-less
+    (e.g. analytical) evaluators.
     """
     tops = list(env) if isinstance(env, (list, tuple)) else [env]
     envs = []
     for top in tops:
         envs.extend(top.envs if isinstance(top, VectorPrefixEnv) else [top])
-    caches = []
-    farm = None
+    backends = []
+    tokens = []
     for e in envs:
-        cache = getattr(e.evaluator, "cache", None)
-        if cache is not None and not any(cache is c for c in caches):
-            caches.append(cache)
-        if farm is None:
-            farm = getattr(e.evaluator, "farm", None)
-    if not caches:
+        backend = getattr(e.evaluator, "backend", None)
+        if backend is None:
+            continue
+        if all(backend is not b for b in backends):
+            backends.append(backend)
+        token = backend.share_token()
+        if all(token is not t for t in tokens):
+            tokens.append(token)
+    if not backends:
         return None
-    hits = sum(c.hits for c in caches)
-    misses = sum(c.misses for c in caches)
-    stats = {
-        "cache": {
-            "entries": sum(len(c) for c in caches),
-            "hits": hits,
-            "misses": misses,
-            "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
-            "shared": len(caches) == 1 and len(envs) > 1,
+    if len(backends) == 1:
+        stats = dict(backends[0].stats())
+        if stats.get("cache") is not None:
+            stats["cache"] = dict(stats["cache"])
+    else:
+        per_backend = [b.stats() for b in backends]
+        names = {s["backend"] for s in per_backend}
+        stats = {
+            "backend": names.pop() if len(names) == 1 else "mixed",
         }
-    }
-    if farm is not None:
-        stats["farm"] = farm.stats()
+        for key in (
+            "batches", "designs", "unique_designs", "dedup_saved",
+            "cache_hits", "cache_misses", "synthesized",
+        ):
+            stats[key] = sum(s[key] for s in per_backend)
+        caches = [s["cache"] for s in per_backend if s.get("cache") is not None]
+        if caches:
+            # Deduplicate by share token: N backends over one cache must
+            # not count its entries N times.
+            seen = []
+            for backend, s in zip(backends, per_backend):
+                token = backend.share_token()
+                if s.get("cache") is not None and all(token is not t for t in seen):
+                    seen.append(token)
+            hits = sum(getattr(t, "hits", 0) for t in seen)
+            misses = sum(getattr(t, "misses", 0) for t in seen)
+            stats["cache"] = {
+                "entries": sum(len(t) if hasattr(t, "__len__") else 0 for t in seen),
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            }
+        else:
+            stats["cache"] = None
+    if stats.get("cache") is not None:
+        stats["cache"]["shared"] = len(tokens) == 1 and len(envs) > 1
     return stats
 
 

@@ -13,12 +13,25 @@ engine: one compile per run, O(cone) accept/reject trials, and one
 compiled+pin-swapped state forked across a curve's delay targets. The
 pre-rewrite full-STA-per-trial path survives in
 :mod:`repro.synth.reference` and is regression-tested byte-identical.
-``SynthesisEvaluator`` batches (``evaluate_many``) with digest dedup
-through the shared cache and can route misses through a
-:class:`repro.distributed.SynthesisFarm`.
+
+Where curves come from is a pluggable :mod:`repro.synth.backend` seam:
+``SynthesisEvaluator`` delegates to an :class:`EvaluationBackend` —
+:class:`LocalBackend` (cache + in-process synthesis),
+:class:`FarmBackend` (a :class:`repro.distributed.SynthesisFarm` pool or
+remote workers) or :class:`ClusterBackend` (a learner's claim/lease cache
+service, :mod:`repro.synth.leases`) — all byte-identical, all reporting
+one stats schema.
 """
 
 from repro.synth.optimizer import Synthesizer, SynthesisResult
+from repro.synth.backend import (
+    STATS_KEYS,
+    ClusterBackend,
+    EvaluationBackend,
+    FarmBackend,
+    LocalBackend,
+)
+from repro.synth.leases import LocalServiceClient, SharedCacheService
 from repro.synth.curve import (
     AreaDelayCurve,
     synthesize_curve,
@@ -35,6 +48,13 @@ from repro.synth.report import qor_report
 __all__ = [
     "Synthesizer",
     "SynthesisResult",
+    "STATS_KEYS",
+    "EvaluationBackend",
+    "LocalBackend",
+    "FarmBackend",
+    "ClusterBackend",
+    "SharedCacheService",
+    "LocalServiceClient",
     "AreaDelayCurve",
     "synthesize_curve",
     "curve_from_prepared",

@@ -1,0 +1,519 @@
+"""Pluggable evaluation backends: the one seam where curves come from.
+
+Before this layer the repo had five divergent ways to turn a prefix graph
+into an area-delay curve (evaluator-local cache, farm pool, remote farm,
+the learner's cache service, the actor's write-through front). Every
+consumer — :class:`repro.synth.SynthesisEvaluator`,
+:class:`repro.env.VectorPrefixEnv`, :class:`repro.rl.Trainer`,
+:class:`repro.rl.runtime.TrainingRuntime`,
+:class:`repro.net.actor.RemoteActorWorker` — now talks to an
+:class:`EvaluationBackend` instead, and dedup, routing and telemetry live
+here, once.
+
+All backends produce byte-identical curves for the same designs (every
+path bottoms out in the same synthesis ladder) and report the same
+:data:`STATS_KEYS` counter schema from :meth:`~EvaluationBackend.stats`:
+
+- :class:`LocalBackend` — shared-cache lookup plus in-process synthesis
+  (the default; exactly the traffic the pre-backend evaluator produced);
+- :class:`FarmBackend` — the whole batch through a
+  :class:`repro.distributed.SynthesisFarm` dispatch layer (local process
+  pool or remote ``repro farm-worker`` daemons);
+- :class:`ClusterBackend` — misses resolve through a learner's
+  claim/lease cache service (:mod:`repro.synth.leases`), so concurrent
+  actors never synthesize the same digest twice; designs this client is
+  *leased* are synthesized locally or fanned out through an attached farm
+  (``repro actor --farm``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.prefix.serialize import graph_digest
+from repro.synth.cache import SynthesisCache
+from repro.synth.curve import AreaDelayCurve, synthesize_curve
+from repro.synth.optimizer import Synthesizer
+
+# The unified stats() schema every backend (and SynthesisFarm.stats(), and
+# TrainingHistory.synthesis_stats) reports. "cache" is the backing cache's
+# own counters ({"entries", "hits", "misses", "hit_rate"}) or None when the
+# backend has no local view of one. Backends may add extension sub-dicts
+# ("farm", "remote", "lease") but never rename these.
+STATS_KEYS = (
+    "backend",         # str: which backend produced the numbers
+    "batches",         # evaluate_many calls served
+    "designs",         # graphs requested (before any dedup)
+    "unique_designs",  # after in-batch digest dedup
+    "dedup_saved",     # designs - unique_designs
+    "cache_hits",      # unique designs served from a cache (local or shared)
+    "cache_misses",    # unique designs that missed every cache
+    "synthesized",     # designs this backend actually synthesized
+    "cache",           # backing-cache counters dict, or None
+)
+
+
+def cache_counters(cache) -> "dict | None":
+    """The ``"cache"`` sub-dict of the stats schema for any cache-like."""
+    if cache is None:
+        return None
+    hits = int(getattr(cache, "hits", 0))
+    misses = int(getattr(cache, "misses", 0))
+    lookups = hits + misses
+    return {
+        "entries": len(cache),
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+    }
+
+
+def encode_cache_state(cache: SynthesisCache) -> dict:
+    """Checkpoint-ready snapshot of a curve cache (JSON-safe points)."""
+    entries, hits, misses = cache.snapshot()
+    encoded = []
+    for key, value in entries:
+        if not isinstance(value, AreaDelayCurve):
+            raise TypeError(
+                "cannot checkpoint synthesis cache value of type "
+                f"{type(value).__name__}"
+            )
+        encoded.append([list(key), value.points()])
+    return {
+        "max_entries": cache.max_entries,
+        "hits": hits,
+        "misses": misses,
+        "entries": encoded,
+    }
+
+
+def restore_cache_state(cache: SynthesisCache, state: dict) -> None:
+    """Inverse of :func:`encode_cache_state` (onto a live cache)."""
+    entries = [
+        (tuple(key), AreaDelayCurve.from_points(points))
+        for key, points in state["entries"]
+    ]
+    cache.restore(entries, hits=state["hits"], misses=state["misses"])
+
+
+class EvaluationBackend:
+    """Protocol + shared accounting for curve sources.
+
+    Subclasses implement :meth:`_evaluate_unique` (digest-deduped graphs
+    in, curves out, counters updated); :meth:`evaluate_many` handles the
+    in-batch dedup and order restoration all backends share.
+    """
+
+    name = "backend"
+
+    def __init__(self):
+        self.batches = 0
+        self.designs = 0
+        self.unique_designs = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.synthesized = 0
+
+    # -- the one entry point ---------------------------------------------
+
+    def evaluate_many(self, graphs) -> "list[AreaDelayCurve]":
+        """Curves for a batch of graphs; order matches the input.
+
+        Duplicate graphs in one batch resolve to a single evaluation (RL
+        batches repeat states constantly — the reason the paper caches).
+        """
+        graphs = list(graphs)
+        self.batches += 1
+        self.designs += len(graphs)
+        order: "dict[bytes, int]" = {}
+        unique = []
+        for graph in graphs:
+            key = graph.key()
+            if key not in order:
+                order[key] = len(unique)
+                unique.append(graph)
+        self.unique_designs += len(unique)
+        curves = self._evaluate_unique(unique) if unique else []
+        return [curves[order[graph.key()]] for graph in graphs]
+
+    def _evaluate_unique(self, graphs) -> "list[AreaDelayCurve]":
+        raise NotImplementedError
+
+    # -- identity ---------------------------------------------------------
+
+    def share_token(self):
+        """Identity of the state this backend resolves curves through.
+
+        Two backends with the *same* token (``is``) serve byte-identical
+        curves from shared state, so a vector environment may batch all
+        replicas' evaluations through either one of them.
+        """
+        return self
+
+    # -- telemetry / persistence ------------------------------------------
+
+    def stats(self) -> dict:
+        """Counters in the :data:`STATS_KEYS` schema."""
+        return {
+            "backend": self.name,
+            "batches": self.batches,
+            "designs": self.designs,
+            "unique_designs": self.unique_designs,
+            "dedup_saved": self.designs - self.unique_designs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "synthesized": self.synthesized,
+            "cache": cache_counters(getattr(self, "cache", None)),
+        }
+
+    def counters_dict(self) -> dict:
+        """Backend-local counters for checkpoints (cache state rides apart)."""
+        return {
+            "batches": self.batches,
+            "designs": self.designs,
+            "unique_designs": self.unique_designs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "synthesized": self.synthesized,
+        }
+
+    def load_counters(self, counters: dict) -> None:
+        for key, value in counters.items():
+            if hasattr(self, key):
+                setattr(self, key, int(value))
+
+    def state_dict(self) -> dict:
+        """Checkpointable backend state (cache contents + counters)."""
+        cache = getattr(self, "cache", None)
+        return {
+            "cache": encode_cache_state(cache) if cache is not None else None,
+            "counters": [self.counters_dict()],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        cache = getattr(self, "cache", None)
+        if cache is not None and state.get("cache") is not None:
+            restore_cache_state(cache, state["cache"])
+        counters = state.get("counters") or []
+        if counters:
+            self.load_counters(counters[0])
+
+    def close(self) -> None:
+        """Release any resources (pools, sockets); idempotent."""
+
+
+class LocalBackend(EvaluationBackend):
+    """Shared-cache lookup + in-process synthesis (the default backend).
+
+    Produces exactly the cache traffic the pre-backend
+    ``SynthesisEvaluator`` did — one ``get_many`` for a batch's unique
+    designs, one ``put_many`` for the fresh ones — which is what keeps the
+    CLI differential gate byte-identical.
+    """
+
+    name = "local"
+
+    def __init__(self, library, synthesizer: "Synthesizer | None" = None, cache=None):
+        super().__init__()
+        self.library = library
+        self.synthesizer = synthesizer if synthesizer is not None else Synthesizer()
+        self.cache = cache if cache is not None else SynthesisCache()
+
+    def _key(self, graph) -> tuple:
+        return (graph_digest(graph), self.library.name, self.synthesizer.name)
+
+    def _evaluate_unique(self, graphs):
+        cached = self.cache.get_many([self._key(g) for g in graphs])
+        fresh = []
+        for i, (graph, value) in enumerate(zip(graphs, cached)):
+            if value is None:
+                curve = synthesize_curve(graph, self.library, self.synthesizer)
+                cached[i] = curve
+                fresh.append((self._key(graph), curve))
+        self.cache_hits += len(graphs) - len(fresh)
+        self.cache_misses += len(fresh)
+        self.synthesized += len(fresh)
+        if fresh:
+            self.cache.put_many(fresh)
+        return cached
+
+    def share_token(self):
+        return self.cache
+
+
+class FarmBackend(EvaluationBackend):
+    """Every batch through a :class:`~repro.distributed.SynthesisFarm`.
+
+    The farm's dispatch layer (digest dedup, cache-aware routing, chunked
+    submission to a warm pool or remote workers) subsumes this class's own
+    dedup, so counters delegate to the farm's cumulative accounting. The
+    farm must be *active* (a pool or remote workers) — the serial
+    ``num_workers=0`` farm is the deliberately-naive benchmark reference
+    and is rejected here.
+    """
+
+    def __init__(self, farm):
+        super().__init__()
+        if not farm.active:
+            raise ValueError(
+                "FarmBackend needs an active farm (a worker pool or remote "
+                "workers); the serial reference farm stays a benchmark baseline"
+            )
+        if farm.cache is None:
+            farm.cache = SynthesisCache()
+        self.farm = farm
+
+    @property
+    def name(self) -> str:
+        if self.farm.remote_workers is not None:
+            return f"farm-remote[{len(self.farm.remote_workers)}]"
+        return f"farm-pool[{self.farm.num_workers}]"
+
+    @property
+    def cache(self):
+        return self.farm.cache
+
+    def evaluate_many(self, graphs):
+        # The farm dedups and accounts for the whole batch itself.
+        return self.farm.evaluate_curves(list(graphs))
+
+    def _evaluate_unique(self, graphs):  # pragma: no cover - evaluate_many overrides
+        return self.farm.evaluate_curves(list(graphs))
+
+    def stats(self) -> dict:
+        return self.farm.stats()
+
+    def counters_dict(self) -> dict:
+        # Farm counters are checkpointed by the runtime's farm snapshot.
+        return {}
+
+    def share_token(self):
+        return self.farm.cache
+
+    def close(self) -> None:
+        self.farm.close()
+
+
+class ClusterBackend(EvaluationBackend):
+    """Misses resolve through a learner's claim/lease cache service.
+
+    A batch's unique designs are looked up in a local front LRU (absorbing
+    this client's own repeats), then *claimed* at the shared service: each
+    miss comes back as a value, a granted lease (synthesize it — locally,
+    or through ``farm``) or "wait" (another client is synthesizing it; the
+    value is polled for). The result: across any number of concurrent
+    clients, each unique digest is synthesized exactly once, cluster-wide.
+
+    ``service`` needs ``claim(keys, counted=...)`` and
+    ``put(items, lease_ids=...)`` — :class:`repro.synth.leases.LocalServiceClient`
+    in-process, :class:`repro.net.actor.RemoteCacheClient` over the wire.
+
+    One caveat: a *single* synthesis that outlives the service's
+    ``lease_timeout`` can still be age-reclaimed and re-run by a waiter —
+    duplicate work, never divergent results (curves are deterministic).
+    Size the timeout above the slowest single design, exactly like the
+    cluster heartbeat it rides on.
+    """
+
+    name = "cluster"
+
+    def __init__(
+        self,
+        service,
+        library,
+        synthesizer: "Synthesizer | None" = None,
+        farm=None,
+        front_entries: int = 50_000,
+        poll_interval: float = 0.02,
+        wait_timeout: float = 300.0,
+    ):
+        super().__init__()
+        self.service = service
+        self.library = library
+        self.synthesizer = synthesizer if synthesizer is not None else Synthesizer()
+        if farm is not None and farm.cache is not None:
+            raise ValueError(
+                "the cluster backend's farm must be cacheless: the shared "
+                "service is the cache, and a second one would shadow leases"
+            )
+        self.farm = farm
+        self.front_entries = front_entries
+        self.poll_interval = poll_interval
+        self.wait_timeout = wait_timeout
+        from collections import OrderedDict
+
+        self._front: "OrderedDict[tuple, AreaDelayCurve]" = OrderedDict()
+        # Lease-layer accounting on top of the shared schema.
+        self.lease_granted = 0
+        self.lease_waited = 0
+        self.wait_hits = 0
+        self.reclaimed_grants = 0
+
+    def _key(self, graph) -> tuple:
+        return (graph_digest(graph), self.library.name, self.synthesizer.name)
+
+    # -- front LRU --------------------------------------------------------
+
+    def _front_get(self, key: tuple):
+        curve = self._front.get(key)
+        if curve is not None:
+            self._front.move_to_end(key)
+        return curve
+
+    def _front_put(self, key: tuple, curve) -> None:
+        self._front[key] = curve
+        self._front.move_to_end(key)
+        while len(self._front) > self.front_entries:
+            self._front.popitem(last=False)
+
+    # -- synthesis of granted leases --------------------------------------
+
+    def _synthesize(self, graphs) -> "list[AreaDelayCurve]":
+        if self.farm is not None:
+            return self.farm.evaluate_curves(list(graphs))
+        return [synthesize_curve(g, self.library, self.synthesizer) for g in graphs]
+
+    # -- the claim/lease loop ---------------------------------------------
+
+    def _evaluate_unique(self, graphs):
+        keys = [self._key(g) for g in graphs]
+        curves: "list[AreaDelayCurve | None]" = [None] * len(graphs)
+        pending = []
+        for i, key in enumerate(keys):
+            hit = self._front_get(key)
+            if hit is not None:
+                curves[i] = hit
+                self.cache_hits += 1
+            else:
+                pending.append(i)
+        if not pending:
+            return curves
+
+        granted: "list[tuple[int, int]]" = []  # (index, lease_id)
+        waiting: "list[int]" = []
+        replies = self.service.claim([keys[i] for i in pending], counted=True)
+        for i, reply in zip(pending, replies):
+            if "curve" in reply:
+                curves[i] = reply["curve"]
+                self._front_put(keys[i], reply["curve"])
+                self.cache_hits += 1
+            elif "lease" in reply:
+                granted.append((i, reply["lease"]))
+                self.cache_misses += 1
+                self.lease_granted += 1
+            else:
+                waiting.append(i)
+                self.lease_waited += 1
+
+        deadline = time.monotonic() + self.wait_timeout
+        # Publish leased results incrementally (per design in-process, per
+        # farm-width batch with a farm) rather than after the whole grant:
+        # waiters get values as they exist, and a long batch cannot hold a
+        # lease past the service's age-reclamation window just because
+        # *later* designs are still synthesizing.
+        if self.farm is not None:
+            publish_chunk = max(
+                len(self.farm.remote_workers or []) or self.farm.num_workers, 1
+            )
+        else:
+            publish_chunk = 1
+        while granted or waiting:
+            if granted:
+                # Useful work first: synthesize what we own while other
+                # clients compute what we are waiting on.
+                batch, granted = granted[:publish_chunk], granted[publish_chunk:]
+                idxs = [i for i, _lease in batch]
+                fresh = self._synthesize([graphs[i] for i in idxs])
+                self.synthesized += len(fresh)
+                self.service.put(
+                    [(keys[i], curve) for i, curve in zip(idxs, fresh)],
+                    lease_ids=[lease for _i, lease in batch],
+                )
+                for i, curve in zip(idxs, fresh):
+                    curves[i] = curve
+                    self._front_put(keys[i], curve)
+                continue
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"timed out after {self.wait_timeout:.0f}s waiting on "
+                    f"{len(waiting)} leased design(s); the lease holder and "
+                    "the service's reclamation both went silent"
+                )
+            time.sleep(self.poll_interval)
+            replies = self.service.claim([keys[i] for i in waiting], counted=False)
+            still = []
+            for i, reply in zip(waiting, replies):
+                if "curve" in reply:
+                    curves[i] = reply["curve"]
+                    self._front_put(keys[i], reply["curve"])
+                    self.wait_hits += 1
+                    self.cache_hits += 1
+                elif "lease" in reply:
+                    # The holder died; the service reclaimed the lease for us.
+                    granted.append((i, reply["lease"]))
+                    self.reclaimed_grants += 1
+                    self.cache_misses += 1
+                else:
+                    still.append(i)
+            waiting = still
+        return curves
+
+    # -- telemetry / persistence ------------------------------------------
+
+    def stats(self) -> dict:
+        out = {
+            "backend": self.name,
+            "batches": self.batches,
+            "designs": self.designs,
+            "unique_designs": self.unique_designs,
+            "dedup_saved": self.designs - self.unique_designs,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "synthesized": self.synthesized,
+            "cache": {
+                "entries": len(self._front),
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": (
+                    self.cache_hits / (self.cache_hits + self.cache_misses)
+                    if self.cache_hits + self.cache_misses
+                    else 0.0
+                ),
+            },
+            "lease": {
+                "granted": self.lease_granted,
+                "waited": self.lease_waited,
+                "wait_hits": self.wait_hits,
+                "reclaimed_grants": self.reclaimed_grants,
+            },
+        }
+        if self.farm is not None:
+            out["farm"] = self.farm.stats()
+        return out
+
+    def counters_dict(self) -> dict:
+        counters = super().counters_dict()
+        counters.update(
+            lease_granted=self.lease_granted,
+            lease_waited=self.lease_waited,
+            wait_hits=self.wait_hits,
+            reclaimed_grants=self.reclaimed_grants,
+        )
+        return counters
+
+    def state_dict(self) -> dict:
+        # The shared cache lives (and is checkpointed) learner-side; the
+        # front is a transient accelerator, so only counters persist.
+        return {"cache": None, "counters": [self.counters_dict()]}
+
+    def load_state_dict(self, state: dict) -> None:
+        counters = state.get("counters") or []
+        if counters:
+            self.load_counters(counters[0])
+
+    def share_token(self):
+        return self.service
+
+    def close(self) -> None:
+        if self.farm is not None:
+            self.farm.close()

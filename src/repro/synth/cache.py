@@ -62,6 +62,16 @@ class SynthesisCache:
                     out.append(None)
         return out
 
+    def peek_many(self, keys: "list[tuple]") -> "list":
+        """Batched lookup that touches neither counters nor LRU order.
+
+        Used by the claim/lease layer's wait-polling: a waiter re-checking
+        whether the lease holder delivered must not inflate the miss
+        statistics or refresh recency for entries it is not yet using.
+        """
+        with self._lock:
+            return [self._data.get(key) for key in keys]
+
     def put_many(self, items: "list[tuple]") -> None:
         """Batched :meth:`put` of ``(key, value)`` pairs under one lock."""
         with self._lock:

@@ -4,8 +4,11 @@ The RL environment only needs a callable mapping a prefix graph to a
 scalarization-dependent (area, delay) pair. Two implementations:
 
 - :class:`SynthesisEvaluator` — the paper's primary setting: full netlist
-  synthesis at 4 targets, PCHIP curve, w-optimal point (Fig. 3), cached by
-  graph digest.
+  synthesis at 4 targets, PCHIP curve, w-optimal point (Fig. 3). *Where*
+  the curves come from is delegated to an
+  :class:`repro.synth.backend.EvaluationBackend` (local cache, synthesis
+  farm, or a cluster's claim/lease cache service) — the evaluator itself
+  only owns the scalarization.
 - :class:`AnalyticalEvaluator` — the Moto-Kaneko model, used to train
   "Analytical-PrefixRL" for the Fig. 6 study (no curve; the metrics are
   target-independent).
@@ -21,9 +24,8 @@ from dataclasses import dataclass
 from repro.analytical.model import evaluate_analytical
 from repro.cells.library import CellLibrary
 from repro.prefix.graph import PrefixGraph
-from repro.prefix.serialize import graph_digest
-from repro.synth.cache import SynthesisCache
-from repro.synth.curve import AreaDelayCurve, C_AREA, C_DELAY, synthesize_curve
+from repro.synth.backend import EvaluationBackend, FarmBackend, LocalBackend
+from repro.synth.curve import AreaDelayCurve, C_AREA, C_DELAY
 from repro.synth.optimizer import Synthesizer
 
 
@@ -36,7 +38,7 @@ class CircuitMetrics:
 
 
 class SynthesisEvaluator:
-    """Synthesis-in-the-loop evaluator with caching.
+    """Synthesis-in-the-loop evaluator over a pluggable backend.
 
     Args:
         library: cell library to synthesize into.
@@ -44,14 +46,22 @@ class SynthesisEvaluator:
             stand-in at default effort).
         w_area / w_delay: scalarization weights selecting the curve point
             (Section IV-B); must be nonnegative, normalized by the caller.
-        cache: shared :class:`SynthesisCache` (one is created if omitted).
+        cache: shared :class:`SynthesisCache` for the default
+            :class:`~repro.synth.backend.LocalBackend` (one is created if
+            omitted). Mutually exclusive with ``backend``.
         c_area / c_delay: the paper's scaling constants.
-        farm: optional :class:`repro.distributed.SynthesisFarm`; batched
-            evaluations then route through its dispatch layer (dedup,
-            cache-aware routing, chunked worker submission) instead of
-            synthesizing misses serially in-process. The farm must target
-            the same library and synthesizer identity; it adopts this
-            evaluator's cache if it has none of its own.
+        farm: optional :class:`repro.distributed.SynthesisFarm`; an
+            *active* farm (pool or remote workers) becomes a
+            :class:`~repro.synth.backend.FarmBackend` and all evaluations
+            route through its dispatch layer. The farm must target the
+            same library and synthesizer identity; it adopts this
+            evaluator's cache if it has none of its own. A serial
+            (``num_workers=0``) farm is the deliberately-naive benchmark
+            reference and is never routed through — the evaluator falls
+            back to the local backend.
+        backend: an explicit :class:`EvaluationBackend` (e.g. a cluster
+            actor's :class:`~repro.synth.backend.ClusterBackend`);
+            mutually exclusive with ``cache``/``farm``.
     """
 
     def __init__(
@@ -60,10 +70,11 @@ class SynthesisEvaluator:
         synthesizer: "Synthesizer | None" = None,
         w_area: float = 0.5,
         w_delay: float = 0.5,
-        cache: "SynthesisCache | None" = None,
+        cache=None,
         c_area: float = C_AREA,
         c_delay: float = C_DELAY,
         farm=None,
+        backend: "EvaluationBackend | None" = None,
     ):
         if w_area < 0 or w_delay < 0:
             raise ValueError("scalarization weights must be nonnegative")
@@ -71,9 +82,16 @@ class SynthesisEvaluator:
         self.synthesizer = synthesizer if synthesizer is not None else Synthesizer()
         self.w_area = w_area
         self.w_delay = w_delay
-        self.cache = cache if cache is not None else SynthesisCache()
         self.c_area = c_area
         self.c_delay = c_delay
+        if backend is not None:
+            if cache is not None or farm is not None:
+                raise ValueError(
+                    "pass either backend= or cache=/farm=, not both: an "
+                    "explicit backend already owns the cache and routing"
+                )
+            self.backend = backend
+            return
         if farm is not None:
             if farm.library_name != self.library.name:
                 raise ValueError(
@@ -86,19 +104,32 @@ class SynthesisEvaluator:
                     f"farm synthesizer {farm_synth!r} != evaluator "
                     f"synthesizer {self.synthesizer.name!r} (cache keys would diverge)"
                 )
-            if farm.cache is None:
-                farm.cache = self.cache
-        self.farm = farm
+        if farm is not None and farm.active:
+            if farm.cache is None and cache is not None:
+                farm.cache = cache
+            self.backend = FarmBackend(farm)
+        else:
+            self.backend = LocalBackend(
+                self.library, synthesizer=self.synthesizer, cache=cache
+            )
+
+    # -- backend views ----------------------------------------------------
+
+    @property
+    def cache(self):
+        """The backing curve cache, when the backend has a local one."""
+        return getattr(self.backend, "cache", None)
+
+    @property
+    def farm(self):
+        """The attached synthesis farm, when the backend routes through one."""
+        return getattr(self.backend, "farm", None)
+
+    # -- evaluation -------------------------------------------------------
 
     def curve(self, graph: PrefixGraph) -> AreaDelayCurve:
-        """The graph's area-delay curve (cached by content digest)."""
-        key = (graph_digest(graph), self.library.name, self.synthesizer.name)
-        cached = self.cache.get(key)
-        if cached is not None:
-            return cached
-        curve = synthesize_curve(graph, self.library, self.synthesizer)
-        self.cache.put(key, curve)
-        return curve
+        """The graph's area-delay curve (resolved through the backend)."""
+        return self.backend.evaluate_many([graph])[0]
 
     def evaluate(self, graph: PrefixGraph) -> CircuitMetrics:
         """w-optimal (area, delay) on the graph's synthesis curve."""
@@ -108,47 +139,14 @@ class SynthesisEvaluator:
         return CircuitMetrics(area=area, delay=delay)
 
     def curve_many(self, graphs: "list[PrefixGraph]") -> "list[AreaDelayCurve]":
-        """Curves for a batch of graphs, deduplicated before the cache.
+        """Curves for a batch of graphs, deduplicated before evaluation.
 
         Duplicate graphs in one batch (the common case in RL collection)
-        resolve to a single lookup/synthesis; order matches the input.
-        The batch's cache traffic is two bulk calls (``get_many`` for the
-        unique designs, ``put_many`` for the fresh ones) — one round trip
-        each when the cache is a cluster actor's
-        :class:`repro.net.RemoteSynthesisCache`. With a
-        :class:`repro.distributed.SynthesisFarm` attached, the whole
-        batch goes through the farm's dispatch layer (shared cache, only
-        misses cross the process boundary) in one call.
+        resolve to a single evaluation; order matches the input. The
+        backend decides where misses are synthesized — in-process, on a
+        farm, or under a cluster lease.
         """
-        # Serial farm mode (num_workers=0, no remote workers) is the
-        # deliberately-naive reference baseline (no dedup, no cache
-        # routing) — never route evaluator traffic through it.
-        if self.farm is not None and self.farm.active and graphs:
-            return self.farm.evaluate_curves(list(graphs))
-        order: "dict[bytes, int]" = {}
-        unique_graphs: "list[PrefixGraph]" = []
-        for graph in graphs:
-            key = graph.key()
-            if key not in order:
-                order[key] = len(unique_graphs)
-                unique_graphs.append(graph)
-        cached = self.cache.get_many(
-            [
-                (graph_digest(g), self.library.name, self.synthesizer.name)
-                for g in unique_graphs
-            ]
-        )
-        fresh = []
-        for i, (graph, value) in enumerate(zip(unique_graphs, cached)):
-            if value is None:
-                curve = synthesize_curve(graph, self.library, self.synthesizer)
-                cached[i] = curve
-                fresh.append(
-                    ((graph_digest(graph), self.library.name, self.synthesizer.name), curve)
-                )
-        if fresh:
-            self.cache.put_many(fresh)
-        return [cached[order[graph.key()]] for graph in graphs]
+        return self.backend.evaluate_many(list(graphs))
 
     def evaluate_many(self, graphs: "list[PrefixGraph]") -> "list[CircuitMetrics]":
         """Batched :meth:`evaluate` via :meth:`curve_many`."""

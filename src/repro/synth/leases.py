@@ -1,0 +1,191 @@
+"""Claim/lease dedup over a shared :class:`repro.synth.SynthesisCache`.
+
+Several evaluation clients (cluster actor processes, async actor threads)
+routinely miss the shared cache on the *same* design at the same time —
+epsilon-greedy exploration revisits the same neighborhoods — and each
+miss then pays a full synthesis. :class:`SharedCacheService` turns the
+shared cache into a coordination point that eliminates that duplicate
+work: a miss is answered with exactly one of
+
+- the cached **value** (a hit after all),
+- a granted **lease** — *you* synthesize this design and
+  :meth:`put <SharedCacheService.put>` the result, or
+- **wait** — another client holds the lease; poll again shortly and the
+  value (or, if the holder died, the lease) will be yours.
+
+Lease reclamation has two triggers, both riding existing machinery:
+
+- **disconnect** — the learner server's per-connection teardown calls
+  :meth:`release_owner`, so an actor dropped by the heartbeat timeout
+  frees its leases immediately;
+- **age** — a lease older than ``lease_timeout`` (the cluster wires its
+  heartbeat timeout in here) is reclaimed lazily at the next claim, which
+  covers a holder that is alive but wedged mid-synthesis.
+
+The service is transport-agnostic: :class:`repro.net.learner.LearnerServer`
+exposes it over the framed protocol, while :class:`LocalServiceClient`
+adapts it for in-process use (tests, benchmarks, thread actors).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.synth.cache import SynthesisCache
+
+
+@dataclass
+class _Lease:
+    lease_id: int
+    owner: object
+    granted_at: float
+
+
+class SharedCacheService:
+    """A :class:`SynthesisCache` with claim/lease duplicate suppression.
+
+    Thread-safe. ``owner`` is any hashable token identifying a client (the
+    learner server uses one token per connection); all of an owner's
+    leases can be released at once when the owner goes away.
+    """
+
+    def __init__(self, cache: "SynthesisCache | None" = None, lease_timeout: float = 60.0):
+        if lease_timeout <= 0:
+            raise ValueError("lease_timeout must be positive")
+        self.cache = cache if cache is not None else SynthesisCache()
+        self.lease_timeout = lease_timeout
+        self._lock = threading.Lock()
+        self._leases: "dict[tuple, _Lease]" = {}
+        self._ids = itertools.count(1)
+        # Accounting (under the lock): what the dedup layer saved/served.
+        self.claim_batches = 0      # counted claim calls (first sightings)
+        self.claim_keys = 0         # keys in counted claim calls
+        self.leases_granted = 0     # "go synthesize" answers handed out
+        self.leases_fulfilled = 0   # leases resolved by a put
+        self.leases_released = 0    # dropped because the owner went away
+        self.leases_reclaimed = 0   # expired (holder wedged) and re-grantable
+        self.lease_waits = 0        # counted claims told to wait (dup suppressed)
+        self.lease_polls = 0        # uncounted re-claims from waiting clients
+
+    def claim(self, keys: "list[tuple]", owner, counted: bool = True) -> "list[dict]":
+        """Resolve each key to a value, a granted lease, or "wait".
+
+        ``counted=True`` marks a first sighting: the underlying cache's
+        hit/miss statistics tick. Waiting clients re-claim with
+        ``counted=False`` (a peek), so polling never skews cache telemetry.
+        Returns one dict per key: ``{"curve": value}``, ``{"lease": id}``
+        or ``{"wait": True}``.
+
+        The cache read happens under the service lock, and :meth:`put`
+        stores the value *before* popping the lease — so a claim can
+        never observe both "no value yet" and "no lease" for a key whose
+        holder is mid-publication (which would duplicate the grant).
+        """
+        keys = [tuple(k) for k in keys]
+        now = time.monotonic()
+        out: "list[dict]" = []
+        with self._lock:
+            values = (
+                self.cache.get_many(keys) if counted else self.cache.peek_many(keys)
+            )
+            if counted:
+                self.claim_batches += 1
+                self.claim_keys += len(keys)
+            else:
+                self.lease_polls += 1
+            for key, value in zip(keys, values):
+                if value is not None:
+                    # The value may have arrived through a plain put while a
+                    # lease lingered; the lease is moot either way.
+                    self._leases.pop(key, None)
+                    out.append({"curve": value})
+                    continue
+                lease = self._leases.get(key)
+                if lease is not None and now - lease.granted_at > self.lease_timeout:
+                    self._leases.pop(key)
+                    self.leases_reclaimed += 1
+                    lease = None
+                if lease is None or lease.owner == owner:
+                    # Grant (or refresh the same owner's claim — a retry
+                    # after a wire error must not deadlock on itself).
+                    lease = _Lease(next(self._ids), owner, now)
+                    self._leases[key] = lease
+                    self.leases_granted += 1
+                    out.append({"lease": lease.lease_id})
+                else:
+                    if counted:
+                        self.lease_waits += 1
+                    out.append({"wait": True})
+        return out
+
+    def put(
+        self,
+        items: "list[tuple]",
+        owner=None,
+        lease_ids: "list | None" = None,
+    ) -> int:
+        """Store ``(key, value)`` pairs, resolving any leases on those keys.
+
+        ``lease_ids`` (aligned with ``items``, entries may be None) is
+        advisory bookkeeping — any arriving value resolves the key's lease,
+        because waiters only care that the value now exists.
+
+        Ordering contract with :meth:`claim`: the value is stored before
+        the lease is popped, so a concurrent claim either sees the value
+        or still sees the lease — never a grantable gap.
+        """
+        items = [(tuple(key), value) for key, value in items]
+        self.cache.put_many(items)
+        with self._lock:
+            fulfilled = 0
+            for key, _value in items:
+                if self._leases.pop(key, None) is not None:
+                    fulfilled += 1
+            self.leases_fulfilled += fulfilled
+        return fulfilled
+
+    def release_owner(self, owner) -> int:
+        """Drop every lease held by ``owner`` (its connection died)."""
+        with self._lock:
+            doomed = [k for k, lease in self._leases.items() if lease.owner == owner]
+            for key in doomed:
+                self._leases.pop(key)
+            self.leases_released += len(doomed)
+            return len(doomed)
+
+    def active_leases(self) -> int:
+        with self._lock:
+            return len(self._leases)
+
+    def stats(self) -> dict:
+        """Lease-layer counters plus the backing cache's own view."""
+        with self._lock:
+            return {
+                "claim_batches": self.claim_batches,
+                "claim_keys": self.claim_keys,
+                "granted": self.leases_granted,
+                "fulfilled": self.leases_fulfilled,
+                "released": self.leases_released,
+                "reclaimed": self.leases_reclaimed,
+                "waits": self.lease_waits,
+                "polls": self.lease_polls,
+                "active": len(self._leases),
+            }
+
+
+class LocalServiceClient:
+    """In-process adapter giving a :class:`SharedCacheService` the same
+    claim/put face a cluster actor sees over the wire."""
+
+    def __init__(self, service: SharedCacheService, owner):
+        self.service = service
+        self.owner = owner
+
+    def claim(self, keys, counted: bool = True):
+        return self.service.claim(keys, self.owner, counted=counted)
+
+    def put(self, items, lease_ids=None):
+        return self.service.put(items, owner=self.owner, lease_ids=lease_ids)

@@ -9,6 +9,7 @@ CI cluster-smoke job runs this file on its own.
 from __future__ import annotations
 
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -33,13 +34,14 @@ def run_cli(*args, timeout=240):
 
 
 @pytest.mark.slow
-def test_cluster_preempt_resume_end_to_end(tmp_path):
+def test_cluster_preempt_resume_end_to_end_with_farm(tmp_path):
     ckpt = tmp_path / "ckpt"
     first = run_cli(
         "cluster", "8",
         "--steps", "24",
         "--actors", "2",
         "--envs-per-actor", "2",
+        "--farm-workers", "1",
         "--checkpoint-dir", str(ckpt),
         "--stop-after", "12",
         "--seed", "3",
@@ -47,12 +49,18 @@ def test_cluster_preempt_resume_end_to_end(tmp_path):
     assert first.returncode == 0, first.stderr
     assert "rerun with --resume" in first.stderr
     assert "warning: actor subprocess" not in first.stderr, first.stderr
+    assert "farm workers listening on" in first.stderr
+    # At least one actor routed at least one synthesis miss through the
+    # farm-worker daemon (the actor→farm routing the CLI flag wires up).
+    routed = re.findall(r"farm routed: dispatched=(\d+)", first.stderr)
+    assert routed and sum(int(r) for r in routed) >= 1, first.stderr
     assert (ckpt / "LATEST").is_file()
 
     resumed = run_cli(
         "cluster", "8",
         "--actors", "2",
         "--envs-per-actor", "2",
+        "--farm-workers", "1",
         "--checkpoint-dir", str(ckpt),
         "--resume",
         "--seed", "3",
@@ -61,6 +69,7 @@ def test_cluster_preempt_resume_end_to_end(tmp_path):
     assert "warning: actor subprocess" not in resumed.stderr, resumed.stderr
     assert "trained 24 steps" in resumed.stdout
     assert "shared cache:" in resumed.stdout
+    assert "lease dedup:" in resumed.stderr
     assert "history frontier" in resumed.stdout
     # Both snapshots exist (preemption point and completion).
     steps = sorted(p.name for p in ckpt.iterdir() if p.name.startswith("step-"))

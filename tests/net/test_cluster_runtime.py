@@ -103,6 +103,52 @@ class TestClusterTraining:
         with pytest.raises(RuntimeError, match="no actors connected"):
             runtime.run()
 
+    def test_lease_protocol_eliminates_cross_actor_duplicates(self):
+        """Two actors start from the same structures and overlap heavily;
+        the claim/lease protocol must keep cluster-wide synthesis at one
+        run per unique digest (fulfilled leases == unique designs)."""
+        runtime = make_runtime(steps=16)
+        history, stats = run_with_actors(runtime)
+        assert history.env_steps == 16
+        lease = history.synthesis_stats["lease"]
+        assert lease["fulfilled"] > 0
+        # Every design synthesized exactly once: entries == fulfilled
+        # (nothing entered the shared cache except through a lease).
+        assert history.synthesis_stats["cache"]["entries"] == lease["fulfilled"]
+        total_synth = sum(s["backend"]["synthesized"] for s in stats.values())
+        assert total_synth == lease["fulfilled"]
+        # The overlap was real: at least one duplicate was suppressed via
+        # a wait (the other actor held the lease) or a shared-cache hit.
+        assert lease["waits"] + history.synthesis_stats["cache"]["hits"] > 0
+
+    def test_actor_routes_leased_synthesis_through_farm_workers(self):
+        """`repro actor --farm`: leased misses ship to farm-worker daemons
+        (the actor-host-drives-synthesis-hosts shape)."""
+        from repro.net import FarmWorkerServer
+
+        with FarmWorkerServer(("127.0.0.1", 0)) as worker:
+            runtime = make_runtime(steps=12, num_actors=1)
+            address = runtime.bind()
+            stats = {}
+
+            def actor():
+                stats["a"] = RemoteActorWorker(
+                    address,
+                    farm_workers=[f"{worker.address[0]}:{worker.address[1]}"],
+                ).run()
+
+            thread = threading.Thread(target=actor, daemon=True)
+            thread.start()
+            history = runtime.run()
+            thread.join(timeout=30)
+            assert not thread.is_alive()
+            assert history.env_steps == 12
+            backend = stats["a"]["backend"]
+            assert backend["synthesized"] > 0
+            # Every synthesized design crossed to the farm worker.
+            assert backend["farm"]["synthesized"] == backend["synthesized"]
+            assert worker.tasks_served == backend["synthesized"]
+
 
 class TestClusterCheckpoint:
     def test_preempt_then_resume_completes(self, tmp_path):

@@ -173,6 +173,62 @@ class TestCacheService:
         conn.close(bye=True)
 
 
+class TestCacheLeases:
+    def test_claim_grants_then_others_wait_then_put_resolves(self, server):
+        srv, state = server
+        holder, waiter = dial(srv), dial(srv)
+        key = ["digest-x", "nangate45", "openphysyn"]
+        (granted,) = holder.call("cache_claim", {"keys": [key]})["results"]
+        assert "lease" in granted
+        (waiting,) = waiter.call("cache_claim", {"keys": [key]})["results"]
+        assert waiting == {"wait": True}
+        points = [[0.2, 50.0], [0.4, 40.0]]
+        holder.call(
+            "cache_put", {"items": [[key, points]], "leases": [granted["lease"]]}
+        )
+        (resolved,) = waiter.call(
+            "cache_claim", {"keys": [key], "counted": False}
+        )["results"]
+        assert resolved == {"curve": points}
+        assert state.cache_service.leases_fulfilled == 1
+        holder.close(bye=True)
+        waiter.close(bye=True)
+
+    def test_disconnect_releases_the_holders_leases(self, server):
+        import time
+
+        srv, state = server
+        holder, waiter = dial(srv), dial(srv)
+        key = ["digest-y", "nangate45", "openphysyn"]
+        assert "lease" in holder.call("cache_claim", {"keys": [key]})["results"][0]
+        assert waiter.call("cache_claim", {"keys": [key]})["results"][0] == {
+            "wait": True
+        }
+        holder.close()  # the holder dies mid-synthesis
+        deadline = time.monotonic() + 5.0
+        reply = {"wait": True}
+        while reply == {"wait": True} and time.monotonic() < deadline:
+            time.sleep(0.02)
+            (reply,) = waiter.call(
+                "cache_claim", {"keys": [key], "counted": False}
+            )["results"]
+        # The waiter inherited the dead holder's lease.
+        assert "lease" in reply
+        assert state.cache_service.leases_released == 1
+        waiter.close(bye=True)
+
+    def test_plain_put_also_resolves_leases(self, server):
+        srv, state = server
+        holder, other = dial(srv), dial(srv)
+        key = ["digest-z", "nangate45", "openphysyn"]
+        holder.call("cache_claim", {"keys": [key]})
+        # A legacy cache_put (no lease ids) still fulfills: the value exists.
+        other.call("cache_put", {"items": [[key, [[0.1, 9.0]]]]})
+        assert state.cache_service.active_leases() == 0
+        holder.close(bye=True)
+        other.close(bye=True)
+
+
 class TestDeadPeer:
     def test_server_drops_silent_actor(self):
         agent = ScalarizedDoubleDQN(4, blocks=0, channels=4, rng=0)

@@ -127,6 +127,124 @@ class TestRemoteCurves:
             farm.close()
 
 
+class TestShippedDigestElision:
+    """Dispatcher-side payload elision over the worker's prepared LRU."""
+
+    def test_repeat_batches_ship_digest_only(self, expected):
+        graphs, points = expected
+        server = FarmWorkerServer(("127.0.0.1", 0))
+        server.start()
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[f"{server.address[0]}:{server.address[1]}"],
+        )
+        try:
+            farm.evaluate_curves(graphs)
+            assert farm.last_stats.shipped_elided == 0
+            # No dispatcher cache: the repeat batch re-dispatches, but the
+            # payloads are elided (the worker already holds the netlists).
+            curves = farm.evaluate_curves(graphs)
+            assert farm.last_stats.shipped_elided == 3
+            assert farm.last_stats.prepared_hits == 3
+            assert [c.points() for c in curves] == points
+            assert farm.stats()["remote"]["shipped_elided"] == 3
+        finally:
+            farm.close()
+            server.stop()
+
+    def test_worker_eviction_triggers_full_reship(self, expected):
+        graphs, points = expected
+        server = FarmWorkerServer(("127.0.0.1", 0), prepared_cache_entries=1)
+        server.start()
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[f"{server.address[0]}:{server.address[1]}"],
+        )
+        try:
+            farm.evaluate_curves(graphs)
+            # The worker's 1-entry LRU evicted all but the last digest; the
+            # dispatcher's elided repeats bounce off "missing" and are
+            # re-shipped in full — byte-identical results either way.
+            curves = farm.evaluate_curves(graphs)
+            assert [c.points() for c in curves] == points
+        finally:
+            farm.close()
+            server.stop()
+
+    def test_disabled_prepared_cache_disables_elision(self, expected):
+        graphs, points = expected
+        server = FarmWorkerServer(("127.0.0.1", 0), prepared_cache_entries=0)
+        server.start()
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[f"{server.address[0]}:{server.address[1]}"],
+        )
+        try:
+            farm.evaluate_curves(graphs)
+            curves = farm.evaluate_curves(graphs)
+            assert farm.last_stats.shipped_elided == 0
+            assert [c.points() for c in curves] == points
+        finally:
+            farm.close()
+            server.stop()
+
+    def test_redial_after_drop_invalidates_shipped_lru(self, expected):
+        """The satellite fix: a dropped connection wipes the per-worker
+        shipped LRU *before* the retry payload is built, so a reconnect
+        (idle drop, worker restart) never replays a stale prepared id."""
+        graphs, points = expected
+        server = FarmWorkerServer(("127.0.0.1", 0))
+        server.start()
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[f"{server.address[0]}:{server.address[1]}"],
+        )
+        try:
+            farm.evaluate_curves(graphs)
+            pool = farm._remote
+            assert len(pool._shipped[0]) == 3
+            # Simulate the idle drop the redial-on-use path covers.
+            pool._drop(0)
+            assert len(pool._shipped[0]) == 0
+            # The next batch redials and ships full payloads again (no
+            # digest-only replay) — and still matches byte-for-byte.
+            curves = farm.evaluate_curves(graphs)
+            assert farm.last_stats.shipped_elided == 0
+            assert [c.points() for c in curves] == points
+        finally:
+            farm.close()
+            server.stop()
+
+    def test_mid_flight_drop_rebuilds_payload_on_retry(self, expected):
+        """A wire failure *during* a call retries with payloads rebuilt
+        against the wiped LRU — the worker that answers the retry may be a
+        fresh process that never saw the digests."""
+        graphs, points = expected
+        server = FarmWorkerServer(("127.0.0.1", 0))
+        server.start()
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[f"{server.address[0]}:{server.address[1]}"],
+        )
+        try:
+            farm.evaluate_curves(graphs)
+            pool = farm._remote
+            # Poison the live socket so the next call fails mid-flight and
+            # takes the drop-then-redial path.
+            pool._conns[0].sock.close()
+            curves = farm.evaluate_curves(graphs)
+            assert [c.points() for c in curves] == points
+            assert farm.last_stats.shipped_elided == 0  # retry shipped full
+        finally:
+            farm.close()
+            server.stop()
+
+
 class TestMultiWorker:
     def test_chunks_spread_over_workers(self, expected):
         graphs, points = expected

@@ -21,10 +21,12 @@ def test_single_env_synthesis_stats():
     hist = Trainer(env, agent, TrainerConfig(steps=6, warmup_steps=1000), rng=0).run()
     stats = hist.synthesis_stats
     assert stats is not None
+    assert stats["backend"] == "local"
     cache = stats["cache"]
     assert cache["misses"] > 0
     assert cache["entries"] > 0
     assert cache["hits"] + cache["misses"] >= hist.env_steps
+    assert stats["synthesized"] == cache["misses"]
     assert "farm" not in stats
 
 
@@ -45,7 +47,7 @@ def test_vector_env_shared_cache_stats():
     assert stats["cache"]["hits"] > 0
 
 
-def test_farm_stats_attached_when_evaluator_has_farm():
+def test_farm_backed_run_reports_farm_backend_stats():
     from repro.distributed import SynthesisFarm
 
     lib = nangate45()
@@ -55,6 +57,6 @@ def test_farm_stats_attached_when_evaluator_has_farm():
         hist = Trainer(env, agent, TrainerConfig(steps=3, warmup_steps=1000), rng=0).run()
     stats = hist.synthesis_stats
     assert stats is not None
-    assert "farm" in stats
-    assert stats["farm"]["mode"] == "pool[1]"
+    assert stats["backend"] == "farm-pool[1]"
+    assert stats["synthesized"] == stats["cache_misses"] > 0
     assert np.isfinite(stats["cache"]["hit_rate"])

@@ -1,0 +1,240 @@
+"""EvaluationBackend seam: byte-identical curves and one stats schema.
+
+Every backend (local, farm-local, farm-remote, cluster with and without
+lease contention) must return byte-identical curves for the same design
+set — they all bottom out in the same synthesis ladder — and must report
+the unified ``STATS_KEYS`` counter schema.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cells import nangate45
+from repro.distributed import SynthesisFarm
+from repro.prefix import PrefixGraph, brent_kung, kogge_stone, sklansky
+from repro.synth import (
+    STATS_KEYS,
+    ClusterBackend,
+    FarmBackend,
+    LocalBackend,
+    LocalServiceClient,
+    SharedCacheService,
+    SynthesisCache,
+    SynthesisEvaluator,
+    synthesize_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate45()
+
+
+def design_set(n=8):
+    graphs = [sklansky(n), brent_kung(n), kogge_stone(n), sklansky(n), brent_kung(n)]
+    return graphs
+
+
+@pytest.fixture(scope="module")
+def expected(lib):
+    graphs = design_set()
+    return graphs, [synthesize_curve(g, lib).points() for g in graphs]
+
+
+def random_walk(n: int, seed: int) -> PrefixGraph:
+    rng = np.random.default_rng(seed)
+    g = sklansky(n)
+    for _ in range(6):
+        actions = [("add", m, l) for m in range(n) for l in range(1, m) if g.can_add(m, l)]
+        actions += [
+            ("del", m, l) for m in range(n) for l in range(1, m) if g.can_delete(m, l)
+        ]
+        if not actions:
+            break
+        kind, m, l = actions[int(rng.integers(len(actions)))]
+        g = g.add_node(m, l) if kind == "add" else g.delete_node(m, l)
+    return g
+
+
+class TestByteIdenticalCurves:
+    def test_local_backend(self, lib, expected):
+        graphs, points = expected
+        backend = LocalBackend(lib)
+        assert [c.points() for c in backend.evaluate_many(graphs)] == points
+        # Repeat batches come from the cache, still byte-identical.
+        assert [c.points() for c in backend.evaluate_many(graphs)] == points
+
+    def test_farm_local_backend(self, lib, expected):
+        graphs, points = expected
+        with SynthesisFarm("nangate45", num_workers=2) as farm:
+            backend = FarmBackend(farm)
+            assert [c.points() for c in backend.evaluate_many(graphs)] == points
+
+    def test_farm_remote_backend(self, lib, expected):
+        from repro.net import FarmWorkerServer
+
+        graphs, points = expected
+        with FarmWorkerServer(("127.0.0.1", 0)) as server:
+            farm = SynthesisFarm(
+                "nangate45",
+                num_workers=0,
+                remote_workers=[f"{server.address[0]}:{server.address[1]}"],
+            )
+            backend = FarmBackend(farm)
+            try:
+                assert [c.points() for c in backend.evaluate_many(graphs)] == points
+            finally:
+                backend.close()
+
+    def test_cluster_backend_without_contention(self, lib, expected):
+        graphs, points = expected
+        service = SharedCacheService(SynthesisCache())
+        backend = ClusterBackend(LocalServiceClient(service, "a"), lib)
+        assert [c.points() for c in backend.evaluate_many(graphs)] == points
+        # Everything was leased to the only client and synthesized once.
+        assert backend.synthesized == 3
+        assert service.leases_fulfilled == 3
+
+    def test_cluster_backend_under_lease_contention(self, lib, expected):
+        graphs, points = expected
+        service = SharedCacheService(SynthesisCache())
+        backends = [
+            ClusterBackend(
+                LocalServiceClient(service, name), lib, poll_interval=0.005
+            )
+            for name in ("a", "b")
+        ]
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def run(i):
+            barrier.wait()
+            results[i] = [c.points() for c in backends[i].evaluate_many(graphs)]
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert results[0] == points and results[1] == points
+        # The lease protocol eliminated duplicate cross-client synthesis:
+        # 3 unique designs, 3 syntheses total no matter the interleaving.
+        assert backends[0].synthesized + backends[1].synthesized == 3
+        assert service.leases_granted == 3
+
+    def test_evaluator_metrics_agree_across_backends(self, lib, expected):
+        graphs, _points = expected
+        service = SharedCacheService(SynthesisCache())
+        evaluators = [
+            SynthesisEvaluator(lib),
+            SynthesisEvaluator(
+                lib, backend=ClusterBackend(LocalServiceClient(service, "x"), lib)
+            ),
+        ]
+        metrics = [e.evaluate_many(graphs) for e in evaluators]
+        assert metrics[0] == metrics[1]
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_local_and_cluster_agree_on_random_designs(self, lib, seed):
+        graph = random_walk(8, seed)
+        local = LocalBackend(lib)
+        service = SharedCacheService(SynthesisCache())
+        cluster = ClusterBackend(LocalServiceClient(service, "p"), lib)
+        a = local.evaluate_many([graph])[0]
+        b = cluster.evaluate_many([graph])[0]
+        assert a.points() == b.points()
+        assert a.points() == synthesize_curve(graph, lib).points()
+
+
+class TestStatsSchema:
+    """One schema (STATS_KEYS) across every curve source — pinned here."""
+
+    CACHE_KEYS = {"entries", "hits", "misses", "hit_rate"}
+
+    def assert_schema(self, stats):
+        for key in STATS_KEYS:
+            assert key in stats, f"missing stats key {key!r}"
+        assert stats["dedup_saved"] == stats["designs"] - stats["unique_designs"]
+        if stats["cache"] is not None:
+            assert self.CACHE_KEYS <= set(stats["cache"])
+
+    def test_local_backend_schema(self, lib):
+        backend = LocalBackend(lib)
+        backend.evaluate_many([sklansky(8), sklansky(8)])
+        stats = backend.stats()
+        self.assert_schema(stats)
+        assert stats["backend"] == "local"
+        assert stats["designs"] == 2 and stats["unique_designs"] == 1
+
+    def test_farm_backend_and_farm_stats_schema(self, lib):
+        with SynthesisFarm("nangate45", num_workers=1) as farm:
+            backend = FarmBackend(farm)
+            backend.evaluate_many([sklansky(8)])
+            self.assert_schema(backend.stats())
+            self.assert_schema(farm.stats())
+            assert backend.stats()["backend"] == "farm-pool[1]"
+        serial = SynthesisFarm("nangate45", num_workers=0)
+        serial.evaluate_curves([sklansky(8)])
+        self.assert_schema(serial.stats())
+        assert serial.stats()["backend"] == "farm-serial"
+
+    def test_cluster_backend_schema(self, lib):
+        service = SharedCacheService(SynthesisCache())
+        backend = ClusterBackend(LocalServiceClient(service, "s"), lib)
+        backend.evaluate_many([sklansky(8)])
+        stats = backend.stats()
+        self.assert_schema(stats)
+        assert stats["backend"] == "cluster"
+        assert {"granted", "waited", "wait_hits", "reclaimed_grants"} <= set(
+            stats["lease"]
+        )
+
+    def test_history_synthesis_stats_schema(self, lib):
+        from repro.env import PrefixEnv
+        from repro.rl import ScalarizedDoubleDQN, Trainer, TrainerConfig
+
+        env = PrefixEnv(8, SynthesisEvaluator(lib), horizon=4, rng=0)
+        agent = ScalarizedDoubleDQN(8, blocks=0, channels=4, rng=0)
+        hist = Trainer(env, agent, TrainerConfig(steps=4, warmup_steps=1000), rng=0).run()
+        self.assert_schema(hist.synthesis_stats)
+        assert "shared" in hist.synthesis_stats["cache"]
+
+
+class TestEvaluatorBackendWiring:
+    def test_legacy_cache_kwarg_builds_local_backend(self, lib):
+        cache = SynthesisCache()
+        evaluator = SynthesisEvaluator(lib, cache=cache)
+        assert isinstance(evaluator.backend, LocalBackend)
+        assert evaluator.cache is cache
+        assert evaluator.farm is None
+
+    def test_active_farm_kwarg_builds_farm_backend(self, lib):
+        with SynthesisFarm("nangate45", num_workers=1) as farm:
+            evaluator = SynthesisEvaluator(lib, farm=farm)
+            assert isinstance(evaluator.backend, FarmBackend)
+            assert evaluator.farm is farm
+            assert evaluator.cache is farm.cache
+
+    def test_serial_farm_falls_back_to_local_backend(self, lib):
+        farm = SynthesisFarm("nangate45", num_workers=0)
+        evaluator = SynthesisEvaluator(lib, farm=farm)
+        assert isinstance(evaluator.backend, LocalBackend)
+
+    def test_backend_and_cache_kwargs_are_exclusive(self, lib):
+        with pytest.raises(ValueError, match="not both"):
+            SynthesisEvaluator(lib, cache=SynthesisCache(), backend=LocalBackend(lib))
+
+    def test_backend_share_tokens(self, lib):
+        cache = SynthesisCache()
+        a = LocalBackend(lib, cache=cache)
+        b = LocalBackend(lib, cache=cache)
+        assert a.share_token() is b.share_token()
+        assert LocalBackend(lib).share_token() is not a.share_token()

@@ -190,13 +190,14 @@ class TestFarmStatsObservability:
             farm.evaluate_curves([sklansky(8), sklansky(8), brent_kung(8)])
             farm.evaluate_curves([sklansky(8)])
         stats = farm.stats()
-        assert stats["mode"] == "pool[2]"
+        assert stats["backend"] == "farm-pool[2]"
         assert stats["batches"] == 2
-        assert stats["graphs"] == 4
-        assert stats["unique_graphs"] == 3  # 2 in batch one, 1 in batch two
+        assert stats["designs"] == 4
+        assert stats["unique_designs"] == 3  # 2 in batch one, 1 in batch two
         assert stats["dedup_saved"] == 1
         assert stats["cache_hits"] == 1  # batch-two sklansky came from cache
-        assert stats["dispatched"] == 2
+        assert stats["cache_misses"] == 2
+        assert stats["synthesized"] == 2
         assert stats["cache"]["entries"] == 2
         assert stats["cache"]["hits"] == cache.hits
         assert 0.0 <= stats["cache"]["hit_rate"] <= 1.0
@@ -205,10 +206,10 @@ class TestFarmStatsObservability:
         farm = SynthesisFarm("nangate45", num_workers=0)
         farm.evaluate_curves([sklansky(8), sklansky(8)])
         stats = farm.stats()
-        assert stats["mode"] == "serial"
-        assert stats["graphs"] == 2
+        assert stats["backend"] == "farm-serial"
+        assert stats["designs"] == 2
         assert stats["dedup_saved"] == 0  # serial reference mode never dedups
-        assert "cache" not in stats
+        assert stats["cache"] is None
 
 
 class TestEvaluatorFarmRouting:
@@ -221,7 +222,7 @@ class TestEvaluatorFarmRouting:
             assert farm.cache is evaluator.cache  # farm adopted the cache
             metrics = evaluator.evaluate_many([sklansky(8), sklansky(8), brent_kung(8)])
             assert farm.stats()["batches"] == 1
-            assert farm.stats()["unique_graphs"] == 2
+            assert farm.stats()["unique_designs"] == 2
         assert metrics[0] == metrics[1]
         # Results agree with the local (farmless) path.
         local = SynthesisEvaluator(lib)
