@@ -9,7 +9,12 @@ writes the numbers to JSON:
    running tree supports them, the 8-env vectorized + float32 variants);
 3. ``synthesize_curve`` throughput (graphs/sec) at n in {16, 32} — the
    paper's true cost center, the target of the incremental-STA engine;
-4. ``SynthesisFarm`` pool-vs-serial speedup on the Section V-C workload.
+4. ``SynthesisFarm`` pool-vs-serial speedup on the Section V-C workload;
+5. when the running tree has them: ``conv`` (tap-loop fast conv vs the
+   im2col oracle at trainer batch shapes, fwd and fwd+bwd) and
+   ``inference`` (shared batched-inference service: coalescing ratio and
+   forwards saved under concurrent actor clients, honest 1-CPU
+   accounting).
 
 The script is deliberately restricted to APIs that exist in the seed tree
 so the *same* workload can be measured before and after the optimization
@@ -75,6 +80,14 @@ try:  # seed/parent trees: no evaluation-backend layer yet
 except ImportError:
     BACKEND_AVAILABLE = False
 
+from repro.nn import functional as nn_functional
+
+# Seed/parent trees: conv2d_forward has no fast path yet.
+CONV_FAST_AVAILABLE = (
+    "fast" in inspect.signature(nn_functional.conv2d_forward).parameters
+)
+INFERENCE_AVAILABLE = repro_net is not None and hasattr(repro_net, "InferenceServer")
+
 AGENT_HAS_DTYPE = "dtype" in inspect.signature(ScalarizedDoubleDQN.__init__).parameters
 
 FEATURE_WIDTHS = (16, 32, 64)
@@ -105,6 +118,16 @@ CLUSTER_PREPARED_ROUNDS = 3
 BACKEND_WIDTH = 16
 BACKEND_ROUNDS = 3
 BACKEND_ACTORS = 2              # concurrent clients over one shared cache
+CONV_WIDTHS = (16, 32)
+CONV_BATCH = 16                 # the trainer's sampled batch size
+CONV_CHANNELS = 16              # a residual-block conv at RUNTIME_NET width
+CONV_ROUNDS = 3
+CONV_REPS = 3                   # passes averaged inside one timing
+INFERENCE_WIDTH = 16
+INFERENCE_CLIENTS = 4           # concurrent actors sharing the server
+INFERENCE_REQUESTS = 8          # act requests per client
+INFERENCE_ROWS = 4              # env replicas per request (exploit rows)
+INFERENCE_ROUNDS = 3
 
 
 def random_walk_grid(n: int, steps: int, rng: np.random.Generator) -> np.ndarray:
@@ -689,6 +712,171 @@ def bench_cluster() -> "dict | None":
     return out
 
 
+def bench_conv() -> "dict | None":
+    """Tap-loop fast conv vs the im2col oracle at trainer batch shapes.
+
+    Interleaved best-of rounds on the residual-block shape the train step
+    actually runs (batch CONV_BATCH, CONV_CHANNELS -> CONV_CHANNELS, 3x3).
+    The headline is the fwd+bwd (train-step) ratio: the tap-loop's big win
+    is the backward pass, where the cached per-tap slabs replace the
+    col2im scatter; forward-only is also recorded. Both paths are timed in
+    the same process on the same arrays, so the ratio is host-drift-free.
+    """
+    if not CONV_FAST_AVAILABLE:
+        return None
+    F = nn_functional
+    out = {}
+    for n in CONV_WIDTHS:
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((CONV_BATCH, CONV_CHANNELS, n, n))
+        weight = rng.standard_normal((CONV_CHANNELS, CONV_CHANNELS, 3, 3))
+        bias = rng.standard_normal(CONV_CHANNELS)
+        for fast in (False, True):  # warm both paths off the clock
+            y, cache = F.conv2d_forward(x, weight, bias, fast=fast)
+            F.conv2d_backward(y, cache)
+        best = {k: float("inf") for k in
+                ("im2col_fwd", "fast_fwd", "im2col_train", "fast_train")}
+        for _ in range(CONV_ROUNDS):
+            for name, fast in (("im2col", False), ("fast", True)):
+                start = time.perf_counter()
+                for _ in range(CONV_REPS):
+                    F.conv2d_forward(x, weight, bias, fast=fast)
+                fwd = (time.perf_counter() - start) / CONV_REPS
+                start = time.perf_counter()
+                for _ in range(CONV_REPS):
+                    y, cache = F.conv2d_forward(x, weight, bias, fast=fast)
+                    F.conv2d_backward(y, cache)
+                train = (time.perf_counter() - start) / CONV_REPS
+                best[f"{name}_fwd"] = min(best[f"{name}_fwd"], fwd)
+                best[f"{name}_train"] = min(best[f"{name}_train"], train)
+        row = {
+            "batch": CONV_BATCH,
+            "channels": CONV_CHANNELS,
+            "rounds": CONV_ROUNDS,
+            "im2col_fwd_ms": best["im2col_fwd"] * 1000,
+            "fast_fwd_ms": best["fast_fwd"] * 1000,
+            "im2col_train_ms": best["im2col_train"] * 1000,
+            "fast_train_ms": best["fast_train"] * 1000,
+            "fast_fwd_speedup": best["im2col_fwd"] / max(best["fast_fwd"], 1e-12),
+            "fast_train_speedup": best["im2col_train"] / max(best["fast_train"], 1e-12),
+        }
+        out[str(n)] = row
+        print(f"conv n={n} (B={CONV_BATCH}, C={CONV_CHANNELS}): "
+              f"fwd {row['im2col_fwd_ms']:.2f} -> {row['fast_fwd_ms']:.2f} ms "
+              f"({row['fast_fwd_speedup']:.2f}x), "
+              f"fwd+bwd {row['im2col_train_ms']:.2f} -> {row['fast_train_ms']:.2f} ms "
+              f"({row['fast_train_speedup']:.2f}x)")
+    return out
+
+
+def bench_inference() -> "dict | None":
+    """Shared inference service: coalescing under concurrent actors.
+
+    Honest 1-CPU accounting like the runtime/cluster sections: the
+    recorded wins are the batch-coalescing ratio and the fraction of
+    network forwards eliminated (many tiny GEMMs folded into fewer large
+    ones) — *work* reduction, not wall-clock. The remote per-request
+    latency (wire + micro-batch wait included) is recorded next to the
+    local per-request cost so the overhead the service pays on loopback
+    is visible, not hidden; it only turns into steps/sec on real parallel
+    hardware where the actors' cores are free to step environments while
+    the server computes.
+    """
+    if not INFERENCE_AVAILABLE:
+        return None
+    import threading
+
+    from repro.distributed.pipeline import PolicyHub
+    from repro.net import InferenceClient, InferenceServer
+
+    n = INFERENCE_WIDTH
+    agent = ScalarizedDoubleDQN(n, rng=0, **RUNTIME_NET)
+    hub = PolicyHub(agent)
+    rng = np.random.default_rng(0)
+    feats = rng.random((INFERENCE_ROWS, 4, n, n))
+    masks = np.ones((INFERENCE_ROWS, agent.actions.size), dtype=bool)
+    w = agent.w
+    local_net = agent.snapshot_network()
+    total_requests = INFERENCE_CLIENTS * INFERENCE_REQUESTS
+
+    best = {"local": float("inf"), "remote": float("inf")}
+    best_stats = None
+    for _ in range(INFERENCE_ROUNDS):
+        # Local reference: every request is its own small forward — what
+        # each actor does without the service.
+        start = time.perf_counter()
+        for _ in range(total_requests):
+            qmaps = local_net.predict(feats)
+            flat = agent.actions.qmaps_to_flat(qmaps)
+            np.argmax(np.where(masks, flat @ w, -np.inf), axis=1)
+        best["local"] = min(
+            best["local"], (time.perf_counter() - start) / total_requests * 1000
+        )
+
+        server = InferenceServer(max_batch=64, max_wait=0.02)
+        server.start()
+        server.attach(hub, agent.snapshot_network(), agent.actions)
+        clients = [InferenceClient(server.address) for _ in range(INFERENCE_CLIENTS)]
+        barrier = threading.Barrier(INFERENCE_CLIENTS + 1)
+        errors = []
+
+        def run(client):
+            try:
+                barrier.wait()
+                for _ in range(INFERENCE_REQUESTS):
+                    if client.act_batch(feats, masks, w) is None:
+                        raise RuntimeError("inference request fell back")
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(c,), daemon=True) for c in clients
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+        stats = server.stats_dict()
+        for c in clients:
+            c.close()
+        server.stop()
+        if errors:
+            raise errors[0]
+        per_request = wall / total_requests * 1000
+        if per_request < best["remote"]:
+            best["remote"] = per_request
+            best_stats = stats
+
+    row = {
+        "clients": INFERENCE_CLIENTS,
+        "requests_per_client": INFERENCE_REQUESTS,
+        "rows_per_request": INFERENCE_ROWS,
+        "rounds": INFERENCE_ROUNDS,
+        "local_request_ms": best["local"],
+        "remote_request_ms": best["remote"],
+        "remote_over_local": best["remote"] / max(best["local"], 1e-9),
+        "batches": best_stats["batches"],
+        "requests": best_stats["requests"],
+        "served_rows": best_stats["rows"],
+        "max_coalesced_rows": best_stats["max_coalesced"],
+        "coalescing_ratio": best_stats["coalescing"],
+        "forwards_saved": 1.0 - best_stats["batches"] / max(best_stats["requests"], 1),
+    }
+    out = {str(n): row}
+    print(
+        f"inference n={n}: {INFERENCE_CLIENTS} clients x {INFERENCE_REQUESTS} reqs "
+        f"x {INFERENCE_ROWS} rows -> {row['batches']} forwards "
+        f"(coalescing {row['coalescing_ratio']:.2f}, "
+        f"{row['forwards_saved']:.0%} forwards saved); "
+        f"request {row['local_request_ms']:.2f} ms local, "
+        f"{row['remote_request_ms']:.2f} ms via server"
+    )
+    return out
+
+
 def measure() -> dict:
     out = {
         "machine": {
@@ -716,6 +904,12 @@ def measure() -> dict:
         out["cluster"] = cluster
     if BACKEND_AVAILABLE:
         out["backend"] = bench_backend()
+    conv = bench_conv()
+    if conv is not None:
+        out["conv"] = conv
+    inference = bench_inference()
+    if inference is not None:
+        out["inference"] = inference
     return out
 
 
@@ -774,6 +968,17 @@ def merge(baseline: dict, current: dict, parent: "dict | None" = None) -> dict:
         # Work-reduction fraction (not a wall-clock claim): the claim/lease
         # protocol vs the dedup-only shared cache under actor contention.
         speedups["backend_lease_synthesis_saved"] = row["lease_synthesis_saved"]
+    for n, row in current.get("conv", {}).items():
+        # Within-run interleaved ratios: fast tap-loop vs the im2col
+        # oracle on the same arrays; fwd+bwd is the headline (the
+        # backward's col2im scatter is the expensive part eliminated).
+        speedups[f"conv_fast_train_n{n}"] = row["fast_train_speedup"]
+        speedups[f"conv_fast_fwd_n{n}"] = row["fast_fwd_speedup"]
+    for row in current.get("inference", {}).values():
+        # Work-reduction records (not wall-clock claims on 1 CPU): how
+        # many small forwards the shared server folded together.
+        speedups["inference_coalescing"] = row["coalescing_ratio"]
+        speedups["inference_forwards_saved"] = row["forwards_saved"]
     result = {"seed_baseline": baseline, "optimized": current, "speedups": speedups}
     if parent is not None:
         result["parent_baseline"] = parent
@@ -788,6 +993,9 @@ def apply_smoke_workload() -> None:
     global RUNTIME_WIDTH, RUNTIME_STEPS, RUNTIME_ROUNDS, RUNTIME_ENVS_PER_ACTOR
     global CLUSTER_WIDTH, CLUSTER_PROTOCOL_ITERS, CLUSTER_PREPARED_ROUNDS
     global BACKEND_WIDTH, BACKEND_ROUNDS
+    global CONV_WIDTHS, CONV_BATCH, CONV_ROUNDS, CONV_REPS
+    global INFERENCE_WIDTH, INFERENCE_CLIENTS, INFERENCE_REQUESTS
+    global INFERENCE_ROWS, INFERENCE_ROUNDS
     FEATURE_WIDTHS = (8, 16)
     TRAINER_WIDTHS = (8,)
     TRAINER_STEPS = 24
@@ -806,6 +1014,15 @@ def apply_smoke_workload() -> None:
     CLUSTER_PREPARED_ROUNDS = 1
     BACKEND_WIDTH = 8
     BACKEND_ROUNDS = 1
+    CONV_WIDTHS = (8,)
+    CONV_BATCH = 4
+    CONV_ROUNDS = 1
+    CONV_REPS = 2
+    INFERENCE_WIDTH = 8
+    INFERENCE_CLIENTS = 2
+    INFERENCE_REQUESTS = 3
+    INFERENCE_ROWS = 2
+    INFERENCE_ROUNDS = 1
 
 
 _HIGHER_IS_BETTER = ("graphs_per_sec", "steps_per_sec")
@@ -902,6 +1119,14 @@ def run_smoke(output: "str | None") -> dict:
     if BACKEND_AVAILABLE:
         assert "backend" in current, "missing bench section 'backend'"
         expected.append("backend_lease_synthesis_saved")
+    if CONV_FAST_AVAILABLE:
+        assert "conv" in current, "missing bench section 'conv'"
+        expected.append(f"conv_fast_train_n{CONV_WIDTHS[0]}")
+        expected.append(f"conv_fast_fwd_n{CONV_WIDTHS[0]}")
+    if INFERENCE_AVAILABLE:
+        assert "inference" in current, "missing bench section 'inference'"
+        expected.append("inference_coalescing")
+        expected.append("inference_forwards_saved")
     missing = [k for k in expected if k not in speedups]
     assert not missing, f"missing speedup keys: {missing}"
     assert "synthesize_curve_n8" in result["speedups_vs_parent"]

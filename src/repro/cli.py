@@ -131,6 +131,7 @@ def cmd_train(args) -> int:
         return ScalarizedDoubleDQN(
             args.width, w_area=args.w_area, w_delay=1 - args.w_area,
             blocks=args.blocks, channels=args.channels, lr=3e-4, rng=args.seed,
+            fast_conv=args.fast_conv,
         )
 
     config = TrainerConfig(steps=args.steps, batch_size=8, warmup_steps=16)
@@ -221,6 +222,7 @@ def _cluster_pieces(args):
         channels=args.channels,
         lr=3e-4,
         rng=args.seed,
+        fast_conv=args.fast_conv,
     )
     spec = ClusterSpec.for_agent(
         agent,
@@ -241,6 +243,9 @@ def _cluster_pieces(args):
         listen=args.listen,
         heartbeat_timeout=args.heartbeat_timeout,
         cluster_wait=args.cluster_wait,
+        serve_inference=args.inference,
+        inference_max_batch=args.inference_max_batch,
+        inference_max_wait=args.inference_max_wait,
     )
     return agent, spec, config, runtime_config
 
@@ -281,6 +286,17 @@ def _print_cluster_summary(history) -> None:
         print(f"  {area:10.2f}  {delay:.4f}")
 
 
+def _print_inference_summary(runtime) -> None:
+    stats = runtime.inference_stats
+    if stats and stats["batches"]:
+        print(
+            f"inference server served: batches={stats['batches']} "
+            f"requests={stats['requests']} rows={stats['rows']} "
+            f"coalescing={stats['coalescing']:.2f}",
+            file=sys.stderr,
+        )
+
+
 def cmd_serve_learner(args) -> int:
     from repro.rl import TrainingRuntime
 
@@ -298,13 +314,20 @@ def cmd_serve_learner(args) -> int:
     print(f"learner listening on {host}:{port}", flush=True)
     # 0.0.0.0 accepts from anywhere but is not a dialable address.
     dial_host = "<this-host>" if host == "0.0.0.0" else host
+    dial_extra = ""
+    if args.inference:
+        inf_host, inf_port = runtime.bind_inference()
+        print(f"inference server listening on {inf_host}:{inf_port}", flush=True)
+        inf_dial = "<this-host>" if inf_host == "0.0.0.0" else inf_host
+        dial_extra = f" --inference {inf_dial}:{inf_port}"
     print(
-        f"dial with: python -m repro actor --connect {dial_host}:{port}",
+        f"dial with: python -m repro actor --connect {dial_host}:{port}{dial_extra}",
         file=sys.stderr, flush=True,
     )
     history = runtime.run(
         steps=None if args.resume else args.steps, resume=args.resume
     )
+    _print_inference_summary(runtime)
     if runtime.preempted:
         print(
             f"checkpointed at step {history.env_steps} into {args.checkpoint_dir}; "
@@ -329,6 +352,9 @@ def cmd_actor(args) -> int:
         parse_address(args.connect),
         front_cache_entries=args.front_cache,
         farm_workers=farm_workers or None,
+        inference_address=(
+            parse_address(args.inference) if args.inference else None
+        ),
         heartbeat_timeout=args.heartbeat_timeout,
     )
     stats = worker.run()
@@ -349,6 +375,14 @@ def cmd_actor(args) -> int:
             f"elided={farm.get('remote', {}).get('shipped_elided', 0)}",
             file=sys.stderr,
         )
+    inference = stats.get("inference")
+    if inference:
+        print(
+            f"actor {stats['actor_id']} inference served: "
+            f"requests={inference['requests']} rows={inference['rows']} "
+            f"fallbacks={inference['fallbacks']}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -367,27 +401,35 @@ def cmd_cluster(args) -> int:
         checkpoint_dir=args.checkpoint_dir, rng=args.seed, cluster=spec,
     )
     farm_procs: list = []
-    actor_args = None
+    actor_args: list = []
     if args.farm_workers:
         farm_procs, farm_addresses = launch_farm_workers(args.farm_workers)
         print(
             f"farm workers listening on {', '.join(farm_addresses)}",
             file=sys.stderr, flush=True,
         )
-        actor_args = ["--farm", ",".join(farm_addresses)]
+        actor_args += ["--farm", ",".join(farm_addresses)]
+    if args.inference:
+        inf_host, inf_port = runtime.bind_inference()
+        print(
+            f"inference server listening on {inf_host}:{inf_port}",
+            file=sys.stderr, flush=True,
+        )
+        actor_args += ["--inference", f"{inf_host}:{inf_port}"]
     try:
         history, codes = run_local_cluster(
             runtime,
             num_actors=args.actors,
             steps=None if args.resume else args.steps,
             resume=args.resume,
-            actor_args=actor_args,
+            actor_args=actor_args or None,
         )
     finally:
         stop_farm_workers(farm_procs)
     for i, code in enumerate(codes):
         if code != 0:
             print(f"warning: actor subprocess {i} exited with {code}", file=sys.stderr)
+    _print_inference_summary(runtime)
     if runtime.preempted:
         print(
             f"checkpointed at step {history.env_steps} into {args.checkpoint_dir}; "
@@ -501,6 +543,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint and halt at this env step (simulated preemption)")
     p.add_argument("--resume", action="store_true",
                    help="resume from the latest checkpoint in --checkpoint-dir")
+    p.add_argument("--fast-conv", action="store_true",
+                   help="opt into the tolerance-gated tap-loop convolution "
+                        "(default: the byte-exact im2col path)")
     p.set_defaults(func=cmd_train)
 
     def add_cluster_common(p):
@@ -533,6 +578,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="checkpoint and halt at this env step (simulated preemption)")
         p.add_argument("--resume", action="store_true",
                        help="resume from the latest checkpoint in --checkpoint-dir")
+        p.add_argument("--fast-conv", action="store_true",
+                       help="opt into the tolerance-gated tap-loop convolution for "
+                            "learner and actors (default: the byte-exact im2col path)")
+        p.add_argument("--inference", action="store_true",
+                       help="host a shared batched-inference server next to the "
+                            "learner; cluster mode points every actor at it")
+        p.add_argument("--inference-max-batch", type=int, default=256,
+                       help="inference server: rows coalesced per forward, at most")
+        p.add_argument("--inference-max-wait", type=float, default=0.005,
+                       help="inference server: seconds to hold a batch for stragglers")
 
     p = sub.add_parser(
         "serve-learner",
@@ -549,6 +604,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "daemons (repeat or comma-separate for several)")
     p.add_argument("--front-cache", type=int, default=50_000,
                    help="actor-local front cache entries over the shared cache")
+    p.add_argument("--inference", metavar="HOST:PORT", default=None,
+                   help="serve exploit-side argmax from this shared inference "
+                        "server (printed by serve-learner/cluster --inference); "
+                        "falls back to local inference when unavailable")
     p.add_argument("--heartbeat-timeout", type=float, default=300.0,
                    help="give up if the learner is silent this long (seconds)")
     p.set_defaults(func=cmd_actor)

@@ -20,6 +20,7 @@ and runs many actors in parallel. Two CPU-scale equivalents live here:
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass
@@ -110,6 +111,25 @@ class BatchedActor:
 # ----------------------------------------------------------------------
 
 
+def weights_digest(weights: "dict[str, np.ndarray]") -> str:
+    """Content digest of a published weight map (order-independent).
+
+    Keys, dtypes, shapes and raw bytes all feed the hash, so two maps
+    share a digest iff they would load identically. Used for digest-keyed
+    weight pulls: a client holding the same *content* skips the re-ship
+    even when its version counter is stale (e.g. after a learner restart
+    reset the counter).
+    """
+    h = hashlib.sha256()
+    for key in sorted(weights):
+        arr = np.ascontiguousarray(weights[key])
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
 class PolicyHub:
     """The learner's published policy, shared with every actor.
 
@@ -117,7 +137,8 @@ class PolicyHub:
     weight publication); each actor holds an :class:`ActorPolicy` that
     copies the newest weights into its private network at round
     boundaries. Publications are detached copies, so actors never observe
-    a half-applied gradient step.
+    a half-applied gradient step. Every publication carries a content
+    digest so pulls can be answered "unchanged" without re-shipping.
     """
 
     def __init__(self, agent: ScalarizedDoubleDQN):
@@ -126,6 +147,7 @@ class PolicyHub:
         self.actions = agent.actions
         self._lock = threading.Lock()
         self._weights = agent.publish_weights()
+        self._digest = weights_digest(self._weights)
         self._version = 1
 
     @property
@@ -133,19 +155,34 @@ class PolicyHub:
         with self._lock:
             return self._version
 
+    @property
+    def digest(self) -> str:
+        with self._lock:
+            return self._digest
+
     def publish(self) -> int:
         """Snapshot the learner's current weights; returns the version."""
         weights = self._agent.publish_weights()
+        digest = weights_digest(weights)
         with self._lock:
             self._weights = weights
+            self._digest = digest
             self._version += 1
             return self._version
 
-    def _pull(self, have_version: int):
+    def _pull(self, have_version: int, have_digest: "str | None" = None):
+        """``(version, digest, weights-or-None)``; None means "unchanged".
+
+        A pull is unchanged when the client's version matches *or* its
+        content digest does (digest match adopts the current version
+        without shipping bytes the client already holds).
+        """
         with self._lock:
-            if self._version == have_version:
-                return have_version, None
-            return self._version, self._weights
+            if self._version == have_version or (
+                have_digest is not None and self._digest == have_digest
+            ):
+                return self._version, self._digest, None
+            return self._version, self._digest, self._weights
 
     def subscribe(self) -> "ActorPolicy":
         """A fresh actor-side policy copy tracking this hub."""
@@ -163,8 +200,9 @@ class ActorPolicy:
 
     def refresh(self) -> bool:
         """Adopt newly published weights, if any; returns True on update."""
-        version, weights = self._hub._pull(self._version)
+        version, _digest, weights = self._hub._pull(self._version)
         if weights is None:
+            self._version = version
             return False
         self._net.load_state_arrays(weights)
         self._net.eval()

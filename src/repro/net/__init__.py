@@ -7,9 +7,11 @@ and heartbeats (:mod:`repro.net.protocol`), a threaded framed server base
 (:mod:`repro.net.server`), the learner's service face — replay ingest,
 weight publication, shared synthesis cache —
 (:mod:`repro.net.learner`), actor *processes* that escape the GIL
-(:mod:`repro.net.actor`), remote synthesis-farm workers fed serialized
-prepared designs (:mod:`repro.net.farm`), and a localhost cluster
-launcher (:mod:`repro.net.cluster`).
+(:mod:`repro.net.actor`), a shared batched-inference service that
+coalesces many actors' act requests into one large-batch forward
+(:mod:`repro.net.inference`), remote synthesis-farm workers fed
+serialized prepared designs (:mod:`repro.net.farm`), and a localhost
+cluster launcher (:mod:`repro.net.cluster`).
 
 Entry points: ``repro serve-learner``, ``repro actor --connect``,
 ``repro cluster --actors N``, ``repro farm-worker`` — and
@@ -32,6 +34,7 @@ from repro.net.protocol import (
 )
 from repro.net.server import FramedServer
 from repro.net.learner import ClusterSpec, LearnerServer, LearnerState
+from repro.net.inference import InferenceClient, InferenceServer
 from repro.net.actor import RemoteActorWorker, RemoteCacheClient
 from repro.net.farm import FarmWorkerServer, RemoteFarmPool
 from repro.net.cluster import (
@@ -59,6 +62,8 @@ __all__ = [
     "ClusterSpec",
     "LearnerServer",
     "LearnerState",
+    "InferenceClient",
+    "InferenceServer",
     "RemoteActorWorker",
     "RemoteCacheClient",
     "FarmWorkerServer",

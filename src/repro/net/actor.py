@@ -36,6 +36,7 @@ import numpy as np
 from repro.env.actions import ActionSpace
 from repro.env.vector import VectorPrefixEnv
 from repro.net.farm import _library
+from repro.net.inference import InferenceClient
 from repro.net.protocol import (
     DEFAULT_HEARTBEAT_TIMEOUT,
     DEFAULT_MAX_FRAME_BYTES,
@@ -88,6 +89,15 @@ class RemoteActorWorker:
     ``farm_workers`` (``host:port`` strings or tuples) points this actor's
     leased synthesis at remote farm-worker daemons instead of its own
     process — ``repro actor --connect ... --farm host:port``.
+
+    ``inference_address`` points the exploit-side argmax at a shared
+    :class:`repro.net.inference.InferenceServer` — ``repro actor
+    --connect ... --inference host:port``. Exploration draws stay local
+    (the RNG stream is this actor's), and any inference failure falls
+    back to the local network after a lazy digest-keyed weight pull, so
+    the service is never a single point of failure. While inference is
+    healthy the actor skips its per-round ``pull_weights`` entirely —
+    the server tracks the hub for it.
     """
 
     def __init__(
@@ -95,6 +105,8 @@ class RemoteActorWorker:
         address: "tuple[str, int]",
         front_cache_entries: int = 50_000,
         farm_workers: "list | None" = None,
+        inference_address: "tuple[str, int] | None" = None,
+        inference_retry: float = 10.0,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         connect_timeout: float = 30.0,
@@ -102,12 +114,15 @@ class RemoteActorWorker:
         self.address = address
         self.front_cache_entries = front_cache_entries
         self.farm_workers = list(farm_workers) if farm_workers else None
+        self.inference_address = inference_address
+        self.inference_retry = inference_retry
         self.max_frame_bytes = max_frame_bytes
         self.heartbeat_timeout = heartbeat_timeout
         self.connect_timeout = connect_timeout
         self.actor_id: "int | None" = None
         self.rounds = 0
         self.env_steps_kept = 0
+        self.inference_fallbacks = 0
 
     # -- setup -----------------------------------------------------------
 
@@ -154,6 +169,7 @@ class RemoteActorWorker:
             blocks=spec["blocks"],
             channels=spec["channels"],
             dtype=np.dtype(spec["dtype"]),
+            fast_conv=spec.get("fast_conv", False),
         )
         net.eval()
         actions = ActionSpace(spec["width"])
@@ -162,9 +178,19 @@ class RemoteActorWorker:
         rng = ensure_rng(join["exploration_seed"])
         return venv, net, actions, w, rng, backend
 
-    def _act_batch(self, net, actions, w, rng, features, legal_masks, epsilon):
+    def _act_batch(
+        self, net, actions, w, rng, features, legal_masks, epsilon, remote=None, ensure_local=None
+    ):
         """Exploration-first epsilon-greedy on the snapshot network
-        (the :class:`repro.distributed.ActorPolicy` policy, sans hub)."""
+        (the :class:`repro.distributed.ActorPolicy` policy, sans hub).
+
+        With ``remote`` (an :class:`InferenceClient`) the exploit rows are
+        served by the shared inference server; a ``None`` reply falls back
+        to the local network after calling ``ensure_local`` to freshen its
+        weights. The exploration draws happen before either path, so the
+        RNG stream — and therefore the run's exploration trajectory — is
+        identical with and without the service.
+        """
         legal_masks = np.asarray(legal_masks)
         if not legal_masks.any(axis=1).all():
             raise ValueError("no legal actions available in some state")
@@ -180,7 +206,16 @@ class RemoteActorWorker:
             chosen[e] = legal_idx[rng.integers(legal_idx.size)]
         exploit = np.nonzero(~explore)[0]
         if exploit.size:
-            qmaps = net.predict(np.asarray(features)[exploit])
+            feats = np.asarray(features)[exploit]
+            if remote is not None:
+                reply = remote.act_batch(feats, legal_masks[exploit], w)
+                if reply is not None:
+                    chosen[exploit] = np.asarray(reply["actions"], dtype=np.int64)
+                    return chosen
+                self.inference_fallbacks += 1
+                if ensure_local is not None:
+                    ensure_local()
+            qmaps = net.predict(feats)
             flat = actions.qmaps_to_flat(qmaps)
             scalar = np.where(legal_masks[exploit], flat @ w, -np.inf)
             chosen[exploit] = np.argmax(scalar, axis=1)
@@ -198,6 +233,13 @@ class RemoteActorWorker:
             connect_timeout=self.connect_timeout,
         )
         backend = None
+        inference = None
+        if self.inference_address is not None:
+            inference = InferenceClient(
+                self.inference_address,
+                max_frame_bytes=self.max_frame_bytes,
+                retry_after=self.inference_retry,
+            )
         try:
             join = conn.call("join", {})
             self.actor_id = join["actor_id"]
@@ -205,18 +247,39 @@ class RemoteActorWorker:
             epsilon = join["epsilon"]
             stop = join["stop"]
             version = 0
-            start = time.perf_counter()
-            if not stop:
-                venv.reset()
-            while not stop:
-                reply = conn.call("pull_weights", {"have_version": version})
+            digest = None
+
+            def pull_local():
+                # Digest-keyed: an unchanged policy costs one tiny frame.
+                nonlocal version, digest
+                reply = conn.call(
+                    "pull_weights", {"have_version": version, "have_digest": digest}
+                )
                 if "weights" in reply:
                     net.load_state_arrays(reply["weights"])
                     net.eval()
                 version = reply["version"]
+                digest = reply.get("digest")
+
+            start = time.perf_counter()
+            if not stop:
+                venv.reset()
+            while not stop:
+                if inference is None:
+                    pull_local()
                 obs = venv.observe()
                 masks = venv.legal_masks()
-                chosen = self._act_batch(net, actions, w, rng, obs, masks, epsilon)
+                chosen = self._act_batch(
+                    net,
+                    actions,
+                    w,
+                    rng,
+                    obs,
+                    masks,
+                    epsilon,
+                    remote=inference,
+                    ensure_local=pull_local,
+                )
                 results = venv.step(chosen)
                 next_obs = venv.observe()
                 next_masks = venv.legal_masks()
@@ -255,8 +318,15 @@ class RemoteActorWorker:
                 "cache_hits": backend.cache_hits,
                 "cache_misses": backend.cache_misses,
                 "backend": backend.stats(),
+                "inference": (
+                    dict(inference.stats(), fallbacks=self.inference_fallbacks)
+                    if inference is not None
+                    else None
+                ),
             }
         finally:
             if backend is not None:
                 backend.close()
+            if inference is not None:
+                inference.close()
             conn.close(bye=True)

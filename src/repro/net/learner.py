@@ -10,7 +10,9 @@ in-process services of the asynchronous runtime to remote actor
   actor CLI needs nothing but ``--connect``;
 - ``pull_weights`` — versioned snapshots from the learner's
   :class:`repro.distributed.PolicyHub` (the paper's delayed-parameter
-  publication), shipped only when the actor's version is stale;
+  publication), shipped only when the actor's version *and* content
+  digest are both stale (digest-keyed pulls answer "unchanged" without
+  re-shipping the npz);
 - ``push_batch`` — one acting round's transitions; the server folds
   telemetry into the shared :class:`~repro.rl.trainer.TrainingHistory`
   under the ingest lock (the same accounting as the threaded runtime's
@@ -69,6 +71,7 @@ class ClusterSpec:
     blocks: int = 2
     channels: int = 16
     dtype: str = "float64"
+    fast_conv: bool = False
 
     @classmethod
     def for_agent(cls, agent, **kwargs) -> "ClusterSpec":
@@ -80,6 +83,7 @@ class ClusterSpec:
             blocks=agent.local.blocks,
             channels=agent.local.channels,
             dtype=np.dtype(agent.local.dtype).name,
+            fast_conv=bool(agent.local.fast_conv),
             **kwargs,
         )
 
@@ -341,8 +345,13 @@ class LearnerServer(FramedServer):
         return reply
 
     def _pull_weights(self, ctx, params) -> dict:
-        version, weights = self.state.hub._pull(int(params["have_version"]))
-        reply = {"version": version}
+        # Digest-keyed: "unchanged" (no weights in the reply) when the
+        # client's version *or* content digest matches, so steady-state
+        # pulls and reconnects-after-resume never re-ship the full npz.
+        version, digest, weights = self.state.hub._pull(
+            int(params["have_version"]), params.get("have_digest")
+        )
+        reply = {"version": version, "digest": digest}
         if weights is not None:
             reply["weights"] = weights
         return reply

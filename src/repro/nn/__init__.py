@@ -1,12 +1,19 @@
 """A small numpy deep-learning framework (the paper's GPU-stack substitute).
 
 Implements exactly what the Fig. 2 Q-network needs — stride-1 2-D
-convolutions (im2col), batch normalization, LeakyReLU, residual blocks,
-Adam, Huber loss — with hand-written backward passes that are verified
-against numerical gradients in the test suite. Layers follow a explicit
-tape-free design: each module caches its forward activations and its
-``backward`` consumes them in reverse order, which is sufficient for the
+convolutions, batch normalization, LeakyReLU, residual blocks, Adam,
+Huber loss — with hand-written backward passes that are verified against
+numerical gradients in the test suite. Layers follow a explicit tape-free
+design: each module caches its forward activations and its ``backward``
+consumes them in reverse order, which is sufficient for the
 chain-plus-skip topology of the network.
+
+Convolution ships two layouts: the byte-exact im2col path (default; the
+original implementation, preserved in :mod:`repro.nn.reference` as the
+oracle) and an opt-in tap-loop GEMM fast path gated on a tested numerical
+tolerance (``QNetwork(fast_conv=True)`` / ``--fast-conv``). The repo's
+bit-identity policy keeps ``mode="sync"`` and the differential-CLI gate
+on the exact path.
 """
 
 from repro.nn.layers import (

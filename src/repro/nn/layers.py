@@ -129,11 +129,16 @@ class Module:
 
 
 class Conv2d(Module):
-    """Same-padded stride-1 convolution with He-initialized weights."""
+    """Same-padded stride-1 convolution with He-initialized weights.
+
+    ``fast=True`` selects the tolerance-gated tap-loop GEMM layout in
+    :mod:`repro.nn.functional`; the default stays on the byte-exact
+    im2col reference path.
+    """
 
     def __init__(
         self, in_channels: int, out_channels: int, kernel_size: int,
-        rng=None, bias: bool = True, dtype=np.float64,
+        rng=None, bias: bool = True, dtype=np.float64, fast: bool = False,
     ):
         super().__init__()
         gen = ensure_rng(rng)
@@ -145,11 +150,12 @@ class Conv2d(Module):
             dtype=dtype,
         )
         self.bias = Parameter(np.zeros(out_channels), name="conv.bias", dtype=dtype) if bias else None
+        self.fast = fast
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         bias = self.bias.value if self.bias is not None else None
-        y, self._cache = F.conv2d_forward(x, self.weight.value, bias)
+        y, self._cache = F.conv2d_forward(x, self.weight.value, bias, fast=self.fast)
         return y
 
     def backward(self, dy: np.ndarray) -> np.ndarray:
@@ -234,13 +240,16 @@ class Sequential(Module):
 class ResidualBlock(Module):
     """Fig. 2 residual block: conv5x5-BN-LReLU-conv5x5-BN, skip add, LReLU."""
 
-    def __init__(self, channels: int, kernel_size: int = 5, rng=None, slope: float = 0.01, dtype=np.float64):
+    def __init__(
+        self, channels: int, kernel_size: int = 5, rng=None, slope: float = 0.01,
+        dtype=np.float64, fast: bool = False,
+    ):
         super().__init__()
         gen = ensure_rng(rng)
-        self.conv1 = Conv2d(channels, channels, kernel_size, rng=gen, dtype=dtype)
+        self.conv1 = Conv2d(channels, channels, kernel_size, rng=gen, dtype=dtype, fast=fast)
         self.bn1 = BatchNorm2d(channels, dtype=dtype)
         self.act1 = LeakyReLU(slope)
-        self.conv2 = Conv2d(channels, channels, kernel_size, rng=gen, dtype=dtype)
+        self.conv2 = Conv2d(channels, channels, kernel_size, rng=gen, dtype=dtype, fast=fast)
         self.bn2 = BatchNorm2d(channels, dtype=dtype)
         self.act_out = LeakyReLU(slope)
 

@@ -1,0 +1,100 @@
+"""Reference convolution (executable specification).
+
+This module preserves the original im2col implementation of
+:func:`conv2d_forward` / :func:`conv2d_backward` verbatim, as the oracle
+the tap-loop GEMM path in :mod:`repro.nn.functional` is property-tested
+against: the fast path must match within a stated numerical tolerance on
+random shapes and dtypes, and the *default* path must stay byte-identical
+to this module (see ``tests/nn/test_fast_conv.py``).
+
+Like :mod:`repro.sta.reference`, this code still runs in production — it
+*is* the default conv path, because the repo's bit-identity policy keeps
+``mode="sync"`` and the differential-CLI gate on the exact im2col layout.
+The fast path is opt-in (``QNetwork(fast_conv=True)`` / ``--fast-conv``)
+and is checked against the code that actually shipped before, not a
+strawman.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, pad: int) -> np.ndarray:
+    """Unfold sliding windows: ``(B,C,H,W) -> (B*H*W, C*kh*kw)``.
+
+    Stride 1; with ``pad = (k-1)//2`` the output spatial size equals the
+    input's. Rows enumerate (batch, out_row, out_col) in C order. A 1x1
+    kernel needs no window materialization or padding — that path is one
+    channel-last reshape, which matters because the Q-net head is all 1x1.
+    """
+    b, c, h, w = x.shape
+    if kh == 1 and kw == 1 and pad == 0:
+        return np.ascontiguousarray(x.transpose(0, 2, 3, 1)).reshape(b * h * w, c)
+    # Zero-pad by hand: same values as np.pad without its per-call setup
+    # overhead (this runs once per conv per forward).
+    xp = np.zeros((b, c, h + 2 * pad, w + 2 * pad), dtype=x.dtype)
+    xp[:, :, pad : pad + h, pad : pad + w] = x
+    windows = np.lib.stride_tricks.sliding_window_view(xp, (kh, kw), axis=(2, 3))
+    ho, wo = windows.shape[2], windows.shape[3]
+    cols = windows.transpose(0, 2, 3, 1, 4, 5).reshape(b * ho * wo, c * kh * kw)
+    return cols
+
+
+def col2im(dcols: np.ndarray, x_shape: "tuple[int, int, int, int]", kh: int, kw: int, pad: int) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add column gradients back to input."""
+    b, c, h, w = x_shape
+    if kh == 1 and kw == 1 and pad == 0:
+        return np.ascontiguousarray(dcols.reshape(b, h, w, c).transpose(0, 3, 1, 2))
+    ho, wo = h + 2 * pad - kh + 1, w + 2 * pad - kw + 1
+    dxp = np.zeros((b, c, h + 2 * pad, w + 2 * pad), dtype=dcols.dtype)
+    dsix = dcols.reshape(b, ho, wo, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        for j in range(kw):
+            dxp[:, :, i : i + ho, j : j + wo] += dsix[:, :, i, j]
+    if pad == 0:
+        return dxp
+    return dxp[:, :, pad : pad + h, pad : pad + w]
+
+
+def conv2d_forward(x: np.ndarray, weight: np.ndarray, bias: "np.ndarray | None"):
+    """Same-padded stride-1 convolution via im2col.
+
+    Args:
+        x: ``(B, C_in, H, W)``.
+        weight: ``(C_out, C_in, K, K)`` with odd ``K``.
+        bias: ``(C_out,)`` or None.
+
+    Returns:
+        ``(y, cache)`` with ``y`` of shape ``(B, C_out, H, W)``.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    if kh != kw or kh % 2 == 0:
+        raise ValueError(f"only odd square kernels supported, got {kh}x{kw}")
+    pad = (kh - 1) // 2
+    b, _, h, w = x.shape
+    cols = im2col(x, kh, kw, pad)
+    wmat = weight.reshape(c_out, -1)
+    out = cols @ wmat.T
+    if bias is not None:
+        out += bias
+    y = out.reshape(b, h, w, c_out).transpose(0, 3, 1, 2)
+    cache = (cols, wmat, x.shape, kh, kw, pad, bias is not None)
+    return np.ascontiguousarray(y), cache
+
+
+def conv2d_backward(dy: np.ndarray, cache):
+    """Gradients of :func:`conv2d_forward`.
+
+    Returns ``(dx, dweight, dbias)`` (``dbias`` None if no bias).
+    """
+    cols, wmat, x_shape, kh, kw, pad, has_bias = cache
+    b, c_in, h, w = x_shape
+    c_out = wmat.shape[0]
+    dout = dy.transpose(0, 2, 3, 1).reshape(b * h * w, c_out)
+    dwmat = dout.T @ cols
+    dweight = dwmat.reshape(c_out, c_in, kh, kw)
+    dbias = dout.sum(axis=0) if has_bias else None
+    dcols = dout @ wmat
+    dx = col2im(dcols, x_shape, kh, kw, pad)
+    return dx, dweight, dbias

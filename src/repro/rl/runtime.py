@@ -79,6 +79,11 @@ class RuntimeConfig:
     #   must exceed an actor's worst acting round (synthesis included) —
     #   the actor is wire-silent while it steps its environments
     cluster_wait: float = 60.0     # cluster only: max seconds with zero actors
+    serve_inference: bool = False  # cluster only: host a shared batched
+    #   inference server next to the learner (actors opt in per process)
+    inference_listen: str = "127.0.0.1:0"  # cluster only: inference bind address
+    inference_max_batch: int = 256   # rows coalesced into one forward, at most
+    inference_max_wait: float = 0.005  # seconds to hold a batch for stragglers
 
     def __post_init__(self):
         if self.mode not in ("sync", "async", "cluster"):
@@ -91,6 +96,10 @@ class RuntimeConfig:
             raise ValueError("publish_every must be positive")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be nonnegative")
+        if self.inference_max_batch < 1:
+            raise ValueError("inference_max_batch must be positive")
+        if self.inference_max_wait < 0:
+            raise ValueError("inference_max_wait must be nonnegative")
 
 
 def grads_allowed(env_steps: int, total: int, cfg: TrainerConfig) -> int:
@@ -269,6 +278,7 @@ class TrainingRuntime:
             self._server = None
             self._state = None
             self._cluster_cache = SynthesisCache()
+            self._inference_server = None
         elif self.runtime.mode == "sync":
             if isinstance(env, (list, tuple)):
                 raise ValueError("sync mode takes a single environment, not a list")
@@ -302,7 +312,9 @@ class TrainingRuntime:
             self.cluster = None
             self._server = None
             self._state = None
+            self._inference_server = None
         self.preempted = False
+        self.inference_stats: "dict | None" = None
 
     # ------------------------------------------------------------------
     # Checkpoint assembly
@@ -565,6 +577,33 @@ class TrainingRuntime:
             self._server.start()
         return self._server.address
 
+    def bind_inference(self) -> "tuple[str, int]":
+        """Bind the shared batched-inference server; returns its address.
+
+        Like :meth:`bind`, binding is separate from :meth:`run` so the
+        launcher can pass ``--inference host:port`` to actor subprocesses
+        before training state exists — requests made early wait on the
+        server's ready gate (and the client falls back to local inference
+        if the gate times out).
+        """
+        if self.runtime.mode != "cluster":
+            raise RuntimeError("bind_inference() is only meaningful in cluster mode")
+        if not self.runtime.serve_inference:
+            raise RuntimeError("runtime config does not set serve_inference")
+        if self._inference_server is None:
+            from repro.net.inference import InferenceServer
+            from repro.net.protocol import parse_address
+
+            self._inference_server = InferenceServer(
+                parse_address(self.runtime.inference_listen),
+                max_batch=self.runtime.inference_max_batch,
+                max_wait=self.runtime.inference_max_wait,
+                heartbeat_timeout=self.runtime.heartbeat_timeout,
+                state_wait=self.runtime.cluster_wait,
+            )
+            self._inference_server.start()
+        return self._inference_server.address
+
     def _run_cluster(self, steps: "int | None", resume: bool) -> TrainingHistory:
         from repro.distributed.pipeline import PolicyHub
         from repro.net.learner import LearnerState
@@ -597,6 +636,13 @@ class TrainingRuntime:
             )
             self._state = state
             server.attach(state)
+            if self.runtime.serve_inference:
+                self.bind_inference()
+                # The inference server tracks the same hub the actors'
+                # pull_weights reads — one publication feeds both paths.
+                self._inference_server.attach(
+                    hub, self.agent.snapshot_network(), self.agent.actions
+                )
 
             last_saved = history.env_steps
             stopped_early = False
@@ -651,6 +697,10 @@ class TrainingRuntime:
             return history
         finally:
             self._state = None
+            if self._inference_server is not None:
+                self.inference_stats = self._inference_server.stats_dict()
+                self._inference_server.stop()
+                self._inference_server = None
             server.stop()
             self._server = None
 

@@ -113,6 +113,32 @@ class TestWeights:
         )
         conn.close(bye=True)
 
+    def test_digest_keyed_pull_skips_reship_across_version_reset(self, server):
+        """A client whose version counter is stale but whose *content*
+        matches (e.g. after a learner restart reset the counter) gets an
+        'unchanged' reply carrying the current version, not the bytes."""
+        srv, state = server
+        conn = dial(srv)
+        conn.call("join")
+        first = conn.call("pull_weights", {"have_version": 0})
+        assert "weights" in first and "digest" in first
+        # Republishing identical weights bumps the version but not the
+        # digest — a digest-keyed pull adopts the new version for free.
+        state.hub.publish()
+        reply = conn.call(
+            "pull_weights", {"have_version": 0, "have_digest": first["digest"]}
+        )
+        assert "weights" not in reply
+        assert reply["version"] == 2 and reply["digest"] == first["digest"]
+        # Content actually changed -> digest differs -> bytes ship.
+        state.agent.local.parameters()[0].value += 0.5
+        state.hub.publish()
+        fresh = conn.call(
+            "pull_weights", {"have_version": 0, "have_digest": first["digest"]}
+        )
+        assert "weights" in fresh and fresh["digest"] != first["digest"]
+        conn.close(bye=True)
+
 
 class TestIngest:
     def test_push_records_history_and_buffer(self, server):

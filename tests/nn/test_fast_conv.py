@@ -1,0 +1,202 @@
+"""Tolerance-gated oracle for the tap-loop fast convolution.
+
+The fast path reassociates the K*K tap accumulation, so it is pinned to
+the im2col reference within stated numerical tolerances — not byte
+equality — over randomized shapes and both dtypes. The *default* path,
+by contrast, must stay byte-identical to :mod:`repro.nn.reference`
+forever: ``mode="sync"`` and the differential-CLI gate depend on it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import QNetwork
+from repro.nn import functional as F
+from repro.nn import reference
+from repro.nn.functional import TapConvCache
+
+# Reassociation tolerance per dtype: (rtol, atol).
+TOL = {np.float64: (1e-10, 1e-12), np.float32: (1e-3, 1e-5)}
+
+
+def make_case(rng, *, b, c_in, c_out, n, k, dtype, bias=True):
+    x = rng.normal(size=(b, c_in, n, n)).astype(dtype)
+    w = rng.normal(size=(c_out, c_in, k, k)).astype(dtype)
+    bias_arr = rng.normal(size=c_out).astype(dtype) if bias else None
+    dy = rng.normal(size=(b, c_out, n, n)).astype(dtype)
+    return x, w, bias_arr, dy
+
+
+SHAPES = [
+    # (batch, c_in, c_out, n, k) — covers the trainer shapes (3x3 stem,
+    # 5x5 residual) plus deliberately awkward odd sizes.
+    (1, 1, 1, 3, 3),
+    (2, 3, 4, 5, 3),
+    (4, 4, 16, 8, 3),
+    (2, 16, 16, 8, 5),
+    (3, 5, 7, 11, 5),
+    (1, 2, 3, 9, 7),
+]
+
+
+class TestFastMatchesOracle:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_forward_and_backward_within_tolerance(self, shape, dtype):
+        b, c_in, c_out, n, k = shape
+        rng = np.random.default_rng(hash(shape) % (2**32))
+        x, w, bias, dy = make_case(
+            rng, b=b, c_in=c_in, c_out=c_out, n=n, k=k, dtype=dtype
+        )
+        rtol, atol = TOL[dtype]
+
+        y_ref, cache_ref = reference.conv2d_forward(x, w, bias)
+        y_fast, cache_fast = F.conv2d_forward(x, w, bias, fast=True)
+        assert isinstance(cache_fast, TapConvCache)
+        assert y_fast.dtype == y_ref.dtype
+        np.testing.assert_allclose(y_fast, y_ref, rtol=rtol, atol=atol)
+
+        grads_ref = reference.conv2d_backward(dy, cache_ref)
+        grads_fast = F.conv2d_backward(dy, cache_fast)
+        for g_fast, g_ref in zip(grads_fast, grads_ref):
+            np.testing.assert_allclose(g_fast, g_ref, rtol=rtol, atol=atol)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(0)
+        x, w, _, dy = make_case(
+            rng, b=2, c_in=3, c_out=4, n=6, k=3, dtype=np.float64, bias=False
+        )
+        y_ref, cache_ref = reference.conv2d_forward(x, w, None)
+        y_fast, cache_fast = F.conv2d_forward(x, w, None, fast=True)
+        np.testing.assert_allclose(y_fast, y_ref, rtol=1e-10, atol=1e-12)
+        dx_f, dw_f, db_f = F.conv2d_backward(dy, cache_fast)
+        dx_r, dw_r, db_r = reference.conv2d_backward(dy, cache_ref)
+        assert db_f is None and db_r is None
+        np.testing.assert_allclose(dx_f, dx_r, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(dw_f, dw_r, rtol=1e-10, atol=1e-12)
+
+    def test_fast_gradients_numerically(self):
+        """The fast backward is a correct gradient in its own right, not
+        merely close to the reference backward."""
+        rng = np.random.default_rng(3)
+        x, w, bias, dy = make_case(
+            rng, b=2, c_in=3, c_out=4, n=5, k=3, dtype=np.float64
+        )
+
+        _, cache = F.conv2d_forward(x, w, bias, fast=True)
+        dx, dw, db = F.conv2d_backward(dy, cache)
+
+        eps = 1e-6
+        for arr, grad in ((x, dx), (w, dw), (bias, db)):
+            it = np.nditer(arr, flags=["multi_index"])
+            # Spot-check a handful of coordinates — full sweeps live in
+            # test_gradients.py for the reference path.
+            for _ in range(5):
+                idx = it.multi_index
+                orig = arr[idx]
+                arr[idx] = orig + eps
+                plus = float((F.conv2d_forward(x, w, bias, fast=True)[0] * dy).sum())
+                arr[idx] = orig - eps
+                minus = float((F.conv2d_forward(x, w, bias, fast=True)[0] * dy).sum())
+                arr[idx] = orig
+                assert abs(grad[idx] - (plus - minus) / (2 * eps)) < 1e-6
+                for _ in range(max(1, arr.size // 5)):
+                    if it.finished:
+                        break
+                    it.iternext()
+                if it.finished:
+                    break
+
+
+class TestBitIdentity:
+    def test_default_path_is_byte_equal_to_reference(self):
+        """The default conv2d_forward/backward must return bit-identical
+        bytes to repro.nn.reference — the sync-mode differential gate
+        depends on this."""
+        rng = np.random.default_rng(11)
+        for shape in SHAPES:
+            b, c_in, c_out, n, k = shape
+            x, w, bias, dy = make_case(
+                rng, b=b, c_in=c_in, c_out=c_out, n=n, k=k, dtype=np.float64
+            )
+            y_def, cache_def = F.conv2d_forward(x, w, bias)
+            y_ref, cache_ref = reference.conv2d_forward(x, w, bias)
+            assert y_def.tobytes() == y_ref.tobytes()
+            for g_def, g_ref in zip(
+                F.conv2d_backward(dy, cache_def),
+                reference.conv2d_backward(dy, cache_ref),
+            ):
+                assert g_def.tobytes() == g_ref.tobytes()
+
+    def test_qnetwork_default_is_exact_path(self):
+        net = QNetwork(8, blocks=1, channels=8, rng=0)
+        assert net.fast_conv is False
+
+
+class TestDispatch:
+    def test_1x1_delegates_to_reference(self):
+        """A 1x1 kernel is a single exact GEMM already: the fast flag is
+        a no-op there and the result stays byte-identical."""
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(2, 8, 4, 4))
+        w = rng.normal(size=(3, 8, 1, 1))
+        bias = rng.normal(size=3)
+        y_fast, cache = F.conv2d_forward(x, w, bias, fast=True)
+        y_ref, _ = reference.conv2d_forward(x, w, bias)
+        assert not isinstance(cache, TapConvCache)
+        assert y_fast.tobytes() == y_ref.tobytes()
+
+    @pytest.mark.parametrize("k", [(2, 2), (3, 5), (4, 4)])
+    def test_even_or_rectangular_kernels_rejected(self, k):
+        kh, kw = k
+        x = np.zeros((1, 2, 6, 6))
+        w = np.zeros((3, 2, kh, kw))
+        with pytest.raises(ValueError, match="odd square"):
+            F.conv2d_forward(x, w, None, fast=True)
+
+    def test_backward_dispatches_on_cache_type(self):
+        rng = np.random.default_rng(9)
+        x, w, bias, dy = make_case(
+            rng, b=1, c_in=2, c_out=2, n=4, k=3, dtype=np.float64
+        )
+        _, ref_cache = F.conv2d_forward(x, w, bias)
+        _, fast_cache = F.conv2d_forward(x, w, bias, fast=True)
+        assert not isinstance(ref_cache, TapConvCache)
+        assert isinstance(fast_cache, TapConvCache)
+        # Both caches flow through the same backward entry point.
+        for g_a, g_b in zip(
+            F.conv2d_backward(dy, ref_cache), F.conv2d_backward(dy, fast_cache)
+        ):
+            np.testing.assert_allclose(g_a, g_b, rtol=1e-10, atol=1e-12)
+
+
+class TestQNetworkFastConv:
+    def test_fast_network_matches_exact_within_tolerance(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, 4, 8, 8))
+        exact = QNetwork(8, blocks=1, channels=8, rng=0)
+        fast = QNetwork(8, blocks=1, channels=8, rng=0, fast_conv=True)
+        fast.load_state_arrays(exact.state_arrays())
+        np.testing.assert_allclose(
+            fast.predict(x), exact.predict(x), rtol=1e-9, atol=1e-11
+        )
+
+    def test_save_load_roundtrips_fast_conv_flag(self, tmp_path):
+        path = str(tmp_path / "net.npz")
+        QNetwork(8, blocks=0, channels=4, rng=0, fast_conv=True).save(path)
+        loaded = QNetwork.load(path)
+        assert loaded.fast_conv is True
+
+    def test_load_without_meta_defaults_to_exact(self, tmp_path):
+        """Checkpoints written before the fast path existed load onto the
+        exact path."""
+        path = str(tmp_path / "old.npz")
+        QNetwork(8, blocks=0, channels=4, rng=0).save(path)
+        # Strip the fast_conv meta key, simulating a pre-fast checkpoint.
+        data = dict(np.load(path))
+        del data["__meta_fast_conv"]
+        np.savez(path, **data)
+        loaded = QNetwork.load(path)
+        assert loaded.fast_conv is False
