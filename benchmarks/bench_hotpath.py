@@ -11,10 +11,12 @@ writes the numbers to JSON:
    paper's true cost center, the target of the incremental-STA engine;
 4. ``SynthesisFarm`` pool-vs-serial speedup on the Section V-C workload;
 5. when the running tree has them: ``conv`` (tap-loop fast conv vs the
-   im2col oracle at trainer batch shapes, fwd and fwd+bwd) and
-   ``inference`` (shared batched-inference service: coalescing ratio and
-   forwards saved under concurrent actor clients, honest 1-CPU
-   accounting).
+   im2col oracle at trainer batch shapes, fwd and fwd+bwd), ``inference``
+   (shared batched-inference service: coalescing ratio and forwards saved
+   under concurrent actor clients, honest 1-CPU accounting) and ``chaos``
+   (failure-recovery cost: a severed actor link absorbed by the
+   supervised reconnect loop vs an undisturbed run, plus the supervisor's
+   respawn-dispatch overhead — recovery records, not speedup claims).
 
 The script is deliberately restricted to APIs that exist in the seed tree
 so the *same* workload can be measured before and after the optimization
@@ -128,6 +130,9 @@ INFERENCE_CLIENTS = 4           # concurrent actors sharing the server
 INFERENCE_REQUESTS = 8          # act requests per client
 INFERENCE_ROWS = 4              # env replicas per request (exploit rows)
 INFERENCE_ROUNDS = 3
+CHAOS_WIDTH = 16
+CHAOS_STEPS = 96
+CHAOS_ROUNDS = 2                # interleaved clean/severed run pairs
 
 
 def random_walk_grid(n: int, steps: int, rng: np.random.Generator) -> np.ndarray:
@@ -877,6 +882,153 @@ def bench_inference() -> "dict | None":
     return out
 
 
+CHAOS_AVAILABLE = (
+    repro_net is not None
+    and hasattr(repro_net, "ChaosProxy")
+    and TrainingRuntime is not None
+)
+
+
+def _chaos_train_run(sever: bool) -> "tuple[float, dict, dict]":
+    """One in-process cluster run with the actor behind a chaos proxy.
+
+    Returns ``(wall_seconds, actor_stats, membership_stats)``. With
+    ``sever`` the proxy cuts every link once the actor has a couple of
+    rounds in flight; the supervised reconnect loop redials through the
+    proxy and rejoins its session — the run reaches the full step budget
+    either way (recovery never costs steps, only wall-clock).
+    """
+    import threading
+
+    from repro.net import ChaosProxy, ClusterSpec, RemoteActorWorker, wait_until
+
+    config = TrainerConfig(steps=CHAOS_STEPS, **RUNTIME_CONFIG)
+    agent = ScalarizedDoubleDQN(CHAOS_WIDTH, rng=0, **RUNTIME_NET)
+    spec = ClusterSpec.for_agent(
+        agent,
+        horizon=RUNTIME_HORIZON,
+        envs_per_actor=RUNTIME_ENVS_PER_ACTOR,
+        library="nangate45",
+        seed=0,
+    )
+    runtime = TrainingRuntime(
+        None,
+        agent,
+        config,
+        RuntimeConfig(
+            mode="cluster", num_actors=1, publish_every=RUNTIME_PUBLISH_EVERY
+        ),
+        rng=0,
+        cluster=spec,
+    )
+    address = runtime.bind()
+    proxy = ChaosProxy(address).start()
+    worker = RemoteActorWorker(proxy.address, reconnect_base=0.05, reconnect_cap=0.2)
+    stats = {}
+    thread = threading.Thread(
+        target=lambda: stats.update(a=worker.run()), daemon=True
+    )
+    thread.start()
+    saboteur = None
+    if sever:
+
+        def chaos():
+            wait_until(
+                lambda: worker.rounds >= 2,
+                timeout=300.0,
+                message="the actor to complete two rounds",
+            )
+            proxy.sever()
+
+        saboteur = threading.Thread(target=chaos, daemon=True)
+        saboteur.start()
+    start = time.perf_counter()
+    history = runtime.run()
+    wall = time.perf_counter() - start
+    thread.join(timeout=60)
+    if saboteur is not None:
+        saboteur.join(timeout=60)
+    proxy.stop()
+    assert history.env_steps == CHAOS_STEPS, "chaos run lost steps"
+    return wall, stats["a"], runtime.membership_stats
+
+
+def _bench_respawn_dispatch() -> float:
+    """Supervisor overhead: notice a dead child and launch its successor.
+
+    One ``poll_once`` pass over an already-dead child — death detection
+    plus the replacement ``Popen``; the milliseconds a crash costs the
+    fleet on top of the replacement's own startup.
+    """
+    import subprocess
+    import sys
+
+    from repro.net import FleetSupervisor
+
+    crashed = subprocess.Popen([sys.executable, "-c", "raise SystemExit(1)"])
+    crashed.wait()
+    sup = FleetSupervisor(restart_budget=1)
+    sup.watch(
+        "child",
+        crashed,
+        respawn=lambda: subprocess.Popen([sys.executable, "-c", "raise SystemExit(0)"]),
+    )
+    start = time.perf_counter()
+    sup.poll_once()
+    dispatch_ms = (time.perf_counter() - start) * 1000
+    replacement = sup.procs()[0]
+    replacement.wait()
+    return dispatch_ms
+
+
+def bench_chaos() -> "dict | None":
+    """Failure-recovery cost: a severed actor link vs an undisturbed run.
+
+    Interleaved clean/severed pairs (both through the same chaos proxy,
+    so the proxy's forwarding cost cancels), best-of per mode. The
+    recorded quantities are *recovery* records, not speedups: the
+    wall-clock ratio severed-over-clean (backoff + redial + the lost
+    round's re-generation), the actor's own reconnect accounting, and the
+    learner-side rejoin count proving the session actually resumed. All
+    runs must reach the full step budget — recovery that drops steps
+    would be a correctness bug, not a slow run.
+    """
+    if not CHAOS_AVAILABLE:
+        return None
+    best = {"clean": float("inf"), "severed": float("inf")}
+    recovery = None
+    for _ in range(CHAOS_ROUNDS):
+        for mode, sever in (("clean", False), ("severed", True)):
+            wall, stats, membership = _chaos_train_run(sever)
+            if wall < best[mode]:
+                best[mode] = wall
+                if sever:
+                    recovery = (stats, membership)
+    stats, membership = recovery
+    row = {
+        "steps": CHAOS_STEPS,
+        "envs_per_actor": RUNTIME_ENVS_PER_ACTOR,
+        "rounds": CHAOS_ROUNDS,
+        "clean_wall_seconds": best["clean"],
+        "severed_wall_seconds": best["severed"],
+        "severed_over_clean_wall": best["severed"] / max(best["clean"], 1e-9),
+        "reconnects": stats["reconnects"],
+        "rounds_lost": stats["rounds_lost"],
+        "reconnect_backoff_seconds": stats["reconnect_seconds"],
+        "learner_rejoins": membership["rejoins"],
+        "respawn_dispatch_ms": _bench_respawn_dispatch(),
+    }
+    out = {str(CHAOS_WIDTH): row}
+    print(
+        f"chaos n={CHAOS_WIDTH}: clean {best['clean']:.2f}s, severed "
+        f"{best['severed']:.2f}s -> {row['severed_over_clean_wall']:.2f}x wall "
+        f"({stats['reconnects']} reconnects, {stats['rounds_lost']} rounds lost, "
+        f"{stats['reconnect_seconds']:.2f}s backoff); respawn dispatch "
+        f"{row['respawn_dispatch_ms']:.1f} ms"
+    )
+    return out
+
+
 def measure() -> dict:
     out = {
         "machine": {
@@ -910,6 +1062,9 @@ def measure() -> dict:
     inference = bench_inference()
     if inference is not None:
         out["inference"] = inference
+    chaos = bench_chaos()
+    if chaos is not None:
+        out["chaos"] = chaos
     return out
 
 
@@ -979,6 +1134,10 @@ def merge(baseline: dict, current: dict, parent: "dict | None" = None) -> dict:
         # many small forwards the shared server folded together.
         speedups["inference_coalescing"] = row["coalescing_ratio"]
         speedups["inference_forwards_saved"] = row["forwards_saved"]
+    for row in current.get("chaos", {}).values():
+        # A recovery-cost record, not a speedup: wall-clock of a run that
+        # absorbed a severed actor link over an undisturbed run.
+        speedups["chaos_severed_over_clean_wall"] = row["severed_over_clean_wall"]
     result = {"seed_baseline": baseline, "optimized": current, "speedups": speedups}
     if parent is not None:
         result["parent_baseline"] = parent
@@ -996,6 +1155,7 @@ def apply_smoke_workload() -> None:
     global CONV_WIDTHS, CONV_BATCH, CONV_ROUNDS, CONV_REPS
     global INFERENCE_WIDTH, INFERENCE_CLIENTS, INFERENCE_REQUESTS
     global INFERENCE_ROWS, INFERENCE_ROUNDS
+    global CHAOS_WIDTH, CHAOS_STEPS, CHAOS_ROUNDS
     FEATURE_WIDTHS = (8, 16)
     TRAINER_WIDTHS = (8,)
     TRAINER_STEPS = 24
@@ -1023,6 +1183,9 @@ def apply_smoke_workload() -> None:
     INFERENCE_REQUESTS = 3
     INFERENCE_ROWS = 2
     INFERENCE_ROUNDS = 1
+    CHAOS_WIDTH = 8
+    CHAOS_STEPS = 16
+    CHAOS_ROUNDS = 1
 
 
 _HIGHER_IS_BETTER = ("graphs_per_sec", "steps_per_sec")
@@ -1127,6 +1290,9 @@ def run_smoke(output: "str | None") -> dict:
         assert "inference" in current, "missing bench section 'inference'"
         expected.append("inference_coalescing")
         expected.append("inference_forwards_saved")
+    if CHAOS_AVAILABLE:
+        assert "chaos" in current, "missing bench section 'chaos'"
+        expected.append("chaos_severed_over_clean_wall")
     missing = [k for k in expected if k not in speedups]
     assert not missing, f"missing speedup keys: {missing}"
     assert "synthesize_curve_n8" in result["speedups_vs_parent"]

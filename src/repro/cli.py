@@ -246,6 +246,8 @@ def _cluster_pieces(args):
         serve_inference=args.inference,
         inference_max_batch=args.inference_max_batch,
         inference_max_wait=args.inference_max_wait,
+        backpressure_lag=args.backpressure_lag,
+        throttle_seconds=args.throttle_seconds,
     )
     return agent, spec, config, runtime_config
 
@@ -284,6 +286,23 @@ def _print_cluster_summary(history) -> None:
     print("history frontier (area um2, delay ns):")
     for area, delay, _ in _history_frontier(history):
         print(f"  {area:10.2f}  {delay:.4f}")
+
+
+def _print_fleet_summary(runtime, supervisor=None) -> None:
+    membership = getattr(runtime, "membership_stats", None)
+    if membership:
+        print(
+            f"fleet: joins={membership['joins']} rejoins={membership['rejoins']} "
+            f"evictions={membership['evictions']} "
+            f"throttled_batches={membership['throttled_batches']}",
+            file=sys.stderr,
+        )
+    if supervisor is not None and supervisor.respawns:
+        print(
+            f"fleet: respawns={sum(supervisor.respawns.values())} "
+            f"({', '.join(sorted(supervisor.respawns))})",
+            file=sys.stderr,
+        )
 
 
 def _print_inference_summary(runtime) -> None:
@@ -327,6 +346,7 @@ def cmd_serve_learner(args) -> int:
     history = runtime.run(
         steps=None if args.resume else args.steps, resume=args.resume
     )
+    _print_fleet_summary(runtime)
     _print_inference_summary(runtime)
     if runtime.preempted:
         print(
@@ -340,7 +360,12 @@ def cmd_serve_learner(args) -> int:
 
 
 def cmd_actor(args) -> int:
-    from repro.net import RemoteActorWorker, parse_address
+    from repro.net import (
+        LEARNER_UNREACHABLE_EXIT,
+        LearnerUnreachable,
+        RemoteActorWorker,
+        parse_address,
+    )
 
     farm_workers = [
         address
@@ -356,8 +381,15 @@ def cmd_actor(args) -> int:
             parse_address(args.inference) if args.inference else None
         ),
         heartbeat_timeout=args.heartbeat_timeout,
+        reconnect_attempts=args.reconnect_attempts,
     )
-    stats = worker.run()
+    try:
+        stats = worker.run()
+    except LearnerUnreachable as exc:
+        # A distinct exit code: the fleet orchestrator treats this as
+        # benign when the run completed (the learner left first).
+        print(f"actor: {exc}", file=sys.stderr)
+        return LEARNER_UNREACHABLE_EXIT
     backend = stats.get("backend") or {}
     print(
         f"actor {stats['actor_id']}: {stats['rounds']} rounds, "
@@ -366,13 +398,25 @@ def cmd_actor(args) -> int:
         f"synthesized {backend.get('synthesized', 0)})",
         file=sys.stderr,
     )
+    if stats.get("reconnects") or stats.get("rounds_lost") or stats.get(
+        "throttled_rounds"
+    ):
+        print(
+            f"actor {stats['actor_id']} resilience: "
+            f"reconnects={stats['reconnects']} "
+            f"rounds_lost={stats['rounds_lost']} "
+            f"throttled_rounds={stats['throttled_rounds']} "
+            f"reconnect_seconds={stats['reconnect_seconds']:.2f}",
+            file=sys.stderr,
+        )
     farm = backend.get("farm")
     if farm:
         print(
             f"actor {stats['actor_id']} farm routed: "
             f"dispatched={farm['synthesized']} workers="
             f"{farm.get('remote', {}).get('workers', 0)} "
-            f"elided={farm.get('remote', {}).get('shipped_elided', 0)}",
+            f"elided={farm.get('remote', {}).get('shipped_elided', 0)} "
+            f"redispatched={farm.get('remote', {}).get('redispatched_tasks', 0)}",
             file=sys.stderr,
         )
     inference = stats.get("inference")
@@ -387,7 +431,13 @@ def cmd_actor(args) -> int:
 
 
 def cmd_cluster(args) -> int:
-    from repro.net import launch_farm_workers, run_local_cluster, stop_farm_workers
+    from repro.net import (
+        FleetSupervisor,
+        launch_farm_workers,
+        respawn_farm_worker,
+        run_local_cluster,
+        stop_farm_workers,
+    )
     from repro.rl import TrainingRuntime
 
     if args.checkpoint_every or args.stop_after is not None or args.resume:
@@ -400,6 +450,10 @@ def cmd_cluster(args) -> int:
         None, agent, config, runtime_config,
         checkpoint_dir=args.checkpoint_dir, rng=args.seed, cluster=spec,
     )
+    supervisor = FleetSupervisor(
+        restart_budget=args.restart_budget,
+        on_event=lambda message: print(message, file=sys.stderr, flush=True),
+    )
     farm_procs: list = []
     actor_args: list = []
     if args.farm_workers:
@@ -409,6 +463,15 @@ def cmd_cluster(args) -> int:
             file=sys.stderr, flush=True,
         )
         actor_args += ["--farm", ",".join(farm_addresses)]
+        for j, (proc, worker_address) in enumerate(zip(farm_procs, farm_addresses)):
+
+            def respawn(worker_address=worker_address):
+                return respawn_farm_worker(worker_address)
+
+            supervisor.watch(
+                f"farm-worker-{j}", proc, respawn=respawn, kind="farm"
+            )
+        supervisor.start()
     if args.inference:
         inf_host, inf_port = runtime.bind_inference()
         print(
@@ -423,22 +486,50 @@ def cmd_cluster(args) -> int:
             steps=None if args.resume else args.steps,
             resume=args.resume,
             actor_args=actor_args or None,
+            supervisor=supervisor,
         )
+    except KeyboardInterrupt:
+        # SIGINT: pause respawning, TERM every watched child (actors and
+        # respawned farm workers alike), reap — no orphaned daemons.
+        print("interrupted: shutting the fleet down", file=sys.stderr)
+        supervisor.terminate()
+        supervisor.stop()
+        stop_farm_workers([p for p in farm_procs if p.poll() is None])
+        return 130
     finally:
-        stop_farm_workers(farm_procs)
+        supervisor.pause()
+        # Farm workers may have been respawned: stop the *current* ones.
+        watched_farm = supervisor.procs("farm")
+        stop_farm_workers(watched_farm if watched_farm else farm_procs)
+        supervisor.stop()
+    from repro.net import LEARNER_UNREACHABLE_EXIT
+
     for i, code in enumerate(codes):
-        if code != 0:
+        if code == LEARNER_UNREACHABLE_EXIT:
+            # The run completed (we are past run_local_cluster): an actor
+            # that never reached the learner lost the dial race against
+            # the run ending — a late respawn, not a failure.
+            print(
+                f"note: actor subprocess {i} never reached the learner "
+                "before it stopped (benign after a completed run)",
+                file=sys.stderr,
+            )
+        elif code != 0:
             print(f"warning: actor subprocess {i} exited with {code}", file=sys.stderr)
+    _print_fleet_summary(runtime, supervisor)
     _print_inference_summary(runtime)
+    rc = supervisor.exit_code()
+    if any(code not in (0, LEARNER_UNREACHABLE_EXIT) for code in codes):
+        rc = rc or 1
     if runtime.preempted:
         print(
             f"checkpointed at step {history.env_steps} into {args.checkpoint_dir}; "
             "rerun with --resume to continue",
             file=sys.stderr,
         )
-        return 0
+        return rc
     _print_cluster_summary(history)
-    return 0
+    return rc
 
 
 def cmd_farm_worker(args) -> int:
@@ -588,6 +679,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="inference server: rows coalesced per forward, at most")
         p.add_argument("--inference-max-wait", type=float, default=0.005,
                        help="inference server: seconds to hold a batch for stragglers")
+        p.add_argument("--backpressure-lag", type=int, default=64,
+                       help="gradient-cadence deficit beyond which push replies "
+                            "carry a throttle hint (0 disables backpressure)")
+        p.add_argument("--throttle-seconds", type=float, default=0.05,
+                       help="seconds an actor pauses when the learner signals "
+                            "backpressure")
 
     p = sub.add_parser(
         "serve-learner",
@@ -610,6 +707,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "falls back to local inference when unavailable")
     p.add_argument("--heartbeat-timeout", type=float, default=300.0,
                    help="give up if the learner is silent this long (seconds)")
+    p.add_argument("--reconnect-attempts", type=int, default=8,
+                   help="consecutive failed redials tolerated before the "
+                        "supervised reconnect loop gives up")
     p.set_defaults(func=cmd_actor)
 
     p = sub.add_parser(
@@ -620,6 +720,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--farm-workers", type=int, default=0,
                    help="also spawn this many farm-worker daemons and point "
                         "every actor's synthesis at them")
+    p.add_argument("--restart-budget", type=int, default=2,
+                   help="crash respawns allowed per fleet child before its "
+                        "death counts as a launcher failure")
     p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("farm-worker", help="run a remote synthesis-farm worker")

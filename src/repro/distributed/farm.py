@@ -92,6 +92,7 @@ class FarmStats:
     worker_opt_seconds: float = 0.0    # remote only: worker-side prepare+optimize time
     prepared_hits: int = 0             # remote only: worker prepared-cache hits
     shipped_elided: int = 0            # remote only: payloads elided (worker had the design)
+    redispatched: int = 0              # remote only: tasks re-dispatched off a dead worker
 
     @property
     def graphs_per_second(self) -> float:
@@ -119,6 +120,9 @@ class SynthesisFarm:
         ship_prepared: remote mode payloads — True ships the built,
             serialized adder netlist (the prepared design); False ships
             graph JSON and workers rebuild per task.
+        remote_local_fallback: remote mode — when every worker has died
+            mid-dispatch, synthesize the leftovers in-process (same
+            curves, slower) instead of raising.
 
     The pool is created lazily on first pooled evaluation (or eagerly by
     ``with farm: ...``) and reused until :meth:`close`.
@@ -133,6 +137,7 @@ class SynthesisFarm:
         chunk_size: "int | None" = None,
         remote_workers: "list | None" = None,
         ship_prepared: bool = True,
+        remote_local_fallback: bool = True,
     ):
         if num_workers < 0:
             raise ValueError("num_workers must be >= 0")
@@ -149,6 +154,7 @@ class SynthesisFarm:
         self.cache = cache
         self.chunk_size = chunk_size
         self.ship_prepared = ship_prepared
+        self.remote_local_fallback = remote_local_fallback
         self.remote_workers = None
         self._remote = None
         if remote_workers is not None:
@@ -172,6 +178,7 @@ class SynthesisFarm:
         self.total_worker_opt_seconds = 0.0
         self.total_prepared_hits = 0
         self.total_shipped_elided = 0
+        self.total_redispatched = 0
 
     @property
     def active(self) -> bool:
@@ -191,7 +198,9 @@ class SynthesisFarm:
         if self.remote_workers is not None and self._remote is None:
             from repro.net.farm import RemoteFarmPool
 
-            self._remote = RemoteFarmPool(self.remote_workers)
+            self._remote = RemoteFarmPool(
+                self.remote_workers, local_fallback=self.remote_local_fallback
+            )
         if self.num_workers > 0 and self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.num_workers)
             warmups = [
@@ -275,6 +284,7 @@ class SynthesisFarm:
         worker_setup = worker_opt = 0.0
         prepared_hits = 0
         shipped_elided = 0
+        redispatched = 0
         if misses:
             chunk = self.chunk_size
             if chunk is None:
@@ -292,6 +302,7 @@ class SynthesisFarm:
                 worker_opt = self._remote.last_opt_seconds
                 prepared_hits = self._remote.last_prepared_hits
                 shipped_elided = self._remote.last_shipped_elided
+                redispatched = self._remote.last_redispatched
             else:
                 futures = [
                     self._pool.submit(
@@ -330,6 +341,7 @@ class SynthesisFarm:
             worker_opt_seconds=worker_opt,
             prepared_hits=prepared_hits,
             shipped_elided=shipped_elided,
+            redispatched=redispatched,
         )
         self._account(self.last_stats)
         return curves
@@ -358,6 +370,7 @@ class SynthesisFarm:
         self.total_worker_opt_seconds += stats.worker_opt_seconds
         self.total_prepared_hits += stats.prepared_hits
         self.total_shipped_elided += stats.shipped_elided
+        self.total_redispatched += stats.redispatched
 
     def stats(self) -> dict:
         """Cumulative dispatch counters in the unified backend stats schema
@@ -398,5 +411,6 @@ class SynthesisFarm:
                 "worker_opt_seconds": self.total_worker_opt_seconds,
                 "prepared_hits": self.total_prepared_hits,
                 "shipped_elided": self.total_shipped_elided,
+                "redispatched_tasks": self.total_redispatched,
             }
         return out

@@ -10,14 +10,20 @@ weight publication, shared synthesis cache —
 (:mod:`repro.net.actor`), a shared batched-inference service that
 coalesces many actors' act requests into one large-batch forward
 (:mod:`repro.net.inference`), remote synthesis-farm workers fed
-serialized prepared designs (:mod:`repro.net.farm`), and a localhost
-cluster launcher (:mod:`repro.net.cluster`).
+serialized prepared designs (:mod:`repro.net.farm`), a localhost
+cluster launcher with a crash-respawning fleet supervisor
+(:mod:`repro.net.cluster`), the shared jittered-backoff reconnect policy
+(:mod:`repro.net.backoff`), and a fault-injection layer — a schedulable
+TCP chaos proxy plus kill/wait helpers — for the chaos test suite
+(:mod:`repro.net.chaos`).
 
 Entry points: ``repro serve-learner``, ``repro actor --connect``,
 ``repro cluster --actors N``, ``repro farm-worker`` — and
 ``TrainingRuntime(mode="cluster")`` as the library API.
 """
 
+from repro.net.backoff import Backoff
+from repro.net.chaos import ChaosProxy, kill_process, wait_until
 from repro.net.protocol import (
     PROTOCOL_VERSION,
     Connection,
@@ -33,19 +39,38 @@ from repro.net.protocol import (
     parse_address,
 )
 from repro.net.server import FramedServer
-from repro.net.learner import ClusterSpec, LearnerServer, LearnerState
+from repro.net.learner import (
+    MEMBERSHIP_KEYS,
+    ClusterSpec,
+    LearnerServer,
+    LearnerState,
+)
 from repro.net.inference import InferenceClient, InferenceServer
-from repro.net.actor import RemoteActorWorker, RemoteCacheClient
+from repro.net.actor import (
+    LEARNER_UNREACHABLE_EXIT,
+    LearnerUnreachable,
+    RemoteActorWorker,
+    RemoteCacheClient,
+)
 from repro.net.farm import FarmWorkerServer, RemoteFarmPool
 from repro.net.cluster import (
+    FleetSupervisor,
     launch_actors,
     launch_farm_workers,
     reap_actors,
+    respawn_farm_worker,
     run_local_cluster,
     stop_farm_workers,
 )
 
 __all__ = [
+    "Backoff",
+    "ChaosProxy",
+    "FleetSupervisor",
+    "MEMBERSHIP_KEYS",
+    "kill_process",
+    "respawn_farm_worker",
+    "wait_until",
     "PROTOCOL_VERSION",
     "Connection",
     "ConnectionClosed",
@@ -64,6 +89,8 @@ __all__ = [
     "LearnerState",
     "InferenceClient",
     "InferenceServer",
+    "LEARNER_UNREACHABLE_EXIT",
+    "LearnerUnreachable",
     "RemoteActorWorker",
     "RemoteCacheClient",
     "FarmWorkerServer",

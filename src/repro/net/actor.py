@@ -35,11 +35,13 @@ import numpy as np
 
 from repro.env.actions import ActionSpace
 from repro.env.vector import VectorPrefixEnv
+from repro.net.backoff import Backoff
 from repro.net.farm import _library
 from repro.net.inference import InferenceClient
 from repro.net.protocol import (
     DEFAULT_HEARTBEAT_TIMEOUT,
     DEFAULT_MAX_FRAME_BYTES,
+    ProtocolError,
     connect,
 )
 from repro.nn.qnet import QNetwork
@@ -47,6 +49,20 @@ from repro.synth.backend import ClusterBackend
 from repro.synth.curve import AreaDelayCurve
 from repro.synth.evaluator import SynthesisEvaluator
 from repro.utils.rng import ensure_rng
+
+
+LEARNER_UNREACHABLE_EXIT = 3
+"""``repro actor`` exit code for :class:`LearnerUnreachable`.
+
+Distinct from a generic crash (1) so a fleet orchestrator can tell "this
+actor lost the dial race" from "this actor is broken": after a run that
+completed, a replacement spawned near the end may find the learner
+already gone — that is the run ending, not a failure.
+"""
+
+
+class LearnerUnreachable(RuntimeError):
+    """The supervised dial loop exhausted its budget without a join."""
 
 
 class RemoteCacheClient:
@@ -58,6 +74,15 @@ class RemoteCacheClient:
     """
 
     def __init__(self, conn):
+        self._conn = conn
+
+    def rebind(self, conn) -> None:
+        """Point at a fresh connection after a redial.
+
+        Leases held on the old connection died with it (the learner keys
+        them to the connection); in-flight claims simply re-claim on the
+        new wire — the protocol is idempotent by design.
+        """
         self._conn = conn
 
     def claim(self, keys, counted: bool = True):
@@ -110,6 +135,10 @@ class RemoteActorWorker:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         connect_timeout: float = 30.0,
+        reconnect_attempts: int = 8,
+        reconnect_base: float = 0.25,
+        reconnect_cap: float = 5.0,
+        backoff_rng=None,
     ):
         self.address = address
         self.front_cache_entries = front_cache_entries
@@ -119,14 +148,23 @@ class RemoteActorWorker:
         self.max_frame_bytes = max_frame_bytes
         self.heartbeat_timeout = heartbeat_timeout
         self.connect_timeout = connect_timeout
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_base = reconnect_base
+        self.reconnect_cap = reconnect_cap
+        self.backoff_rng = backoff_rng
         self.actor_id: "int | None" = None
+        self.session: "str | None" = None
         self.rounds = 0
         self.env_steps_kept = 0
         self.inference_fallbacks = 0
+        self.reconnects = 0
+        self.reconnect_seconds = 0.0
+        self.rounds_lost = 0
+        self.throttled_rounds = 0
 
     # -- setup -----------------------------------------------------------
 
-    def _build(self, join: dict, conn):
+    def _build(self, join: dict, cache_client: RemoteCacheClient):
         spec = join["spec"]
         library = _library(spec["library"])
         farm = None
@@ -139,7 +177,7 @@ class RemoteActorWorker:
                 spec["library"], num_workers=0, remote_workers=self.farm_workers
             )
         backend = ClusterBackend(
-            RemoteCacheClient(conn),
+            cache_client,
             library,
             farm=farm,
             front_entries=self.front_cache_entries,
@@ -223,16 +261,32 @@ class RemoteActorWorker:
 
     # -- the loop --------------------------------------------------------
 
-    def run(self) -> dict:
-        """Generate experience until the learner says stop; returns stats."""
-        conn, _welcome = connect(
+    def _dial(self):
+        return connect(
             self.address,
             role="actor",
             max_frame_bytes=self.max_frame_bytes,
             timeout=self.heartbeat_timeout,
             connect_timeout=self.connect_timeout,
         )
-        backend = None
+
+    def run(self) -> dict:
+        """Generate experience until the learner says stop; returns stats.
+
+        The loop is supervised: any wire failure — a refused dial, a
+        connection severed mid-round, a learner restart — is answered by
+        an exponential-backoff redial (shared :class:`Backoff` policy,
+        jittered so a fleet that lost the same learner does not redial in
+        lockstep) carrying the session token from the previous ``join``.
+        A same-session rejoin keeps the built environment, the network
+        snapshot and the exploration RNG stream — the shard resumes, not
+        restarts; a reassigned shard rebuilds from the new spec. Only
+        ``reconnect_attempts`` *consecutive* failed dials give up; any
+        successful join resets the budget.
+        """
+        backoff = Backoff(
+            base=self.reconnect_base, cap=self.reconnect_cap, rng=self.backoff_rng
+        )
         inference = None
         if self.inference_address is not None:
             inference = InferenceClient(
@@ -240,81 +294,154 @@ class RemoteActorWorker:
                 max_frame_bytes=self.max_frame_bytes,
                 retry_after=self.inference_retry,
             )
+        conn = None
+        built = None  # (venv, net, actions, w, rng) for the live session
+        backend = None
+        cache_client = None
+        version = 0
+        digest = None
+        dial_failures = 0
+        start = time.perf_counter()
         try:
-            join = conn.call("join", {})
-            self.actor_id = join["actor_id"]
-            venv, net, actions, w, rng, backend = self._build(join, conn)
-            epsilon = join["epsilon"]
-            stop = join["stop"]
-            version = 0
-            digest = None
+            while True:
+                # -- (re)dial and join -----------------------------------
+                try:
+                    conn, _welcome = self._dial()
+                    join = conn.call("join", {"session": self.session})
+                except (ProtocolError, OSError) as exc:
+                    if conn is not None:
+                        conn.close()
+                        conn = None
+                    dial_failures += 1
+                    if dial_failures > self.reconnect_attempts:
+                        raise LearnerUnreachable(
+                            f"actor gave up on {self.address[0]}:{self.address[1]} "
+                            f"after {dial_failures} consecutive failed dials"
+                        ) from exc
+                    self.reconnect_seconds += backoff.sleep()
+                    continue
+                dial_failures = 0
+                backoff.reset()
+                # The learner rotates the session token on every join, so
+                # "same shard, resumed" is its explicit rejoin flag — not a
+                # token comparison.
+                rejoined = (
+                    built is not None
+                    and join["actor_id"] == self.actor_id
+                    and join.get("rejoin", False)
+                )
+                if built is not None:
+                    self.reconnects += 1
+                self.actor_id = join["actor_id"]
+                self.session = join["session"]
+                if rejoined:
+                    # Same shard, same session: keep the environment, the
+                    # snapshot network and the exploration RNG stream —
+                    # only the cache wiring moves to the new connection.
+                    cache_client.rebind(conn)
+                    venv, net, actions, w, rng = built
+                else:
+                    if backend is not None:
+                        backend.close()
+                    cache_client = RemoteCacheClient(conn)
+                    venv, net, actions, w, rng, backend = self._build(
+                        join, cache_client
+                    )
+                    built = (venv, net, actions, w, rng)
+                    version = 0
+                    digest = None
+                    if not join["stop"]:
+                        venv.reset()
+                epsilon = join["epsilon"]
+                stop = join["stop"]
 
-            def pull_local():
-                # Digest-keyed: an unchanged policy costs one tiny frame.
-                nonlocal version, digest
-                reply = conn.call(
-                    "pull_weights", {"have_version": version, "have_digest": digest}
-                )
-                if "weights" in reply:
-                    net.load_state_arrays(reply["weights"])
-                    net.eval()
-                version = reply["version"]
-                digest = reply.get("digest")
+                def pull_local(conn=conn):
+                    # Digest-keyed: an unchanged policy costs one tiny frame.
+                    nonlocal version, digest
+                    reply = conn.call(
+                        "pull_weights",
+                        {"have_version": version, "have_digest": digest},
+                    )
+                    if "weights" in reply:
+                        net.load_state_arrays(reply["weights"])
+                        net.eval()
+                    version = reply["version"]
+                    digest = reply.get("digest")
 
-            start = time.perf_counter()
-            if not stop:
-                venv.reset()
-            while not stop:
-                if inference is None:
-                    pull_local()
-                obs = venv.observe()
-                masks = venv.legal_masks()
-                chosen = self._act_batch(
-                    net,
-                    actions,
-                    w,
-                    rng,
-                    obs,
-                    masks,
-                    epsilon,
-                    remote=inference,
-                    ensure_local=pull_local,
-                )
-                results = venv.step(chosen)
-                next_obs = venv.observe()
-                next_masks = venv.legal_masks()
-                t_obs = np.array(next_obs)
-                t_masks = np.array(next_masks)
-                for i, result in enumerate(results):
-                    if result.done:
-                        # The replica auto-reset; the transition's successor
-                        # is the terminal state, not the new episode.
-                        t_obs[i] = venv.envs[i].observe(result.next_state)
-                        t_masks[i] = venv.envs[i].legal_mask(result.next_state)
-                reply = conn.call(
-                    "push_batch",
-                    {
-                        "epsilon": epsilon,
-                        "states": obs,
-                        "actions": chosen,
-                        "rewards": np.stack([r.reward for r in results]),
-                        "next_states": t_obs,
-                        "next_masks": t_masks,
-                        "dones": np.array([r.done for r in results]),
-                        "areas": np.array([r.info["area"] for r in results]),
-                        "delays": np.array([r.info["delay"] for r in results]),
-                    },
-                )
-                self.rounds += 1
-                self.env_steps_kept += reply["kept"]
-                epsilon = reply["epsilon"]
-                stop = reply["stop"]
+                # -- the round loop --------------------------------------
+                try:
+                    while not stop:
+                        if inference is None:
+                            pull_local()
+                        obs = venv.observe()
+                        masks = venv.legal_masks()
+                        chosen = self._act_batch(
+                            net,
+                            actions,
+                            w,
+                            rng,
+                            obs,
+                            masks,
+                            epsilon,
+                            remote=inference,
+                            ensure_local=pull_local,
+                        )
+                        results = venv.step(chosen)
+                        next_obs = venv.observe()
+                        next_masks = venv.legal_masks()
+                        t_obs = np.array(next_obs)
+                        t_masks = np.array(next_masks)
+                        for i, result in enumerate(results):
+                            if result.done:
+                                # The replica auto-reset; the transition's
+                                # successor is the terminal state, not the
+                                # new episode.
+                                t_obs[i] = venv.envs[i].observe(result.next_state)
+                                t_masks[i] = venv.envs[i].legal_mask(result.next_state)
+                        reply = conn.call(
+                            "push_batch",
+                            {
+                                "epsilon": epsilon,
+                                "states": obs,
+                                "actions": chosen,
+                                "rewards": np.stack([r.reward for r in results]),
+                                "next_states": t_obs,
+                                "next_masks": t_masks,
+                                "dones": np.array([r.done for r in results]),
+                                "areas": np.array([r.info["area"] for r in results]),
+                                "delays": np.array([r.info["delay"] for r in results]),
+                            },
+                        )
+                        self.rounds += 1
+                        self.env_steps_kept += reply["kept"]
+                        epsilon = reply["epsilon"]
+                        stop = reply["stop"]
+                        throttle = reply.get("throttle", 0.0)
+                        if throttle and not stop:
+                            # Backpressure: the learner is behind on its
+                            # gradient cadence — yield the wire briefly.
+                            self.throttled_rounds += 1
+                            time.sleep(throttle)
+                    break
+                except (ProtocolError, OSError):
+                    # The wire died mid-round: that round's transitions
+                    # are lost (counted honestly), the episode streams are
+                    # not — back off, redial, rejoin with the session.
+                    conn.close()
+                    conn = None
+                    self.rounds_lost += 1
+                    self.reconnect_seconds += backoff.sleep()
             wall = time.perf_counter() - start
             return {
                 "actor_id": self.actor_id,
+                "session": self.session,
                 "rounds": self.rounds,
                 "env_steps_kept": self.env_steps_kept,
                 "wall_seconds": wall,
+                "reconnects": self.reconnects,
+                "reconnect_seconds": self.reconnect_seconds,
+                "rounds_lost": self.rounds_lost,
+                "throttled_rounds": self.throttled_rounds,
                 "cache_hits": backend.cache_hits,
                 "cache_misses": backend.cache_misses,
                 "backend": backend.stats(),
@@ -329,4 +456,5 @@ class RemoteActorWorker:
                 backend.close()
             if inference is not None:
                 inference.close()
-            conn.close(bye=True)
+            if conn is not None:
+                conn.close(bye=True)

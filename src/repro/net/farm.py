@@ -172,6 +172,31 @@ class FarmWorkerServer(FramedServer):
         }
 
 
+def _synthesize_tasks(
+    tasks: "list[dict]", library_name: str, synth_kwargs: dict
+) -> "list[list[tuple[float, float]]]":
+    """Synthesize a chunk locally: the no-survivors dispatch fallback.
+
+    Same ladder as the workers (:func:`curve_from_prepared`), so a chunk
+    rescued from a dead farm produces byte-identical curves — slower, not
+    different.
+    """
+    library = _library(library_name)
+    synthesizer = Synthesizer(**(synth_kwargs or {}))
+    points = []
+    for task in tasks:
+        if "netlist" in task:
+            netlist = netlist_from_dict(task["netlist"], library)
+        elif "graph" in task:
+            graph = graph_from_json(task["graph"])
+            netlist = prefix_adder_netlist(graph, library)
+        else:
+            raise ValueError("task carries neither a netlist nor a graph")
+        prepared = synthesizer.prepare(netlist)
+        points.append(curve_from_prepared(prepared, synthesizer).points())
+    return points
+
+
 class RemoteFarmPool:
     """Dispatch-side view of a set of :class:`FarmWorkerServer` daemons.
 
@@ -199,6 +224,7 @@ class RemoteFarmPool:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         timeout: float = 300.0,
         shipped_entries: int = 10_000,
+        local_fallback: bool = True,
     ):
         if not addresses:
             raise ValueError("need at least one worker address")
@@ -206,6 +232,7 @@ class RemoteFarmPool:
         self.max_frame_bytes = max_frame_bytes
         self.timeout = timeout
         self.shipped_entries = shipped_entries
+        self.local_fallback = local_fallback
         self._conns: "list" = [None] * len(addresses)
         self._shipped: "list[OrderedDict[str, None]]" = [
             OrderedDict() for _ in addresses
@@ -215,6 +242,8 @@ class RemoteFarmPool:
         self.last_opt_seconds = 0.0
         self.last_prepared_hits = 0
         self.last_shipped_elided = 0
+        self.redispatched_tasks = 0
+        self.last_redispatched = 0
 
     def __len__(self) -> int:
         return len(self.addresses)
@@ -262,17 +291,23 @@ class RemoteFarmPool:
     ) -> "list[list[list[tuple[float, float]]]]":
         """Run every chunk of tasks; returns per-chunk curve point lists.
 
-        A worker failure (wire error, remote exception) propagates — the
-        dispatcher's caller decides whether to fall back; silently
-        dropping tasks would corrupt the farm's order contract.
+        Dispatch is supervised: a worker whose chunk dies terminally (the
+        one-redial retry inside ``call_worker`` already absorbed the
+        transient case) is dropped from the alive set and its unfinished
+        chunks are *re-dispatched* round-robin over the survivors — the
+        lease-reclamation idea applied to dispatch. With no survivors the
+        leftovers run through local synthesis (``local_fallback=True``,
+        byte-identical curves) or the first worker error is raised; tasks
+        are never silently dropped — that would corrupt the farm's order
+        contract.
         """
         results: "list" = [None] * len(chunks)
-        errors: "list" = []
         timings = {"setup": 0.0, "opt": 0.0, "hits": 0, "elided": 0}
         timings_lock = threading.Lock()
-        by_worker: "dict[int, list[int]]" = {}
-        for c in range(len(chunks)):
-            by_worker.setdefault(c % len(self.addresses), []).append(c)
+        alive = list(range(len(self.addresses)))
+        remaining = list(range(len(chunks)))
+        self.last_redispatched = 0
+        first_error: "tuple[int, BaseException] | None" = None
 
         def call_worker(worker: int, tasks: "list[dict]", retried: bool = False) -> dict:
             """One chunk through one worker, redialing once on a wire failure.
@@ -348,7 +383,7 @@ class RemoteFarmPool:
             reply["shipped_elided"] = max(elided, 0)
             return reply
 
-        def drive(worker: int, chunk_ids: "list[int]") -> None:
+        def drive(worker: int, chunk_ids: "list[int]", errors: list) -> None:
             try:
                 for c in chunk_ids:
                     reply = call_worker(worker, chunks[c])
@@ -362,19 +397,40 @@ class RemoteFarmPool:
                 self._drop(worker)
                 errors.append((worker, exc))
 
-        threads = [
-            threading.Thread(target=drive, args=(w, ids), daemon=True)
-            for w, ids in by_worker.items()
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        if errors:
-            worker, exc = errors[0]
-            raise RuntimeError(
-                f"remote farm worker {self.addresses[worker]} failed: {exc!r}"
-            ) from exc
+        # Each iteration either finishes every remaining chunk or shrinks
+        # the alive set — the loop is bounded by the worker count.
+        while remaining and alive:
+            by_worker: "dict[int, list[int]]" = {}
+            for pos, c in enumerate(remaining):
+                by_worker.setdefault(alive[pos % len(alive)], []).append(c)
+            errors: "list[tuple[int, BaseException]]" = []
+            threads = [
+                threading.Thread(target=drive, args=(w, ids, errors), daemon=True)
+                for w, ids in by_worker.items()
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for worker, exc in errors:
+                if first_error is None:
+                    first_error = (worker, exc)
+                alive.remove(worker)
+            remaining = [c for c in remaining if results[c] is None]
+            if errors and remaining:
+                moved = sum(len(chunks[c]) for c in remaining)
+                self.redispatched_tasks += moved
+                self.last_redispatched += moved
+        if remaining:
+            # Every worker is gone mid-dispatch. Rescue the leftovers
+            # locally (same curves, just slower) or surface the failure.
+            if not self.local_fallback:
+                worker, exc = first_error
+                raise RuntimeError(
+                    f"remote farm worker {self.addresses[worker]} failed: {exc!r}"
+                ) from exc
+            for c in remaining:
+                results[c] = _synthesize_tasks(chunks[c], library, synth_kwargs)
         self.last_setup_seconds = timings["setup"]
         self.last_opt_seconds = timings["opt"]
         self.last_prepared_hits = timings["hits"]

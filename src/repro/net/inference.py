@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from repro.net.backoff import Backoff
 from repro.net.protocol import (
     DEFAULT_HEARTBEAT_TIMEOUT,
     DEFAULT_MAX_FRAME_BYTES,
@@ -291,9 +292,11 @@ class InferenceClient:
     ``act_batch`` returns the server's reply dict, or ``None`` whenever the
     service cannot answer — unreachable, killed mid-run, timed out, or an
     application-level rejection — after which the caller should act on its
-    local network. Wire failures drop the connection and start a
-    ``retry_after`` backoff window (no reconnect storm against a dead
-    server); application errors keep the connection alive.
+    local network. Wire failures drop the connection and start a jittered
+    exponential backoff window (the shared :class:`~repro.net.backoff.Backoff`
+    policy, capped at ``retry_after``) so a fleet of actors that lost the
+    same server neither hammers it nor redials in lockstep; a successful
+    call resets the backoff. Application errors keep the connection alive.
     """
 
     def __init__(
@@ -303,12 +306,16 @@ class InferenceClient:
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         connect_timeout: float = 5.0,
         retry_after: float = 10.0,
+        backoff_rng=None,
     ):
         self.address = address
         self.max_frame_bytes = max_frame_bytes
         self.heartbeat_timeout = heartbeat_timeout
         self.connect_timeout = connect_timeout
         self.retry_after = retry_after
+        self._backoff = Backoff(
+            base=min(1.0, retry_after), cap=retry_after, rng=backoff_rng
+        )
         self._conn = None
         self._blocked_until = 0.0
         self.requests = 0
@@ -333,7 +340,7 @@ class InferenceClient:
             )
         except (ProtocolError, OSError):
             self.wire_failures += 1
-            self._blocked_until = time.monotonic() + self.retry_after
+            self._blocked_until = time.monotonic() + self._backoff.next_delay()
             return None
         return self._conn
 
@@ -341,7 +348,7 @@ class InferenceClient:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
-        self._blocked_until = time.monotonic() + self.retry_after
+        self._blocked_until = time.monotonic() + self._backoff.next_delay()
 
     def close(self) -> None:
         if self._conn is not None:
@@ -375,6 +382,7 @@ class InferenceClient:
             return None
         self.requests += 1
         self.rows += features.shape[0]
+        self._backoff.reset()
         return reply
 
     def stats(self) -> dict:

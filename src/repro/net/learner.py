@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from dataclasses import asdict, dataclass
 
 import numpy as np
@@ -47,6 +48,11 @@ from repro.net.server import FramedServer
 from repro.synth.cache import SynthesisCache
 from repro.synth.curve import AreaDelayCurve
 from repro.synth.leases import SharedCacheService
+
+# The elastic-membership counter schema: every ``_stats`` reply (and the
+# cluster's stderr telemetry) carries exactly these keys — pinned by the
+# schema test alongside ``repro.synth.backend.STATS_KEYS``.
+MEMBERSHIP_KEYS = ("joins", "rejoins", "evictions", "throttled_batches")
 
 
 @dataclass
@@ -117,6 +123,9 @@ class LearnerState:
         cache: "SynthesisCache | None" = None,
         halt_at: "int | None" = None,
         lease_timeout: float = 60.0,
+        grads_allowed_fn=None,
+        backpressure_lag: int = 0,
+        throttle_seconds: float = 0.05,
     ):
         self.agent = agent
         self.hub = hub
@@ -139,6 +148,18 @@ class LearnerState:
         self.stop = False
         self.actors: "dict[int, dict]" = {}
         self.ever_joined = 0
+        # Replay-ingest backpressure: when the learner lags the synchronous
+        # gradient cadence by more than ``backpressure_lag`` gradient steps
+        # (0 disables), push_batch replies carry a throttle hint actors
+        # honor — a slow learner degrades gracefully instead of drowning.
+        self.grads_allowed_fn = grads_allowed_fn
+        self.backpressure_lag = backpressure_lag
+        self.throttle_seconds = throttle_seconds
+        self._session_ids = itertools.count(1)
+        self.joins = 0
+        self.rejoins = 0
+        self.evictions = 0
+        self.throttled_batches = 0
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -165,43 +186,104 @@ class LearnerState:
 
     # -- join / leave ----------------------------------------------------
 
-    def join(self) -> "tuple[int, dict]":
-        with self.lock:
-            for shard in range(self.buffer.num_shards):
-                actor = self.actors.get(shard)
-                if actor is None or not actor["connected"]:
-                    self.actors[shard] = {
-                        "connected": True,
-                        "episode_returns": [0.0] * self.spec.envs_per_actor,
-                    }
-                    self.ever_joined += 1
-                    return shard, {
-                        "actor_id": shard,
-                        "spec": asdict(self.spec),
-                        "env_seed": self.spec.seed + shard * self.spec.envs_per_actor,
-                        "exploration_seed": self.spec.seed + 7_919 * (shard + 1),
-                        "total": self.total,
-                        "env_steps": self.history.env_steps,
-                        "epsilon": float(
-                            self.schedule(min(self.history.env_steps, self.total))
-                        ),
-                        "stop": self.stop or self.history.env_steps >= self.total,
-                    }
-        raise RuntimeError(
-            f"cluster is full: all {self.buffer.num_shards} actor slots are taken"
-        )
+    def join(self, session: "str | None" = None) -> "tuple[int, dict]":
+        """Assign (or reassign) a replay shard; elastic membership.
 
-    def leave(self, actor_id: "int | None") -> None:
+        An actor presenting the ``session`` token from an earlier join
+        reclaims its own shard — episode-return accumulators survive the
+        redial, so a supervised reconnect is invisible to telemetry. The
+        token is *rotated* on every join: the old token proves identity
+        once, then dies, so a zombie connection still holding it can
+        neither push stale rounds nor mark the slot disconnected. A
+        fresh join takes the first shard (in slot order) that is either
+        never-assigned or held by a dead connection; taking over a dead
+        slot *evicts* it — the old session token is invalidated and a
+        stale rejoin gets a fresh assignment instead. Only a cluster
+        whose every shard is held by a live connection is full.
+        """
+        with self.lock:
+            if session is not None:
+                for shard, actor in self.actors.items():
+                    if actor["session"] == session:
+                        # Takeover is legal even while the slot still looks
+                        # connected: the old socket is dead or dying, and
+                        # its eventual stale leave() is ignored.
+                        actor["connected"] = True
+                        actor["disconnected_at"] = None
+                        actor["session"] = f"sess-{next(self._session_ids)}"
+                        self.rejoins += 1
+                        return shard, self._join_reply(shard, actor, rejoin=True)
+                # Unknown token (learner restarted, or we were evicted):
+                # fall through to a fresh assignment.
+            shard = None
+            for candidate in range(self.buffer.num_shards):
+                if candidate not in self.actors:
+                    shard = candidate
+                    break
+                if not self.actors[candidate]["connected"]:
+                    shard = candidate
+                    self.evictions += 1
+                    break
+            if shard is None:
+                raise RuntimeError(
+                    f"cluster is full: all {self.buffer.num_shards} actor "
+                    "slots are taken"
+                )
+            actor = {
+                "connected": True,
+                "episode_returns": [0.0] * self.spec.envs_per_actor,
+                "session": f"sess-{next(self._session_ids)}",
+                "disconnected_at": None,
+            }
+            self.actors[shard] = actor
+            self.joins += 1
+            self.ever_joined += 1
+            return shard, self._join_reply(shard, actor)
+
+    def _join_reply(self, shard: int, actor: dict, rejoin: bool = False) -> dict:
+        # Callers hold self.lock.
+        return {
+            "actor_id": shard,
+            "session": actor["session"],
+            "rejoin": rejoin,
+            "spec": asdict(self.spec),
+            "env_seed": self.spec.seed + shard * self.spec.envs_per_actor,
+            "exploration_seed": self.spec.seed + 7_919 * (shard + 1),
+            "total": self.total,
+            "env_steps": self.history.env_steps,
+            "epsilon": float(
+                self.schedule(min(self.history.env_steps, self.total))
+            ),
+            "stop": self.stop or self.history.env_steps >= self.total,
+        }
+
+    def leave(self, actor_id: "int | None", session: "str | None" = None) -> None:
         if actor_id is None:
             return
         with self.lock:
             actor = self.actors.get(actor_id)
-            if actor is not None:
-                actor["connected"] = False
+            if actor is None:
+                return
+            if session is not None and actor["session"] != session:
+                return  # stale leave from a connection that was taken over
+            actor["connected"] = False
+            actor["disconnected_at"] = time.monotonic()
+
+    def membership_dict(self) -> dict:
+        """The :data:`MEMBERSHIP_KEYS` counters (one schema everywhere)."""
+        with self.lock:
+            return {
+                "joins": self.joins,
+                "rejoins": self.rejoins,
+                "evictions": self.evictions,
+                "throttled_batches": self.throttled_batches,
+            }
 
     # -- ingest ----------------------------------------------------------
 
-    def push_batch(self, actor_id: int, batch: dict) -> dict:
+    def push_batch(
+        self, actor_id: int, batch: dict, session: "str | None" = None
+    ) -> dict:
         """Fold one remote acting round; returns the actor's next marching
         orders. Mirrors the threaded coordinator's ``record_round``: the
         step budget may truncate the round, and only the kept prefix
@@ -218,6 +300,13 @@ class LearnerState:
                 actor = self.actors.get(actor_id)
                 if actor is None:
                     raise RuntimeError(f"actor {actor_id} never joined")
+                if session is not None and actor["session"] != session:
+                    # A rejoining actor took this shard over; the old
+                    # connection's in-flight round must not double-ingest.
+                    raise RuntimeError(
+                        f"stale session for actor {actor_id}: the shard was "
+                        "reassigned (rejoin with your session token)"
+                    )
                 history = self.history
                 if self.stop:
                     # The learner is halting (preemption or budget): the
@@ -253,6 +342,16 @@ class LearnerState:
                 env_steps = history.env_steps
                 stop = self.stop or env_steps >= self.total
                 next_epsilon = float(self.schedule(min(env_steps, self.total)))
+                throttle = 0.0
+                if (
+                    not stop
+                    and self.backpressure_lag
+                    and self.grads_allowed_fn is not None
+                ):
+                    lag = self.grads_allowed_fn(env_steps) - history.gradient_steps
+                    if lag > self.backpressure_lag:
+                        throttle = self.throttle_seconds
+                        self.throttled_batches += 1
             states = np.asarray(batch["states"])
             actions = np.asarray(batch["actions"])
             next_states = np.asarray(batch["next_states"])
@@ -269,12 +368,15 @@ class LearnerState:
                     ),
                     shard=actor_id,
                 )
-        return {
+        reply = {
             "kept": kept,
             "env_steps": env_steps,
             "epsilon": next_epsilon,
             "stop": stop,
         }
+        if throttle:
+            reply["throttle"] = throttle
+        return reply
 
 
 class LearnerServer(FramedServer):
@@ -325,6 +427,7 @@ class LearnerServer(FramedServer):
             "conn": conn,
             "hello": hello,
             "actor_id": None,
+            "session": None,
             # Lease-ownership token: dies with the connection, so a peer
             # dropped by the heartbeat timeout frees its leases at once.
             "cache_owner": f"conn-{next(self._owner_ids)}",
@@ -332,7 +435,9 @@ class LearnerServer(FramedServer):
 
     def on_disconnect(self, ctx) -> None:
         if self.state is not None:
-            self.state.leave(ctx.get("actor_id"))
+            # Session-scoped leave: if a rejoin already took the shard
+            # over, this connection's death must not mark it disconnected.
+            self.state.leave(ctx.get("actor_id"), ctx.get("session"))
             self.state.cache_service.release_owner(ctx.get("cache_owner"))
 
     # -- methods ---------------------------------------------------------
@@ -340,8 +445,9 @@ class LearnerServer(FramedServer):
     def _join(self, ctx, params) -> dict:
         if ctx["actor_id"] is not None:
             raise RuntimeError(f"connection already joined as actor {ctx['actor_id']}")
-        actor_id, reply = self.state.join()
+        actor_id, reply = self.state.join((params or {}).get("session"))
         ctx["actor_id"] = actor_id
+        ctx["session"] = reply["session"]
         return reply
 
     def _pull_weights(self, ctx, params) -> dict:
@@ -359,7 +465,9 @@ class LearnerServer(FramedServer):
     def _push_batch(self, ctx, params) -> dict:
         if ctx["actor_id"] is None:
             raise RuntimeError("push_batch before join")
-        return self.state.push_batch(ctx["actor_id"], params)
+        return self.state.push_batch(
+            ctx["actor_id"], params, session=ctx.get("session")
+        )
 
     def _cache_get(self, ctx, params) -> dict:
         keys = [decode_cache_key(k) for k in params["keys"]]
@@ -394,7 +502,7 @@ class LearnerServer(FramedServer):
     def _stats(self, ctx, params) -> dict:
         state = self.state
         with state.lock:
-            return {
+            stats = {
                 "env_steps": state.history.env_steps,
                 "gradient_steps": state.history.gradient_steps,
                 "total": state.total,
@@ -406,3 +514,6 @@ class LearnerServer(FramedServer):
                 "active_leases": state.cache_service.active_leases(),
                 "stop": state.stop,
             }
+            for key in MEMBERSHIP_KEYS:
+                stats[key] = getattr(state, key)
+            return stats

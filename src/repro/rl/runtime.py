@@ -84,6 +84,9 @@ class RuntimeConfig:
     inference_listen: str = "127.0.0.1:0"  # cluster only: inference bind address
     inference_max_batch: int = 256   # rows coalesced into one forward, at most
     inference_max_wait: float = 0.005  # seconds to hold a batch for stragglers
+    backpressure_lag: int = 64     # cluster only: gradient-cadence deficit
+    #   beyond which push_batch replies carry a throttle hint (0 disables)
+    throttle_seconds: float = 0.05  # cluster only: the hint's pause length
 
     def __post_init__(self):
         if self.mode not in ("sync", "async", "cluster"):
@@ -100,6 +103,10 @@ class RuntimeConfig:
             raise ValueError("inference_max_batch must be positive")
         if self.inference_max_wait < 0:
             raise ValueError("inference_max_wait must be nonnegative")
+        if self.backpressure_lag < 0:
+            raise ValueError("backpressure_lag must be nonnegative")
+        if self.throttle_seconds < 0:
+            raise ValueError("throttle_seconds must be nonnegative")
 
 
 def grads_allowed(env_steps: int, total: int, cfg: TrainerConfig) -> int:
@@ -315,6 +322,7 @@ class TrainingRuntime:
             self._inference_server = None
         self.preempted = False
         self.inference_stats: "dict | None" = None
+        self.membership_stats: "dict | None" = None
 
     # ------------------------------------------------------------------
     # Checkpoint assembly
@@ -633,6 +641,15 @@ class TrainingRuntime:
                 # connection teardown: a wedged holder is reclaimable the
                 # moment the heartbeat would have declared it dead.
                 lease_timeout=self.runtime.heartbeat_timeout,
+                # Backpressure: when ingest outruns the synchronous gradient
+                # cadence by more than this lag, push replies carry a
+                # throttle hint so actors yield instead of ballooning the
+                # buffer on a slow learner.
+                grads_allowed_fn=lambda env_steps: grads_allowed(
+                    env_steps, total, cfg
+                ),
+                backpressure_lag=self.runtime.backpressure_lag,
+                throttle_seconds=self.runtime.throttle_seconds,
             )
             self._state = state
             server.attach(state)
@@ -694,6 +711,7 @@ class TrainingRuntime:
                     self._save(total, history, {"kind": "cluster"})
             self.preempted = stopped_early and history.env_steps < total
             history.synthesis_stats = self._cluster_synthesis_stats(state)
+            self.membership_stats = state.membership_dict()
             return history
         finally:
             self._state = None

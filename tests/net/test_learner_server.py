@@ -11,7 +11,15 @@ import numpy as np
 import pytest
 
 from repro.distributed.pipeline import PolicyHub
-from repro.net import ClusterSpec, LearnerServer, LearnerState, RemoteError, connect
+from repro.net import (
+    MEMBERSHIP_KEYS,
+    ClusterSpec,
+    LearnerServer,
+    LearnerState,
+    RemoteError,
+    connect,
+    wait_until,
+)
 from repro.rl import ScalarizedDoubleDQN, TrainerConfig
 from repro.rl.replay import ShardedReplayBuffer
 from repro.rl.trainer import TrainingHistory
@@ -286,3 +294,115 @@ class TestDeadPeer:
             conn.close()
         finally:
             srv.stop()
+
+
+class TestElasticMembership:
+    """Session tokens, shard reclamation, eviction and the stats schema."""
+
+    def test_session_rejoin_reclaims_shard_with_fresh_token(self, server):
+        srv, state = server
+        c1 = dial(srv)
+        j1 = c1.call("join")
+        c1.close(bye=True)
+        wait_until(lambda: not state.connected_actors(), 5.0, message="leave")
+        c2 = dial(srv)
+        j2 = c2.call("join", {"session": j1["session"]})
+        assert j2["actor_id"] == j1["actor_id"]
+        assert j2["rejoin"] is True
+        assert j2["session"] != j1["session"]  # token rotates every join
+        assert state.membership_dict()["rejoins"] == 1
+        c2.close(bye=True)
+
+    def test_takeover_while_old_connection_lingers(self, server):
+        """A rejoin is legal before the old socket is declared dead; the
+        zombie's pushes and its eventual disconnect are both ignored."""
+        srv, state = server
+        c1 = dial(srv)
+        j1 = c1.call("join")
+        c2 = dial(srv)
+        j2 = c2.call("join", {"session": j1["session"]})
+        assert j2["actor_id"] == j1["actor_id"] and j2["rejoin"] is True
+        # The zombie connection still holds the dead token: stale push.
+        with pytest.raises(RemoteError, match="stale session"):
+            c1.call("push_batch", make_batch(2))
+        # Its disconnect must not mark the taken-over slot dead.
+        c1.close(bye=True)
+        deadline = __import__("time").monotonic() + 1.0
+        while __import__("time").monotonic() < deadline:
+            assert state.connected_actors() == 1
+            __import__("time").sleep(0.05)
+        # The takeover connection works normally.
+        assert c2.call("push_batch", make_batch(2))["kept"] == 2
+        c2.close(bye=True)
+        wait_until(lambda: not state.connected_actors(), 5.0, message="leave")
+
+    def test_eviction_invalidates_old_session(self, server):
+        srv, state = server
+        c1 = dial(srv)
+        j1 = c1.call("join")
+        c1.close(bye=True)
+        wait_until(lambda: not state.connected_actors(), 5.0, message="leave")
+        c2 = dial(srv)
+        j2 = c2.call("join")  # fresh join takes the dead slot: eviction
+        assert j2["actor_id"] == j1["actor_id"]
+        assert state.membership_dict()["evictions"] == 1
+        # The evicted session token is gone: a late rejoin attempt gets a
+        # fresh shard instead of stealing the slot back.
+        c3 = dial(srv)
+        j3 = c3.call("join", {"session": j1["session"]})
+        assert j3["rejoin"] is False
+        assert j3["actor_id"] != j2["actor_id"]
+        for c in (c2, c3):
+            c.close(bye=True)
+
+    def test_stats_rpc_carries_membership_counters(self, server):
+        srv, state = server
+        c1 = dial(srv)
+        j1 = c1.call("join")
+        c1.close(bye=True)
+        wait_until(lambda: not state.connected_actors(), 5.0, message="leave")
+        c2 = dial(srv)
+        c2.call("join", {"session": j1["session"]})
+        stats = c2.call("stats")
+        for key in MEMBERSHIP_KEYS:
+            assert key in stats, f"_stats is missing membership key {key!r}"
+        assert stats["joins"] == 1 and stats["rejoins"] == 1
+        assert stats["evictions"] == 0 and stats["throttled_batches"] == 0
+        c2.close(bye=True)
+
+
+class TestBackpressure:
+    def make_state(self, lag):
+        agent = ScalarizedDoubleDQN(4, blocks=0, channels=4, rng=0)
+        config = TrainerConfig(steps=10, batch_size=4, warmup_steps=4)
+        return LearnerState(
+            agent=agent,
+            hub=PolicyHub(agent),
+            buffer=ShardedReplayBuffer(100, num_shards=1, rng=0),
+            history=TrainingHistory(),
+            schedule=config.schedule(100),
+            total=100,
+            spec=ClusterSpec.for_agent(agent, envs_per_actor=2, seed=0),
+            # Cadence stand-in: every env step owes one gradient step, so
+            # an idle learner accrues lag at ingest speed.
+            grads_allowed_fn=lambda env_steps: env_steps,
+            backpressure_lag=lag,
+            throttle_seconds=0.07,
+        )
+
+    def test_deep_ingest_queue_sets_throttle_hint(self):
+        state = self.make_state(lag=3)
+        aid, join = state.join()
+        first = state.push_batch(aid, make_batch(2), session=join["session"])
+        assert "throttle" not in first  # lag 2 <= 3: no hint yet
+        second = state.push_batch(aid, make_batch(2), session=join["session"])
+        assert second["throttle"] == pytest.approx(0.07)  # lag 4 > 3
+        assert state.membership_dict()["throttled_batches"] == 1
+
+    def test_disabled_backpressure_never_throttles(self):
+        state = self.make_state(lag=0)
+        aid, join = state.join()
+        for _ in range(5):
+            reply = state.push_batch(aid, make_batch(2), session=join["session"])
+            assert "throttle" not in reply
+        assert state.membership_dict()["throttled_batches"] == 0

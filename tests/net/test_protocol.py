@@ -7,12 +7,15 @@ frames must all produce clear errors — never hangs, never garbage.
 
 from __future__ import annotations
 
+import random
 import socket
 import struct
 import threading
 
 import numpy as np
 import pytest
+
+from repro.net.server import FramedServer
 
 from repro.net.protocol import (
     BYE,
@@ -28,6 +31,7 @@ from repro.net.protocol import (
     HandshakeError,
     PeerTimeout,
     ProtocolError,
+    connect,
     decode_payload,
     encode_payload,
     parse_address,
@@ -243,6 +247,101 @@ class TestHandshake:
         ftype, _body = a.recv()
         assert ftype == 3  # ERROR
         t.join()
+
+
+# ----------------------------------------------------------------------
+# Fuzz: a live server must shrug off hostile/broken clients
+# ----------------------------------------------------------------------
+
+
+class _EchoServer(FramedServer):
+    roles = ("fuzz",)
+
+    def __init__(self):
+        super().__init__(("127.0.0.1", 0), heartbeat_timeout=2.0)
+        self.methods = {"echo": lambda ctx, params: {"echo": params}}
+
+
+class TestServerFuzz:
+    """Garbage bytes, mid-frame disconnects and protocol abuse against a
+    live server: every case must end in a clean per-connection teardown —
+    the listener keeps serving well-behaved clients, and nothing hangs."""
+
+    @pytest.fixture()
+    def server(self):
+        srv = _EchoServer()
+        srv.start()
+        yield srv
+        srv.stop()
+
+    @staticmethod
+    def dial_raw(server) -> socket.socket:
+        sock = socket.create_connection(server.address, timeout=5.0)
+        sock.settimeout(5.0)
+        return sock
+
+    @staticmethod
+    def assert_serving(server) -> None:
+        conn, _welcome = connect(server.address, role="fuzz")
+        try:
+            assert conn.call("echo", {"n": 1}) == {"echo": {"n": 1}}
+        finally:
+            conn.close(bye=True)
+
+    @staticmethod
+    def drain(sock: socket.socket) -> None:
+        try:
+            while sock.recv(4096):
+                pass
+        except OSError:
+            pass
+        sock.close()
+
+    def test_garbage_bytes_get_clean_teardown(self, server):
+        rng = random.Random(0)
+        for _ in range(8):
+            sock = self.dial_raw(server)
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 512)))
+            sock.sendall(blob)
+            # Half-close so a short blob reads as EOF, not a slow timeout.
+            # The server may already have reset the link (bad magic).
+            try:
+                sock.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
+            self.drain(sock)
+        self.assert_serving(server)
+
+    def test_oversized_announcement_from_client_is_dropped(self, server):
+        sock = self.dial_raw(server)
+        sock.sendall(struct.pack("!2sBBI", MAGIC, PROTOCOL_VERSION, HELLO, 1 << 30))
+        self.drain(sock)  # server refuses without reading the body
+        self.assert_serving(server)
+
+    def test_mid_frame_disconnects_do_not_wedge_the_server(self, server):
+        header = struct.pack("!2sBBI", MAGIC, PROTOCOL_VERSION, HELLO, 64)
+        for cut in (1, 4, 7):  # vanish mid-header
+            sock = self.dial_raw(server)
+            sock.sendall(header[:cut])
+            sock.close()
+        sock = self.dial_raw(server)
+        sock.sendall(header + b"\x01{")  # vanish mid-payload (2 of 64 bytes)
+        sock.close()
+        self.assert_serving(server)
+
+    def test_repeated_hello_on_live_connection_is_rejected(self, server):
+        conn, _welcome = connect(server.address, role="fuzz")
+        try:
+            assert conn.call("echo", 1) == {"echo": 1}
+            conn.send(HELLO, {"version": PROTOCOL_VERSION, "role": "fuzz"})
+            ftype, body = conn.recv()
+            assert ftype == 3  # ERROR
+            assert "unexpected HELLO frame" in body["error"]
+            with pytest.raises(ConnectionClosed):
+                conn.recv()  # the abused connection is torn down...
+        finally:
+            conn.close()
+        self.assert_serving(server)  # ...but only that connection
 
 
 class TestAddresses:

@@ -113,16 +113,36 @@ class TestRemoteCurves:
         with pytest.raises(ValueError, match="mutually exclusive"):
             SynthesisFarm("nangate45", num_workers=2, remote_workers=["h:1"])
 
-    def test_dead_worker_is_a_clear_error(self, expected):
+    def test_dead_worker_is_a_clear_error_without_fallback(self, expected):
         graphs, _points = expected
+        server = FarmWorkerServer(("127.0.0.1", 0))
+        server.start()
+        dead = f"{server.address[0]}:{server.address[1]}"
+        server.stop()
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[dead],
+            remote_local_fallback=False,
+        )
+        try:
+            with pytest.raises(RuntimeError, match="remote farm worker"):
+                farm.evaluate_curves(graphs[:1])
+        finally:
+            farm.close()
+
+    def test_dead_worker_falls_back_to_local_synthesis(self, expected):
+        graphs, points = expected
         server = FarmWorkerServer(("127.0.0.1", 0))
         server.start()
         dead = f"{server.address[0]}:{server.address[1]}"
         server.stop()
         farm = SynthesisFarm("nangate45", num_workers=0, remote_workers=[dead])
         try:
-            with pytest.raises(RuntimeError, match="remote farm worker"):
-                farm.evaluate_curves(graphs[:1])
+            curves = farm.evaluate_curves(graphs)
+            assert [c.points() for c in curves] == points  # byte-identical
+            assert farm.last_stats.redispatched == 3
+            assert farm.stats()["remote"]["redispatched_tasks"] == 3
         finally:
             farm.close()
 
@@ -265,3 +285,27 @@ class TestMultiWorker:
             farm.close()
             for s in servers:
                 s.stop()
+
+    def test_dead_worker_redispatches_to_survivor(self, expected):
+        """One of two workers dies before dispatch: its chunks are
+        re-dispatched to the survivor and the batch still completes with
+        byte-identical curves — the dispatch half of lease reclamation."""
+        graphs, points = expected
+        servers = [FarmWorkerServer(("127.0.0.1", 0)) for _ in range(2)]
+        for s in servers:
+            s.start()
+        farm = SynthesisFarm(
+            "nangate45",
+            num_workers=0,
+            remote_workers=[f"{s.address[0]}:{s.address[1]}" for s in servers],
+            chunk_size=1,
+        )
+        try:
+            servers[1].stop()  # dies before its first chunk
+            curves = farm.evaluate_curves(graphs)
+            assert [c.points() for c in curves] == points
+            assert farm.last_stats.redispatched > 0
+            assert servers[0].tasks_served == 3  # the survivor did it all
+        finally:
+            farm.close()
+            servers[0].stop()
