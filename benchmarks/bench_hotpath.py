@@ -82,6 +82,14 @@ try:  # seed/parent trees: no evaluation-backend layer yet
 except ImportError:
     BACKEND_AVAILABLE = False
 
+try:  # seed/parent trees: no persistent curve store yet
+    from repro.store import DiskStore
+    from repro.synth import AreaDelayCurve
+
+    STORE_AVAILABLE = True
+except ImportError:
+    STORE_AVAILABLE = False
+
 from repro.nn import functional as nn_functional
 
 # Seed/parent trees: conv2d_forward has no fast path yet.
@@ -133,6 +141,11 @@ INFERENCE_ROUNDS = 3
 CHAOS_WIDTH = 16
 CHAOS_STEPS = 96
 CHAOS_ROUNDS = 2                # interleaved clean/severed run pairs
+STORE_ENTRIES = 512             # curves per store round
+STORE_POINTS = 8                # frontier points per stored curve
+STORE_ROUNDS = 3
+STORE_SYNTH_WIDTH = 16
+STORE_SYNTH_GRAPHS = 4          # synthesize_curve calls timed for the ratio
 
 
 def random_walk_grid(n: int, steps: int, rng: np.random.Generator) -> np.ndarray:
@@ -1029,6 +1042,83 @@ def bench_chaos() -> "dict | None":
     return out
 
 
+def _store_corpus() -> "list[tuple[tuple, AreaDelayCurve]]":
+    entries = []
+    for i in range(STORE_ENTRIES):
+        points = [
+            (0.05 * (j + 1) + 1e-4 * i, 100.0 + i - 10.0 * j)
+            for j in range(STORE_POINTS)
+        ]
+        key = (f"digest-{i:08x}", "nangate45", "openphysyn")
+        entries.append((key, AreaDelayCurve(points)))
+    return entries
+
+
+def bench_store() -> "dict | None":
+    """Curve-store hit latency vs the synthesis a warm hit replaces.
+
+    Best-of rounds over a throwaway store directory: append (write-
+    through cost on the training path), cold reopen (segment replay a
+    restarted cluster pays once), and warm ``get_many`` (the per-design
+    cost of *not* re-synthesizing). The headline ratio is one warm disk
+    hit against one ``synthesize_curve`` call on this host — a
+    work-avoidance record, not a parallelism claim.
+    """
+    if not STORE_AVAILABLE:
+        return None
+    import tempfile
+
+    entries = _store_corpus()
+    keys = [key for key, _ in entries]
+    best = {"append": float("inf"), "replay": float("inf"), "read": float("inf")}
+    bytes_total = segments = 0
+    for _ in range(STORE_ROUNDS):
+        with tempfile.TemporaryDirectory() as root:
+            store = DiskStore(root)
+            start = time.perf_counter()
+            store.put_many(entries)
+            best["append"] = min(best["append"], time.perf_counter() - start)
+            stats = store.stats()
+            bytes_total, segments = stats["bytes"], stats["segments"]
+            store.close()
+            start = time.perf_counter()
+            warm = DiskStore(root)
+            best["replay"] = min(best["replay"], time.perf_counter() - start)
+            start = time.perf_counter()
+            got = warm.get_many(keys)
+            best["read"] = min(best["read"], time.perf_counter() - start)
+            warm.close()
+            assert all(value is not None for value in got)
+    lib = nangate45()
+    graphs = synthesis_corpus(STORE_SYNTH_WIDTH)[:STORE_SYNTH_GRAPHS]
+    synthesize_curve(graphs[0], lib)  # warm scipy/library build off the clock
+    start = time.perf_counter()
+    for g in graphs:
+        synthesize_curve(g, lib)
+    synth_ms = (time.perf_counter() - start) / len(graphs) * 1000
+    n = len(entries)
+    warm_us = best["read"] / n * 1e6
+    row = {
+        "entries": n,
+        "points_per_curve": STORE_POINTS,
+        "rounds": STORE_ROUNDS,
+        "bytes_per_curve": bytes_total / n,
+        "segments": segments,
+        "append_us_per_curve": best["append"] / n * 1e6,
+        "reopen_replay_ms": best["replay"] * 1000,
+        "warm_read_us_per_curve": warm_us,
+        "synthesis_ms_per_curve": synth_ms,
+        "warm_read_over_synthesis": synth_ms * 1000 / max(warm_us, 1e-9),
+    }
+    print(
+        f"store n={n}: append {row['append_us_per_curve']:.1f} us/curve, "
+        f"reopen {row['reopen_replay_ms']:.1f} ms, warm read "
+        f"{warm_us:.1f} us/curve vs synthesis {synth_ms:.1f} ms "
+        f"-> {row['warm_read_over_synthesis']:.0f}x avoided"
+    )
+    return {str(n): row}
+
+
 def measure() -> dict:
     out = {
         "machine": {
@@ -1065,6 +1155,9 @@ def measure() -> dict:
     chaos = bench_chaos()
     if chaos is not None:
         out["chaos"] = chaos
+    store = bench_store()
+    if store is not None:
+        out["store"] = store
     return out
 
 
@@ -1138,6 +1231,10 @@ def merge(baseline: dict, current: dict, parent: "dict | None" = None) -> dict:
         # A recovery-cost record, not a speedup: wall-clock of a run that
         # absorbed a severed actor link over an undisturbed run.
         speedups["chaos_severed_over_clean_wall"] = row["severed_over_clean_wall"]
+    for row in current.get("store", {}).values():
+        # Work-avoidance ratio: one warm disk hit vs the synthesize_curve
+        # call it replaces after a restart.
+        speedups["store_warm_read_over_synthesis"] = row["warm_read_over_synthesis"]
     result = {"seed_baseline": baseline, "optimized": current, "speedups": speedups}
     if parent is not None:
         result["parent_baseline"] = parent
@@ -1156,6 +1253,7 @@ def apply_smoke_workload() -> None:
     global INFERENCE_WIDTH, INFERENCE_CLIENTS, INFERENCE_REQUESTS
     global INFERENCE_ROWS, INFERENCE_ROUNDS
     global CHAOS_WIDTH, CHAOS_STEPS, CHAOS_ROUNDS
+    global STORE_ENTRIES, STORE_ROUNDS, STORE_SYNTH_WIDTH, STORE_SYNTH_GRAPHS
     FEATURE_WIDTHS = (8, 16)
     TRAINER_WIDTHS = (8,)
     TRAINER_STEPS = 24
@@ -1186,6 +1284,10 @@ def apply_smoke_workload() -> None:
     CHAOS_WIDTH = 8
     CHAOS_STEPS = 16
     CHAOS_ROUNDS = 1
+    STORE_ENTRIES = 64
+    STORE_ROUNDS = 1
+    STORE_SYNTH_WIDTH = 8
+    STORE_SYNTH_GRAPHS = 2
 
 
 _HIGHER_IS_BETTER = ("graphs_per_sec", "steps_per_sec")
@@ -1293,6 +1395,9 @@ def run_smoke(output: "str | None") -> dict:
     if CHAOS_AVAILABLE:
         assert "chaos" in current, "missing bench section 'chaos'"
         expected.append("chaos_severed_over_clean_wall")
+    if STORE_AVAILABLE:
+        assert "store" in current, "missing bench section 'store'"
+        expected.append("store_warm_read_over_synthesis")
     missing = [k for k in expected if k not in speedups]
     assert not missing, f"missing speedup keys: {missing}"
     assert "synthesize_curve_n8" in result["speedups_vs_parent"]

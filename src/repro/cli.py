@@ -95,8 +95,8 @@ def cmd_train(args) -> int:
         TrainerConfig,
         TrainingRuntime,
     )
+    from repro.store import make_store
     from repro.synth import (
-        SynthesisCache,
         SynthesisEvaluator,
         calibrate_scaling,
         synthesize_curve,
@@ -119,7 +119,10 @@ def cmd_train(args) -> int:
         curve = synthesize_curve(ctor(args.width), library)
         calib.extend((a, d) for d, a in curve.points())
     c_area, c_delay = calibrate_scaling(calib)
-    cache = SynthesisCache()
+    # Default: the in-memory SynthesisCache (repr unchanged). With
+    # --store-dir: a memory front over a durable DiskStore, so a rerun
+    # against the same directory starts warm.
+    cache = make_store(args.store_dir)
 
     def make_evaluator():
         return SynthesisEvaluator(
@@ -203,6 +206,7 @@ def _cluster_pieces(args):
     to actors inside the ClusterSpec instead of being recomputed there.
     """
     from repro.net import ClusterSpec
+    from repro.net.config import ClusterConfig
     from repro.prefix import REGULAR_STRUCTURES
     from repro.rl import RuntimeConfig, ScalarizedDoubleDQN, TrainerConfig
     from repro.synth import calibrate_scaling, synthesize_curve
@@ -224,30 +228,33 @@ def _cluster_pieces(args):
         rng=args.seed,
         fast_conv=args.fast_conv,
     )
+    cluster_config = ClusterConfig.from_args(args)
     spec = ClusterSpec.for_agent(
         agent,
         horizon=24,
-        envs_per_actor=args.envs_per_actor,
+        envs_per_actor=cluster_config.envs_per_actor,
         library=args.library,
         c_area=c_area,
         c_delay=c_delay,
         seed=args.seed,
+        config=cluster_config,
     )
     config = TrainerConfig(steps=args.steps, batch_size=8, warmup_steps=16)
     runtime_config = RuntimeConfig(
         mode="cluster",
-        num_actors=args.actors,
-        publish_every=args.publish_every,
-        checkpoint_every=args.checkpoint_every,
-        stop_after=args.stop_after,
-        listen=args.listen,
-        heartbeat_timeout=args.heartbeat_timeout,
-        cluster_wait=args.cluster_wait,
-        serve_inference=args.inference,
-        inference_max_batch=args.inference_max_batch,
-        inference_max_wait=args.inference_max_wait,
-        backpressure_lag=args.backpressure_lag,
-        throttle_seconds=args.throttle_seconds,
+        num_actors=cluster_config.actors,
+        publish_every=cluster_config.publish_every,
+        checkpoint_every=cluster_config.checkpoint_every,
+        stop_after=cluster_config.stop_after,
+        listen=cluster_config.listen,
+        heartbeat_timeout=cluster_config.heartbeat_timeout,
+        cluster_wait=cluster_config.cluster_wait,
+        store_dir=cluster_config.store_dir,
+        serve_inference=cluster_config.inference,
+        inference_max_batch=cluster_config.inference_max_batch,
+        inference_max_wait=cluster_config.inference_max_wait,
+        backpressure_lag=cluster_config.backpressure_lag,
+        throttle_seconds=cluster_config.throttle_seconds,
     )
     return agent, spec, config, runtime_config
 
@@ -281,6 +288,14 @@ def _print_cluster_summary(history) -> None:
         print(
             f"lease dedup: granted={lease['granted']}, fulfilled={lease['fulfilled']}, "
             f"duplicate waits={lease['waits']}, reclaimed={lease['reclaimed']}",
+            file=sys.stderr,
+        )
+    store = stats.get("store")
+    if store:
+        print(
+            f"curve store: entries={store['entries']}, appends={store['appends']}, "
+            f"rewrites={store['rewrites']}, segments={store['segments']}, "
+            f"bytes={store['bytes']}",
             file=sys.stderr,
         )
     print("history frontier (area um2, delay ns):")
@@ -455,9 +470,24 @@ def cmd_cluster(args) -> int:
         on_event=lambda message: print(message, file=sys.stderr, flush=True),
     )
     farm_procs: list = []
+    farm_addresses: list = []
     actor_args: list = []
+
+    def farm_store_args(j):
+        # A DiskStore directory has exactly one writer, so each worker
+        # gets its own subdirectory — stable across respawns and reruns
+        # (worker j always reopens farm-<j>, restarting warm).
+        if not args.store_dir:
+            return None
+        return ["--store-dir", str(Path(args.store_dir) / f"farm-{j}")]
+
     if args.farm_workers:
-        farm_procs, farm_addresses = launch_farm_workers(args.farm_workers)
+        for j in range(args.farm_workers):
+            procs_j, addresses_j = launch_farm_workers(
+                1, extra_args=farm_store_args(j)
+            )
+            farm_procs += procs_j
+            farm_addresses += addresses_j
         print(
             f"farm workers listening on {', '.join(farm_addresses)}",
             file=sys.stderr, flush=True,
@@ -465,8 +495,10 @@ def cmd_cluster(args) -> int:
         actor_args += ["--farm", ",".join(farm_addresses)]
         for j, (proc, worker_address) in enumerate(zip(farm_procs, farm_addresses)):
 
-            def respawn(worker_address=worker_address):
-                return respawn_farm_worker(worker_address)
+            def respawn(worker_address=worker_address, j=j):
+                return respawn_farm_worker(
+                    worker_address, extra_args=farm_store_args(j)
+                )
 
             supervisor.watch(
                 f"farm-worker-{j}", proc, respawn=respawn, kind="farm"
@@ -538,6 +570,7 @@ def cmd_farm_worker(args) -> int:
     server = FarmWorkerServer(
         parse_address(args.listen),
         prepared_cache_entries=args.prepared_cache,
+        store_dir=args.store_dir,
     )
     host, port = server.address
     print(f"farm worker listening on {host}:{port}", flush=True)
@@ -547,6 +580,13 @@ def cmd_farm_worker(args) -> int:
         pass
     finally:
         server.closing = True
+        if server.store is not None:
+            stats = server.store.stats()
+            print(
+                f"farm worker store: entries={stats['entries']}, "
+                f"hits={stats['hits']}, appends={stats['appends']}",
+                file=sys.stderr,
+            )
         server.server_close()
     return 0
 
@@ -634,12 +674,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint and halt at this env step (simulated preemption)")
     p.add_argument("--resume", action="store_true",
                    help="resume from the latest checkpoint in --checkpoint-dir")
+    p.add_argument("--store-dir", default=None,
+                   help="persistent content-addressed curve store directory: "
+                        "synthesized curves are durable across restarts, so a rerun "
+                        "against the same dir starts warm (default: in-memory only)")
     p.add_argument("--fast-conv", action="store_true",
                    help="opt into the tolerance-gated tap-loop convolution "
                         "(default: the byte-exact im2col path)")
     p.set_defaults(func=cmd_train)
 
-    def add_cluster_common(p):
+    from repro.net.config import ClusterConfig
+
+    def add_cluster_common(p, command):
         p.add_argument("width", type=int, nargs="?", default=8)
         p.add_argument("--steps", type=int, default=150,
                        help="env-step budget (ignored with --resume)")
@@ -648,49 +694,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--channels", type=int, default=8)
         p.add_argument("--library", default="nangate45")
         p.add_argument("--seed", type=int, default=0)
-        p.add_argument("--actors", type=int, default=2,
-                       help="actor process slots (replay shards)")
-        p.add_argument("--envs-per-actor", type=int, default=4,
-                       help="lockstep env replicas per actor process")
-        p.add_argument("--publish-every", type=int, default=1,
-                       help="gradient steps between weight publications")
-        p.add_argument("--listen", default="127.0.0.1:0",
-                       help="learner bind address (default: loopback, ephemeral port)")
-        p.add_argument("--heartbeat-timeout", type=float, default=60.0,
-                       help="drop an actor silent this long (seconds); must exceed "
-                            "one acting round's synthesis time")
-        p.add_argument("--cluster-wait", type=float, default=60.0,
-                       help="abort if no actor is connected for this long (seconds)")
-        p.add_argument("--checkpoint-dir", default=None,
-                       help="checkpoint root (cluster checkpoints capture the learner state)")
-        p.add_argument("--checkpoint-every", type=int, default=0,
-                       help="env steps between checkpoints (0: only at halt/completion)")
-        p.add_argument("--stop-after", type=int, default=None,
-                       help="checkpoint and halt at this env step (simulated preemption)")
-        p.add_argument("--resume", action="store_true",
-                       help="resume from the latest checkpoint in --checkpoint-dir")
+        # Fleet knobs live on the ClusterConfig dataclass; the CLI is a
+        # thin parser over it (field defaults ARE the flag defaults).
+        ClusterConfig.add_arguments(p, command)
         p.add_argument("--fast-conv", action="store_true",
                        help="opt into the tolerance-gated tap-loop convolution for "
                             "learner and actors (default: the byte-exact im2col path)")
-        p.add_argument("--inference", action="store_true",
-                       help="host a shared batched-inference server next to the "
-                            "learner; cluster mode points every actor at it")
-        p.add_argument("--inference-max-batch", type=int, default=256,
-                       help="inference server: rows coalesced per forward, at most")
-        p.add_argument("--inference-max-wait", type=float, default=0.005,
-                       help="inference server: seconds to hold a batch for stragglers")
-        p.add_argument("--backpressure-lag", type=int, default=64,
-                       help="gradient-cadence deficit beyond which push replies "
-                            "carry a throttle hint (0 disables backpressure)")
-        p.add_argument("--throttle-seconds", type=float, default=0.05,
-                       help="seconds an actor pauses when the learner signals "
-                            "backpressure")
 
     p = sub.add_parser(
         "serve-learner",
         help="run a cluster learner server and wait for remote actors",
     )
-    add_cluster_common(p)
+    add_cluster_common(p, "serve-learner")
     p.set_defaults(func=cmd_serve_learner)
 
     p = sub.add_parser("actor", help="run one remote actor against a learner")
@@ -699,37 +714,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--farm", action="append", metavar="HOST:PORT[,HOST:PORT...]",
                    help="route this actor's leased synthesis to farm-worker "
                         "daemons (repeat or comma-separate for several)")
-    p.add_argument("--front-cache", type=int, default=50_000,
-                   help="actor-local front cache entries over the shared cache")
     p.add_argument("--inference", metavar="HOST:PORT", default=None,
                    help="serve exploit-side argmax from this shared inference "
                         "server (printed by serve-learner/cluster --inference); "
                         "falls back to local inference when unavailable")
-    p.add_argument("--heartbeat-timeout", type=float, default=300.0,
-                   help="give up if the learner is silent this long (seconds)")
-    p.add_argument("--reconnect-attempts", type=int, default=8,
-                   help="consecutive failed redials tolerated before the "
-                        "supervised reconnect loop gives up")
+    ClusterConfig.add_arguments(p, "actor")
     p.set_defaults(func=cmd_actor)
 
     p = sub.add_parser(
         "cluster",
         help="localhost cluster: learner + N actor subprocesses",
     )
-    add_cluster_common(p)
-    p.add_argument("--farm-workers", type=int, default=0,
-                   help="also spawn this many farm-worker daemons and point "
-                        "every actor's synthesis at them")
-    p.add_argument("--restart-budget", type=int, default=2,
-                   help="crash respawns allowed per fleet child before its "
-                        "death counts as a launcher failure")
+    add_cluster_common(p, "cluster")
     p.set_defaults(func=cmd_cluster)
 
     p = sub.add_parser("farm-worker", help="run a remote synthesis-farm worker")
-    p.add_argument("--listen", default="127.0.0.1:0",
-                   help="bind address (default: loopback, ephemeral port)")
-    p.add_argument("--prepared-cache", type=int, default=10_000,
-                   help="per-worker prepared-netlist LRU entries (0 disables)")
+    ClusterConfig.add_arguments(p, "farm-worker")
     p.set_defaults(func=cmd_farm_worker)
 
     p = sub.add_parser("sweep", help="multi-weight analytical sweep")

@@ -24,6 +24,7 @@ Entry points: ``repro serve-learner``, ``repro actor --connect``,
 
 from repro.net.backoff import Backoff
 from repro.net.chaos import ChaosProxy, kill_process, wait_until
+from repro.net.config import ClusterConfig
 from repro.net.protocol import (
     PROTOCOL_VERSION,
     Connection,
@@ -66,6 +67,7 @@ from repro.net.cluster import (
 __all__ = [
     "Backoff",
     "ChaosProxy",
+    "ClusterConfig",
     "FleetSupervisor",
     "MEMBERSHIP_KEYS",
     "kill_process",

@@ -70,11 +70,18 @@ class RemoteCacheClient:
 
     The lease owner is implicit — the learner keys leases to this
     connection and releases them when it drops (heartbeat timeout or BYE),
-    which is the dead-peer half of lease reclamation.
+    which is the dead-peer half of lease reclamation. A waiter that dies
+    mid-park is the same case: its handler thread's reply send fails, the
+    connection tears down, and ``release_owner`` rides the teardown.
+
+    ``long_poll`` mirrors the server's capability marker: ``None`` until
+    the first claim reply, then True/False — the backend's one-release
+    compatibility shim keys off it when dialing an old-protocol learner.
     """
 
     def __init__(self, conn):
         self._conn = conn
+        self.long_poll: "bool | None" = None
 
     def rebind(self, conn) -> None:
         """Point at a fresh connection after a redial.
@@ -85,11 +92,25 @@ class RemoteCacheClient:
         """
         self._conn = conn
 
-    def claim(self, keys, counted: bool = True):
-        reply = self._conn.call(
-            "cache_claim",
-            {"keys": [list(k) for k in keys], "counted": counted},
-        )
+    def claim(
+        self,
+        keys,
+        counted: bool = True,
+        wait: bool = False,
+        wait_timeout: "float | None" = None,
+    ):
+        params = {"keys": [list(k) for k in keys], "counted": counted}
+        if wait:
+            # Ask the server to park the reply, bounded safely below this
+            # connection's recv timeout so the call cannot time out
+            # mid-park; an empty (all-wait) reply just re-claims.
+            park = self._conn.timeout / 3.0
+            if wait_timeout is not None:
+                park = min(park, wait_timeout)
+            params["wait"] = True
+            params["wait_timeout"] = max(park, 0.05)
+        reply = self._conn.call("cache_claim", params)
+        self.long_poll = bool(reply.get("long_poll", False))
         out = []
         for result in reply["results"]:
             if "curve" in result:

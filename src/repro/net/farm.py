@@ -75,6 +75,7 @@ class FarmWorkerServer(FramedServer):
         prepared_cache_entries: int = 10_000,
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        store_dir: "str | None" = None,
     ):
         super().__init__(
             address, max_frame_bytes=max_frame_bytes, heartbeat_timeout=heartbeat_timeout
@@ -83,6 +84,16 @@ class FarmWorkerServer(FramedServer):
         self._prepared: "OrderedDict[str, object]" = OrderedDict()
         self._prepared_lock = threading.Lock()
         self.tasks_served = 0
+        # Optional durable curve store: a task whose (digest, library,
+        # synthesizer) curve is already on disk is served without touching
+        # the optimizer at all, and fresh curves are appended for future
+        # runs — a respawned worker restarts warm.
+        self.store = None
+        self.store_hits = 0
+        if store_dir:
+            from repro.store.disk import DiskStore
+
+            self.store = DiskStore(store_dir)
         self.methods = {"synth_batch": self._synth_batch, "worker_info": self._worker_info}
 
     # -- prepared-netlist LRU -------------------------------------------
@@ -131,6 +142,12 @@ class FarmWorkerServer(FramedServer):
         self._prepared_put(digest, netlist.clone())
         return netlist, False
 
+    def _store_key(self, task: dict, params: dict, synthesizer) -> "tuple | None":
+        digest = task.get("digest")
+        if self.store is None or digest is None:
+            return None
+        return (digest, params["library"], synthesizer.name)
+
     def _synth_batch(self, ctx, params: dict) -> dict:
         library = _library(params["library"])
         synthesizer = Synthesizer(**params.get("synth_kwargs", {}))
@@ -139,7 +156,17 @@ class FarmWorkerServer(FramedServer):
         setup_seconds = 0.0
         opt_seconds = 0.0
         prepared_hits = 0
+        store_hits = 0
         for index, task in enumerate(params["tasks"]):
+            key = self._store_key(task, params, synthesizer)
+            if key is not None:
+                stored = self.store.get(key)
+                if stored is not None:
+                    # Durable hit: no netlist, no optimizer — even a
+                    # digest-only (payload-elided) task is servable.
+                    store_hits += 1
+                    points.append(stored.points())
+                    continue
             t0 = time.perf_counter()
             netlist, hit = self._obtain_netlist(task, library)
             if netlist is None:
@@ -154,6 +181,9 @@ class FarmWorkerServer(FramedServer):
             opt_seconds += t2 - t1
             prepared_hits += bool(hit)
             points.append(curve.points())
+            if key is not None:
+                self.store.put(key, curve)
+        self.store_hits += store_hits
         self.tasks_served += len(points) - len(missing)
         return {
             "points": points,
@@ -162,6 +192,7 @@ class FarmWorkerServer(FramedServer):
             "opt_seconds": opt_seconds,
             "prepared_hits": prepared_hits,
             "prepared_enabled": bool(self.prepared_cache_entries),
+            "store_hits": store_hits,
         }
 
     def _worker_info(self, ctx, params) -> dict:
@@ -169,7 +200,13 @@ class FarmWorkerServer(FramedServer):
             "tasks_served": self.tasks_served,
             "prepared_cache_entries": len(self._prepared),
             "libraries_loaded": sorted(_LIBRARIES),
+            "store": self.store.stats() if self.store is not None else None,
         }
+
+    def server_close(self) -> None:
+        super().server_close()
+        if self.store is not None:
+            self.store.close()  # releases the single-writer lock
 
 
 def _synthesize_tasks(

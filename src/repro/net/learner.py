@@ -43,8 +43,10 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.net.config import ClusterConfig
 from repro.net.protocol import DEFAULT_HEARTBEAT_TIMEOUT, DEFAULT_MAX_FRAME_BYTES
 from repro.net.server import FramedServer
+from repro.store.api import CurveStore
 from repro.synth.cache import SynthesisCache
 from repro.synth.curve import AreaDelayCurve
 from repro.synth.leases import SharedCacheService
@@ -78,6 +80,10 @@ class ClusterSpec:
     channels: int = 16
     dtype: str = "float64"
     fast_conv: bool = False
+    # Fleet-wide knobs (heartbeat window, store location, inference
+    # service). ``asdict`` flattens the nested dataclass to a plain dict
+    # on the wire; actors read named keys, so older peers ignore it.
+    config: "ClusterConfig | None" = None
 
     @classmethod
     def for_agent(cls, agent, **kwargs) -> "ClusterSpec":
@@ -120,7 +126,7 @@ class LearnerState:
         schedule,
         total,
         spec: ClusterSpec,
-        cache: "SynthesisCache | None" = None,
+        cache: "CurveStore | None" = None,
         halt_at: "int | None" = None,
         lease_timeout: float = 60.0,
         grads_allowed_fn=None,
@@ -402,6 +408,10 @@ class LearnerServer(FramedServer):
         )
         self.state: "LearnerState | None" = None
         self.state_wait = state_wait
+        # Server-side cap on a long-poll claim park: one third of the
+        # heartbeat window, so a parked reply always lands well inside
+        # the client's recv timeout.
+        self.claim_park_cap = max(0.5, heartbeat_timeout / 3.0)
         self._state_ready = threading.Event()
         self._owner_ids = itertools.count(1)
         self.methods = {
@@ -488,8 +498,23 @@ class LearnerServer(FramedServer):
 
     def _cache_claim(self, ctx, params) -> dict:
         keys = [decode_cache_key(k) for k in params["keys"]]
+        kwargs = {}
+        if params.get("wait"):
+            # Long-poll: park this connection's handler thread at the
+            # service until a key resolves. The park is capped well below
+            # the heartbeat window (and below any client-requested
+            # budget), so the client's recv timeout can never fire
+            # mid-park — it just re-claims. Old actors never send "wait"
+            # and keep the instant-reply contract.
+            timeout = self.claim_park_cap
+            if params.get("wait_timeout") is not None:
+                timeout = min(timeout, float(params["wait_timeout"]))
+            kwargs = {"wait": True, "wait_timeout": max(timeout, 0.05)}
         replies = self.state.cache_service.claim(
-            keys, ctx["cache_owner"], counted=bool(params.get("counted", True))
+            keys,
+            ctx["cache_owner"],
+            counted=bool(params.get("counted", True)),
+            **kwargs,
         )
         results = []
         for reply in replies:
@@ -497,7 +522,10 @@ class LearnerServer(FramedServer):
                 results.append({"curve": reply["curve"].points()})
             else:
                 results.append(reply)
-        return {"results": results}
+        # "long_poll" is the capability marker new clients read to decide
+        # whether wait=True claims actually park (vs the one-release
+        # client-side compatibility shim against old servers).
+        return {"results": results, "long_poll": True}
 
     def _stats(self, ctx, params) -> dict:
         state = self.state

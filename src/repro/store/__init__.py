@@ -1,0 +1,19 @@
+"""Curve persistence: the :class:`CurveStore` protocol and its tiers.
+
+- :mod:`repro.store.api` — the protocol + :func:`make_store` factory;
+- :mod:`repro.store.disk` — durable append-only segmented store;
+- :mod:`repro.store.layered` — memory front over a disk store.
+"""
+
+from repro.store.api import CurveStore, decode_entries, encode_entries, make_store
+from repro.store.disk import DiskStore
+from repro.store.layered import LayeredStore
+
+__all__ = [
+    "CurveStore",
+    "DiskStore",
+    "LayeredStore",
+    "decode_entries",
+    "encode_entries",
+    "make_store",
+]

@@ -1,0 +1,428 @@
+"""Disk-backed content-addressed curve store (append-only segments).
+
+The durable tier of the curve-store stack: a directory of append-only
+segment files mapping content keys to area-delay curves, built so a
+cluster (or a single trainer) restarted against the same ``--store-dir``
+starts warm and never re-pays synthesis for a design it has seen.
+
+On-disk layout::
+
+    <root>/seg-00000001.crv        # sealed (mmap'd for reads)
+    <root>/seg-00000002.crv        # active (appends go here)
+
+Each segment is a sequence of self-describing records::
+
+    !4s I I I      magic b"CRV1" | crc32 | key_len | payload_len
+    key_len bytes  UTF-8 JSON of the content key (a list of strings)
+    payload bytes  big-endian float64 pairs: (delay, area) * n_points
+
+The crc covers key + payload, so every record is independently
+verifiable. That buys the three durability properties the cluster needs:
+
+- **torn-tail recovery** — a process killed mid-append leaves a partial
+  record at the end of the active segment; on reopen the scan stops at
+  the first record that fails magic/length/crc validation, truncates the
+  file there, and counts the drop (``torn_records``). Everything before
+  the tear is byte-identical to what was written.
+- **atomic compaction** — :meth:`compact` rewrites the live records into
+  ``seg-<next>.crv.tmp``, fsyncs, atomically renames it into place, and
+  only then deletes the old segments. A crash anywhere in that sequence
+  is safe: ``.tmp`` files are discarded at open, and replay is in
+  segment-id order with later records winning, so old+new coexisting is
+  read correctly.
+- **append-only writes** — a ``put`` of an existing key appends a new
+  record (later-wins on replay) rather than editing in place; the
+  ``rewrites`` counter it ticks is also the exact "re-paid a synthesis
+  we already had" detector the warm-restart CI gate asserts on.
+
+Reads are index-backed (the open-time scan builds ``key -> (segment,
+offset)``): sealed segments are mmap'd, the active segment is ``pread``.
+Thread-safe under one lock, same as :class:`repro.synth.SynthesisCache`.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import threading
+import zlib
+
+try:  # single-writer guard; POSIX only (the platforms the cluster runs on)
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+from repro.store.api import CurveStore
+
+MAGIC = b"CRV1"
+_HEADER = struct.Struct("!4sIII")
+_POINT = struct.Struct("!2d")
+
+SEGMENT_SUFFIX = ".crv"
+TMP_SUFFIX = ".crv.tmp"
+
+
+def _segment_name(seg_id: int) -> str:
+    return f"seg-{seg_id:08d}{SEGMENT_SUFFIX}"
+
+
+def _parse_segment_id(name: str) -> "int | None":
+    if not (name.startswith("seg-") and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    stem = name[len("seg-") : -len(SEGMENT_SUFFIX)]
+    return int(stem) if stem.isdigit() else None
+
+
+def encode_record(key: tuple, points: "list[tuple[float, float]]") -> bytes:
+    """One self-describing record: header + JSON key + packed points."""
+    key_bytes = json.dumps(list(key), separators=(",", ":")).encode("utf-8")
+    payload = b"".join(_POINT.pack(float(d), float(a)) for d, a in points)
+    crc = zlib.crc32(key_bytes + payload) & 0xFFFFFFFF
+    return _HEADER.pack(MAGIC, crc, len(key_bytes), len(payload)) + key_bytes + payload
+
+
+def decode_points(payload: bytes) -> "list[tuple[float, float]]":
+    return [_POINT.unpack_from(payload, off) for off in range(0, len(payload), 16)]
+
+
+class _Segment:
+    """One on-disk segment: a read fd, mmap'd once sealed."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.fd = os.open(path, os.O_RDONLY)
+        self.size = os.fstat(self.fd).st_size
+        self.mm: "mmap.mmap | None" = None
+
+    def seal(self) -> None:
+        """Switch reads to a shared read-only mapping (sealed segments
+        never grow, so the mapping stays valid for the store's life)."""
+        self.size = os.fstat(self.fd).st_size
+        if self.mm is None and self.size > 0:
+            self.mm = mmap.mmap(self.fd, self.size, prot=mmap.PROT_READ)
+
+    def read(self, offset: int, length: int) -> bytes:
+        if self.mm is not None:
+            return bytes(self.mm[offset : offset + length])
+        return os.pread(self.fd, length, offset)
+
+    def close(self) -> None:
+        if self.mm is not None:
+            self.mm.close()
+            self.mm = None
+        if self.fd >= 0:
+            os.close(self.fd)
+            self.fd = -1
+
+
+class DiskStore(CurveStore):
+    """Append-only segmented curve store rooted at a directory.
+
+    ``sync=True`` fsyncs after every append (power-loss durable);
+    the default flushes to the OS page cache, which survives process
+    kills — the failure mode the chaos tests inject — at a fraction of
+    the cost.
+    """
+
+    def __init__(
+        self,
+        root,
+        max_segment_bytes: int = 64 * 1024 * 1024,
+        sync: bool = False,
+    ):
+        if max_segment_bytes < 4096:
+            raise ValueError("max_segment_bytes must be at least 4096")
+        self.root = os.fspath(root)
+        self.max_segment_bytes = max_segment_bytes
+        self.sync = sync
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.appends = 0          # records written (fresh keys)
+        self.rewrites = 0         # puts of already-present keys (re-paid work)
+        self.torn_records = 0     # partial tail records dropped at open
+        self.compactions = 0
+        # key -> (segment_id, offset, record_length)
+        self._index: "dict[tuple, tuple[int, int, int]]" = {}
+        self._segments: "dict[int, _Segment]" = {}
+        self._active_id = 0
+        self._active_file = None  # append handle for the active segment
+        os.makedirs(self.root, exist_ok=True)
+        # Appends assume exclusive ownership of the directory: concurrent
+        # appenders would interleave records under each other's tracked
+        # offsets. The kernel drops a flock on any process death —
+        # including SIGKILL — so a crashed owner never wedges the store.
+        self._lock_fd = -1
+        if fcntl is not None:
+            self._lock_fd = os.open(
+                os.path.join(self.root, "LOCK"), os.O_CREAT | os.O_RDWR, 0o644
+            )
+            try:
+                fcntl.flock(self._lock_fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                os.close(self._lock_fd)
+                self._lock_fd = -1
+                raise RuntimeError(
+                    f"curve store {self.root!r} is owned by another process "
+                    "(one writer per store directory; give each process its "
+                    "own directory)"
+                ) from None
+        self._open_all()
+
+    # -- open / recovery ---------------------------------------------------
+
+    def _open_all(self) -> None:
+        seg_ids = []
+        for name in os.listdir(self.root):
+            if name.endswith(TMP_SUFFIX):
+                # A compaction that crashed before its rename; never valid.
+                os.unlink(os.path.join(self.root, name))
+                continue
+            seg_id = _parse_segment_id(name)
+            if seg_id is not None:
+                seg_ids.append(seg_id)
+        # Id order makes replay later-wins, which is what keeps the
+        # old-segments + compacted-segment coexistence crash window safe.
+        for seg_id in sorted(seg_ids):
+            self._recover_segment(seg_id)
+        self._active_id = max(seg_ids, default=0)
+        if self._active_id == 0:
+            self._roll_segment()
+        else:
+            for seg_id, segment in self._segments.items():
+                if seg_id != self._active_id:
+                    segment.seal()
+            path = os.path.join(self.root, _segment_name(self._active_id))
+            self._active_file = open(path, "ab")
+            if self._active_file.tell() >= self.max_segment_bytes:
+                self._roll_segment()
+
+    def _recover_segment(self, seg_id: int) -> None:
+        """Scan one segment, indexing valid records, truncating a torn tail."""
+        path = os.path.join(self.root, _segment_name(seg_id))
+        segment = _Segment(path)
+        offset = 0
+        size = segment.size
+        while offset < size:
+            header = segment.read(offset, _HEADER.size)
+            if len(header) < _HEADER.size:
+                break
+            magic, crc, key_len, payload_len = _HEADER.unpack(header)
+            record_len = _HEADER.size + key_len + payload_len
+            if magic != MAGIC or offset + record_len > size:
+                break
+            body = segment.read(offset + _HEADER.size, key_len + payload_len)
+            if len(body) < key_len + payload_len:
+                break
+            if zlib.crc32(body) & 0xFFFFFFFF != crc:
+                break
+            try:
+                key = tuple(json.loads(body[:key_len].decode("utf-8")))
+            except (UnicodeDecodeError, ValueError):
+                break
+            self._index[key] = (seg_id, offset, record_len)
+            offset += record_len
+        if offset < size:
+            # Torn tail: drop everything from the first invalid record on.
+            self.torn_records += 1
+            segment.close()
+            with open(path, "r+b") as fh:
+                fh.truncate(offset)
+            segment = _Segment(path)
+        self._segments[seg_id] = segment
+
+    # -- reads -------------------------------------------------------------
+
+    def _read_points(self, loc: "tuple[int, int, int]"):
+        seg_id, offset, record_len = loc
+        record = self._segments[seg_id].read(offset, record_len)
+        _magic, _crc, key_len, _payload_len = _HEADER.unpack_from(record)
+        return decode_points(record[_HEADER.size + key_len :])
+
+    def _lookup(self, key: tuple):
+        from repro.synth.curve import AreaDelayCurve
+
+        loc = self._index.get(tuple(key))
+        if loc is None:
+            return None
+        return AreaDelayCurve.from_points(self._read_points(loc))
+
+    def get(self, key: tuple):
+        with self._lock:
+            value = self._lookup(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
+
+    def get_many(self, keys):
+        out = []
+        with self._lock:
+            for key in keys:
+                value = self._lookup(key)
+                if value is None:
+                    self.misses += 1
+                else:
+                    self.hits += 1
+                out.append(value)
+        return out
+
+    def peek_many(self, keys):
+        with self._lock:
+            return [self._lookup(key) for key in keys]
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return tuple(key) in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    # -- writes ------------------------------------------------------------
+
+    def _append(self, key: tuple, value) -> None:
+        key = tuple(key)
+        record = encode_record(key, value.points())
+        if key in self._index:
+            self.rewrites += 1
+        else:
+            self.appends += 1
+        offset = self._active_file.tell()
+        self._active_file.write(record)
+        self._active_file.flush()
+        if self.sync:
+            os.fsync(self._active_file.fileno())
+        self._index[key] = (self._active_id, offset, len(record))
+        # The active segment's read view must see the new bytes.
+        self._segments[self._active_id].size = offset + len(record)
+        if offset + len(record) >= self.max_segment_bytes:
+            self._roll_segment()
+
+    def put(self, key: tuple, value) -> None:
+        with self._lock:
+            self._append(key, value)
+
+    def put_many(self, items) -> None:
+        with self._lock:
+            for key, value in items:
+                self._append(key, value)
+
+    def _roll_segment(self) -> None:
+        """Seal the active segment and start the next one."""
+        if self._active_file is not None:
+            self._active_file.close()
+            self._segments[self._active_id].seal()
+        self._active_id += 1
+        path = os.path.join(self.root, _segment_name(self._active_id))
+        self._active_file = open(path, "ab")
+        self._segments[self._active_id] = _Segment(path)
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self) -> dict:
+        """Rewrite live records into one fresh segment, atomically.
+
+        Sequence: write every live record to ``seg-<next>.crv.tmp``,
+        fsync, rename into place (the atomicity point), then delete the
+        superseded segments. Crash before the rename: the ``.tmp`` is
+        discarded at next open. Crash after: id-ordered later-wins replay
+        reads the compacted segment over any stragglers.
+        """
+        with self._lock:
+            old_ids = sorted(self._segments)
+            new_id = self._active_id + 1
+            tmp_path = os.path.join(self.root, _segment_name(new_id) + ".tmp")
+            final_path = os.path.join(self.root, _segment_name(new_id))
+            new_index: "dict[tuple, tuple[int, int, int]]" = {}
+            reclaimed = 0
+            with open(tmp_path, "wb") as fh:
+                offset = 0
+                for key, loc in self._index.items():
+                    record_len = loc[2]
+                    record = self._segments[loc[0]].read(loc[1], record_len)
+                    fh.write(record)
+                    new_index[key] = (new_id, offset, record_len)
+                    offset += record_len
+                live_bytes = offset
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.rename(tmp_path, final_path)
+            # Point of no return: the compacted segment is durable; now
+            # retire the old ones.
+            self._active_file.close()
+            for seg_id in old_ids:
+                segment = self._segments.pop(seg_id)
+                reclaimed += segment.size
+                segment.close()
+                os.unlink(segment.path)
+            self._index = new_index
+            self._active_id = new_id
+            self._active_file = open(final_path, "ab")
+            self._segments[new_id] = _Segment(final_path)
+            self.compactions += 1
+            if self._active_file.tell() >= self.max_segment_bytes:
+                self._roll_segment()
+            return {
+                "segment": new_id,
+                "live_records": len(new_index),
+                "reclaimed_bytes": max(0, reclaimed - live_bytes),
+            }
+
+    # -- telemetry / persistence -------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            size = sum(seg.size for seg in self._segments.values())
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._index),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "segments": len(self._segments),
+                "bytes": size,
+                "appends": self.appends,
+                "rewrites": self.rewrites,
+                "torn_records": self.torn_records,
+                "compactions": self.compactions,
+            }
+
+    def state_dict(self) -> dict:
+        """Counters only — the entries themselves are already durable
+        on disk, so checkpoints carry ``entries=None`` (the schema's
+        marker for "contents live elsewhere")."""
+        with self._lock:
+            return {
+                "max_entries": None,
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": None,
+            }
+
+    def load_state_dict(self, state: dict) -> None:
+        with self._lock:
+            self.hits = int(state.get("hits", 0))
+            self.misses = int(state.get("misses", 0))
+
+    def close(self) -> None:
+        with self._lock:
+            if self._active_file is not None:
+                self._active_file.close()
+                self._active_file = None
+            for segment in self._segments.values():
+                segment.close()
+            self._segments.clear()
+            self._index.clear()
+            if self._lock_fd >= 0:
+                os.close(self._lock_fd)  # releases the flock
+                self._lock_fd = -1
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskStore(root={self.root!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -31,7 +31,7 @@ from __future__ import annotations
 import time
 
 from repro.prefix.serialize import graph_digest
-from repro.synth.cache import SynthesisCache
+from repro.store.api import make_store
 from repro.synth.curve import AreaDelayCurve, synthesize_curve
 from repro.synth.optimizer import Synthesizer
 
@@ -68,32 +68,20 @@ def cache_counters(cache) -> "dict | None":
     }
 
 
-def encode_cache_state(cache: SynthesisCache) -> dict:
-    """Checkpoint-ready snapshot of a curve cache (JSON-safe points)."""
-    entries, hits, misses = cache.snapshot()
-    encoded = []
-    for key, value in entries:
-        if not isinstance(value, AreaDelayCurve):
-            raise TypeError(
-                "cannot checkpoint synthesis cache value of type "
-                f"{type(value).__name__}"
-            )
-        encoded.append([list(key), value.points()])
-    return {
-        "max_entries": cache.max_entries,
-        "hits": hits,
-        "misses": misses,
-        "entries": encoded,
-    }
+def encode_cache_state(store) -> dict:
+    """Checkpoint-ready snapshot of any curve store (JSON-safe points).
+
+    Thin wrapper over :meth:`repro.store.CurveStore.state_dict` — kept
+    because the checkpoint format predates the protocol and every
+    existing checkpoint carries this schema. Disk-backed stores encode
+    ``entries=None`` (their contents are already durable on disk).
+    """
+    return store.state_dict()
 
 
-def restore_cache_state(cache: SynthesisCache, state: dict) -> None:
-    """Inverse of :func:`encode_cache_state` (onto a live cache)."""
-    entries = [
-        (tuple(key), AreaDelayCurve.from_points(points))
-        for key, points in state["entries"]
-    ]
-    cache.restore(entries, hits=state["hits"], misses=state["misses"])
+def restore_cache_state(store, state: dict) -> None:
+    """Inverse of :func:`encode_cache_state` (onto a live store)."""
+    store.load_state_dict(state)
 
 
 class EvaluationBackend:
@@ -217,7 +205,7 @@ class LocalBackend(EvaluationBackend):
         super().__init__()
         self.library = library
         self.synthesizer = synthesizer if synthesizer is not None else Synthesizer()
-        self.cache = cache if cache is not None else SynthesisCache()
+        self.cache = cache if cache is not None else make_store()
 
     def _key(self, graph) -> tuple:
         return (graph_digest(graph), self.library.name, self.synthesizer.name)
@@ -260,7 +248,7 @@ class FarmBackend(EvaluationBackend):
                 "workers); the serial reference farm stays a benchmark baseline"
             )
         if farm.cache is None:
-            farm.cache = SynthesisCache()
+            farm.cache = make_store()
         self.farm = farm
 
     @property
@@ -301,12 +289,18 @@ class ClusterBackend(EvaluationBackend):
     this client's own repeats), then *claimed* at the shared service: each
     miss comes back as a value, a granted lease (synthesize it — locally,
     or through ``farm``) or "wait" (another client is synthesizing it; the
-    value is polled for). The result: across any number of concurrent
+    re-claim *parks at the service* until the value arrives — long-poll,
+    no client-side sleep). The result: across any number of concurrent
     clients, each unique digest is synthesized exactly once, cluster-wide.
 
-    ``service`` needs ``claim(keys, counted=...)`` and
-    ``put(items, lease_ids=...)`` — :class:`repro.synth.leases.LocalServiceClient`
-    in-process, :class:`repro.net.actor.RemoteCacheClient` over the wire.
+    ``service`` needs ``claim(keys, counted=..., wait=..., wait_timeout=...)``
+    and ``put(items, lease_ids=...)`` —
+    :class:`repro.synth.leases.LocalServiceClient` in-process,
+    :class:`repro.net.actor.RemoteCacheClient` over the wire. A service
+    that predates long-poll claims (old claim signature, or a server
+    whose replies lack the ``long_poll`` marker) is detected on the first
+    wait and handled by a one-release compatibility shim that paces
+    re-claims with ``poll_interval``; the mainline path never sleeps.
 
     One caveat: a *single* synthesis that outlives the service's
     ``lease_timeout`` can still be age-reclaimed and re-run by a waiter —
@@ -340,6 +334,9 @@ class ClusterBackend(EvaluationBackend):
         self.front_entries = front_entries
         self.poll_interval = poll_interval
         self.wait_timeout = wait_timeout
+        # Set when the service turns out to predate long-poll claims;
+        # routes waits through the compatibility shim from then on.
+        self._legacy_wait = False
         from collections import OrderedDict
 
         self._front: "OrderedDict[tuple, AreaDelayCurve]" = OrderedDict()
@@ -372,6 +369,36 @@ class ClusterBackend(EvaluationBackend):
         if self.farm is not None:
             return self.farm.evaluate_curves(list(graphs))
         return [synthesize_curve(g, self.library, self.synthesizer) for g in graphs]
+
+    # -- waiting on other clients' leases ----------------------------------
+
+    def _claim_waiting(self, keys, budget: float) -> "list[dict]":
+        """One blocking re-claim of still-waited keys (long-poll).
+
+        The claim parks at the service until a key resolves, a held lease
+        ages out, or ``budget`` seconds pass — the client never sleeps.
+        """
+        if not self._legacy_wait:
+            try:
+                replies = self.service.claim(
+                    keys, counted=False, wait=True, wait_timeout=budget
+                )
+            except TypeError:
+                # Old claim signature (pre-long-poll in-process service).
+                self._legacy_wait = True
+            else:
+                if getattr(self.service, "long_poll", True) is not False:
+                    return replies
+                # A wire server that answered instantly without the
+                # long_poll marker: old protocol. Use this reply, shim
+                # from the next round on.
+                self._legacy_wait = True
+                return replies
+        # One-release compatibility shim for pre-long-poll services:
+        # pace the uncounted re-claims client-side. Delete together with
+        # the old server protocol.
+        time.sleep(self.poll_interval)
+        return self.service.claim(keys, counted=False)
 
     # -- the claim/lease loop ---------------------------------------------
 
@@ -433,14 +460,14 @@ class ClusterBackend(EvaluationBackend):
                     curves[i] = curve
                     self._front_put(keys[i], curve)
                 continue
-            if time.monotonic() > deadline:
+            budget = deadline - time.monotonic()
+            if budget <= 0:
                 raise RuntimeError(
                     f"timed out after {self.wait_timeout:.0f}s waiting on "
                     f"{len(waiting)} leased design(s); the lease holder and "
                     "the service's reclamation both went silent"
                 )
-            time.sleep(self.poll_interval)
-            replies = self.service.claim([keys[i] for i in waiting], counted=False)
+            replies = self._claim_waiting([keys[i] for i in waiting], budget)
             still = []
             for i, reply in zip(waiting, replies):
                 if "curve" in reply:

@@ -5,6 +5,11 @@ calculations and find that as the exploration parameter epsilon diminishes,
 the cache hit percentage becomes 50% in the 32b case and 10% in the 64b
 case." Keys combine the graph digest with the library/tool identity so one
 cache can serve several experiments. Thread-safe for the worker pool.
+
+This is the canonical in-memory implementation of the
+:class:`repro.store.CurveStore` protocol; the durable tiers live in
+:mod:`repro.store` and every consumer constructs through
+:func:`repro.store.make_store`.
 """
 
 from __future__ import annotations
@@ -12,8 +17,10 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 
+from repro.store.api import CurveStore
 
-class SynthesisCache:
+
+class SynthesisCache(CurveStore):
     """Bounded LRU cache with hit-rate accounting."""
 
     def __init__(self, max_entries: int = 400_000):
@@ -85,12 +92,6 @@ class SynthesisCache:
         with self._lock:
             return len(self._data)
 
-    @property
-    def hit_rate(self) -> float:
-        """Hits / lookups (0.0 when nothing has been looked up)."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
-
     def reset_stats(self) -> None:
         """Zero the hit/miss counters (entries are kept)."""
         with self._lock:
@@ -117,6 +118,40 @@ class SynthesisCache:
                 self._data.popitem(last=False)
             self.hits = int(hits)
             self.misses = int(misses)
+
+    def state_dict(self) -> dict:
+        """Checkpoint-ready snapshot (JSON-safe curve points).
+
+        The schema predates the :class:`~repro.store.CurveStore`
+        protocol and is frozen for checkpoint compatibility:
+        ``{"max_entries", "hits", "misses", "entries"}``.
+        """
+        from repro.store.api import encode_entries
+
+        entries, hits, misses = self.snapshot()
+        return {
+            "max_entries": self.max_entries,
+            "hits": hits,
+            "misses": misses,
+            "entries": encode_entries(entries),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Inverse of :meth:`state_dict` (``entries=None`` restores only
+        counters — the form disk-backed stores checkpoint as)."""
+        from repro.store.api import decode_entries
+
+        entries = state.get("entries")
+        if entries is None:
+            with self._lock:
+                self.hits = int(state.get("hits", 0))
+                self.misses = int(state.get("misses", 0))
+            return
+        self.restore(
+            decode_entries(entries),
+            hits=state.get("hits", 0),
+            misses=state.get("misses", 0),
+        )
 
     def __repr__(self) -> str:
         return (

@@ -263,6 +263,133 @@ class TestCacheLeases:
         other.close(bye=True)
 
 
+class TestCacheLongPoll:
+    """cache_claim with wait=True parks server-side until fulfilment."""
+
+    def test_claim_parks_until_put_and_advertises_capability(self, server):
+        import threading
+        import time
+
+        srv, state = server
+        holder, waiter = dial(srv), dial(srv)
+        key = ["digest-lp", "nangate45", "openphysyn"]
+        (granted,) = holder.call("cache_claim", {"keys": [key]})["results"]
+        got = {}
+
+        def parked_claim():
+            started = time.monotonic()
+            reply = waiter.call(
+                "cache_claim",
+                {"keys": [key], "counted": False, "wait": True, "wait_timeout": 5.0},
+            )
+            got["reply"] = reply
+            got["elapsed"] = time.monotonic() - started
+
+        t = threading.Thread(target=parked_claim, daemon=True)
+        t.start()
+        wait_until(
+            lambda: state.cache_service.lease_parks == 1,
+            timeout=5.0,
+            message="claim never parked",
+        )
+        points = [[0.2, 50.0]]
+        holder.call("cache_put", {"items": [[key, points]], "leases": [granted["lease"]]})
+        t.join(timeout=5.0)
+        assert got["reply"]["long_poll"] is True
+        assert got["reply"]["results"] == [{"curve": points}]
+        assert got["elapsed"] < 5.0
+        assert state.cache_service.lease_polls == 0  # parked, not polled
+        holder.close(bye=True)
+        waiter.close(bye=True)
+
+    def test_park_is_capped_below_the_connection_timeout(self, server):
+        import time
+
+        srv, _state = server
+        # Fixture heartbeat_timeout=5.0 -> park cap max(0.5, 5/3) ~ 1.67s,
+        # safely inside the dial() recv timeout of 5s.
+        assert srv.claim_park_cap == pytest.approx(5.0 / 3.0)
+        holder, waiter = dial(srv), dial(srv)
+        key = ["digest-cap", "nangate45", "openphysyn"]
+        holder.call("cache_claim", {"keys": [key]})
+        started = time.monotonic()
+        # The client asks for an absurd park; the server must cap it.
+        reply = waiter.call(
+            "cache_claim",
+            {"keys": [key], "counted": False, "wait": True, "wait_timeout": 3600.0},
+        )
+        elapsed = time.monotonic() - started
+        assert reply["results"] == [{"wait": True}]
+        assert elapsed < 4.0  # returned at the cap, not the requested hour
+        holder.close(bye=True)
+        waiter.close(bye=True)
+
+    def test_remote_cache_client_round_trip_with_parking(self, server):
+        import threading
+        import time
+
+        from repro.net import RemoteCacheClient
+
+        srv, _state = server
+        holder = RemoteCacheClient(dial(srv))
+        waiter = RemoteCacheClient(dial(srv))
+        key = ("digest-rc", "nangate45", "openphysyn")
+        (granted,) = holder.claim([key])
+        assert holder.long_poll is True  # capability detected on first claim
+        value = AreaDelayCurve([(0.2, 50.0), (0.4, 40.0)])
+
+        def fulfil():
+            time.sleep(0.1)
+            holder.put([(key, value)], lease_ids=[granted["lease"]])
+
+        threading.Thread(target=fulfil, daemon=True).start()
+        (reply,) = waiter.claim([key], counted=False, wait=True, wait_timeout=5.0)
+        assert reply["curve"].points() == value.points()
+        holder._conn.close(bye=True)
+        waiter._conn.close(bye=True)
+
+    def test_waiter_dying_mid_park_does_not_wedge_the_service(self, server):
+        import time
+
+        srv, state = server
+        holder, doomed = dial(srv), dial(srv)
+        key = ["digest-dw", "nangate45", "openphysyn"]
+        (granted,) = holder.call("cache_claim", {"keys": [key]})["results"]
+        # Park a claim, then kill the waiter's socket while it is parked:
+        # the handler thread's reply send fails and the connection tears
+        # down — release_owner rides the same teardown as a dead actor.
+        from repro.net.protocol import CALL
+
+        doomed.send(
+            CALL,
+            {
+                "method": "cache_claim",
+                "params": {
+                    "keys": [key], "counted": False,
+                    "wait": True, "wait_timeout": 5.0,
+                },
+            },
+        )
+        wait_until(
+            lambda: state.cache_service.lease_parks == 1,
+            timeout=5.0,
+            message="claim never parked",
+        )
+        doomed.close()
+        # The service keeps working for everyone else.
+        points = [[0.1, 9.0]]
+        holder.call("cache_put", {"items": [[key, points]], "leases": [granted["lease"]]})
+        other = dial(srv)
+        reply = other.call("cache_claim", {"keys": [key], "counted": False})
+        assert reply["results"] == [{"curve": points}]
+        # The doomed handler thread unparks (put notified it) and dies on
+        # its failed send; give the teardown a moment to complete.
+        time.sleep(0.2)
+        assert state.cache_service.active_leases() == 0
+        holder.close(bye=True)
+        other.close(bye=True)
+
+
 class TestDeadPeer:
     def test_server_drops_silent_actor(self):
         agent = ScalarizedDoubleDQN(4, blocks=0, channels=4, rng=0)

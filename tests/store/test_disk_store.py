@@ -1,0 +1,255 @@
+"""DiskStore durability: round trips, torn tails, compaction, crash kills.
+
+The disk tier's contract is byte-identity under every failure the chaos
+kit can inject: whatever survives a kill or a truncation must read back
+exactly as written, and only a torn tail may be lost.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.store import DiskStore
+from repro.store.disk import _HEADER, encode_record
+from repro.synth import AreaDelayCurve
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def key(i: int) -> tuple:
+    return (f"digest-{i:04d}", "nangate45", "openphysyn")
+
+
+def curve(i: int, n_points: int = 3) -> AreaDelayCurve:
+    # Strictly improving staircase: survives AreaDelayCurve cleaning
+    # unchanged, so points() -> from_points -> points() is exact.
+    return AreaDelayCurve(
+        [(0.1 * (j + 1) + i * 1e-3, 100.0 - 10.0 * j + i) for j in range(n_points)]
+    )
+
+
+def segment_files(root) -> "list[Path]":
+    return sorted(Path(root).glob("seg-*.crv"))
+
+
+class TestRoundTrip:
+    def test_put_get_byte_identity(self, tmp_path):
+        store = DiskStore(tmp_path)
+        for i in range(10):
+            store.put(key(i), curve(i))
+        for i in range(10):
+            assert store.get(key(i)).points() == curve(i).points()
+        assert len(store) == 10
+        store.close()
+
+    def test_reopen_reads_everything(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put_many([(key(i), curve(i)) for i in range(25)])
+        store.close()
+        reopened = DiskStore(tmp_path)
+        assert len(reopened) == 25
+        for i in range(25):
+            assert reopened.get(key(i)).points() == curve(i).points()
+        assert reopened.torn_records == 0
+        reopened.close()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.01, max_value=10.0),
+                st.floats(min_value=1.0, max_value=1000.0),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_curves_round_trip_exactly(self, tmp_path_factory, samples):
+        root = tmp_path_factory.mktemp("prop")
+        value = AreaDelayCurve(samples)
+        store = DiskStore(root)
+        store.put(key(0), value)
+        assert store.get(key(0)).points() == value.points()
+        store.close()
+        reopened = DiskStore(root)
+        assert reopened.get(key(0)).points() == value.points()
+        reopened.close()
+
+    def test_rewrite_is_later_wins_and_counted(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(key(0), curve(0))
+        store.put(key(0), curve(7))
+        assert store.rewrites == 1 and store.appends == 1
+        assert store.get(key(0)).points() == curve(7).points()
+        store.close()
+        reopened = DiskStore(tmp_path)
+        assert reopened.get(key(0)).points() == curve(7).points()
+        assert len(reopened) == 1
+        reopened.close()
+
+    def test_segment_roll_and_replay_across_segments(self, tmp_path):
+        store = DiskStore(tmp_path, max_segment_bytes=4096)
+        store.put_many([(key(i), curve(i, n_points=8)) for i in range(100)])
+        assert len(segment_files(tmp_path)) > 1
+        for i in range(100):
+            assert store.get(key(i)).points() == curve(i, n_points=8).points()
+        store.close()
+        reopened = DiskStore(tmp_path, max_segment_bytes=4096)
+        assert len(reopened) == 100
+        for i in range(100):
+            assert reopened.get(key(i)).points() == curve(i, n_points=8).points()
+        reopened.close()
+
+
+class TestCompaction:
+    def test_compaction_reclaims_rewrites(self, tmp_path):
+        store = DiskStore(tmp_path, max_segment_bytes=4096)
+        store.put_many([(key(i), curve(i)) for i in range(50)])
+        store.put_many([(key(i), curve(i + 500)) for i in range(50)])  # rewrites
+        assert store.rewrites == 50
+        before = sum(p.stat().st_size for p in segment_files(tmp_path))
+        report = store.compact()
+        assert report["live_records"] == 50
+        assert report["reclaimed_bytes"] > 0
+        after = sum(p.stat().st_size for p in segment_files(tmp_path))
+        assert after < before
+        for i in range(50):
+            assert store.get(key(i)).points() == curve(i + 500).points()
+        assert not list(Path(tmp_path).glob("*.tmp"))
+        store.close()
+        reopened = DiskStore(tmp_path)
+        assert len(reopened) == 50
+        assert reopened.get(key(3)).points() == curve(503).points()
+        reopened.close()
+
+    def test_crashed_compaction_tmp_is_discarded_at_open(self, tmp_path):
+        store = DiskStore(tmp_path)
+        store.put(key(0), curve(0))
+        store.close()
+        # A compaction that died before its rename leaves a .tmp behind.
+        stale = Path(tmp_path) / "seg-00000099.crv.tmp"
+        stale.write_bytes(b"half-written garbage")
+        reopened = DiskStore(tmp_path)
+        assert not stale.exists()
+        assert reopened.get(key(0)).points() == curve(0).points()
+        reopened.close()
+
+
+class TestTornTail:
+    def _write_reference(self, root, count=3):
+        store = DiskStore(root)
+        store.put_many([(key(i), curve(i)) for i in range(count)])
+        store.close()
+        (seg,) = segment_files(root)
+        return seg, seg.read_bytes()
+
+    def test_truncation_at_every_offset_drops_only_the_tail(self, tmp_path):
+        seg, payload = self._write_reference(tmp_path / "ref")
+        # Record end offsets, from the known encoding.
+        lengths = [len(encode_record(key(i), curve(i).points())) for i in range(3)]
+        ends = [sum(lengths[: i + 1]) for i in range(3)]
+        boundaries = {0, *ends}
+        for cut in range(len(payload)):
+            root = tmp_path / f"cut-{cut}"
+            root.mkdir()
+            (root / seg.name).write_bytes(payload[:cut])
+            store = DiskStore(root)
+            survivors = [i for i, end in enumerate(ends) if end <= cut]
+            assert len(store) == len(survivors), f"cut at {cut}"
+            for i in survivors:
+                assert store.get(key(i)).points() == curve(i).points()
+            # A cut strictly inside a record is a torn tail; a cut exactly
+            # on a boundary is a clean (shorter) file.
+            assert store.torn_records == (0 if cut in boundaries else 1)
+            # The store stays writable after recovery.
+            store.put(key(77), curve(77))
+            assert store.get(key(77)).points() == curve(77).points()
+            store.close()
+
+    def test_corrupt_crc_stops_the_replay(self, tmp_path):
+        seg, payload = self._write_reference(tmp_path / "ref")
+        # Flip one payload byte of the second record: its crc fails, so
+        # record 1 (and everything after) is dropped; record 0 survives.
+        first_len = len(encode_record(key(0), curve(0).points()))
+        broken = bytearray(payload)
+        broken[first_len + _HEADER.size + 4] ^= 0xFF
+        root = tmp_path / "broken"
+        root.mkdir()
+        (root / seg.name).write_bytes(bytes(broken))
+        store = DiskStore(root)
+        assert len(store) == 1
+        assert store.get(key(0)).points() == curve(0).points()
+        assert store.torn_records == 1
+        store.close()
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_write_preserves_a_byte_identical_prefix(self, tmp_path):
+        """Chaos: SIGKILL a writer process mid-append; reopen must keep a
+        clean prefix of its deterministic record stream, byte-identical."""
+        from repro.net import kill_process, wait_until
+
+        root = tmp_path / "killed"
+        script = textwrap.dedent(
+            """
+            import sys
+            from repro.store import DiskStore
+            from repro.synth import AreaDelayCurve
+
+            store = DiskStore(sys.argv[1])
+            i = 0
+            while True:  # write until killed
+                k = (f"digest-{i:04d}", "nangate45", "openphysyn")
+                c = AreaDelayCurve(
+                    [(0.1 * (j + 1) + i * 1e-3, 100.0 - 10.0 * j + i)
+                     for j in range(3)]
+                )
+                store.put(k, c)
+                if i == 0:
+                    print("started", flush=True)
+                i += 1
+            """
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", script, str(root)],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            assert proc.stdout.readline().strip() == "started"
+            # Let it write for a moment, then kill it mid-stream.
+            wait_until(
+                lambda: sum(p.stat().st_size for p in root.glob("seg-*.crv")) > 4096,
+                timeout=30.0,
+                message="writer never produced 4KiB of records",
+            )
+        finally:
+            kill_process(proc, sig=signal.SIGKILL)
+        store = DiskStore(root)
+        count = len(store)
+        assert count > 0
+        assert store.torn_records <= 1
+        for i in range(count):
+            assert store.get(key(i)).points() == curve(i).points(), i
+        store.close()
+
+
+class TestSingleWriter:
+    def test_second_writer_is_rejected_until_close(self, tmp_path):
+        first = DiskStore(tmp_path)
+        with pytest.raises(RuntimeError, match="owned by another process"):
+            DiskStore(tmp_path)
+        first.close()
+        second = DiskStore(tmp_path)  # lock released
+        second.close()

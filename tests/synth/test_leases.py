@@ -202,3 +202,151 @@ class TestHolderDiesMidSynthesis:
         holder.claim([backend._key(graph)])
         with pytest.raises(RuntimeError, match="waiting on"):
             backend.evaluate_many([graph])
+
+
+class TestLongPoll:
+    """Server-side parking: a wait=True claim blocks until fulfilment
+    instead of returning "wait" for the client to poll on."""
+
+    def test_park_until_put_wakes_within_the_poll_free_window(self):
+        service = SharedCacheService(SynthesisCache(), lease_timeout=60.0)
+        (granted,) = service.claim([K1], owner="holder")
+        got = {}
+
+        def waiter():
+            started = time.monotonic()
+            (reply,) = service.claim([K1], owner="waiter", wait=True)
+            got["reply"] = reply
+            got["elapsed"] = time.monotonic() - started
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        time.sleep(0.1)  # let the waiter park
+        service.put([(K1, "value")], owner="holder", lease_ids=[granted["lease"]])
+        t.join(timeout=5.0)
+        assert got["reply"] == {"curve": "value"}
+        # Parked, then woken by the put — far inside the 60s lease window.
+        assert 0.05 <= got["elapsed"] < 5.0
+        assert service.lease_parks == 1
+        assert service.lease_polls == 0  # zero client-side polling
+
+    def test_park_deadline_returns_wait(self):
+        service = SharedCacheService(SynthesisCache(), lease_timeout=60.0)
+        service.claim([K1], owner="holder")
+        started = time.monotonic()
+        (reply,) = service.claim([K1], owner="waiter", wait=True, wait_timeout=0.15)
+        elapsed = time.monotonic() - started
+        assert reply == {"wait": True}
+        assert 0.1 <= elapsed < 2.0
+
+    def test_park_wakes_on_release_owner(self):
+        service = SharedCacheService(SynthesisCache(), lease_timeout=60.0)
+        service.claim([K1], owner="holder")
+        got = {}
+
+        def waiter():
+            (reply,) = service.claim([K1], owner="waiter", wait=True)
+            got["reply"] = reply
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        time.sleep(0.05)
+        service.release_owner("holder")  # connection teardown path
+        t.join(timeout=5.0)
+        assert "lease" in got["reply"]  # the waiter inherited the work
+
+    def test_park_wakes_at_lease_expiry_not_the_wait_deadline(self):
+        # A wedged (alive but silent) holder: the park must wake at the
+        # lease-age expiry, not sit out the much longer wait_timeout.
+        service = SharedCacheService(SynthesisCache(), lease_timeout=0.15)
+        service.claim([K1], owner="wedged")
+        started = time.monotonic()
+        (reply,) = service.claim([K1], owner="waiter", wait=True, wait_timeout=30.0)
+        elapsed = time.monotonic() - started
+        assert "lease" in reply
+        assert elapsed < 5.0
+        assert service.leases_reclaimed == 1
+
+    def test_any_resolvable_key_returns_the_batch_immediately(self):
+        service = SharedCacheService(SynthesisCache(), lease_timeout=60.0)
+        service.claim([K1], owner="holder")
+        started = time.monotonic()
+        replies = service.claim([K1, K2], owner="waiter", wait=True)
+        assert replies[0] == {"wait": True}
+        assert "lease" in replies[1]
+        assert time.monotonic() - started < 1.0
+
+    def test_empty_key_batch_never_parks(self):
+        service = SharedCacheService(SynthesisCache(), lease_timeout=60.0)
+        assert service.claim([], owner="a", wait=True) == []
+
+    def test_local_client_advertises_long_poll(self):
+        service = SharedCacheService(SynthesisCache())
+        client = LocalServiceClient(service, "c")
+        assert client.long_poll is True
+
+    def test_backend_wait_path_uses_parking_not_sleep(self):
+        """End to end over the in-process client: the waiter backend gets
+        the curve without a single uncounted re-claim (no poll loop)."""
+        lib = nangate45()
+        graph = sklansky(8)
+        service = SharedCacheService(SynthesisCache(), lease_timeout=60.0)
+        holder = LocalServiceClient(service, "holder")
+        backend = ClusterBackend(LocalServiceClient(service, "waiter"), lib)
+        (granted,) = holder.claim([backend._key(graph)])
+        expected = synthesize_curve(graph, lib).points()
+
+        def fulfil():
+            time.sleep(0.1)
+            holder.put(
+                [(backend._key(graph), synthesize_curve(graph, lib))],
+                lease_ids=[granted["lease"]],
+            )
+
+        threading.Thread(target=fulfil, daemon=True).start()
+        curves = backend.evaluate_many([graph])
+        assert curves[0].points() == expected
+        assert backend.lease_waited == 1
+        assert service.lease_parks >= 1
+        assert service.lease_polls == 0
+
+
+class TestLegacyServiceShim:
+    def test_pre_long_poll_service_falls_back_to_polling(self):
+        """A client dialing an old service (claim() without wait kwargs)
+        must detect the TypeError once and poll thereafter."""
+        lib = nangate45()
+        graph = sklansky(8)
+        service = SharedCacheService(SynthesisCache(), lease_timeout=60.0)
+
+        class OldClient:
+            # The pre-long-poll claim signature: no wait parameters, no
+            # long_poll capability attribute.
+            def __init__(self, service, owner):
+                self.service = service
+                self.owner = owner
+
+            def claim(self, keys, counted=True):
+                return self.service.claim(keys, self.owner, counted=counted)
+
+            def put(self, items, lease_ids=None):
+                return self.service.put(items, owner=self.owner, lease_ids=lease_ids)
+
+        holder = LocalServiceClient(service, "holder")
+        backend = ClusterBackend(
+            OldClient(service, "waiter"), lib, poll_interval=0.01
+        )
+        (granted,) = holder.claim([backend._key(graph)])
+
+        def fulfil():
+            time.sleep(0.1)
+            holder.put(
+                [(backend._key(graph), synthesize_curve(graph, lib))],
+                lease_ids=[granted["lease"]],
+            )
+
+        threading.Thread(target=fulfil, daemon=True).start()
+        curves = backend.evaluate_many([graph])
+        assert curves[0].points() == synthesize_curve(graph, lib).points()
+        assert backend._legacy_wait is True
+        assert service.lease_polls >= 1  # it really polled
