@@ -15,6 +15,11 @@ Cluster commands (the :mod:`repro.net` subsystem):
 - ``actor``         — run one remote actor process against a learner
 - ``cluster``       — localhost convenience: learner + N actor subprocesses
 - ``farm-worker``   — run one remote synthesis-farm worker daemon
+
+Observability (the :mod:`repro.obs` subsystem):
+
+- ``stats``         — live fleet table from a learner's ``stats`` RPC
+- ``obs report``    — post-run trace/latency report over an ``--obs-dir``
 """
 
 from __future__ import annotations
@@ -23,6 +28,27 @@ import argparse
 import json
 import sys
 from pathlib import Path
+
+
+def _configure_obs(args, role: str) -> None:
+    """Open this process's JSONL event log when ``--obs-dir`` was given.
+
+    A no-op without the flag — the default CLI surface (stdout included)
+    stays byte-identical with observability off.
+    """
+    if getattr(args, "obs_dir", None):
+        from repro import obs
+
+        obs.configure(args.obs_dir, role)
+
+
+def _fleet_event(message: str) -> None:
+    """Fleet lifecycle messages: a structured obs event plus the exact
+    stderr line the ad-hoc ``on_event`` lambdas used to print."""
+    from repro import obs
+
+    obs.emit("fleet_event", message=message)
+    print(message, file=sys.stderr, flush=True)
 
 
 def _load_graph(spec: str, width: int):
@@ -339,6 +365,7 @@ def cmd_serve_learner(args) -> int:
             raise SystemExit(
                 "--checkpoint-every/--stop-after/--resume require --checkpoint-dir"
             )
+    _configure_obs(args, "learner")
     agent, spec, config, runtime_config = _cluster_pieces(args)
     runtime = TrainingRuntime(
         None, agent, config, runtime_config,
@@ -382,6 +409,7 @@ def cmd_actor(args) -> int:
         parse_address,
     )
 
+    _configure_obs(args, "actor")
     farm_workers = [
         address
         for spec in (args.farm or [])
@@ -460,6 +488,7 @@ def cmd_cluster(args) -> int:
             raise SystemExit(
                 "--checkpoint-every/--stop-after/--resume require --checkpoint-dir"
             )
+    _configure_obs(args, "learner")
     agent, spec, config, runtime_config = _cluster_pieces(args)
     runtime = TrainingRuntime(
         None, agent, config, runtime_config,
@@ -467,19 +496,25 @@ def cmd_cluster(args) -> int:
     )
     supervisor = FleetSupervisor(
         restart_budget=args.restart_budget,
-        on_event=lambda message: print(message, file=sys.stderr, flush=True),
+        on_event=_fleet_event,
     )
     farm_procs: list = []
     farm_addresses: list = []
     actor_args: list = []
+    if args.obs_dir:
+        # Spawned actors and farm workers write their own JSONL files
+        # into the same directory; REPRO_OBS_RUN (exported by
+        # _configure_obs above) stamps them all with this run's id.
+        actor_args += ["--obs-dir", args.obs_dir]
 
     def farm_store_args(j):
         # A DiskStore directory has exactly one writer, so each worker
         # gets its own subdirectory — stable across respawns and reruns
         # (worker j always reopens farm-<j>, restarting warm).
+        extra = ["--obs-dir", args.obs_dir] if args.obs_dir else []
         if not args.store_dir:
-            return None
-        return ["--store-dir", str(Path(args.store_dir) / f"farm-{j}")]
+            return extra or None
+        return ["--store-dir", str(Path(args.store_dir) / f"farm-{j}"), *extra]
 
     if args.farm_workers:
         for j in range(args.farm_workers):
@@ -567,6 +602,7 @@ def cmd_cluster(args) -> int:
 def cmd_farm_worker(args) -> int:
     from repro.net import FarmWorkerServer, parse_address
 
+    _configure_obs(args, "farm")
     server = FarmWorkerServer(
         parse_address(args.listen),
         prepared_cache_entries=args.prepared_cache,
@@ -588,6 +624,50 @@ def cmd_farm_worker(args) -> int:
                 file=sys.stderr,
             )
         server.server_close()
+    return 0
+
+
+def cmd_stats(args) -> int:
+    import time
+
+    from repro.net.protocol import (
+        ProtocolError,
+        RemoteError,
+        connect,
+        parse_address,
+    )
+    from repro.obs.report import render_fleet
+
+    address = parse_address(args.connect)
+    try:
+        conn, _welcome = connect(address, role="observer")
+    except (ProtocolError, OSError) as exc:
+        print(f"stats: cannot reach learner at {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        while True:
+            reply = conn.call("stats", {})
+            print(render_fleet(reply, args.connect), flush=True)
+            if not args.watch:
+                return 0
+            time.sleep(args.interval)
+            print(flush=True)
+    except KeyboardInterrupt:
+        return 0
+    except (ProtocolError, RemoteError, OSError) as exc:
+        print(f"stats: lost the learner: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        conn.close(bye=True)
+
+
+def cmd_obs_report(args) -> int:
+    from repro.obs.report import render_report
+
+    if not Path(args.obs_dir).is_dir():
+        print(f"obs report: no such directory: {args.obs_dir}", file=sys.stderr)
+        return 1
+    print(render_report(args.obs_dir, max_rounds=args.rounds))
     return 0
 
 
@@ -731,6 +811,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("farm-worker", help="run a remote synthesis-farm worker")
     ClusterConfig.add_arguments(p, "farm-worker")
     p.set_defaults(func=cmd_farm_worker)
+
+    p = sub.add_parser("stats", help="live fleet metrics from a learner")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="learner address (printed by serve-learner/cluster)")
+    p.add_argument("--watch", action="store_true",
+                   help="keep refreshing until interrupted")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between --watch refreshes (default 2)")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    rp = obs_sub.add_parser(
+        "report", help="post-run trace/latency report over an --obs-dir"
+    )
+    rp.add_argument("obs_dir", help="directory of per-process JSONL event logs")
+    rp.add_argument("--rounds", type=int, default=5,
+                    help="slowest traced rounds to break down (default 5)")
+    rp.set_defaults(func=cmd_obs_report)
 
     p = sub.add_parser("sweep", help="multi-weight analytical sweep")
     p.add_argument("width", type=int, nargs="?", default=8)

@@ -32,10 +32,10 @@ for comparison; the ``cluster`` bench section measures the difference).
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
+from repro import obs
 from repro.prefix.graph import PrefixGraph
 from repro.prefix.serialize import graph_digest, graph_from_json, graph_to_json
 from repro.synth.cache import SynthesisCache
@@ -236,17 +236,25 @@ class SynthesisFarm:
         Serial mode evaluates each graph in turn. Pool and remote modes
         dedup by digest, serve cache hits locally, and ship only the
         unique misses to the workers in per-worker chunks.
+
+        The batch is timed by a ``farm.evaluate`` obs span (its measured
+        seconds *are* ``FarmStats.wall_seconds`` — one timing source for
+        stats and the event log).
         """
-        start = time.perf_counter()
         if not self.active:
-            points = [
-                _synthesize_task(graph_to_json(g), self.library_name, self.synth_kwargs)
-                for g in graphs
-            ]
-            curves = [AreaDelayCurve(pts) for pts in points]
+            with obs.span(
+                "farm.evaluate", graphs=len(graphs), mode="serial"
+            ) as batch_span:
+                points = [
+                    _synthesize_task(
+                        graph_to_json(g), self.library_name, self.synth_kwargs
+                    )
+                    for g in graphs
+                ]
+                curves = [AreaDelayCurve(pts) for pts in points]
             self.last_stats = FarmStats(
                 num_graphs=len(graphs),
-                wall_seconds=time.perf_counter() - start,
+                wall_seconds=batch_span.seconds,
                 mode="serial",
                 unique_graphs=len(graphs),
                 dispatched=len(graphs),
@@ -254,6 +262,16 @@ class SynthesisFarm:
             self._account(self.last_stats)
             return curves
 
+        with obs.span("farm.evaluate", graphs=len(graphs)) as batch_span:
+            curves, info = self._evaluate_dispatch(graphs)
+        self.last_stats = FarmStats(
+            num_graphs=len(graphs), wall_seconds=batch_span.seconds, **info
+        )
+        self._account(self.last_stats)
+        return curves
+
+    def _evaluate_dispatch(self, graphs: "list[PrefixGraph]"):
+        """The pooled/remote dispatch body; returns (curves, stats kwargs)."""
         self._ensure_pool()
         # Dedup by content digest: one synthesis per unique design.
         order: "dict[bytes, int]" = {}
@@ -329,9 +347,7 @@ class SynthesisFarm:
             if self.remote_workers is not None
             else f"pool[{self.num_workers}]"
         )
-        self.last_stats = FarmStats(
-            num_graphs=len(graphs),
-            wall_seconds=time.perf_counter() - start,
+        return curves, dict(
             mode=mode,
             unique_graphs=len(keys),
             cache_hits=cache_hits,
@@ -343,8 +359,6 @@ class SynthesisFarm:
             shipped_elided=shipped_elided,
             redispatched=redispatched,
         )
-        self._account(self.last_stats)
-        return curves
 
     def _remote_task(self, graph: PrefixGraph) -> dict:
         """One remote work unit: a prepared design or the legacy graph JSON."""

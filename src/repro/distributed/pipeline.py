@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import hashlib
 import threading
-import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs as obslib
 from repro.env.environment import PrefixEnv
 from repro.env.vector import VectorPrefixEnv
 from repro.rl.agent import ScalarizedDoubleDQN
@@ -81,29 +81,33 @@ class BatchedActor:
         actions; epsilon-greedy noise is applied per environment. Pushes
         transitions into ``buffer`` when given.
         """
-        start = time.perf_counter()
         steps = 0
         venv = self._venv
-        for _ in range(rounds):
-            feats = venv.observe()
-            masks = venv.legal_masks()
-            action_idxs = self.agent.act_batch(feats, masks, epsilon=epsilon, rng=self._rng)
-            results = venv.step(action_idxs)
-            if buffer is not None:
-                for i, (env, result) in enumerate(zip(self.envs, results)):
-                    buffer.push(
-                        Transition(
-                            state=feats[i],
-                            action=int(action_idxs[i]),
-                            reward=result.reward,
-                            next_state=env.observe(result.next_state),
-                            next_mask=env.legal_mask(result.next_state),
-                            done=result.done,
+        with obslib.span("pipeline.collect", rounds=rounds, envs=len(self.envs)) as sp:
+            for _ in range(rounds):
+                feats = venv.observe()
+                masks = venv.legal_masks()
+                action_idxs = self.agent.act_batch(
+                    feats, masks, epsilon=epsilon, rng=self._rng
+                )
+                results = venv.step(action_idxs)
+                if buffer is not None:
+                    for i, (env, result) in enumerate(zip(self.envs, results)):
+                        buffer.push(
+                            Transition(
+                                state=feats[i],
+                                action=int(action_idxs[i]),
+                                reward=result.reward,
+                                next_state=env.observe(result.next_state),
+                                next_mask=env.legal_mask(result.next_state),
+                                done=result.done,
+                            )
                         )
-                    )
-            steps += len(results)
-        wall = time.perf_counter() - start
-        return CollectStats(env_steps=steps, wall_seconds=wall, num_envs=len(self.envs))
+                steps += len(results)
+        obslib.counter("pipeline.collect_steps").inc(steps)
+        return CollectStats(
+            env_steps=steps, wall_seconds=sp.seconds, num_envs=len(self.envs)
+        )
 
 
 # ----------------------------------------------------------------------
@@ -324,3 +328,5 @@ class ActorWorker(threading.Thread):
         kept = self.coord.record_round(self, results, epsilon)
         for transition in transitions[:kept]:
             self.buffer.push(transition, shard=self.index)
+        obslib.counter("pipeline.rounds").inc()
+        obslib.counter("pipeline.transitions_kept").inc(kept)

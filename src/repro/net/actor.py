@@ -29,10 +29,12 @@ of the paper's Section V-C.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
+from repro import obs as obslib
 from repro.env.actions import ActionSpace
 from repro.env.vector import VectorPrefixEnv
 from repro.net.backoff import Backoff
@@ -42,6 +44,7 @@ from repro.net.protocol import (
     DEFAULT_HEARTBEAT_TIMEOUT,
     DEFAULT_MAX_FRAME_BYTES,
     ProtocolError,
+    RemoteError,
     connect,
 )
 from repro.nn.qnet import QNetwork
@@ -182,6 +185,10 @@ class RemoteActorWorker:
         self.reconnect_seconds = 0.0
         self.rounds_lost = 0
         self.throttled_rounds = 0
+        # Stable per-process obs identity: sessions rotate on every
+        # rejoin while this process's cumulative counters survive, so
+        # the learner keys pushed snapshots by source, not session.
+        self.obs_source = f"actor-{os.getpid()}-{obslib.trace.new_id()[:6]}"
 
     # -- setup -----------------------------------------------------------
 
@@ -322,143 +329,218 @@ class RemoteActorWorker:
         version = 0
         digest = None
         dial_failures = 0
-        start = time.perf_counter()
         try:
-            while True:
-                # -- (re)dial and join -----------------------------------
-                try:
-                    conn, _welcome = self._dial()
-                    join = conn.call("join", {"session": self.session})
-                except (ProtocolError, OSError) as exc:
-                    if conn is not None:
+            with obslib.span("actor.run") as run_span:
+                while True:
+                    # -- (re)dial and join -------------------------------
+                    try:
+                        conn, _welcome = self._dial()
+                        join = conn.call("join", {"session": self.session})
+                    except (ProtocolError, OSError) as exc:
+                        if conn is not None:
+                            conn.close()
+                            conn = None
+                        dial_failures += 1
+                        if dial_failures > self.reconnect_attempts:
+                            raise LearnerUnreachable(
+                                f"actor gave up on "
+                                f"{self.address[0]}:{self.address[1]} "
+                                f"after {dial_failures} consecutive failed dials"
+                            ) from exc
+                        self.reconnect_seconds += backoff.sleep()
+                        continue
+                    dial_failures = 0
+                    backoff.reset()
+                    # The learner rotates the session token on every join,
+                    # so "same shard, resumed" is its explicit rejoin flag
+                    # — not a token comparison.
+                    rejoined = (
+                        built is not None
+                        and join["actor_id"] == self.actor_id
+                        and join.get("rejoin", False)
+                    )
+                    if built is not None:
+                        self.reconnects += 1
+                        obslib.counter("actor.reconnects").inc()
+                    self.actor_id = join["actor_id"]
+                    self.session = join["session"]
+                    obslib.emit(
+                        "actor_joined",
+                        actor_id=self.actor_id,
+                        session=self.session,
+                        rejoin=bool(join.get("rejoin", False)),
+                    )
+                    if rejoined:
+                        # Same shard, same session: keep the environment,
+                        # the snapshot network and the exploration RNG
+                        # stream — only the cache wiring moves to the new
+                        # connection.
+                        cache_client.rebind(conn)
+                        venv, net, actions, w, rng = built
+                    else:
+                        if backend is not None:
+                            backend.close()
+                        cache_client = RemoteCacheClient(conn)
+                        venv, net, actions, w, rng, backend = self._build(
+                            join, cache_client
+                        )
+                        built = (venv, net, actions, w, rng)
+                        version = 0
+                        digest = None
+                        if not join["stop"]:
+                            venv.reset()
+                    epsilon = join["epsilon"]
+                    stop = join["stop"]
+                    # The learner mints a trace per round (here and in
+                    # every push_batch reply); installing it for the round
+                    # body stamps every span and CALL this round makes.
+                    round_trace = join.get("trace")
+
+                    def pull_local(conn=conn):
+                        # Digest-keyed: an unchanged policy costs one tiny
+                        # frame.
+                        nonlocal version, digest
+                        reply = conn.call(
+                            "pull_weights",
+                            {"have_version": version, "have_digest": digest},
+                        )
+                        if "weights" in reply:
+                            net.load_state_arrays(reply["weights"])
+                            net.eval()
+                        version = reply["version"]
+                        digest = reply.get("digest")
+
+                    # -- the round loop ----------------------------------
+                    try:
+                        while not stop:
+                            with obslib.trace.scope(round_trace), obslib.span(
+                                "actor.round", actor=self.actor_id
+                            ) as round_span:
+                                if inference is None:
+                                    pull_local()
+                                with obslib.span("actor.act") as act_span:
+                                    obs = venv.observe()
+                                    masks = venv.legal_masks()
+                                    chosen = self._act_batch(
+                                        net,
+                                        actions,
+                                        w,
+                                        rng,
+                                        obs,
+                                        masks,
+                                        epsilon,
+                                        remote=inference,
+                                        ensure_local=pull_local,
+                                    )
+                                with obslib.span("actor.step") as step_span:
+                                    results = venv.step(chosen)
+                                    next_obs = venv.observe()
+                                    next_masks = venv.legal_masks()
+                                    t_obs = np.array(next_obs)
+                                    t_masks = np.array(next_masks)
+                                    for i, result in enumerate(results):
+                                        if result.done:
+                                            # The replica auto-reset; the
+                                            # transition's successor is the
+                                            # terminal state, not the new
+                                            # episode.
+                                            t_obs[i] = venv.envs[i].observe(
+                                                result.next_state
+                                            )
+                                            t_masks[i] = venv.envs[i].legal_mask(
+                                                result.next_state
+                                            )
+                                with obslib.span("actor.push") as push_span:
+                                    reply = conn.call(
+                                        "push_batch",
+                                        {
+                                            "epsilon": epsilon,
+                                            "states": obs,
+                                            "actions": chosen,
+                                            "rewards": np.stack(
+                                                [r.reward for r in results]
+                                            ),
+                                            "next_states": t_obs,
+                                            "next_masks": t_masks,
+                                            "dones": np.array(
+                                                [r.done for r in results]
+                                            ),
+                                            "areas": np.array(
+                                                [r.info["area"] for r in results]
+                                            ),
+                                            "delays": np.array(
+                                                [r.info["delay"] for r in results]
+                                            ),
+                                            "obs": obslib.REGISTRY.snapshot(),
+                                            "obs_source": self.obs_source,
+                                        },
+                                    )
+                            self.rounds += 1
+                            self.env_steps_kept += reply["kept"]
+                            obslib.counter("actor.rounds").inc()
+                            obslib.counter("actor.env_steps_kept").inc(
+                                reply["kept"]
+                            )
+                            obslib.histogram("actor.round_seconds").observe(
+                                round_span.seconds
+                            )
+                            obslib.histogram("actor.act_seconds").observe(
+                                act_span.seconds
+                            )
+                            obslib.histogram("actor.step_seconds").observe(
+                                step_span.seconds
+                            )
+                            obslib.histogram("actor.push_seconds").observe(
+                                push_span.seconds
+                            )
+                            epsilon = reply["epsilon"]
+                            stop = reply["stop"]
+                            round_trace = reply.get("trace") or round_trace
+                            throttle = reply.get("throttle", 0.0)
+                            if throttle and not stop:
+                                # Backpressure: the learner is behind on
+                                # its gradient cadence — yield the wire
+                                # briefly.
+                                self.throttled_rounds += 1
+                                obslib.counter("actor.throttled_rounds").inc()
+                                time.sleep(throttle)
+                        break
+                    except (ProtocolError, OSError):
+                        # The wire died mid-round: that round's transitions
+                        # are lost (counted honestly), the episode streams
+                        # are not — back off, redial, rejoin with the
+                        # session. The lost-round event keeps the severed
+                        # trace's lineage: it carries the round trace the
+                        # learner minted, so merged JSONL shows the round
+                        # as lost, not as an unexplained orphan.
                         conn.close()
                         conn = None
-                    dial_failures += 1
-                    if dial_failures > self.reconnect_attempts:
-                        raise LearnerUnreachable(
-                            f"actor gave up on {self.address[0]}:{self.address[1]} "
-                            f"after {dial_failures} consecutive failed dials"
-                        ) from exc
-                    self.reconnect_seconds += backoff.sleep()
-                    continue
-                dial_failures = 0
-                backoff.reset()
-                # The learner rotates the session token on every join, so
-                # "same shard, resumed" is its explicit rejoin flag — not a
-                # token comparison.
-                rejoined = (
-                    built is not None
-                    and join["actor_id"] == self.actor_id
-                    and join.get("rejoin", False)
-                )
-                if built is not None:
-                    self.reconnects += 1
-                self.actor_id = join["actor_id"]
-                self.session = join["session"]
-                if rejoined:
-                    # Same shard, same session: keep the environment, the
-                    # snapshot network and the exploration RNG stream —
-                    # only the cache wiring moves to the new connection.
-                    cache_client.rebind(conn)
-                    venv, net, actions, w, rng = built
-                else:
-                    if backend is not None:
-                        backend.close()
-                    cache_client = RemoteCacheClient(conn)
-                    venv, net, actions, w, rng, backend = self._build(
-                        join, cache_client
-                    )
-                    built = (venv, net, actions, w, rng)
-                    version = 0
-                    digest = None
-                    if not join["stop"]:
-                        venv.reset()
-                epsilon = join["epsilon"]
-                stop = join["stop"]
-
-                def pull_local(conn=conn):
-                    # Digest-keyed: an unchanged policy costs one tiny frame.
-                    nonlocal version, digest
-                    reply = conn.call(
-                        "pull_weights",
-                        {"have_version": version, "have_digest": digest},
-                    )
-                    if "weights" in reply:
-                        net.load_state_arrays(reply["weights"])
-                        net.eval()
-                    version = reply["version"]
-                    digest = reply.get("digest")
-
-                # -- the round loop --------------------------------------
+                        self.rounds_lost += 1
+                        obslib.counter("actor.rounds_lost").inc()
+                        with obslib.trace.scope(round_trace):
+                            obslib.emit("rounds_lost", total=self.rounds_lost)
+                        self.reconnect_seconds += backoff.sleep()
+            # Clean teardown: ship the final cumulative snapshot so the
+            # learner retires this source — fleet totals keep this
+            # process's work after it exits (or is respawned).
+            if conn is not None:
                 try:
-                    while not stop:
-                        if inference is None:
-                            pull_local()
-                        obs = venv.observe()
-                        masks = venv.legal_masks()
-                        chosen = self._act_batch(
-                            net,
-                            actions,
-                            w,
-                            rng,
-                            obs,
-                            masks,
-                            epsilon,
-                            remote=inference,
-                            ensure_local=pull_local,
-                        )
-                        results = venv.step(chosen)
-                        next_obs = venv.observe()
-                        next_masks = venv.legal_masks()
-                        t_obs = np.array(next_obs)
-                        t_masks = np.array(next_masks)
-                        for i, result in enumerate(results):
-                            if result.done:
-                                # The replica auto-reset; the transition's
-                                # successor is the terminal state, not the
-                                # new episode.
-                                t_obs[i] = venv.envs[i].observe(result.next_state)
-                                t_masks[i] = venv.envs[i].legal_mask(result.next_state)
-                        reply = conn.call(
-                            "push_batch",
-                            {
-                                "epsilon": epsilon,
-                                "states": obs,
-                                "actions": chosen,
-                                "rewards": np.stack([r.reward for r in results]),
-                                "next_states": t_obs,
-                                "next_masks": t_masks,
-                                "dones": np.array([r.done for r in results]),
-                                "areas": np.array([r.info["area"] for r in results]),
-                                "delays": np.array([r.info["delay"] for r in results]),
-                            },
-                        )
-                        self.rounds += 1
-                        self.env_steps_kept += reply["kept"]
-                        epsilon = reply["epsilon"]
-                        stop = reply["stop"]
-                        throttle = reply.get("throttle", 0.0)
-                        if throttle and not stop:
-                            # Backpressure: the learner is behind on its
-                            # gradient cadence — yield the wire briefly.
-                            self.throttled_rounds += 1
-                            time.sleep(throttle)
-                    break
-                except (ProtocolError, OSError):
-                    # The wire died mid-round: that round's transitions
-                    # are lost (counted honestly), the episode streams are
-                    # not — back off, redial, rejoin with the session.
-                    conn.close()
-                    conn = None
-                    self.rounds_lost += 1
-                    self.reconnect_seconds += backoff.sleep()
-            wall = time.perf_counter() - start
+                    conn.call(
+                        "push_obs",
+                        {
+                            "source": self.obs_source,
+                            "snapshot": obslib.REGISTRY.snapshot(),
+                            "final": True,
+                        },
+                    )
+                except (ProtocolError, RemoteError, OSError):
+                    pass  # an old-protocol learner has no push_obs
             return {
                 "actor_id": self.actor_id,
                 "session": self.session,
                 "rounds": self.rounds,
                 "env_steps_kept": self.env_steps_kept,
-                "wall_seconds": wall,
+                "wall_seconds": run_span.seconds,
                 "reconnects": self.reconnects,
                 "reconnect_seconds": self.reconnect_seconds,
                 "rounds_lost": self.rounds_lost,

@@ -19,6 +19,8 @@ import threading
 import time
 from pathlib import Path
 
+from repro import obs
+
 
 def actor_command(
     address: "tuple[str, int]", extra_args: "list[str] | None" = None
@@ -86,6 +88,7 @@ def launch_farm_workers(
     except BaseException:
         stop_farm_workers(procs)
         raise
+    obs.emit("farm_workers_launched", count=count, addresses=addresses)
     return procs, addresses
 
 
@@ -284,10 +287,12 @@ def launch_actors(
     if count < 1:
         raise ValueError("need at least one actor")
     env = _actor_env()
-    return [
+    procs = [
         subprocess.Popen(actor_command(address, extra_args), env=env)
         for _ in range(count)
     ]
+    obs.emit("actors_launched", count=count)
+    return procs
 
 
 def reap_actors(

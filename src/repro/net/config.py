@@ -57,6 +57,8 @@ class ClusterConfig:
     # replay-ingest backpressure
     backpressure_lag: int = 64
     throttle_seconds: float = 0.05
+    # observability
+    obs_dir: "str | None" = None
 
     # Which fields each command exposes as flags (plus per-command default
     # overrides). The launcher commands share the full learner block; the
@@ -66,13 +68,15 @@ class ClusterConfig:
         "heartbeat_timeout", "cluster_wait", "store_dir", "checkpoint_dir",
         "checkpoint_every", "stop_after", "resume", "inference",
         "inference_max_batch", "inference_max_wait", "backpressure_lag",
-        "throttle_seconds",
+        "throttle_seconds", "obs_dir",
     )
     COMMAND_FIELDS = {
         "serve-learner": _LEARNER_FIELDS,
         "cluster": _LEARNER_FIELDS + ("farm_workers", "restart_budget"),
-        "actor": ("front_cache", "heartbeat_timeout", "reconnect_attempts"),
-        "farm-worker": ("listen", "prepared_cache", "store_dir"),
+        "actor": (
+            "front_cache", "heartbeat_timeout", "reconnect_attempts", "obs_dir",
+        ),
+        "farm-worker": ("listen", "prepared_cache", "store_dir", "obs_dir"),
     }
     COMMAND_DEFAULTS = {
         "actor": {"heartbeat_timeout": 300.0},
@@ -203,6 +207,12 @@ _FLAG_SPECS = {
         type=float,
         help="seconds an actor pauses when the learner signals "
              "backpressure",
+    ),
+    "obs_dir": dict(
+        help="write structured observability events (JSONL, one file per "
+             "process) under this directory; cluster mode forwards the "
+             "flag to every spawned actor and farm worker "
+             "(default: off)",
     ),
 }
 

@@ -26,9 +26,9 @@ paths: every one ends in the same
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
 
+from repro import obs
 from repro.net.protocol import (
     DEFAULT_HEARTBEAT_TIMEOUT,
     DEFAULT_MAX_FRAME_BYTES,
@@ -167,24 +167,29 @@ class FarmWorkerServer(FramedServer):
                     store_hits += 1
                     points.append(stored.points())
                     continue
-            t0 = time.perf_counter()
-            netlist, hit = self._obtain_netlist(task, library)
+            with obs.span("farm.task_setup") as setup_span:
+                netlist, hit = self._obtain_netlist(task, library)
             if netlist is None:
                 missing.append(index)
                 points.append(None)
                 continue
-            t1 = time.perf_counter()
-            prepared = synthesizer.prepare(netlist)
-            curve = curve_from_prepared(prepared, synthesizer)
-            t2 = time.perf_counter()
-            setup_seconds += t1 - t0
-            opt_seconds += t2 - t1
+            with obs.span("farm.task_opt") as opt_span:
+                prepared = synthesizer.prepare(netlist)
+                curve = curve_from_prepared(prepared, synthesizer)
+            setup_seconds += setup_span.seconds
+            opt_seconds += opt_span.seconds
+            obs.histogram("farm.setup_seconds").observe(setup_span.seconds)
+            obs.histogram("farm.opt_seconds").observe(opt_span.seconds)
             prepared_hits += bool(hit)
             points.append(curve.points())
             if key is not None:
                 self.store.put(key, curve)
         self.store_hits += store_hits
         self.tasks_served += len(points) - len(missing)
+        obs.counter("farm.batches").inc()
+        obs.counter("farm.tasks").inc(len(points) - len(missing))
+        obs.counter("farm.store_hits").inc(store_hits)
+        obs.counter("farm.prepared_hits").inc(prepared_hits)
         return {
             "points": points,
             "missing": missing,
@@ -420,16 +425,38 @@ class RemoteFarmPool:
             reply["shipped_elided"] = max(elided, 0)
             return reply
 
+        # Drive threads do not inherit the caller's contextvars: capture
+        # the round trace here so every worker CALL (and the farm worker's
+        # own spans under it) joins the calling round's tree.
+        round_trace = obs.trace.wire_context()
+
         def drive(worker: int, chunk_ids: "list[int]", errors: list) -> None:
+            host, port = self.addresses[worker]
+            label = f"{{worker={host}:{port}}}"
             try:
-                for c in chunk_ids:
-                    reply = call_worker(worker, chunks[c])
-                    results[c] = reply["points"]
-                    with timings_lock:
-                        timings["setup"] += reply["setup_seconds"]
-                        timings["opt"] += reply["opt_seconds"]
-                        timings["hits"] += reply["prepared_hits"]
-                        timings["elided"] += reply["shipped_elided"]
+                with obs.trace.scope(round_trace):
+                    for c in chunk_ids:
+                        with obs.span(
+                            "dispatch.chunk", worker=f"{host}:{port}"
+                        ) as chunk_span:
+                            reply = call_worker(worker, chunks[c])
+                        results[c] = reply["points"]
+                        obs.counter("dispatch.chunks").inc()
+                        obs.counter("dispatch.tasks").inc(len(chunks[c]))
+                        obs.counter("dispatch.shipped_elided").inc(
+                            reply["shipped_elided"]
+                        )
+                        obs.histogram(
+                            f"dispatch.chunk_seconds{label}"
+                        ).observe(chunk_span.seconds)
+                        obs.histogram(
+                            f"dispatch.worker_opt_seconds{label}"
+                        ).observe(reply["opt_seconds"])
+                        with timings_lock:
+                            timings["setup"] += reply["setup_seconds"]
+                            timings["opt"] += reply["opt_seconds"]
+                            timings["hits"] += reply["prepared_hits"]
+                            timings["elided"] += reply["shipped_elided"]
             except BaseException as exc:
                 self._drop(worker)
                 errors.append((worker, exc))
@@ -458,6 +485,15 @@ class RemoteFarmPool:
                 moved = sum(len(chunks[c]) for c in remaining)
                 self.redispatched_tasks += moved
                 self.last_redispatched += moved
+                obs.counter("dispatch.redispatched_tasks").inc(moved)
+                obs.emit(
+                    "farm_redispatch",
+                    tasks=moved,
+                    dead_workers=[
+                        f"{self.addresses[w][0]}:{self.addresses[w][1]}"
+                        for w, _ in errors
+                    ],
+                )
         if remaining:
             # Every worker is gone mid-dispatch. Rescue the leftovers
             # locally (same curves, just slower) or surface the failure.

@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.net.backoff import Backoff
 from repro.net.protocol import (
     DEFAULT_HEARTBEAT_TIMEOUT,
@@ -47,6 +48,19 @@ from repro.net.protocol import (
     connect,
 )
 from repro.net.server import FramedServer
+
+#: Exactly the keys of :meth:`InferenceServer.stats_dict` (schema pin).
+SERVER_STATS_KEYS = (
+    "requests",
+    "rows",
+    "batches",
+    "max_coalesced",
+    "coalescing",
+    "version",
+)
+
+#: Exactly the keys of :meth:`InferenceClient.stats` (schema pin).
+CLIENT_STATS_KEYS = ("requests", "rows", "wire_failures", "rejected")
 
 
 class _Pending:
@@ -207,7 +221,8 @@ class InferenceServer(FramedServer):
             if len(batch) == 1
             else np.concatenate([p.features for p in batch])
         )
-        qmaps = self._net.predict(features)
+        with obs.span("inference.forward", rows=rows, requests=len(batch)) as fwd:
+            qmaps = self._net.predict(features)
         flat = self._actions.qmaps_to_flat(qmaps)  # (rows, A, 2)
         offset = 0
         for pending in batch:
@@ -229,6 +244,10 @@ class InferenceServer(FramedServer):
             self.requests += len(batch)
             self.rows += rows
             self.max_coalesced = max(self.max_coalesced, rows)
+        obs.counter("inference.batches").inc()
+        obs.counter("inference.requests").inc(len(batch))
+        obs.counter("inference.rows").inc(rows)
+        obs.histogram("inference.forward_seconds").observe(fwd.seconds)
 
     # -- methods ---------------------------------------------------------
 
@@ -375,13 +394,17 @@ class InferenceClient:
         except RemoteError:
             # The server answered (it is alive) but rejected this request.
             self.rejected += 1
+            obs.counter("inference_client.rejected").inc()
             return None
         except ProtocolError:
             self.wire_failures += 1
+            obs.counter("inference_client.wire_failures").inc()
             self._drop()
             return None
         self.requests += 1
         self.rows += features.shape[0]
+        obs.counter("inference_client.requests").inc()
+        obs.counter("inference_client.rows").inc(features.shape[0])
         self._backoff.reset()
         return reply
 

@@ -43,7 +43,9 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.net.config import ClusterConfig
+from repro.obs.aggregate import FleetObs
 from repro.net.protocol import DEFAULT_HEARTBEAT_TIMEOUT, DEFAULT_MAX_FRAME_BYTES
 from repro.net.server import FramedServer
 from repro.store.api import CurveStore
@@ -166,6 +168,11 @@ class LearnerState:
         self.rejoins = 0
         self.evictions = 0
         self.throttled_batches = 0
+        # Fleet observability: worker-pushed metric snapshots (retained
+        # across rejoins/respawns) and the run id every round trace
+        # minted here carries.
+        self.fleet_obs = FleetObs()
+        self.obs_run = obs.run_id() or obs.trace.new_id()
 
     # -- bookkeeping -----------------------------------------------------
 
@@ -246,6 +253,18 @@ class LearnerState:
             self.ever_joined += 1
             return shard, self._join_reply(shard, actor)
 
+    def _mint_round_trace(self) -> dict:
+        """A fresh trace context for an actor's next acting round.
+
+        Minted learner-side (join and push_batch replies) so every round
+        of every actor is rooted in one run's id space; the ``round_trace``
+        event is the lineage record that lets a severed round's orphaned
+        trace id still be attributed to this run.
+        """
+        trace = obs.trace.new_trace(self.obs_run)
+        obs.emit("round_trace", id=trace["id"])
+        return trace
+
     def _join_reply(self, shard: int, actor: dict, rejoin: bool = False) -> dict:
         # Callers hold self.lock.
         return {
@@ -261,6 +280,7 @@ class LearnerState:
                 self.schedule(min(self.history.env_steps, self.total))
             ),
             "stop": self.stop or self.history.env_steps >= self.total,
+            "trace": self._mint_round_trace(),
         }
 
     def leave(self, actor_id: "int | None", session: "str | None" = None) -> None:
@@ -325,6 +345,7 @@ class LearnerState:
                             self.schedule(min(history.env_steps, self.total))
                         ),
                         "stop": True,
+                        "trace": self._mint_round_trace(),
                     }
                 epsilon = float(batch["epsilon"])
                 returns = actor["episode_returns"]
@@ -374,11 +395,16 @@ class LearnerState:
                     ),
                     shard=actor_id,
                 )
+        obs.counter("learner.push_batches").inc()
+        obs.counter("learner.transitions_kept").inc(kept)
+        if throttle:
+            obs.counter("learner.throttled_batches").inc()
         reply = {
             "kept": kept,
             "env_steps": env_steps,
             "epsilon": next_epsilon,
             "stop": stop,
+            "trace": self._mint_round_trace(),
         }
         if throttle:
             reply["throttle"] = throttle
@@ -421,6 +447,7 @@ class LearnerServer(FramedServer):
             "cache_get": self._cache_get,
             "cache_put": self._cache_put,
             "cache_claim": self._cache_claim,
+            "push_obs": self._push_obs,
             "stats": self._stats,
         }
 
@@ -475,9 +502,27 @@ class LearnerServer(FramedServer):
     def _push_batch(self, ctx, params) -> dict:
         if ctx["actor_id"] is None:
             raise RuntimeError("push_batch before join")
+        # Piggybacked metric snapshot (new actors send one every round;
+        # absent from old actors, and ignored by old learners in turn).
+        self.state.fleet_obs.update(params.get("obs_source"), params.get("obs"))
         return self.state.push_batch(
             ctx["actor_id"], params, session=ctx.get("session")
         )
+
+    def _push_obs(self, ctx, params) -> dict:
+        """A worker's cumulative metric snapshot, outside the push cadence.
+
+        ``final=True`` (clean teardown) retires the source: its totals are
+        folded into the retained fleet aggregate, so a respawned process
+        restarting its counters from zero no longer loses the work its
+        predecessor reported.
+        """
+        params = params or {}
+        state = self.state
+        state.fleet_obs.update(params.get("source"), params.get("snapshot"))
+        if params.get("final"):
+            state.fleet_obs.retire(params.get("source"))
+        return {"ok": True}
 
     def _cache_get(self, ctx, params) -> dict:
         keys = [decode_cache_key(k) for k in params["keys"]]
@@ -544,4 +589,10 @@ class LearnerServer(FramedServer):
             }
             for key in MEMBERSHIP_KEYS:
                 stats[key] = getattr(state, key)
-            return stats
+        stats["obs"] = {
+            "run": state.obs_run,
+            "fleet": state.fleet_obs.merged(),
+            "learner": obs.REGISTRY.snapshot(),
+            "sources": state.fleet_obs.counts(),
+        }
+        return stats

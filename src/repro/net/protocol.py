@@ -41,6 +41,7 @@ from io import BytesIO
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
 from repro.rl.checkpoint import flatten_arrays, unflatten_arrays
 
 MAGIC = b"PX"
@@ -352,8 +353,17 @@ class Connection:
 
         Interleaved PONGs (a peer answering an earlier PING) are skipped;
         an ERROR reply raises :class:`RemoteError` with the peer's message.
+
+        When an obs trace is installed (:mod:`repro.obs.trace`) the CALL
+        body carries it as a ``trace`` sibling of ``method``/``params``
+        — a payload field, not a frame-header change, so peers that
+        predate it ignore the key and interop is unaffected.
         """
-        self.send(CALL, {"method": method, "params": params})
+        body = {"method": method, "params": params}
+        trace = obs_trace.wire_context()
+        if trace is not None:
+            body["trace"] = trace
+        self.send(CALL, body)
         while True:
             ftype, body = self.recv()
             if ftype == PONG:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import socketserver
 import threading
 
+from repro import obs
 from repro.net.protocol import (
     BYE,
     CALL,
@@ -83,8 +84,19 @@ class _Handler(socketserver.BaseRequestHandler):
             if handler is None:
                 conn.send(ERROR, {"error": f"unknown method {method!r}"})
                 continue
+            trace = body.get("trace")
             try:
-                result = handler(ctx, body.get("params"))
+                # Re-install the caller's trace context around handler
+                # execution, so server-side spans/events stitch into the
+                # calling round's tree. An absent/malformed trace is a
+                # no-op scope; a span is only emitted for traced calls
+                # with the event log on.
+                with obs.trace.scope(trace):
+                    if trace is not None and obs.enabled():
+                        with obs.span(f"rpc.{method}"):
+                            result = handler(ctx, body.get("params"))
+                    else:
+                        result = handler(ctx, body.get("params"))
             except ProtocolError:
                 raise
             except Exception as exc:

@@ -1,0 +1,85 @@
+"""Learner-side aggregation of actor-pushed metric snapshots.
+
+Actors push their (cumulative, per-process) registry snapshot with every
+``push_batch`` and once more on clean teardown (``push_obs``). Snapshots
+are keyed by a stable per-*process* source id (sessions rotate on every
+redial while the process — and its cumulative counters — survives, so
+keying by session would double count a rejoin). A respawned worker is a
+new source starting from zero; the dead source's last snapshot is
+*retained*, which is the fix for cluster exit telemetry under-reporting
+work after chaos recovery: fleet totals are ``retired + live``, monotone
+across restarts.
+
+The whole structure round-trips through ``state_dict`` so fleet totals
+also survive learner checkpoints.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import empty_snapshot, merge_snapshots
+
+
+class FleetObs:
+    """Per-source metric snapshots with retain-on-retire merging."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._live: "dict[str, dict]" = {}
+        self._retired: dict = empty_snapshot()
+        self._retired_sessions = 0
+
+    def update(self, source: "str | None", snapshot) -> None:
+        """Record ``source``'s latest cumulative snapshot."""
+        if not source or not isinstance(snapshot, dict):
+            return
+        with self._lock:
+            self._live[source] = snapshot
+
+    def retire(self, source: "str | None") -> None:
+        """Fold a finished source's last snapshot into the retained total."""
+        if not source:
+            return
+        with self._lock:
+            snapshot = self._live.pop(source, None)
+            if snapshot is not None:
+                self._retired = merge_snapshots(self._retired, snapshot)
+                self._retired_sessions += 1
+
+    def merged(self) -> dict:
+        """Fleet totals: retired sessions plus every live session."""
+        with self._lock:
+            out = self._retired
+            for snapshot in self._live.values():
+                out = merge_snapshots(out, snapshot)
+            return merge_snapshots(out, None)  # copy, callers may mutate
+
+    def counts(self) -> "dict[str, int]":
+        with self._lock:
+            return {
+                "live_sources": len(self._live),
+                "retired_sources": self._retired_sessions,
+            }
+
+    # -- checkpoint round trip ------------------------------------------
+
+    def state_dict(self) -> dict:
+        with self._lock:
+            return {
+                "retired": merge_snapshots(self._retired, None),
+                "retired_sources": self._retired_sessions,
+                "live": {s: merge_snapshots(v, None) for s, v in self._live.items()},
+            }
+
+    def load_state_dict(self, state: dict) -> None:
+        retired = state.get("retired") or empty_snapshot()
+        # Sources live at checkpoint time are gone after a restart; their
+        # last snapshots are final, so they fold into the retained total.
+        live = state.get("live") or {}
+        for snapshot in live.values():
+            retired = merge_snapshots(retired, snapshot)
+        with self._lock:
+            self._retired = retired
+            self._retired_sessions = int(state.get("retired_sources", 0)) + len(live)
+            self._live = {}

@@ -48,6 +48,7 @@ import threading
 import time
 from dataclasses import asdict, dataclass
 
+from repro import obs
 from repro.env.environment import PrefixEnv
 from repro.env.vector import VectorPrefixEnv
 from repro.rl.agent import ScalarizedDoubleDQN
@@ -327,6 +328,9 @@ class TrainingRuntime:
         self.preempted = False
         self.inference_stats: "dict | None" = None
         self.membership_stats: "dict | None" = None
+        # Fleet-obs totals restored from a checkpoint, applied to the
+        # LearnerState once cluster mode creates it.
+        self._restored_fleet_obs: "dict | None" = None
 
     # ------------------------------------------------------------------
     # Checkpoint assembly
@@ -473,6 +477,12 @@ class TrainingRuntime:
                 "total_cache_hits": farm.total_cache_hits,
                 "total_dispatched": farm.total_dispatched,
             }
+        # Metrics survive checkpoint/resume: the learner's own registry
+        # plus (cluster mode) the merged fleet totals pushed by workers.
+        obs_state = {"metrics": obs.REGISTRY.state_dict()}
+        if self._state is not None:
+            obs_state["fleet"] = self._state.fleet_obs.state_dict()
+        state["obs"] = obs_state
         return state
 
     def _save(self, total: int, history: TrainingHistory, loop_state: dict) -> None:
@@ -542,6 +552,11 @@ class TrainingRuntime:
         if farm is not None and "farm" in state:
             for key, value in state["farm"].items():
                 setattr(farm, key, int(value))
+        obs_state = state.get("obs")  # absent in pre-obs checkpoints
+        if isinstance(obs_state, dict):
+            if isinstance(obs_state.get("metrics"), dict):
+                obs.REGISTRY.load_state_dict(obs_state["metrics"])
+            self._restored_fleet_obs = obs_state.get("fleet")
         history = self._history_from_state(state["history"])
         return total, history, state["loop"]
 
@@ -655,6 +670,11 @@ class TrainingRuntime:
                 backpressure_lag=self.runtime.backpressure_lag,
                 throttle_seconds=self.runtime.throttle_seconds,
             )
+            if self._restored_fleet_obs is not None:
+                # Rejoin fleet totals from the checkpoint: counters pushed
+                # by pre-restart workers stay in the merged view.
+                state.fleet_obs.load_state_dict(self._restored_fleet_obs)
+                self._restored_fleet_obs = None
             self._state = state
             server.attach(state)
             if self.runtime.serve_inference:

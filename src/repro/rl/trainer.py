@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs as obslib
 from repro.env.environment import PrefixEnv
 from repro.env.vector import VectorPrefixEnv
 from repro.rl.agent import ScalarizedDoubleDQN
@@ -228,6 +229,7 @@ class SingleEnvLoop:
             loss = self.agent.train_step(self.buffer.sample(cfg.batch_size))
             history.losses.append(loss)
             history.gradient_steps += 1
+            obslib.counter("trainer.gradient_steps").inc()
 
     # -- persistence -----------------------------------------------------
 
@@ -348,6 +350,7 @@ class VectorEnvLoop:
                 history.losses.append(loss)
                 history.gradient_steps += 1
                 self.gradient_debt -= 1.0
+                obslib.counter("trainer.gradient_steps").inc()
 
     # -- persistence -----------------------------------------------------
 

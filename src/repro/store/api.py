@@ -38,6 +38,11 @@ cache, a path gives a layered memory-over-disk store.
 
 from __future__ import annotations
 
+#: Base keys every :meth:`CurveStore.stats` reports (schema pin —
+#: implementations extend, never rename; see the conformance test in
+#: ``tests/obs/test_stats_schema.py``).
+STATS_BASE_KEYS = ("entries", "hits", "misses", "hit_rate")
+
 
 class CurveStore:
     """Protocol base for curve stores (digest-keyed curve persistence).

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.prefix.serialize import graph_digest
 from repro.store.api import make_store
 from repro.synth.curve import AreaDelayCurve, synthesize_curve
@@ -121,6 +122,9 @@ class EvaluationBackend:
                 order[key] = len(unique)
                 unique.append(graph)
         self.unique_designs += len(unique)
+        obs.counter("backend.batches").inc()
+        obs.counter("backend.designs").inc(len(graphs))
+        obs.counter("backend.dedup_saved").inc(len(graphs) - len(unique))
         curves = self._evaluate_unique(unique) if unique else []
         return [curves[order[graph.key()]] for graph in graphs]
 
@@ -221,6 +225,8 @@ class LocalBackend(EvaluationBackend):
         self.cache_hits += len(graphs) - len(fresh)
         self.cache_misses += len(fresh)
         self.synthesized += len(fresh)
+        obs.counter("backend.cache_hits").inc(len(graphs) - len(fresh))
+        obs.counter("backend.synthesized").inc(len(fresh))
         if fresh:
             self.cache.put_many(fresh)
         return cached

@@ -42,7 +42,22 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro import obs
 from repro.synth.cache import SynthesisCache
+
+#: Exactly the keys of :meth:`SharedCacheService.stats` (schema pin).
+STATS_KEYS = (
+    "claim_batches",
+    "claim_keys",
+    "granted",
+    "fulfilled",
+    "released",
+    "reclaimed",
+    "waits",
+    "polls",
+    "parks",
+    "active",
+)
 
 
 @dataclass
@@ -99,6 +114,7 @@ class SharedCacheService:
             if lease is not None and now - lease.granted_at > self.lease_timeout:
                 self._leases.pop(key)
                 self.leases_reclaimed += 1
+                obs.counter("leases.reclaimed").inc()
                 lease = None
             if lease is None or lease.owner == owner:
                 # Grant (or refresh the same owner's claim — a retry
@@ -106,6 +122,7 @@ class SharedCacheService:
                 lease = _Lease(next(self._ids), owner, now)
                 self._leases[key] = lease
                 self.leases_granted += 1
+                obs.counter("leases.granted").inc()
                 out.append({"lease": lease.lease_id})
             else:
                 if tick_waits:
@@ -179,6 +196,7 @@ class SharedCacheService:
                 if not parked:
                     parked = True
                     self.lease_parks += 1
+                    obs.counter("leases.parks").inc()
                 wake = deadline
                 expiry = self._earliest_expiry(keys)
                 if expiry is not None:
@@ -211,6 +229,7 @@ class SharedCacheService:
                 if self._leases.pop(key, None) is not None:
                     fulfilled += 1
             self.leases_fulfilled += fulfilled
+            obs.counter("leases.fulfilled").inc(fulfilled)
             # Wake parked claimers: the values they wait on now exist.
             self._cond.notify_all()
         return fulfilled
@@ -223,6 +242,8 @@ class SharedCacheService:
                 self._leases.pop(key)
             self.leases_released += len(doomed)
             if doomed:
+                obs.counter("leases.released").inc(len(doomed))
+                obs.emit("leases_released", count=len(doomed))
                 # Wake parked claimers: a dead holder's leases are now
                 # grantable, and the first waiter to wake inherits them.
                 self._cond.notify_all()

@@ -1,0 +1,86 @@
+"""FleetObs: the respawn-proof fleet-total merge (the counter-loss fix)."""
+
+from __future__ import annotations
+
+from repro.obs.aggregate import FleetObs
+from repro.obs.metrics import empty_snapshot
+
+
+def snap(**counters):
+    return {"counters": dict(counters), "gauges": {}, "histograms": {}}
+
+
+class TestFleetObs:
+    def test_update_is_cumulative_not_additive(self):
+        fleet = FleetObs()
+        fleet.update("actor-1", snap(rounds=3))
+        fleet.update("actor-1", snap(rounds=7))  # newer cumulative snapshot
+        assert fleet.merged()["counters"]["rounds"] == 7
+
+    def test_sources_sum_across_the_fleet(self):
+        fleet = FleetObs()
+        fleet.update("actor-1", snap(rounds=3))
+        fleet.update("actor-2", snap(rounds=4))
+        assert fleet.merged()["counters"]["rounds"] == 7
+        assert fleet.counts() == {"live_sources": 2, "retired_sources": 0}
+
+    def test_retire_retains_totals_after_respawn(self):
+        """The counter-loss fix: a worker's final snapshot outlives it, and
+        its respawned replacement (a new source, starting at zero) adds on
+        top instead of resetting the fleet total."""
+        fleet = FleetObs()
+        fleet.update("actor-1", snap(rounds=5))
+        fleet.retire("actor-1")
+        assert fleet.merged()["counters"]["rounds"] == 5
+        fleet.update("actor-1b", snap(rounds=2))  # the respawn
+        assert fleet.merged()["counters"]["rounds"] == 7
+        assert fleet.counts() == {"live_sources": 1, "retired_sources": 1}
+
+    def test_rejoin_same_source_does_not_double_count(self):
+        # Sessions rotate on redial; the source (process) and its
+        # cumulative counters survive, so totals must not double.
+        fleet = FleetObs()
+        fleet.update("actor-1", snap(rounds=4))
+        fleet.update("actor-1", snap(rounds=6))  # after rejoin, same process
+        assert fleet.merged()["counters"]["rounds"] == 6
+
+    def test_monotone_across_restarts(self):
+        fleet = FleetObs()
+        total = 0
+        for gen in range(3):
+            source = f"actor-gen{gen}"
+            fleet.update(source, snap(rounds=3))
+            total += 3
+            assert fleet.merged()["counters"]["rounds"] == total
+            fleet.retire(source)
+            assert fleet.merged()["counters"]["rounds"] == total
+
+    def test_retire_unknown_or_empty_source_is_a_noop(self):
+        fleet = FleetObs()
+        fleet.retire("ghost")
+        fleet.retire(None)
+        fleet.update(None, snap(rounds=1))
+        fleet.update("actor-1", "not a dict")
+        assert fleet.merged() == empty_snapshot()
+
+    def test_state_dict_round_trip_folds_live_into_retired(self):
+        fleet = FleetObs()
+        fleet.update("actor-1", snap(rounds=5))
+        fleet.retire("actor-1")
+        fleet.update("actor-2", snap(rounds=2))
+        restored = FleetObs()
+        restored.load_state_dict(fleet.state_dict())
+        # actor-2 was live at checkpoint time; after restart its process
+        # is gone, so its last snapshot counts as final.
+        assert restored.merged()["counters"]["rounds"] == 7
+        assert restored.counts() == {"live_sources": 0, "retired_sources": 2}
+        # And totals keep growing from there.
+        restored.update("actor-3", snap(rounds=1))
+        assert restored.merged()["counters"]["rounds"] == 8
+
+    def test_merged_returns_a_private_copy(self):
+        fleet = FleetObs()
+        fleet.update("actor-1", snap(rounds=1))
+        out = fleet.merged()
+        out["counters"]["rounds"] = 999
+        assert fleet.merged()["counters"]["rounds"] == 1

@@ -1,0 +1,142 @@
+"""Event log + trace context: JSONL shape, spans, scope propagation."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.events import RUN_ENV
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts (and leaves) with obs unconfigured."""
+    obs.shutdown()
+    os.environ.pop(RUN_ENV, None)
+    yield
+    obs.shutdown()
+    os.environ.pop(RUN_ENV, None)
+
+
+def read_events(obs_dir):
+    events = []
+    for path in sorted(obs_dir.glob("*.jsonl")):
+        for line in path.read_text().splitlines():
+            events.append(json.loads(line))
+    return events
+
+
+class TestDisabled:
+    def test_emit_without_configure_is_a_noop(self):
+        assert not obs.enabled()
+        obs.emit("anything", n=1)  # must not raise
+
+    def test_span_still_times_when_disabled(self):
+        with obs.span("work") as sp:
+            pass
+        assert sp.seconds >= 0.0
+        assert sp.span_id is None
+
+
+class TestConfigured:
+    def test_configure_writes_per_process_jsonl(self, tmp_path):
+        obs.configure(str(tmp_path), "learner")
+        obs.emit("hello", n=3)
+        obs.shutdown()
+        files = list(tmp_path.glob("*.jsonl"))
+        assert len(files) == 1
+        assert files[0].name == f"learner-{os.getpid()}.jsonl"
+        events = read_events(tmp_path)
+        kinds = [e["event"] for e in events]
+        assert kinds == ["process_start", "hello", "process_end"]
+        hello = events[1]
+        assert hello["n"] == 3
+        assert hello["role"] == "learner"
+        assert hello["pid"] == os.getpid()
+        assert {"ts", "mono", "run"} <= set(hello)
+
+    def test_run_id_is_minted_and_exported(self, tmp_path):
+        obs.configure(str(tmp_path), "learner")
+        run = obs.run_id()
+        assert run and os.environ[RUN_ENV] == run
+
+    def test_run_id_inherited_from_environment(self, tmp_path):
+        os.environ[RUN_ENV] = "deadbeef"
+        obs.configure(str(tmp_path), "actor")
+        assert obs.run_id() == "deadbeef"
+        events = read_events(tmp_path)
+        assert all(e["run"] == "deadbeef" for e in events)
+
+    def test_span_emits_begin_end_with_duration(self, tmp_path):
+        obs.configure(str(tmp_path), "actor")
+        with obs.span("round", actor="a0") as sp:
+            pass
+        obs.shutdown()
+        events = read_events(tmp_path)
+        begin = next(e for e in events if e["event"] == "begin")
+        end = next(e for e in events if e["event"] == "end")
+        assert begin["name"] == end["name"] == "round"
+        assert begin["span"] == end["span"] == sp.span_id
+        assert begin["actor"] == "a0"
+        assert end["dur"] == pytest.approx(sp.seconds, abs=1e-3)
+        assert "error" not in end
+
+    def test_span_records_exception_name(self, tmp_path):
+        obs.configure(str(tmp_path), "actor")
+        with pytest.raises(ValueError):
+            with obs.span("boom"):
+                raise ValueError("x")
+        obs.shutdown()
+        end = next(e for e in read_events(tmp_path) if e["event"] == "end")
+        assert end["error"] == "ValueError"
+
+    def test_nested_spans_carry_parent(self, tmp_path):
+        obs.configure(str(tmp_path), "actor")
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+        obs.shutdown()
+        begins = {e["name"]: e for e in read_events(tmp_path) if e["event"] == "begin"}
+        assert "parent" not in begins["outer"]
+        assert begins["inner"]["parent"] == outer.span_id
+
+
+class TestTrace:
+    def test_scope_installs_and_restores(self):
+        trace = obs.trace.new_trace("run1")
+        assert obs.trace.current() is None
+        with obs.trace.scope(dict(trace, parent="span9")):
+            assert obs.trace.current_id() == trace["id"]
+            assert obs.trace.current_span() == "span9"
+            wire = obs.trace.wire_context()
+            assert wire["id"] == trace["id"]
+            assert wire["run"] == "run1"
+            assert wire["parent"] == "span9"
+        assert obs.trace.current() is None
+        assert obs.trace.wire_context() is None
+
+    def test_malformed_scope_is_a_noop(self):
+        with obs.trace.scope("garbage"):
+            assert obs.trace.current() is None
+        with obs.trace.scope({"no": "id"}):
+            assert obs.trace.current() is None
+
+    def test_events_inside_scope_carry_the_trace_id(self, tmp_path):
+        obs.configure(str(tmp_path), "farm")
+        trace = obs.trace.new_trace()
+        with obs.trace.scope(trace):
+            obs.emit("traced")
+        obs.emit("untraced")
+        obs.shutdown()
+        events = {e["event"]: e for e in read_events(tmp_path)}
+        assert events["traced"]["trace"] == trace["id"]
+        assert "trace" not in events["untraced"]
+
+    def test_wire_context_parent_tracks_current_span(self, tmp_path):
+        obs.configure(str(tmp_path), "actor")
+        with obs.trace.scope(obs.trace.new_trace()):
+            with obs.span("round") as sp:
+                assert obs.trace.wire_context()["parent"] == sp.span_id

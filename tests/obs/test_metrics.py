@@ -1,0 +1,176 @@
+"""Metric primitives: lock-free recording, snapshot/merge/state_dict."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    quantile,
+    render_prometheus,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        c = reg.counter("a")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_same_name_same_metric(self, reg):
+        reg.counter("a").inc(2)
+        reg.counter("a").inc(3)
+        assert reg.counter("a").value() == 5
+
+    def test_cross_thread_totals_fold(self, reg):
+        c = reg.counter("a")
+
+        def bump():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 4000
+
+    def test_load_sets_base_under_live_cells(self, reg):
+        c = reg.counter("a")
+        c.inc(3)
+        c._load(10)
+        assert c.value() == 10
+        c.inc(2)
+        assert c.value() == 12
+
+
+class TestGauge:
+    def test_set_add_value(self, reg):
+        g = reg.gauge("g")
+        g.set(2.5)
+        g.add(-0.5)
+        assert g.value() == 2.0
+
+
+class TestHistogram:
+    def test_observations_land_in_bounded_buckets(self, reg):
+        h = reg.histogram("h", bounds=(0.1, 1.0))
+        for v in (0.05, 0.5, 2.0):
+            h.observe(v)
+        data = h.data()
+        assert data["buckets"] == [0.1, 1.0]
+        assert data["counts"] == [1, 1, 1]  # <=0.1, <=1.0, +Inf
+        assert data["count"] == 3
+        assert data["sum"] == pytest.approx(2.55)
+
+    def test_bounds_must_ascend(self, reg):
+        with pytest.raises(ValueError, match="ascending"):
+            reg.histogram("bad", bounds=(1.0, 0.1))
+
+    def test_default_bounds_cover_sub_ms_to_ten_s(self, reg):
+        h = reg.histogram("h")
+        assert h.bounds == DEFAULT_SECONDS_BUCKETS
+
+    def test_quantile_returns_bucket_upper_bound(self, reg):
+        h = reg.histogram("h", bounds=(0.1, 1.0, 10.0))
+        for _ in range(9):
+            h.observe(0.05)
+        h.observe(5.0)
+        data = h.data()
+        assert quantile(data, 0.5) == 0.1
+        assert quantile(data, 0.99) == 10.0
+        assert quantile({"buckets": [1.0], "counts": [0, 0], "count": 0}, 0.5) == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_is_sorted_and_integral_values_are_ints(self, reg):
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1.5)
+        reg.gauge("g").set(3)
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"]["b"] == 2 and isinstance(snap["counters"]["b"], int)
+        assert snap["counters"]["a"] == 1.5
+        assert snap["gauges"]["g"] == 3
+
+    def test_state_dict_round_trip(self, reg):
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(1.25)
+        reg.histogram("h", bounds=(0.5,)).observe(0.2)
+        restored = MetricsRegistry()
+        restored.load_state_dict(reg.state_dict())
+        assert restored.snapshot() == reg.snapshot()
+        # Totals keep growing from the restored base — no counter loss.
+        restored.counter("c").inc()
+        assert restored.counter("c").value() == 8
+
+    def test_reset_drops_everything(self, reg):
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == empty_snapshot()
+
+
+class TestMerge:
+    def test_counters_sum_gauges_take_right(self):
+        a = {"counters": {"x": 2}, "gauges": {"g": 1}, "histograms": {}}
+        b = {"counters": {"x": 3, "y": 1}, "gauges": {"g": 9}, "histograms": {}}
+        merged = merge_snapshots(a, b)
+        assert merged["counters"] == {"x": 5, "y": 1}
+        assert merged["gauges"] == {"g": 9}
+
+    def test_histograms_sum_when_buckets_match(self):
+        h = {"buckets": [1.0], "counts": [2, 1], "sum": 2.5, "count": 3}
+        merged = merge_snapshots(
+            {"histograms": {"h": h}}, {"histograms": {"h": dict(h)}}
+        )
+        out = merged["histograms"]["h"]
+        assert out["counts"] == [4, 2]
+        assert out["count"] == 6
+        assert out["sum"] == 5
+
+    def test_bucket_mismatch_keeps_right_copy(self):
+        a = {"histograms": {"h": {"buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1}}}
+        b = {"histograms": {"h": {"buckets": [2.0], "counts": [0, 1], "sum": 3.0, "count": 1}}}
+        assert merge_snapshots(a, b)["histograms"]["h"]["buckets"] == [2.0]
+
+    def test_none_inputs_are_empty(self):
+        assert merge_snapshots(None, None) == empty_snapshot()
+
+    def test_inputs_not_mutated(self):
+        a = {"counters": {"x": 1}, "gauges": {}, "histograms": {}}
+        merge_snapshots(a, a)
+        assert a["counters"] == {"x": 1}
+
+
+class TestPrometheus:
+    def test_exposition_renders_all_kinds(self, reg):
+        reg.counter("rpc.calls").inc(3)
+        reg.gauge("depth").set(2)
+        reg.histogram("lat", bounds=(0.1,)).observe(0.05)
+        text = render_prometheus(reg.snapshot())
+        assert "# TYPE rpc_calls_total counter" in text
+        assert "rpc_calls_total 3" in text
+        assert "depth 2" in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+    def test_embedded_labels_become_prometheus_labels(self, reg):
+        reg.counter("chunks{worker=127.0.0.1:9}").inc()
+        text = render_prometheus(reg.snapshot())
+        assert 'chunks_total{worker="127.0.0.1:9"} 1' in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(empty_snapshot()) == ""
