@@ -9,8 +9,15 @@ writes the numbers to JSON:
    running tree supports them, the 8-env vectorized + float32 variants);
 3. ``synthesize_curve`` throughput (graphs/sec) at n in {16, 32} — the
    paper's true cost center, the target of the incremental-STA engine;
-4. ``SynthesisFarm`` pool-vs-serial speedup on the Section V-C workload;
-5. when the running tree has them: ``conv`` (tap-loop fast conv vs the
+4. ``sta_backward``: the same curves under a recovery-heavy synthesizer
+   (``recovery_passes`` cranked up) so area recovery — slack queries
+   after every trial downsize — dominates; this is the workload the
+   incremental required-time worklist and the downsize prune exist for;
+5. ``analytical``: raw analytical-delay evals/sec over the feature
+   corpus plus the deep-ripple worst case (depth-bound fixpoint in old
+   trees vs the level-bucketed sweep);
+6. ``SynthesisFarm`` pool-vs-serial speedup on the Section V-C workload;
+7. when the running tree has them: ``conv`` (tap-loop fast conv vs the
    im2col oracle at trainer batch shapes, fwd and fwd+bwd), ``inference``
    (shared batched-inference service: coalescing ratio and forwards saved
    under concurrent actor clients, honest 1-CPU accounting) and ``chaos``
@@ -34,6 +41,11 @@ PRs::
 ``--smoke`` runs a seconds-scale version (tiny widths, one trainer run,
 no farm) for CI: it asserts the sections and speedup keys exist without
 producing publishable numbers.
+
+``--profile <section>`` runs one bench section under ``cProfile``
+(stdlib only) and prints the top functions by cumulative time — the
+quickest way to answer "what actually dominates synthesize_curve now";
+combine with ``--smoke`` for a fast, non-publishable profile workload.
 
 Corpus note: the random-walk graphs start from sklansky and the feature
 corpus excludes the ripple structure at n > 8, matching the figure
@@ -97,6 +109,16 @@ try:  # seed/parent trees: no observability layer yet
 except ImportError:
     OBS_AVAILABLE = False
 
+try:  # older trees: no configurable synthesizer (recovery_passes) yet
+    from repro.synth import Synthesizer
+except ImportError:
+    Synthesizer = None
+
+try:  # older trees: no standalone analytical model yet
+    from repro.analytical import analytical_delay
+except ImportError:
+    analytical_delay = None
+
 from repro.nn import functional as nn_functional
 
 # Seed/parent trees: conv2d_forward has no fast path yet.
@@ -114,6 +136,13 @@ TRAINER_CONFIG = dict(batch_size=16, warmup_steps=32, learn_every=1)
 NUM_VECTOR_ENVS = 8
 SYNTHESIS_WIDTHS = (16, 32)
 SYNTHESIS_REPEATS = {16: 3, 32: 1}
+STA_WIDTHS = (16, 32)
+STA_RECOVERY_PASSES = 4         # recovery-heavy: the backward pass dominates
+STA_REPEATS = {16: 3, 32: 1}
+STA_ROUNDS = 2                  # best-of timing rounds (noise guard)
+ANALYTICAL_WIDTHS = (32, 64)
+ANALYTICAL_REPS = 300           # target analytical_delay calls per width
+ANALYTICAL_RIPPLE_REPS = 100    # deep-ripple worst-case calls
 FARM_WIDTH = 16
 FARM_WORKERS = 4
 FARM_REPEATS = 3
@@ -276,6 +305,86 @@ def bench_synthesis() -> dict:
             "ms_per_graph": wall / calls * 1000,
         }
         print(f"synthesis n={n}: {calls / wall:6.2f} graphs/s ({wall / calls * 1000:.1f} ms)")
+    return out
+
+
+def bench_sta_backward() -> "dict | None":
+    """Recovery-heavy ``synthesize_curve``: the backward-pass cost center.
+
+    ``recovery_passes`` is cranked above the default so area recovery —
+    a slack query after every trial downsize — dominates the run. This
+    is the workload the incremental required-time worklist and the
+    ``downsize_rejected`` prune were built for. Only parent-era APIs
+    (``Synthesizer(recovery_passes=...)``) are used, so the identical
+    section runs in the previous release's worktree and the vs-parent
+    ratio is apples-to-apples.
+    """
+    if Synthesizer is None:
+        return None
+    lib = nangate45()
+    synth = Synthesizer(recovery_passes=STA_RECOVERY_PASSES)
+    out = {}
+    for n in STA_WIDTHS:
+        graphs = synthesis_corpus(n)
+        reps = STA_REPEATS[n]
+        synthesize_curve(graphs[0], lib, synth)  # warm off the clock
+        best = float("inf")
+        for _ in range(STA_ROUNDS):
+            start = time.perf_counter()
+            for _ in range(reps):
+                for g in graphs:
+                    synthesize_curve(g, lib, synth)
+            best = min(best, time.perf_counter() - start)
+        calls = reps * len(graphs)
+        out[str(n)] = {
+            "corpus_size": len(graphs),
+            "recovery_passes": STA_RECOVERY_PASSES,
+            "graphs_per_sec": calls / best,
+            "ms_per_graph": best / calls * 1000,
+        }
+        print(f"sta_backward n={n} (rp={STA_RECOVERY_PASSES}): "
+              f"{calls / best:6.2f} graphs/s ({best / calls * 1000:.1f} ms)")
+    return out
+
+
+def bench_analytical() -> "dict | None":
+    """Raw analytical-delay sweeps, including the deep-ripple worst case.
+
+    Measured on *warm* graph instances: in the training loop the env
+    computes ``graph_features`` (which populates the per-instance
+    level/parent caches) on the same ``PrefixGraph`` the evaluator then
+    scores, so the marginal cost of ``analytical_delay`` is the sweep
+    itself, not the cached precomputation.
+    """
+    if analytical_delay is None:
+        return None
+    out = {}
+    for n in ANALYTICAL_WIDTHS:
+        graphs = [PrefixGraph(grid, _validated=True) for grid in feature_corpus(n)]
+        for g in graphs:  # warm numpy + per-instance caches off the clock
+            analytical_delay(g)
+        reps = max(1, int(ANALYTICAL_REPS // len(graphs)))
+        start = time.perf_counter()
+        for _ in range(reps):
+            for g in graphs:
+                analytical_delay(g)
+        wall = time.perf_counter() - start
+        calls = reps * len(graphs)
+        rip = ripple_carry(n)
+        analytical_delay(rip)
+        start = time.perf_counter()
+        for _ in range(ANALYTICAL_RIPPLE_REPS):
+            analytical_delay(rip)
+        rip_wall = time.perf_counter() - start
+        out[str(n)] = {
+            "corpus_size": len(graphs),
+            "graphs_per_sec": calls / wall,
+            "ms_per_graph": wall / calls * 1000,
+            "ripple_ms_per_graph": rip_wall / ANALYTICAL_RIPPLE_REPS * 1000,
+        }
+        print(f"analytical n={n}: {calls / wall:8.1f} evals/s "
+              f"({wall / calls * 1000:.3f} ms; ripple "
+              f"{rip_wall / ANALYTICAL_RIPPLE_REPS * 1000:.3f} ms)")
     return out
 
 
@@ -1221,6 +1330,12 @@ def measure() -> dict:
         "synthesis": bench_synthesis(),
         "synthesis_farm": bench_farm(),
     }
+    sta = bench_sta_backward()
+    if sta is not None:
+        out["sta_backward"] = sta
+    analytical_rows = bench_analytical()
+    if analytical_rows is not None:
+        out["analytical"] = analytical_rows
     runtime = bench_runtime()
     if runtime is not None:
         out["runtime"] = runtime
@@ -1269,6 +1384,21 @@ def _section_speedups(baseline: dict, current: dict) -> dict:
         if base:
             speedups[f"synthesize_curve_n{n}"] = (
                 row["graphs_per_sec"] / base["graphs_per_sec"]
+            )
+    for n, row in current.get("sta_backward", {}).items():
+        base = baseline.get("sta_backward", {}).get(n)
+        if base:
+            speedups[f"sta_recovery_n{n}"] = (
+                row["graphs_per_sec"] / base["graphs_per_sec"]
+            )
+    for n, row in current.get("analytical", {}).items():
+        base = baseline.get("analytical", {}).get(n)
+        if base:
+            speedups[f"analytical_n{n}"] = (
+                row["graphs_per_sec"] / base["graphs_per_sec"]
+            )
+            speedups[f"analytical_ripple_n{n}"] = (
+                base["ripple_ms_per_graph"] / row["ripple_ms_per_graph"]
             )
     return speedups
 
@@ -1336,6 +1466,8 @@ def apply_smoke_workload() -> None:
     """Shrink every section to a seconds-scale CI smoke workload."""
     global FEATURE_WIDTHS, TRAINER_WIDTHS, TRAINER_STEPS, NUM_VECTOR_ENVS
     global SYNTHESIS_WIDTHS, SYNTHESIS_REPEATS, FARM_WIDTH, FARM_WORKERS, FARM_REPEATS
+    global STA_WIDTHS, STA_RECOVERY_PASSES, STA_REPEATS, STA_ROUNDS
+    global ANALYTICAL_WIDTHS, ANALYTICAL_REPS, ANALYTICAL_RIPPLE_REPS
     global RUNTIME_WIDTH, RUNTIME_STEPS, RUNTIME_ROUNDS, RUNTIME_ENVS_PER_ACTOR
     global CLUSTER_WIDTH, CLUSTER_PROTOCOL_ITERS, CLUSTER_PREPARED_ROUNDS
     global BACKEND_WIDTH, BACKEND_ROUNDS
@@ -1351,6 +1483,13 @@ def apply_smoke_workload() -> None:
     NUM_VECTOR_ENVS = 2
     SYNTHESIS_WIDTHS = (8,)
     SYNTHESIS_REPEATS = {8: 1}
+    STA_WIDTHS = (8,)
+    STA_RECOVERY_PASSES = 2
+    STA_REPEATS = {8: 1}
+    STA_ROUNDS = 1
+    ANALYTICAL_WIDTHS = (8,)
+    ANALYTICAL_REPS = 20
+    ANALYTICAL_RIPPLE_REPS = 10
     FARM_WIDTH = 8
     FARM_WORKERS = 2
     FARM_REPEATS = 1
@@ -1465,6 +1604,13 @@ def run_smoke(output: "str | None") -> dict:
         "synthesize_curve_n8",
         "farm_pool_over_serial",
     ]
+    if Synthesizer is not None:
+        assert "sta_backward" in current, "missing bench section 'sta_backward'"
+        expected.append(f"sta_recovery_n{STA_WIDTHS[0]}")
+    if analytical_delay is not None:
+        assert "analytical" in current, "missing bench section 'analytical'"
+        expected.append(f"analytical_n{ANALYTICAL_WIDTHS[0]}")
+        expected.append(f"analytical_ripple_n{ANALYTICAL_WIDTHS[0]}")
     if TrainingRuntime is not None:
         assert "runtime" in current, "missing bench section 'runtime'"
         expected.append(f"runtime_async{RUNTIME_ACTORS}_over_serial")
@@ -1506,6 +1652,51 @@ def run_smoke(output: "str | None") -> dict:
     return result
 
 
+def profile_sections() -> dict:
+    """Name -> section callable, for ``--profile``."""
+    return {
+        "graph_features": bench_features,
+        "trainer": bench_trainer,
+        "synthesis": bench_synthesis,
+        "sta_backward": bench_sta_backward,
+        "analytical": bench_analytical,
+        "synthesis_farm": bench_farm,
+        "runtime": bench_runtime,
+        "cluster": bench_cluster,
+        "backend": (lambda: bench_backend() if BACKEND_AVAILABLE else None),
+        "conv": bench_conv,
+        "inference": bench_inference,
+        "chaos": bench_chaos,
+        "store": bench_store,
+        "obs": bench_obs,
+    }
+
+
+def run_profile(section: str, top: int) -> None:
+    """Run one bench section under cProfile and print a top-N breakdown."""
+    import cProfile
+    import pstats
+
+    sections = profile_sections()
+    fn = sections.get(section)
+    if fn is None:
+        raise SystemExit(
+            f"unknown --profile section {section!r}; choose from: "
+            + ", ".join(sorted(sections))
+        )
+    prof = cProfile.Profile()
+    prof.enable()
+    result = fn()
+    prof.disable()
+    if result is None:
+        print(f"section {section!r} is unavailable in this tree; nothing profiled")
+        return
+    print(f"\n--- cProfile {section}: top {top} by cumulative time ---")
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    stats.print_stats(top)
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default=None, help="write JSON here")
@@ -1533,7 +1724,26 @@ def main() -> None:
              "stay above tolerance * recorded (default 0.2, i.e. within 5x — "
              "CI hosts differ from the recording host)",
     )
+    parser.add_argument(
+        "--profile", default=None, metavar="SECTION",
+        help="run one bench section under cProfile and print the hottest "
+             "functions instead of measuring; combine with --smoke for a "
+             "fast workload (sections: "
+             "graph_features, trainer, synthesis, sta_backward, analytical, "
+             "synthesis_farm, runtime, cluster, backend, conv, inference, "
+             "chaos, store, obs)",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=30,
+        help="rows of pstats output for --profile (default 30)",
+    )
     args = parser.parse_args()
+
+    if args.profile:
+        if args.smoke:
+            apply_smoke_workload()
+        run_profile(args.profile, args.profile_top)
+        return
 
     if args.check_against:
         if not args.smoke and not args.baseline:

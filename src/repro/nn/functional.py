@@ -20,6 +20,13 @@ Two convolution layouts live behind one API:
   It reassociates the K*K accumulation, so it is gated on a tested
   numerical tolerance against the oracle, not byte-equality
   (``tests/nn/test_fast_conv.py``).
+- 1x1 kernels on the fast path use a third layout: a batched
+  channel-first GEMM straight on ``(B, C, H*W)`` views. The reference
+  1x1 im2col is already a single GEMM, but it pays two full
+  ``ascontiguousarray`` transposes (channels-last in, channels-first
+  out); the pointwise path touches no data beyond the GEMM itself.
+  BLAS may order the C_in reduction differently, so it sits behind the
+  same tolerance gate as the tap loop (``tests/nn/test_fast_conv.py``).
 """
 
 from __future__ import annotations
@@ -89,6 +96,43 @@ def _tap_conv2d_backward(dy: np.ndarray, cache: TapConvCache):
     return dx, dweight, dbias
 
 
+class PointwiseConvCache:
+    """Backward-pass state of the fast 1x1 (pointwise) convolution.
+
+    Distinct type for the same ``isinstance`` dispatch reason as
+    :class:`TapConvCache`.
+    """
+
+    __slots__ = ("xf", "weight", "x_shape", "has_bias")
+
+    def __init__(self, xf, weight, x_shape, has_bias):
+        self.xf = xf
+        self.weight = weight
+        self.x_shape = x_shape
+        self.has_bias = has_bias
+
+
+def _pointwise_conv2d_forward(x: np.ndarray, weight: np.ndarray, bias: "np.ndarray | None"):
+    c_out, c_in, _, _ = weight.shape
+    b, _, h, w = x.shape
+    xf = x.reshape(b, c_in, h * w)
+    y = np.matmul(weight.reshape(c_out, c_in), xf)
+    if bias is not None:
+        y += bias[:, None]
+    return y.reshape(b, c_out, h, w), PointwiseConvCache(xf, weight, x.shape, bias is not None)
+
+
+def _pointwise_conv2d_backward(dy: np.ndarray, cache: PointwiseConvCache):
+    weight = cache.weight
+    c_out, c_in, _, _ = weight.shape
+    b, _, h, w = cache.x_shape
+    dyf = dy.reshape(b, c_out, h * w)
+    dweight = np.matmul(dyf, cache.xf.transpose(0, 2, 1)).sum(axis=0).reshape(weight.shape)
+    dx = np.matmul(weight.reshape(c_out, c_in).T, dyf).reshape(b, c_in, h, w)
+    dbias = dy.sum(axis=(0, 2, 3)) if cache.has_bias else None
+    return dx, dweight, dbias
+
+
 def conv2d_forward(x: np.ndarray, weight: np.ndarray, bias: "np.ndarray | None", fast: bool = False):
     """Same-padded stride-1 convolution.
 
@@ -109,9 +153,10 @@ def conv2d_forward(x: np.ndarray, weight: np.ndarray, bias: "np.ndarray | None",
     if kh != kw or kh % 2 == 0:
         raise ValueError(f"only odd square kernels supported, got {kh}x{kw}")
     if kh == 1:
-        # A 1x1 kernel is already a single exact GEMM on the reference
-        # path — no reassociation, nothing to gain from the tap loop.
-        return reference.conv2d_forward(x, weight, bias)
+        # The tap loop degenerates to one tap here; the pointwise layout
+        # skips its padding/slab copies (and the reference path's two
+        # transpose copies) entirely.
+        return _pointwise_conv2d_forward(x, weight, bias)
     return _tap_conv2d_forward(x, weight, bias)
 
 
@@ -123,7 +168,70 @@ def conv2d_backward(dy: np.ndarray, cache):
     """
     if isinstance(cache, TapConvCache):
         return _tap_conv2d_backward(dy, cache)
+    if isinstance(cache, PointwiseConvCache):
+        return _pointwise_conv2d_backward(dy, cache)
     return reference.conv2d_backward(dy, cache)
+
+
+class FusedBNCache:
+    """Backward-pass state of the fused fast batchnorm (type-dispatched)."""
+
+    __slots__ = ("x", "mean", "inv_std", "gamma", "training")
+
+    def __init__(self, x, mean, inv_std, gamma, training):
+        self.x = x
+        self.mean = mean
+        self.inv_std = inv_std
+        self.gamma = gamma
+        self.training = training
+
+
+def _fused_batchnorm_forward(x, gamma, beta, running_mean, running_var, momentum, eps, training):
+    if training:
+        mean = x.mean(axis=(0, 2, 3))
+        var = x.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean = running_mean
+        var = running_var
+    inv_std = 1.0 / np.sqrt(var + eps)
+    # Fold normalize + affine into one per-channel scale/shift: two
+    # broadcast passes over x instead of the reference's four, and the
+    # cache keeps x itself rather than a materialized xhat.
+    scale = gamma * inv_std
+    shift = beta - mean * scale
+    y = x * scale[None, :, None, None] + shift[None, :, None, None]
+    return y, FusedBNCache(x, mean, inv_std, gamma, training)
+
+
+def _fused_batchnorm_backward(dy: np.ndarray, cache: FusedBNCache):
+    x = cache.x
+    mean = cache.mean
+    inv_std = cache.inv_std
+    gamma = cache.gamma
+    b, c, h, w = x.shape
+    m = b * h * w
+    dbeta = dy.sum(axis=(0, 2, 3))
+    # dgamma = sum(dy * xhat) expanded through xhat = (x - mean)*inv_std,
+    # so xhat is never materialized.
+    dgamma = inv_std * ((dy * x).sum(axis=(0, 2, 3)) - mean * dbeta)
+    scale = gamma * inv_std
+    if not cache.training:
+        dx = dy * scale[None, :, None, None]
+        return dx, dgamma, dbeta
+    # Reference dx = (dxhat - mean(dxhat) - xhat*mean(dxhat*xhat)) * inv_std
+    # regrouped as per-channel  dx = a*dy + b*x + c  (three broadcast passes):
+    # mean(dxhat) = gamma*dbeta/m and sum(dxhat*xhat) = gamma*dgamma.
+    a = scale
+    bb = -scale * inv_std * dgamma / m
+    cc = scale * (mean * inv_std * dgamma - dbeta) / m
+    dx = dy * a[None, :, None, None]
+    dx += x * bb[None, :, None, None]
+    dx += cc[None, :, None, None]
+    return dx, dgamma, dbeta
 
 
 def batchnorm_forward(
@@ -135,13 +243,22 @@ def batchnorm_forward(
     momentum: float,
     eps: float,
     training: bool,
+    fast: bool = False,
 ):
     """Per-channel batch normalization over ``(B, H, W)``.
 
     In training mode, batch statistics are used and the running estimates
     updated in place; in eval mode the running estimates are used and the
     cache is marked accordingly for the backward pass.
+
+    ``fast=True`` selects the fused scale/shift formulation (identical
+    statistics, reassociated elementwise algebra — tolerance-gated
+    against this default path, never byte-exact).
     """
+    if fast:
+        return _fused_batchnorm_forward(
+            x, gamma, beta, running_mean, running_var, momentum, eps, training
+        )
     if training:
         mean = x.mean(axis=(0, 2, 3))
         var = x.var(axis=(0, 2, 3))
@@ -160,7 +277,13 @@ def batchnorm_forward(
 
 
 def batchnorm_backward(dy: np.ndarray, cache):
-    """Gradients of :func:`batchnorm_forward`: ``(dx, dgamma, dbeta)``."""
+    """Gradients of :func:`batchnorm_forward`: ``(dx, dgamma, dbeta)``.
+
+    The path (reference vs fused) follows the cache type, exactly like
+    :func:`conv2d_backward`.
+    """
+    if isinstance(cache, FusedBNCache):
+        return _fused_batchnorm_backward(dy, cache)
     xhat, inv_std, gamma, training, x_shape = cache
     b, c, h, w = x_shape
     m = b * h * w

@@ -168,9 +168,16 @@ class Conv2d(Module):
 
 
 class BatchNorm2d(Module):
-    """Per-channel batch normalization with running statistics."""
+    """Per-channel batch normalization with running statistics.
 
-    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5, dtype=np.float64):
+    ``fast=True`` selects the fused scale/shift formulation (tolerance-
+    gated); the default stays on the byte-exact reference algebra.
+    """
+
+    def __init__(
+        self, channels: int, momentum: float = 0.1, eps: float = 1e-5,
+        dtype=np.float64, fast: bool = False,
+    ):
         super().__init__()
         self.gamma = Parameter(np.ones(channels), name="bn.gamma", dtype=dtype)
         self.beta = Parameter(np.zeros(channels), name="bn.beta", dtype=dtype)
@@ -178,6 +185,7 @@ class BatchNorm2d(Module):
         self.running_var = np.ones(channels, dtype=dtype)
         self.momentum = momentum
         self.eps = eps
+        self.fast = fast
         self._cache = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -190,6 +198,7 @@ class BatchNorm2d(Module):
             self.momentum,
             self.eps,
             self.training,
+            fast=self.fast,
         )
         return y
 
@@ -247,10 +256,10 @@ class ResidualBlock(Module):
         super().__init__()
         gen = ensure_rng(rng)
         self.conv1 = Conv2d(channels, channels, kernel_size, rng=gen, dtype=dtype, fast=fast)
-        self.bn1 = BatchNorm2d(channels, dtype=dtype)
+        self.bn1 = BatchNorm2d(channels, dtype=dtype, fast=fast)
         self.act1 = LeakyReLU(slope)
         self.conv2 = Conv2d(channels, channels, kernel_size, rng=gen, dtype=dtype, fast=fast)
-        self.bn2 = BatchNorm2d(channels, dtype=dtype)
+        self.bn2 = BatchNorm2d(channels, dtype=dtype, fast=fast)
         self.act_out = LeakyReLU(slope)
 
     def forward(self, x: np.ndarray) -> np.ndarray:

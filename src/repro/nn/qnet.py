@@ -51,7 +51,7 @@ class QNetwork(Module):
         fast = self.fast_conv
         self.body = Sequential(
             Conv2d(NUM_INPUT_PLANES, channels, 3, rng=gen, dtype=dtype, fast=fast),
-            BatchNorm2d(channels, dtype=dtype),
+            BatchNorm2d(channels, dtype=dtype, fast=fast),
             LeakyReLU(slope),
             *[
                 ResidualBlock(channels, 5, rng=gen, slope=slope, dtype=dtype, fast=fast)
@@ -60,7 +60,7 @@ class QNetwork(Module):
         )
         self.head = Sequential(
             Conv2d(channels, channels, 1, rng=gen, dtype=dtype, fast=fast),
-            BatchNorm2d(channels, dtype=dtype),
+            BatchNorm2d(channels, dtype=dtype, fast=fast),
             LeakyReLU(slope),
             Conv2d(channels, NUM_OUTPUT_PLANES, 1, rng=gen, dtype=dtype, fast=fast),
         )

@@ -15,9 +15,14 @@ then keeps the analysis *live* across netlist edits:
   O(netlist). The worklist state is kept in Python-native structures
   (lists of ``(src, intrinsic)`` arc tuples) because the cone loop is
   scalar by nature — per-element numpy access would dominate it.
-- **Backward required times** are computed lazily by a rank-ordered
-  reverse sweep and invalidated by any mutation, so passes that only
-  compare delays never pay for them.
+- **Backward required times** are maintained incrementally, mirroring
+  the forward worklist: the first slack query pays one full rank-ordered
+  reverse sweep, after which every mutation marks only the nets whose
+  required time can actually change (the fan-in cone of the edit) and a
+  rank-descending worklist repairs them on the next query. A slack query
+  after an optimizer move therefore costs O(affected cone), not
+  O(netlist). Passes that only compare delays never pay for required
+  times at all (the backward state stays lazily uninitialized).
 
 The engine is **bit-identical** to the reference implementation preserved
 in :mod:`repro.sta.reference`: identical load summation order, identical
@@ -76,6 +81,10 @@ class TimingGraph:
         self._input_arrivals = dict(input_arrivals or {})
         self._pending: "set[int]" = set()
         self._required: "list[float] | None" = None
+        # Net indices whose required time may be stale. Only meaningful
+        # while ``_required`` is a cached list; empty means the cache is
+        # exact for every live net.
+        self._req_pending: "set[int]" = set()
         self._compile()
 
     # ------------------------------------------------------------------
@@ -109,6 +118,7 @@ class TimingGraph:
         for net, val in self._input_arrivals.items():
             self._net_arrival[self._net_index[net]] = float(val)
         self._out_nets: "list[int]" = [self._net_index[n] for n in nl.outputs]
+        self._out_set: "frozenset[int]" = frozenset(self._out_nets)
 
         # Instance table: per-instance arc tuples (source net, intrinsic),
         # output resistance, output net, topological rank.
@@ -192,8 +202,21 @@ class TimingGraph:
     # ------------------------------------------------------------------
 
     def _touch(self, i: int) -> None:
+        """Mark instance ``i`` re-timeable: forward (its cone) and backward.
+
+        A touched instance has changed arc delays (resistance, intrinsic,
+        or output load), so besides re-propagating arrivals downstream,
+        the required times of its *arc-source* nets are stale — each is
+        ``min`` over sink candidates ``req[sink_out] - arc_delay`` and one
+        of those arc delays just moved. ``req`` of the instance's own
+        output net only depends on *downstream* arc delays, so it stays
+        exact and the backward repair naturally walks fan-in from here.
+        """
         self._pending.add(i)
-        self._required = None
+        if self._required is not None:
+            pend = self._req_pending
+            for s, _ in self._arcs[i]:
+                pend.add(s)
 
     def _update_load(self, net_idx: int) -> None:
         """Recompute one net's load exactly as :func:`net_load` does."""
@@ -213,7 +236,6 @@ class TimingGraph:
         """
         if not self._pending:
             return
-        self._required = None
         rank = self._rank
         heap = [(rank[i], i) for i in self._pending]
         heapq.heapify(heap)
@@ -310,6 +332,10 @@ class TimingGraph:
             self._net_arrival.append(0.0)
             self._net_wsrc.append(-1)
             self._net_sinks.append(set())
+            if self._required is not None:
+                # Fresh net, no sinks yet: unconstrained until a later
+                # rewire gives it fanout (which marks it stale).
+                self._required.append(_INF)
         self._out_net.append(out_idx)
         self._net_driver[out_idx] = i
         self._res.append(cell.resistance)
@@ -347,8 +373,11 @@ class TimingGraph:
         for src in {s for s, _ in self._arcs[i]}:
             self._net_sinks[src].discard(i)
             self._update_load(src)
+            if self._required is not None:
+                # Each source net lost a sink candidate from its min.
+                self._req_pending.add(src)
         self._arcs[i] = []
-        self._required = None
+        self._req_pending.discard(out_idx)
 
     def rewire_sink(self, inst_name: str, pin: str, new_net: str) -> None:
         """Move one input pin to a different net; re-times both cones."""
@@ -366,6 +395,10 @@ class TimingGraph:
         self._update_load(old_idx)
         self._update_load(new_idx)
         self._touch(i)
+        if self._required is not None:
+            # The old net lost a sink candidate (the new one gained a
+            # candidate; _touch marked it via the updated arc table).
+            self._req_pending.add(old_idx)
         drv = self._net_driver[new_idx]
         if drv >= 0 and self._rank[drv] >= self._rank[i]:
             self._rerank()
@@ -422,16 +455,83 @@ class TimingGraph:
         """Capacitive load of one net (same value as :func:`net_load`)."""
         return self._net_load[self._net_index[net]]
 
-    def _ensure_required(self) -> "list[float]":
-        """Backward required pass over the live instances (lazy, cached).
+    def _flush_required(self) -> None:
+        """Repair required times over the marked fan-in cone.
 
-        A rank-descending sweep: every sink of a net has a higher rank
-        than its driver, so each net's required time is final before any
-        of its fanin arcs subtract from it — the same min-fixpoint the
-        reference reversed-topological traversal reaches.
+        The reverse mirror of :meth:`_flush`: stale nets are processed in
+        *descending driver rank* (primary inputs last), so every sink
+        instance's output net is settled before the net feeding it is
+        recomputed. Each recompute rebuilds the net's required time from
+        scratch — ``target`` at primary outputs, ``min`` over all sink
+        arc candidates ``req[sink_out] - (intrinsic + res * load)`` —
+        the exact per-arc expression of the full reverse sweep, so the
+        repaired values are bit-identical to a cold recompute.
+        """
+        req = self._required
+        rank = self._rank
+        driver = self._net_driver
+        out_set = self._out_set
+        target = self.target
+        alive_net = self._net_alive
+        sinks_tab = self._net_sinks
+        out_tab = self._out_net
+        arcs_tab = self._arcs
+        res_tab = self._res
+        loads = self._net_load
+        pop = heapq.heappop
+        push = heapq.heappush
+
+        def key(s: int) -> float:
+            d = driver[s]
+            # Driverless (primary-input) nets feed nothing backward;
+            # order them after every driven net.
+            return -rank[d] if d >= 0 else 1.0
+
+        heap = [(key(s), s) for s in self._req_pending]
+        heapq.heapify(heap)
+        queued = set(self._req_pending)
+        self._req_pending.clear()
+        while heap:
+            s = pop(heap)[1]
+            queued.discard(s)
+            if not alive_net[s]:
+                continue
+            r = target if s in out_set else _INF
+            for j in sinks_tab[s]:
+                out = out_tab[j]
+                rj = req[out]
+                if rj == _INF:
+                    continue
+                rl = res_tab[j] * loads[out]
+                for src, intr in arcs_tab[j]:
+                    if src != s:
+                        continue
+                    cand = rj - (intr + rl)
+                    if cand < r:
+                        r = cand
+            if r != req[s]:
+                req[s] = r
+                d = driver[s]
+                if d >= 0:
+                    for src in {a for a, _ in arcs_tab[d]}:
+                        if src not in queued:
+                            queued.add(src)
+                            push(heap, (key(src), src))
+
+    def _ensure_required(self) -> "list[float]":
+        """Required times for every live net (incrementally maintained).
+
+        The first query pays one full rank-descending sweep: every sink
+        of a net has a higher rank than its driver, so each net's
+        required time is final before any of its fanin arcs subtract
+        from it — the same min-fixpoint the reference reversed-
+        topological traversal reaches. Later queries only repair the
+        nets mutations marked stale (:meth:`_flush_required`).
         """
         self._flush()
         if self._required is not None:
+            if self._req_pending:
+                self._flush_required()
             return self._required
         if self.target is None:
             raise ValueError("analysis ran without a target; no slacks available")
@@ -451,6 +551,7 @@ class TimingGraph:
                 cand = r - (intr + rl)
                 if cand < req[s]:
                     req[s] = cand
+        self._req_pending.clear()
         self._required = req
         return req
 
@@ -470,6 +571,67 @@ class TimingGraph:
             for i, ok in enumerate(self._net_alive)
             if ok
         }
+
+    def slack_all(self) -> "dict[str, float]":
+        """Alias of :meth:`slack_map` (the name used by the optimizer API)."""
+        return self.slack_map()
+
+    def downsize_rejected(self, name: str, new_cell: Cell, margin: float = 1e-9) -> bool:
+        """Prove that resizing ``name`` to ``new_cell`` must leave ``wns < 0``.
+
+        Used by slack-pruned area recovery: in met mode a downsize trial
+        is accepted only if ``wns >= 0`` afterwards, and a rejected trial
+        reverts exactly, so skipping a *provably* rejected trial changes
+        nothing observable. The proof is local and conservative:
+
+        - The required time at the instance's output net is invariant
+          under the trial (it depends only on downstream arc delays,
+          which a resize of this instance never touches).
+        - The trial's new output arrival is bounded below by the engine's
+          own per-arc expression over current input arrivals, minus the
+          largest possible upstream improvement: shrinking input-pin caps
+          lowers the input nets' loads, which shortens any single path by
+          at most the summed ``driver_resistance * cap_drop``.
+
+        If even that lower bound exceeds the required time by more than
+        ``margin`` — orders of magnitude above float path-sum noise,
+        orders of magnitude below any real timing margin — some output
+        must miss the target. Returns ``False`` whenever the proof does
+        not apply, so a would-be acceptance is never pruned.
+        """
+        req = self._ensure_required()
+        i = self._inst_index[name]
+        out = self._out_net[i]
+        r_out = req[out]
+        if r_out == _INF:
+            return False
+        inst = self.nl.instances[name]
+        old_cell = inst.cell
+        arrival = self._net_arrival
+        driver = self._net_driver
+        net_index = self._net_index
+        rl = new_cell.resistance * self._net_load[out]
+        best = -_INF
+        drop = 0.0
+        seen: "set[int]" = set()
+        for pin in new_cell.input_pins:
+            s = net_index[inst.pins[pin]]
+            t = arrival[s] + (new_cell.intrinsics[pin] + rl)
+            if t > best:
+                best = t
+            if s in seen:
+                continue
+            seen.add(s)
+            d = driver[s]
+            if d < 0:
+                continue
+            dcap = 0.0
+            for q in old_cell.input_pins:
+                if net_index[inst.pins[q]] == s:
+                    dcap += old_cell.input_caps[q] - new_cell.input_caps[q]
+            if dcap > 0.0:
+                drop += self._res[d] * dcap
+        return best - drop - r_out > margin
 
     def report(self) -> TimingReport:
         """Export the full dict-based :class:`TimingReport` (oracle format)."""
@@ -520,7 +682,14 @@ class TimingGraph:
         other.target = self.target if target is None else target
         other._input_arrivals = dict(self._input_arrivals)
         other._pending = set()
-        other._required = None
+        if other.target == self.target and self._required is not None:
+            # Same target: the backward cache (and its dirty set) stays
+            # valid in the branch.
+            other._required = list(self._required)
+            other._req_pending = set(self._req_pending)
+        else:
+            other._required = None
+            other._req_pending = set()
         other._inst_index = dict(self._inst_index)
         other._inst_names = list(self._inst_names)
         other._alive = list(self._alive)
@@ -537,6 +706,7 @@ class TimingGraph:
         other._net_wsrc = list(self._net_wsrc)
         other._net_sinks = [set(s) for s in self._net_sinks]
         other._out_nets = list(self._out_nets)
+        other._out_set = self._out_set
         return other
 
     def __repr__(self) -> str:

@@ -334,8 +334,22 @@ class Synthesizer:
 
         When the target is met, any move keeping WNS >= 0 is accepted; when
         it is not met (infeasible target), moves must not worsen the delay.
-        Slacks are recomputed (lazily) only when a move is accepted —
-        rejected trials restore the analysis state exactly.
+
+        Slack-driven: candidates are visited in descending slack-margin
+        order (one slack map at pass start, exactly as the reference
+        loop preserved in :mod:`repro.synth.reference` sorts them), but
+        per-candidate gating reads :meth:`TimingGraph.slack_of` — after
+        an accepted downsize the engine's incremental backward worklist
+        re-examines only the nets whose required time actually changed,
+        instead of the reference's full ``slack_map()`` rebuild per
+        accept. Cells whose positive slack provably cannot absorb the
+        downsize delta are skipped via
+        :meth:`TimingGraph.downsize_rejected` before any trial mutation.
+        Both shortcuts are bit-identity-safe (rejected trials revert
+        exactly; the prune only fires on proofs), so the accept/reject
+        sequence — and therefore the final netlist — matches the
+        reference oracle move for move (property-tested in
+        ``tests/synth/test_recovery_equivalence.py``).
         """
         nl = tg.nl
         accepted = 0
@@ -352,16 +366,20 @@ class Synthesizer:
             smaller = nl.library.next_size_down(inst.cell)
             if smaller is None:
                 continue
-            slack = slacks.get(inst.output_net, 0.0)
             was_met = tg.wns >= 0
-            if was_met and slack <= 0:
-                continue
+            if was_met:
+                # Same gate as the reference: its slack dict is rebuilt on
+                # every accept, so the dict lookup it performs here always
+                # equals the engine's current (incrementally repaired) slack.
+                if tg.slack_of(inst.output_net) <= 0:
+                    continue
+                if tg.downsize_rejected(name, smaller):
+                    continue
             old_cell = inst.cell
             tg.replace_cell(name, smaller)
             ok = tg.wns >= 0 if was_met else tg.delay <= baseline_delay + 1e-12
             if ok:
                 accepted += 1
-                slacks = tg.slack_map()
             else:
                 tg.replace_cell(name, old_cell)
         return accepted

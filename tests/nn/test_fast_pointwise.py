@@ -1,0 +1,211 @@
+"""Tolerance-gated oracles for the pointwise (1x1) conv and fused batchnorm.
+
+Both fast paths reassociate elementwise/reduction algebra (BLAS reduction
+order for the batched 1x1 GEMM; folded scale/shift and expanded ``xhat``
+sums for batchnorm), so they are pinned to the byte-exact reference
+formulations within stated tolerances — the same contract as the tap-loop
+conv in ``test_fast_conv.py``. The default paths stay byte-identical to
+:mod:`repro.nn.reference` / the reference batchnorm algebra, which the
+``mode="sync"`` differential-CLI gate depends on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import QNetwork
+from repro.nn import functional as F
+from repro.nn import reference
+from repro.nn.functional import FusedBNCache, PointwiseConvCache
+
+TOL = {np.float64: (1e-10, 1e-12), np.float32: (1e-3, 1e-5)}
+
+# (batch, c_in, c_out, n) — head shapes (16->16, 16->4) plus awkward odds.
+POINTWISE_SHAPES = [
+    (1, 1, 1, 3),
+    (2, 16, 16, 8),
+    (4, 16, 4, 16),
+    (3, 5, 7, 11),
+    (8, 16, 4, 32),
+]
+
+
+class TestPointwiseConv:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    @pytest.mark.parametrize("shape", POINTWISE_SHAPES)
+    def test_forward_and_backward_within_tolerance(self, shape, dtype):
+        b, c_in, c_out, n = shape
+        rng = np.random.default_rng(hash(shape) % (2**32))
+        x = rng.normal(size=(b, c_in, n, n)).astype(dtype)
+        w = rng.normal(size=(c_out, c_in, 1, 1)).astype(dtype)
+        bias = rng.normal(size=c_out).astype(dtype)
+        dy = rng.normal(size=(b, c_out, n, n)).astype(dtype)
+        rtol, atol = TOL[dtype]
+
+        y_ref, cache_ref = reference.conv2d_forward(x, w, bias)
+        y_fast, cache_fast = F.conv2d_forward(x, w, bias, fast=True)
+        assert isinstance(cache_fast, PointwiseConvCache)
+        assert y_fast.dtype == y_ref.dtype
+        np.testing.assert_allclose(y_fast, y_ref, rtol=rtol, atol=atol)
+
+        grads_ref = reference.conv2d_backward(dy, cache_ref)
+        grads_fast = F.conv2d_backward(dy, cache_fast)
+        for g_fast, g_ref in zip(grads_fast, grads_ref):
+            assert g_fast.shape == g_ref.shape
+            np.testing.assert_allclose(g_fast, g_ref, rtol=rtol, atol=atol)
+
+    def test_no_bias(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 6, 5, 5))
+        w = rng.normal(size=(3, 6, 1, 1))
+        dy = rng.normal(size=(2, 3, 5, 5))
+        y_ref, cache_ref = reference.conv2d_forward(x, w, None)
+        y_fast, cache_fast = F.conv2d_forward(x, w, None, fast=True)
+        np.testing.assert_allclose(y_fast, y_ref, rtol=1e-10, atol=1e-12)
+        dx_f, dw_f, db_f = F.conv2d_backward(dy, cache_fast)
+        dx_r, dw_r, db_r = reference.conv2d_backward(dy, cache_ref)
+        assert db_f is None and db_r is None
+        np.testing.assert_allclose(dx_f, dx_r, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(dw_f, dw_r, rtol=1e-10, atol=1e-12)
+
+    def test_fast_gradients_numerically(self):
+        """The pointwise backward is a correct gradient in its own right."""
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(2, 3, 4, 4))
+        w = rng.normal(size=(2, 3, 1, 1))
+        bias = rng.normal(size=2)
+        dy = rng.normal(size=(2, 2, 4, 4))
+        _, cache = F.conv2d_forward(x, w, bias, fast=True)
+        dx, dw, db = F.conv2d_backward(dy, cache)
+        eps = 1e-6
+        for arr, grad in ((x, dx), (w, dw), (bias, db)):
+            flat = arr.reshape(-1)
+            for k in range(0, flat.size, max(1, flat.size // 5)):
+                orig = flat[k]
+                flat[k] = orig + eps
+                plus = float((F.conv2d_forward(x, w, bias, fast=True)[0] * dy).sum())
+                flat[k] = orig - eps
+                minus = float((F.conv2d_forward(x, w, bias, fast=True)[0] * dy).sum())
+                flat[k] = orig
+                assert abs(grad.reshape(-1)[k] - (plus - minus) / (2 * eps)) < 1e-6
+
+
+def _bn_case(rng, b=4, c=6, n=8, dtype=np.float64):
+    x = rng.normal(size=(b, c, n, n)).astype(dtype)
+    gamma = rng.normal(loc=1.0, scale=0.2, size=c).astype(dtype)
+    beta = rng.normal(size=c).astype(dtype)
+    dy = rng.normal(size=(b, c, n, n)).astype(dtype)
+    return x, gamma, beta, dy
+
+
+class TestFusedBatchnorm:
+    @pytest.mark.parametrize("training", [True, False])
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32])
+    def test_matches_reference_within_tolerance(self, training, dtype):
+        rng = np.random.default_rng(7)
+        x, gamma, beta, dy = _bn_case(rng, dtype=dtype)
+        rtol, atol = TOL[dtype]
+        rm_ref = np.zeros(6, dtype=dtype)
+        rv_ref = np.ones(6, dtype=dtype)
+        rm_fast = rm_ref.copy()
+        rv_fast = rv_ref.copy()
+
+        y_ref, cache_ref = F.batchnorm_forward(
+            x, gamma, beta, rm_ref, rv_ref, 0.1, 1e-5, training
+        )
+        y_fast, cache_fast = F.batchnorm_forward(
+            x, gamma, beta, rm_fast, rv_fast, 0.1, 1e-5, training, fast=True
+        )
+        assert isinstance(cache_fast, FusedBNCache)
+        assert y_fast.dtype == y_ref.dtype
+        np.testing.assert_allclose(y_fast, y_ref, rtol=rtol, atol=atol)
+        # Running statistics use the identical mean/var expressions.
+        assert rm_fast.tobytes() == rm_ref.tobytes()
+        assert rv_fast.tobytes() == rv_ref.tobytes()
+
+        for g_fast, g_ref in zip(
+            F.batchnorm_backward(dy, cache_fast), F.batchnorm_backward(dy, cache_ref)
+        ):
+            np.testing.assert_allclose(g_fast, g_ref, rtol=rtol, atol=atol)
+
+    def test_fused_gradients_numerically(self):
+        """Spot-check the fused training-mode backward against finite
+        differences directly (not just against the reference)."""
+        rng = np.random.default_rng(13)
+        x, gamma, beta, dy = _bn_case(rng, b=3, c=2, n=4)
+
+        def fwd():
+            rm = np.zeros(2)
+            rv = np.ones(2)
+            y, _ = F.batchnorm_forward(x, gamma, beta, rm, rv, 0.1, 1e-5, True, fast=True)
+            return float((y * dy).sum())
+
+        rm = np.zeros(2)
+        rv = np.ones(2)
+        _, cache = F.batchnorm_forward(x, gamma, beta, rm, rv, 0.1, 1e-5, True, fast=True)
+        dx, dgamma, dbeta = F.batchnorm_backward(dy, cache)
+        eps = 1e-6
+        for arr, grad in ((x, dx), (gamma, dgamma), (beta, dbeta)):
+            flat = arr.reshape(-1)
+            for k in range(0, flat.size, max(1, flat.size // 4)):
+                orig = flat[k]
+                flat[k] = orig + eps
+                plus = fwd()
+                flat[k] = orig - eps
+                minus = fwd()
+                flat[k] = orig
+                assert abs(grad.reshape(-1)[k] - (plus - minus) / (2 * eps)) < 1e-5
+
+    def test_default_path_unchanged(self):
+        """fast=False must keep returning the original tuple cache and
+        byte-identical outputs — the sync gate's invariant."""
+        rng = np.random.default_rng(3)
+        x, gamma, beta, dy = _bn_case(rng)
+        rm = np.zeros(6)
+        rv = np.ones(6)
+        y, cache = F.batchnorm_forward(x, gamma, beta, rm, rv, 0.1, 1e-5, True)
+        assert isinstance(cache, tuple)
+        xhat, inv_std, g, training, x_shape = cache
+        manual = gamma[None, :, None, None] * xhat + beta[None, :, None, None]
+        assert y.tobytes() == manual.tobytes()
+
+
+class TestQNetworkFastHead:
+    def test_fast_network_matches_exact_within_tolerance(self):
+        """End to end: fast_conv=True now also covers the 1x1 heads and
+        batchnorms, and the whole net still tracks the exact one."""
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(3, 4, 8, 8))
+        exact = QNetwork(8, blocks=1, channels=8, rng=0)
+        fast = QNetwork(8, blocks=1, channels=8, rng=0, fast_conv=True)
+        fast.load_state_arrays(exact.state_arrays())
+        # Every batchnorm and conv in the fast net is on a fast layout.
+        convs = [m for m in (*fast.body.stages, *fast.head.stages) if hasattr(m, "fast")]
+        assert convs and all(m.fast for m in convs)
+        np.testing.assert_allclose(
+            fast.predict(x), exact.predict(x), rtol=1e-9, atol=1e-11
+        )
+
+    def test_training_step_tracks_exact(self):
+        """One train-mode forward/backward: gradients of the fast net stay
+        within tolerance of the exact net's."""
+        rng = np.random.default_rng(21)
+        x = rng.normal(size=(4, 4, 8, 8))
+        exact = QNetwork(8, blocks=1, channels=8, rng=0)
+        fast = QNetwork(8, blocks=1, channels=8, rng=0, fast_conv=True)
+        fast.load_state_arrays(exact.state_arrays())
+        exact.train()
+        fast.train()
+        y_e = exact.forward(x)
+        y_f = fast.forward(x)
+        np.testing.assert_allclose(y_f, y_e, rtol=1e-9, atol=1e-11)
+        dy = np.ones_like(y_e) / y_e.size
+        exact.backward(dy)
+        fast.backward(dy)
+        exact_params = exact.parameters()
+        fast_params = fast.parameters()
+        assert len(exact_params) == len(fast_params)
+        for p_e, p_f in zip(exact_params, fast_params):
+            assert p_e.name == p_f.name
+            np.testing.assert_allclose(p_f.grad, p_e.grad, rtol=1e-8, atol=1e-10)

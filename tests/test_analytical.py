@@ -1,9 +1,13 @@
 """Tests for the Moto-Kaneko analytical model (Fig. 6 evaluator)."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analytical import analytical_area, analytical_delay, evaluate_analytical
-from repro.prefix import brent_kung, kogge_stone, ripple_carry, sklansky
+from repro.analytical.reference import analytical_delay_reference
+from repro.prefix import REGULAR_STRUCTURES, brent_kung, kogge_stone, ripple_carry, sklansky
 from tests.conftest import random_walk_graph
 
 
@@ -57,6 +61,34 @@ class TestDelay:
     def test_deeper_structures_slower(self):
         # Under the analytical model, ripple is much slower than Kogge-Stone.
         assert analytical_delay(ripple_carry(32)) > analytical_delay(kogge_stone(32))
+
+
+class TestLevelBucketedMatchesReference:
+    """The level-bucketed sweep must be *bit-identical* to the preserved
+    fixpoint-relaxation oracle — same per-node float op, applied once per
+    node from settled parents, so not a single ulp of drift is allowed."""
+
+    @pytest.mark.parametrize("n", (4, 8, 16, 32, 64))
+    def test_regular_structures(self, n):
+        for ctor in REGULAR_STRUCTURES.values():
+            g = ctor(n)
+            assert analytical_delay(g) == analytical_delay_reference(g)
+
+    def test_deep_ripple_is_the_worst_case(self):
+        # depth 63: the reference pays 64 whole-grid sweeps, the bucketed
+        # sweep one gather per level — values must still agree exactly.
+        g = ripple_carry(64)
+        assert analytical_delay(g) == analytical_delay_reference(g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.sampled_from([4, 8, 12, 16, 24]),
+        steps=st.integers(min_value=0, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_random_walk_graphs(self, n, steps, seed):
+        g = random_walk_graph(n, steps, np.random.default_rng(seed))
+        assert analytical_delay(g) == analytical_delay_reference(g)
 
 
 class TestEvaluate:
